@@ -1,0 +1,811 @@
+//! The Atlas server: four single-core stack instances over shared
+//! hardware (NIC, disks, memory system), each running the §3 control
+//! loop process-to-completion.
+
+use crate::conn::{AtlasConn, InflightFetch, ResponseLayout, RECORD_PLAIN};
+use dcn_crypto::RecordCipher;
+use dcn_diskmap::{BufId, DiskId, DiskmapKernel, IoDesc, NvmeQueue};
+use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
+use dcn_mem::{CostParams, CoreSet, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion};
+use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
+use dcn_nvme::{FirmwareParams, NvmeConfig, NvmeDevice, SyntheticBacking};
+use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
+use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_store::Catalog;
+use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent};
+use std::collections::{BTreeSet, HashMap};
+
+/// Atlas deployment configuration.
+#[derive(Clone, Debug)]
+pub struct AtlasConfig {
+    /// Stack instances, one per core (the paper uses 4 of 8).
+    pub cores: usize,
+    /// Diskmap buffers per (core, disk) queue pair.
+    pub bufs_per_queue: u32,
+    /// Buffer size == fetch unit == TLS record (16 KiB sweet spot).
+    pub buf_size: u64,
+    /// Fetch watermark: delay I/O until this much window is free
+    /// (§3.2: 10×MSS).
+    pub watermark: u64,
+    /// Encrypt bodies (AES-128-GCM)?
+    pub encrypted: bool,
+    pub tcb: TcbConfig,
+    pub nic: NicConfig,
+    pub firmware: FirmwareParams,
+    pub llc: LlcConfig,
+    pub costs: CostParams,
+    pub fidelity: Fidelity,
+    pub server_endpoint: Endpoint,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            cores: 4,
+            bufs_per_queue: 320,
+            buf_size: RECORD_PLAIN,
+            watermark: 10 * 1448,
+            encrypted: false,
+            tcb: TcbConfig::default(),
+            nic: NicConfig { rings: 4, ..NicConfig::default() },
+            firmware: FirmwareParams::p3700(),
+            llc: LlcConfig::xeon_e5_2667v3(),
+            costs: CostParams::default(),
+            fidelity: Fidelity::Full,
+            server_endpoint: Endpoint {
+                mac: dcn_packet::MacAddr::from_host_id(1),
+                ip: dcn_packet::Ipv4Addr::new(10, 0, 0, 1),
+                port: 80,
+            },
+        }
+    }
+}
+
+/// Steady-state measurements (read at the end of a run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AtlasMetrics {
+    pub http_payload_bytes: u64,
+    pub responses: u64,
+    pub disk_read_bytes: u64,
+    pub retransmit_fetches: u64,
+    pub conns: usize,
+}
+
+struct ConnSlot {
+    conn: AtlasConn,
+    core: usize,
+}
+
+/// One per-core stack instance's storage handles.
+struct CoreDisks {
+    queues: Vec<NvmeQueue>, // one per disk
+}
+
+/// The server.
+pub struct AtlasServer {
+    pub cfg: AtlasConfig,
+    pub mem: MemSystem,
+    pub host: HostMem,
+    pub nic: Nic,
+    pub kernel: DiskmapKernel,
+    pub cores: CoreSet,
+    pub catalog: Catalog,
+    core_disks: Vec<CoreDisks>,
+    conns: HashMap<FlowId, usize>,
+    slots: Vec<ConnSlot>,
+    /// (deadline, slot) index for TCB timers.
+    timers: BTreeSet<(Nanos, usize)>,
+    timer_of: Vec<Option<Nanos>>,
+    /// user-token → fetch bookkeeping. Token encodes (slot, seq of
+    /// fetch); details live here.
+    fetches: HashMap<u64, (usize, InflightFetch, BufId, usize)>, // slot, fetch, buf, disk
+    next_token: u64,
+    /// RX slot DMA targets (one small region per ring, reused — RX
+    /// traffic is pure ACKs).
+    rx_slots: Vec<PhysRegion>,
+    rng: SimRng,
+    pub metrics: AtlasMetrics,
+    phys: PhysAlloc,
+}
+
+impl AtlasServer {
+    /// Build the full server: 4 NVMe disks with synthetic content
+    /// described by `catalog`, the NIC, and `cfg.cores` stack
+    /// instances each attached to every disk.
+    #[must_use]
+    pub fn new(cfg: AtlasConfig, catalog: Catalog, seed: u64) -> Self {
+        let mut phys = PhysAlloc::new();
+        let mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
+        let host = HostMem::new();
+        let nvme_cfg = NvmeConfig {
+            num_qpairs: cfg.cores as u16,
+            firmware: cfg.firmware,
+            fidelity: cfg.fidelity,
+            ..NvmeConfig::default()
+        };
+        let disks: Vec<NvmeDevice> = (0..catalog.n_disks())
+            .map(|d| {
+                NvmeDevice::new(
+                    nvme_cfg,
+                    Box::new(SyntheticBacking::new(catalog.disk_seed(d))),
+                    seed ^ (d as u64) << 8,
+                )
+            })
+            .collect();
+        let mut kernel = DiskmapKernel::new(disks);
+        let mut core_disks = Vec::new();
+        for core in 0..cfg.cores {
+            let queues = (0..catalog.n_disks())
+                .map(|d| {
+                    NvmeQueue::nvme_open(
+                        &mut kernel,
+                        DiskId(d),
+                        core as u16,
+                        cfg.bufs_per_queue,
+                        cfg.buf_size,
+                        &mut phys,
+                    )
+                    .expect("attach")
+                })
+                .collect();
+            core_disks.push(CoreDisks { queues });
+        }
+        let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
+        AtlasServer {
+            nic: Nic::new(NicConfig { rings: cfg.cores, fidelity: cfg.fidelity, ..cfg.nic }),
+            cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), true),
+            kernel,
+            mem,
+            host,
+            catalog,
+            core_disks,
+            conns: HashMap::new(),
+            slots: Vec::new(),
+            timers: BTreeSet::new(),
+            timer_of: Vec::new(),
+            fetches: HashMap::new(),
+            next_token: 1,
+            rx_slots,
+            rng: SimRng::new(seed ^ 0xA71A5),
+            metrics: AtlasMetrics::default(),
+            cfg,
+            phys,
+        }
+    }
+
+    fn core_of_flow(&self, flow: FlowId) -> usize {
+        (flow.rss_hash() as usize) % self.cfg.cores
+    }
+
+    // ------------------------------------------------------------ input
+
+    /// Frames arriving from the wire at `now` (already RSS-steered by
+    /// flow hash). Runs the full receive→fetch→(encrypt)→send loop
+    /// and returns any bursts that left the NIC.
+    pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
+        let mut touched_cores = BTreeSet::new();
+        for frame in frames {
+            let Some((flow, tcp, payload)) = parse_frame(&frame) else { continue };
+            let core = self.core_of_flow(flow);
+            touched_cores.insert(core);
+            self.nic
+                .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
+            self.handle_segment(now, core, flow, &tcp, &payload);
+        }
+        let _ = touched_cores;
+        let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
+        self.reclaim_tx(now);
+        bursts
+    }
+
+    fn handle_segment(&mut self, now: Nanos, core: usize, flow: FlowId, tcp: &TcpRepr, payload: &[u8]) {
+        let costs = self.cfg.costs;
+        if tcp.flags.contains(dcn_packet::TcpFlags::SYN) && !tcp.flags.contains(dcn_packet::TcpFlags::ACK) {
+            self.accept_conn(now, core, flow, tcp);
+            return;
+        }
+        let Some(&slot_idx) = self.conns.get(&flow) else { return };
+        let cycles = costs.tcp_rx_ack_cycles;
+        let done_at = self.cores.run_on(core, now, cycles);
+        let slot = &mut self.slots[slot_idx];
+        let outs = slot.conn.tcb.on_segment(now, tcp, payload);
+        for out in outs {
+            self.nic.tx_rings[core].push(out.into_tx(0));
+        }
+        self.process_conn_events(done_at, slot_idx);
+    }
+
+    fn accept_conn(&mut self, now: Nanos, core: usize, flow: FlowId, syn: &TcpRepr) {
+        if self.conns.contains_key(&flow) {
+            return; // duplicate SYN
+        }
+        let remote = Endpoint {
+            mac: dcn_packet::MacAddr::from_host_id(flow.src_ip.0),
+            ip: flow.src_ip,
+            port: flow.src_port,
+        };
+        let iss = SeqNumber(self.rng.next_u64() as u32);
+        let (tcb, synack) =
+            Tcb::accept(self.cfg.tcb, self.cfg.server_endpoint, remote, syn, iss, now);
+        let cipher = self.cfg.encrypted.then(|| {
+            // Per-session key material (dummy keys, as in §4.2's TLS
+            // emulation — handshake out of scope).
+            let mut key = [0u8; 16];
+            dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
+            RecordCipher::new(&key, flow.rss_hash())
+        });
+        let slot_idx = self.slots.len();
+        self.slots.push(ConnSlot { conn: AtlasConn::new(tcb, cipher), core });
+        self.timer_of.push(None);
+        self.conns.insert(flow, slot_idx);
+        self.nic.tx_rings[core].push(synack.into_tx(0));
+        self.sync_timer(slot_idx);
+        self.metrics.conns += 1;
+    }
+
+    // ------------------------------------------------- event processing
+
+    fn process_conn_events(&mut self, now: Nanos, slot_idx: usize) {
+        let events = self.slots[slot_idx].conn.tcb.take_events();
+        for ev in events {
+            match ev {
+                TcbEvent::Data(bytes) => self.on_request_bytes(now, slot_idx, &bytes),
+                TcbEvent::WindowOpen(_) => {}
+                TcbEvent::AckedTo(off) => {
+                    self.slots[slot_idx].conn.prune_acked(off);
+                }
+                TcbEvent::NeedRetransmit { offset, len } => {
+                    self.on_retransmit_needed(now, slot_idx, offset, len);
+                }
+                TcbEvent::Established | TcbEvent::PeerFin => {}
+                TcbEvent::Closed => {}
+            }
+        }
+        self.drain_tx(now, slot_idx);
+        self.pump(now, slot_idx);
+        self.sync_timer(slot_idx);
+    }
+
+    fn on_request_bytes(&mut self, now: Nanos, slot_idx: usize, bytes: &[u8]) {
+        let core = self.slots[slot_idx].core;
+        let costs = self.cfg.costs;
+        let file_size = self.catalog.file_size();
+        let n_files = self.catalog.n_files();
+        let encrypted = self.cfg.encrypted;
+        let slot = &mut self.slots[slot_idx];
+        slot.conn.parser.push(bytes);
+        let mut new_responses = Vec::new();
+        loop {
+            match slot.conn.parser.next_request() {
+                Ok(Some(req)) => {
+                    let info = match parse_chunk_path(&req.path) {
+                        Some(f) if f.0 < n_files => ResponseInfo::Ok { body_len: file_size },
+                        _ => ResponseInfo::NotFound,
+                    };
+                    new_responses.push((info, parse_chunk_path(&req.path)));
+                }
+                Ok(None) => break,
+                Err(_) => break, // fatal parse error: ignore rest
+            }
+        }
+        for (info, file) in new_responses {
+            let cycles = costs.atlas_request_cycles;
+            let done = self.cores.run_on(core, now, cycles);
+            let header = response_header(info, encrypted);
+            let slot = &mut self.slots[slot_idx];
+            // The next response starts where the previous one ends —
+            // or, with nothing outstanding, at snd_nxt's stream
+            // offset. The header goes out immediately (it is tiny and
+            // the initial window always covers it).
+            let cursor = slot
+                .conn
+                .layouts
+                .last()
+                .map(|l| l.end())
+                .unwrap_or_else(|| slot.conn.tcb.stream_offset_of_snd_nxt());
+            match (info, file) {
+                (ResponseInfo::Ok { body_len }, Some(file)) => {
+                    let id = slot.conn.next_layout_id;
+                    slot.conn.next_layout_id += 1;
+                    let was_idle = slot.conn.active_layout().is_none();
+                    slot.conn.layouts.push(ResponseLayout {
+                        id,
+                        start: cursor,
+                        header: header.clone(),
+                        file,
+                        body_len,
+                        encrypted,
+                    });
+                    if was_idle {
+                        slot.conn.next_record = 0;
+                    }
+                    slot.conn.ready_tx.insert(
+                        cursor,
+                        crate::conn::ReadyTx {
+                            sg: SgList::from_bytes(header),
+                            token: 0,
+                            completes_response: false,
+                        },
+                    );
+                    self.drain_tx(done, slot_idx);
+                }
+                _ => {
+                    let slot = &mut self.slots[slot_idx];
+                    let cursor2 = slot
+                        .conn
+                        .ready_tx
+                        .last_key_value()
+                        .map(|(k, v)| *k + v.sg.len())
+                        .unwrap_or(cursor)
+                        .max(cursor);
+                    slot.conn.ready_tx.insert(
+                        cursor2,
+                        crate::conn::ReadyTx {
+                            sg: SgList::from_bytes(header),
+                            token: 0,
+                            completes_response: false,
+                        },
+                    );
+                    self.drain_tx(done, slot_idx);
+                }
+            }
+        }
+    }
+
+    /// Transmit ready items whose stream offset has arrived — disk
+    /// completions may arrive out of order, the TCP stream goes out
+    /// in order.
+    fn drain_tx(&mut self, now: Nanos, slot_idx: usize) {
+        let core = self.slots[slot_idx].core;
+        loop {
+            // TX-ring backpressure: if the ring is full the item
+            // stays parked; the next ACK (or TX completion) retries.
+            if self.nic.tx_rings[core].space() == 0 {
+                break;
+            }
+            let slot = &mut self.slots[slot_idx];
+            let cursor = slot.conn.tcb.stream_offset_of_snd_nxt();
+            let Some((&off, _)) = slot.conn.ready_tx.first_key_value() else { break };
+            debug_assert!(off >= cursor, "ready item behind the stream: {off} < {cursor}");
+            if off != cursor {
+                break; // a hole: an earlier record's disk read is still in flight
+            }
+            let item = slot.conn.ready_tx.remove(&off).expect("just peeked");
+            let len = item.sg.len();
+            slot.conn.reserved = slot.conn.reserved.saturating_sub(len);
+            if item.completes_response {
+                slot.conn.responses_completed += 1;
+                self.metrics.responses += 1;
+            }
+            let out = slot.conn.tcb.send_data(now, item.sg, false);
+            self.nic.tx_rings[core].push(out.into_tx(item.token));
+        }
+    }
+
+    /// §3 steps 1–2: issue on-demand reads for the active response
+    /// while window space clears the watermark.
+    fn pump(&mut self, now: Nanos, slot_idx: usize) {
+        let costs = self.cfg.costs;
+        let watermark = self.cfg.watermark;
+        loop {
+            let slot = &mut self.slots[slot_idx];
+            // Start the next queued request if the active one is done.
+            let Some(layout) = slot.conn.active_layout() else { break };
+            let record = slot.conn.next_record;
+            let wire = layout.record_wire_len(record);
+            let usable = slot
+                .conn
+                .tcb
+                .usable_window()
+                .saturating_sub(slot.conn.reserved);
+            // The §3.2 watermark rule: issue the I/O once the window
+            // clears 10×MSS (or the whole remaining tail, whichever is
+            // smaller). A full 16 KiB record may overshoot the window
+            // by up to record−watermark bytes — the paper sizes the
+            // watermark so the fetched data is consumable immediately.
+            //
+            // Fallback (also §3.2): "if a TCP connection experiences a
+            // retransmit timeout, or the effective window is smaller
+            // than this high-watermark value and all sent data is
+            // acknowledged, then we fall back issuing smaller I/O
+            // requests" — without it, a post-loss cwnd below the
+            // watermark with nothing in flight would deadlock the ACK
+            // clock.
+            let idle = slot.conn.tcb.inflight() == 0
+                && slot.conn.fetches_inflight == 0
+                && slot.conn.retx_inflight == 0
+                && slot.conn.ready_tx.is_empty();
+            if usable < watermark.min(wire) && !idle {
+                break;
+            }
+            let file = layout.file;
+            let plain = layout.record_plain_len(record);
+            let file_off = layout.record_file_off(record);
+            let layout_id = layout.id;
+            slot.conn.next_record += 1;
+            slot.conn.reserved += wire;
+            slot.conn.fetches_inflight += 1;
+            let issued = self.issue_fetch(
+                now,
+                slot_idx,
+                InflightFetch { layout_id, record, retx: None },
+                file,
+                file_off,
+                plain,
+            );
+            if !issued {
+                // Buffer pool exhausted (TX completions will recycle
+                // buffers shortly): undo and stop pumping this round.
+                let slot = &mut self.slots[slot_idx];
+                slot.conn.next_record -= 1;
+                slot.conn.reserved -= wire;
+                slot.conn.fetches_inflight -= 1;
+                break;
+            }
+            let _ = costs;
+        }
+    }
+
+    /// Stage + submit one disk read. Returns false when the buffer
+    /// pool is exhausted (caller decides how to back off).
+    fn issue_fetch(
+        &mut self,
+        now: Nanos,
+        slot_idx: usize,
+        fetch: InflightFetch,
+        file: dcn_store::FileId,
+        file_off: u64,
+        plain_len: u64,
+    ) -> bool {
+        let core = self.slots[slot_idx].core;
+        let (loc, aligned_len, _pre) = self.catalog.read_span(file, file_off, plain_len);
+        let q = &mut self.core_disks[core].queues[loc.disk];
+        let Some(buf) = q.pool().alloc() else {
+            return false;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        let aligned = aligned_len.min(q.pool_ref().buf_size());
+        q.nvme_read(
+            IoDesc {
+                user: token,
+                buf,
+                nsid: loc.nsid,
+                offset: loc.dev_offset,
+                len: aligned,
+            },
+            &self.cfg.costs,
+        );
+        let cycles = q
+            .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
+            .expect("sqsync");
+        self.cores.run_on(core, now, cycles);
+        self.fetches.insert(token, (slot_idx, fetch, buf, loc.disk));
+        if fetch.retx.is_some() {
+            self.metrics.retransmit_fetches += 1;
+        }
+        true
+    }
+
+    fn on_retransmit_needed(&mut self, now: Nanos, slot_idx: usize, offset: u64, len: u64) {
+        let slot = &mut self.slots[slot_idx];
+        let Some(layout_idx) = slot.conn.layout_at(offset) else {
+            // Nothing known at this offset (already pruned?): nothing
+            // we can do; the RTO path will re-ask.
+            return;
+        };
+        let layout = &slot.conn.layouts[layout_idx];
+        if layout.in_header(offset) {
+            // Header bytes: regenerate from the stored header block.
+            let rel = (offset - layout.start) as usize;
+            let end = (rel + len as usize).min(layout.header.len());
+            let bytes = layout.header[rel..end].to_vec();
+            let out = slot.conn.tcb.send_retransmit(now, offset, SgList::from_bytes(bytes));
+            let core = slot.core;
+            self.nic.tx_rings[core].push(out.into_tx(0));
+            return;
+        }
+        let Some(pos) = layout.locate_body(offset) else { return };
+        // Re-fetch the containing record; on completion, slice out
+        // exactly [off_in_record, off_in_record+len).
+        let record = pos.record;
+        let file = layout.file;
+        let plain = layout.record_plain_len(record);
+        let file_off = layout.record_file_off(record);
+        let wire_len = layout.record_wire_len(record);
+        let retx_len = len.min(wire_len - pos.off_in_record);
+        let layout_id = layout.id;
+        slot.conn.retx_inflight += 1;
+        let issued = self.issue_fetch(
+            now,
+            slot_idx,
+            InflightFetch { layout_id, record, retx: Some((pos.off_in_record, retx_len)) },
+            file,
+            file_off,
+            plain,
+        );
+        if !issued {
+            // No buffer for the retransmit right now: tell the TCB so
+            // the RTO (or further dup ACKs) can re-request it.
+            let slot = &mut self.slots[slot_idx];
+            slot.conn.retx_inflight -= 1;
+            slot.conn.tcb.retransmit_abandoned();
+        }
+    }
+
+    // ----------------------------------------------------- disk → wire
+
+    /// Next instant the server needs service (disk completion, TCB
+    /// timer, or a NIC port freeing up for queued descriptors).
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Nanos> {
+        let t = self.kernel.poll_at();
+        let timer = self.timers.iter().next().map(|(d, _)| *d);
+        earliest(earliest(t, timer), self.nic.poll_at())
+    }
+
+    /// Advance to `now`: harvest disk completions (steps 3–5) and
+    /// fire TCP timers. Returns bursts that left the NIC.
+    pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
+        self.kernel.advance(now, &mut self.mem, &mut self.host);
+        let mut touched = BTreeSet::new();
+        // Poll completions on every (core, disk) queue.
+        for core in 0..self.cfg.cores {
+            for disk in 0..self.catalog.n_disks() {
+                let (done, cycles) = {
+                    let q = &mut self.core_disks[core].queues[disk];
+                    q.nvme_consume_completions(&mut self.kernel, now, 64, &self.cfg.costs)
+                        .expect("consume")
+                };
+                if cycles > 0 {
+                    self.cores.run_on(core, now, cycles);
+                }
+                for io in done {
+                    self.complete_fetch(now, io);
+                    touched.insert(core);
+                }
+            }
+        }
+        // TCB timers.
+        let due: Vec<usize> = self
+            .timers
+            .range(..=(now, usize::MAX))
+            .map(|&(_, s)| s)
+            .collect();
+        for slot_idx in due {
+            let slot = &mut self.slots[slot_idx];
+            slot.conn.tcb.on_timer(now);
+            touched.insert(slot.core);
+            self.process_conn_events(now, slot_idx);
+        }
+        let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
+        let _ = touched;
+        self.reclaim_tx(now);
+        bursts
+    }
+
+    /// §3 step 4: read completion → (encrypt in place) → packetize →
+    /// transmit.
+    fn complete_fetch(&mut self, now: Nanos, io: dcn_diskmap::CompletedIo) {
+        let Some((slot_idx, fetch, buf, disk)) = self.fetches.remove(&io.user) else {
+            return;
+        };
+        let core = self.slots[slot_idx].core;
+        let costs = self.cfg.costs;
+        if io.status != dcn_diskmap::IoStatus::Ok {
+            // §2.1.1 semantics: a failed video read is irrecoverable
+            // for the connection; drop it.
+            self.core_disks[core].queues[disk].pool().free(buf);
+            return;
+        }
+        let slot = &mut self.slots[slot_idx];
+        let Some(layout) = slot.conn.layout_by_id(fetch.layout_id) else {
+            // The response was fully acked and pruned while this
+            // (retransmit) fetch was in flight: drop it.
+            self.core_disks[core].queues[disk].pool().free(buf);
+            return;
+        };
+        let layout = layout.clone();
+        let plain_len = layout.record_plain_len(fetch.record);
+        let buf_region = self.core_disks[core].queues[disk].buf_region(buf, plain_len);
+        let mut cycles = costs.tcp_tx_op_cycles;
+
+        // Encrypt in place (the LLC-resident DMA buffer), derive the
+        // nonce from the record's position in the stream.
+        let mut framing_tag: Option<(Vec<u8>, Vec<u8>)> = None;
+        if layout.encrypted {
+            let rmw = self.mem.cpu_rmw(now, buf_region);
+            cycles += rmw.stall_cycles + (plain_len as f64 * costs.aes_gcm_cycles_per_byte) as u64;
+            let record_plain_off = fetch.record * RECORD_PLAIN;
+            let tag = if self.cfg.fidelity == Fidelity::Full {
+                let cipher = slot.conn.cipher.as_ref().expect("encrypted conn has cipher");
+                self.host.update_region(buf_region, |data| {
+                    cipher.seal_record(record_plain_off, data)
+                })
+            } else {
+                [0u8; 16]
+            };
+            let mut rec_hdr = vec![0x17, 0x03, 0x03, 0, 0]; // TLS1.2 app-data
+            rec_hdr[3..5].copy_from_slice(
+                &u16::try_from(plain_len + 16).expect("record fits u16").to_be_bytes(),
+            );
+            framing_tag = Some((rec_hdr, tag.to_vec()));
+        } else {
+            // Plaintext path still touches headers only; payload goes
+            // DMA→DMA untouched (the paper's Fig 5 ideal).
+        }
+
+        // Build the record's wire SgList.
+        let mut sg = SgList::empty();
+        if let Some((hdr, tag)) = &framing_tag {
+            sg.push_bytes(hdr.clone());
+            sg.push_region(buf_region);
+            sg.push_bytes(tag.clone());
+        } else {
+            sg.push_region(buf_region);
+        }
+
+        let done_at = self.cores.run_on(core, now, cycles);
+        let token = tx_token(core, disk, buf);
+        match fetch.retx {
+            None => {
+                slot.conn.fetches_inflight -= 1;
+                self.metrics.http_payload_bytes += sg.len();
+                self.metrics.disk_read_bytes += io.len;
+                let last = fetch.record + 1 == layout.n_records()
+                    && fetch.layout_id + 1 == slot.conn.next_layout_id;
+                // Park at the record's stream offset; drain sends
+                // everything in order.
+                slot.conn.ready_tx.insert(
+                    layout.record_stream_off(fetch.record),
+                    crate::conn::ReadyTx { sg, token, completes_response: last },
+                );
+                self.drain_tx(done_at, slot_idx);
+            }
+            Some((off, len)) => {
+                slot.conn.retx_inflight -= 1;
+                // Slice exactly the requested wire range out of the
+                // regenerated record; retransmissions bypass the
+                // ordered queue (their stream position is explicit).
+                let mut rest = sg;
+                let _ = rest.split_front(off);
+                let mut want = rest;
+                let piece = want.split_front(len.min(want.len()));
+                let stream_off = layout.record_stream_off(fetch.record) + off;
+                let out = slot.conn.tcb.send_retransmit(done_at, stream_off, piece);
+                self.nic.tx_rings[core].push(out.into_tx(token));
+            }
+        }
+        // Keep pumping: completing a fetch freed a buffer slot and the
+        // window may allow more.
+        self.pump(done_at, slot_idx);
+        self.sync_timer(slot_idx);
+    }
+
+    /// §3 step 5: NIC TX completions recycle buffers (LIFO).
+    fn reclaim_tx(&mut self, _now: Nanos) {
+        for core in 0..self.cfg.cores {
+            for token in self.nic.tx_rings[core].txsync_collect() {
+                if token == 0 {
+                    continue;
+                }
+                let (c, disk, buf) = untx_token(token);
+                self.core_disks[c].queues[disk].pool().free(buf);
+            }
+        }
+    }
+
+    fn sync_timer(&mut self, slot_idx: usize) {
+        let new = self.slots[slot_idx].conn.tcb.poll_at();
+        let old = self.timer_of[slot_idx];
+        if old == new {
+            return;
+        }
+        if let Some(d) = old {
+            self.timers.remove(&(d, slot_idx));
+        }
+        if let Some(d) = new {
+            self.timers.insert((d, slot_idx));
+        }
+        self.timer_of[slot_idx] = new;
+    }
+
+    /// Diagnostics: total diskmap buffers currently free across pools.
+    #[must_use]
+    pub fn free_buffers(&self) -> u32 {
+        self.core_disks
+            .iter()
+            .flat_map(|cd| cd.queues.iter())
+            .map(|q| q.pool_ref().available())
+            .sum()
+    }
+
+    /// Allocate an RX-slot-sized region (used by harnesses that build
+    /// their own delivery paths).
+    pub fn phys_mut(&mut self) -> &mut PhysAlloc {
+        &mut self.phys
+    }
+
+    /// Which component wants service next (wake-storm debugging).
+    #[must_use]
+    pub fn poll_breakdown(&self) -> String {
+        format!(
+            "kernel={:?} timer={:?} nic={:?}",
+            self.kernel.poll_at(),
+            self.timers.iter().next().map(|(d, _)| *d),
+            self.nic.poll_at()
+        ) + &format!(" [{}]", self.nic.ring_state())
+    }
+
+    /// One-line state dump for stall debugging.
+    #[must_use]
+    pub fn debug_stats_string(&self) -> String {
+        let mut per_conn = String::new();
+        for (i, s) in self.slots.iter().enumerate().take(4) {
+            let c = &s.conn;
+            per_conn.push_str(&format!(
+                " [conn{i}: state={:?} layouts={} next_rec={} ready={} reserved={} fetches={} retx_in={} usable={} inflight={} cwnd={} retx_bytes={}]",
+                c.tcb.state,
+                c.layouts.len(),
+                c.next_record,
+                c.ready_tx.len(),
+                c.reserved,
+                c.fetches_inflight,
+                c.retx_inflight,
+                c.tcb.usable_window(),
+                c.tcb.inflight(),
+                c.tcb.cc.cwnd(),
+                c.tcb.bytes_retransmitted,
+            ));
+        }
+        format!(
+            "metrics={:?} inflight_fetch_tokens={} free_bufs={}{per_conn}",
+            self.metrics,
+            self.fetches.len(),
+            self.free_buffers(),
+        )
+    }
+}
+
+fn tx_token(core: usize, disk: usize, buf: BufId) -> u64 {
+    1 | (core as u64) << 1 | (disk as u64) << 9 | u64::from(buf.0) << 17
+}
+
+fn untx_token(token: u64) -> (usize, usize, BufId) {
+    (
+        ((token >> 1) & 0xFF) as usize,
+        ((token >> 9) & 0xFF) as usize,
+        BufId((token >> 17) as u32),
+    )
+}
+
+/// Parse the flow/TCP header out of a wire frame (what RSS + the
+/// stack's demux do).
+#[must_use]
+pub fn parse_frame(frame: &WireFrame) -> Option<(FlowId, TcpRepr, Vec<u8>)> {
+    let h = &frame.headers;
+    if h.len() < ETH_HEADER_LEN {
+        return None;
+    }
+    let extra = frame.payload.len() as usize;
+    let (ip, ip_off) = Ipv4Repr::parse_with_extra(&h[ETH_HEADER_LEN..], extra).ok()?;
+    let (tcp, tcp_off) = TcpRepr::parse(&h[ETH_HEADER_LEN + ip_off..], None).ok()?;
+    let flow = FlowId {
+        src_ip: ip.src,
+        dst_ip: ip.dst,
+        src_port: tcp.src_port,
+        dst_port: tcp.dst_port,
+    };
+    // Payload may live in headers (inline frames) or in the payload
+    // field (data frames).
+    let inline = &h[ETH_HEADER_LEN + ip_off + tcp_off..];
+    let payload = if !inline.is_empty() {
+        inline.to_vec()
+    } else {
+        match &frame.payload {
+            dcn_netdev::PayloadBytes::Real(b) => b.clone(),
+            dcn_netdev::PayloadBytes::Virtual(n) => vec![0u8; *n as usize],
+        }
+    };
+    Some((flow, tcp, payload))
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the hot primitives: AES-GCM
+//! sealing, TCP segment processing, NVMe queue operations, the LLC
+//! model, and the wire-format codecs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dcn_crypto::{AesGcm128, RecordCipher};
+use dcn_mem::{CostParams, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE};
+use dcn_nvme::{FirmwareParams, NvmeCommand, Opcode};
+use dcn_packet::{internet_checksum, SeqNumber, TcpFlags, TcpRepr};
+use dcn_simcore::Nanos;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let gcm = AesGcm128::new(b"0123456789abcdef");
+    let mut buf = vec![0xA5u8; 16 * 1024];
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("aes128gcm_seal_16k", |b| {
+        b.iter(|| gcm.seal_in_place(&[7u8; 12], &[], &mut buf))
+    });
+    let rc = RecordCipher::new(b"0123456789abcdef", 99);
+    g.bench_function("record_seal_16k", |b| {
+        b.iter(|| rc.seal_record(0, &mut buf[..16 * 1024]))
+    });
+    g.finish();
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let repr = TcpRepr {
+        src_port: 80,
+        dst_port: 5555,
+        seq: SeqNumber(12345),
+        ack: SeqNumber(999),
+        flags: TcpFlags::ACK | TcpFlags::PSH,
+        window: 4096,
+        mss: None,
+        wscale: None,
+    };
+    let mut hdr = vec![0u8; 20];
+    repr.emit(&mut hdr, 0x1234, &[]);
+    g.bench_function("tcp_parse", |b| b.iter(|| TcpRepr::parse(&hdr, None).unwrap()));
+    g.bench_function("tcp_emit", |b| {
+        b.iter(|| {
+            let mut h = [0u8; 20];
+            repr.emit(&mut h, 0x1234, &[]);
+            h
+        })
+    });
+    let payload = vec![0x5Au8; 1448];
+    g.throughput(Throughput::Bytes(1448));
+    g.bench_function("checksum_1448", |b| b.iter(|| internet_checksum(0, &payload)));
+    g.finish();
+}
+
+fn bench_nvme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvme");
+    g.bench_function("firmware_submit_drain_16k", |b| {
+        b.iter_batched(
+            || dcn_nvme::firmware::Firmware::new(FirmwareParams::p3700(), 1),
+            |mut fw| {
+                let cmd = NvmeCommand {
+                    opcode: Opcode::Read,
+                    cid: 1,
+                    nsid: 1,
+                    slba: 0,
+                    nlb: 32,
+                    prp: vec![PhysRegion::new(PhysAddr(4096), 16 * 1024)],
+                };
+                fw.submit(Nanos::ZERO, 0, 0, &cmd);
+                fw.drain_finished(Nanos::from_millis(10))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    g.bench_function("llc_dma_write_read_16k", |b| {
+        let mut mem = MemSystem::new(
+            LlcConfig::xeon_e5_2667v3(),
+            CostParams::default(),
+            Nanos::from_millis(1),
+        );
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 4) % 100_000;
+            let r = PhysRegion::new(PhysAddr(page * CHUNK_SIZE), 16 * 1024);
+            mem.dma_write(Nanos::ZERO, dcn_mem::Agent::DiskDma, r);
+            mem.dma_read(Nanos::ZERO, dcn_mem::Agent::NicDma, r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_packet, bench_nvme, bench_llc);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! # dcn-bench — figure regenerators and micro-benchmarks
+//!
+//! One binary per paper figure/table (see DESIGN.md §4 for the index)
+//! plus shared drivers. Every binary prints a self-describing table:
+//! the series the paper plots, in the paper's units, with a header
+//! naming the figure it reproduces.
+//!
+//! Conventions:
+//! * `--quick` (or env `DCN_QUICK=1`) shrinks sweeps for smoke runs;
+//! * `--paper` runs the full-scale sweep (2 k–16 k connections);
+//! * default is a mid-scale sweep that exhibits the paper's shapes in
+//!   minutes of wall time.
+
+pub mod storage;
+pub mod sweep;
+
+use dcn_simcore::MeanCi;
+
+/// Render a simple aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a mean ± 95% CI pair.
+#[must_use]
+pub fn fmt_ci(m: &MeanCi, digits: usize) -> String {
+    format!("{:.d$} ±{:.d$}", m.mean(), m.ci95(), d = digits)
+}
+
+/// Scale selection from argv/env.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    Quick,
+    Default,
+    Paper,
+}
+
+impl Scale {
+    #[must_use]
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else if args.iter().any(|a| a == "--quick") || std::env::var_os("DCN_QUICK").is_some() {
+            Scale::Quick
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Connection-count sweep for the macro figures.
+    #[must_use]
+    pub fn conns(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![2000],
+            Scale::Default => vec![250, 500, 1000, 2000, 4000],
+            Scale::Paper => vec![2000, 4000, 6000, 8000, 10_000, 12_000, 14_000, 16_000],
+        }
+    }
+
+    /// Seeds per point (error bars).
+    #[must_use]
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default => 2,
+            Scale::Paper => 3,
+        }
+    }
+
+    /// Measured duration per run.
+    #[must_use]
+    pub fn duration(self) -> dcn_simcore::Nanos {
+        match self {
+            Scale::Quick => dcn_simcore::Nanos::from_millis(700),
+            Scale::Default => dcn_simcore::Nanos::from_millis(1200),
+            Scale::Paper => dcn_simcore::Nanos::from_millis(1500),
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! AES-128-GCM (NIST SP 800-38D): CTR-mode encryption + GHASH
+//! authentication, with in-place seal/open.
+//!
+//! GHASH uses Shoup's 4-bit table method: 512 bytes of per-key tables
+//! and two lookups per byte — small enough to live per-connection and
+//! fast enough to run real payload through tests and examples.
+
+use crate::aes::Aes128;
+
+/// 128-bit value in GHASH's bit-reflected GF(2^128).
+type Block = [u8; 16];
+
+fn xor_block(a: &mut Block, b: &Block) {
+    for i in 0..16 {
+        a[i] ^= b[i];
+    }
+}
+
+/// GHASH key tables: `table[i]` = H * i (as a 4-bit nibble product),
+/// computed once per key.
+struct GhashKey {
+    /// M[i] = (i as 4-bit poly) · H, for the low nibble position.
+    table: [Block; 16],
+}
+
+impl GhashKey {
+    fn new(h: &Block) -> Self {
+        let mut table = [[0u8; 16]; 16];
+        // table[1] = H; table[i<<1] = xtime(table[i]); sums for the rest.
+        table[8] = *h; // bit 0 of nibble = MSB-first "8"
+        // In GHASH's reflected representation, multiplying by x is a
+        // right shift with conditional reduction by E1000...0.
+        for i in [4usize, 2, 1] {
+            table[i] = mul_x(&table[i * 2]);
+        }
+        for i in 2..16usize {
+            if !i.is_power_of_two() {
+                let hi = 1usize << (usize::BITS - 1 - i.leading_zeros());
+                let mut v = table[hi];
+                xor_block(&mut v, &table[i - hi]);
+                table[i] = v;
+            }
+        }
+        GhashKey { table }
+    }
+
+    /// y ← (y ⊕ x) · H
+    fn mul_h(&self, y: &mut Block) {
+        let mut z = [0u8; 16];
+        // Process 32 nibbles from the last to the first.
+        for i in (0..16).rev() {
+            for shift in [0u32, 4] {
+                let nib = (y[i] >> shift) & 0xF;
+                // z = z · x^4  (four multiplications by x)
+                for _ in 0..4 {
+                    z = mul_x(&z);
+                }
+                xor_block(&mut z, &self.table[nib as usize]);
+            }
+        }
+        *y = z;
+    }
+}
+
+/// Multiply by x in the reflected GF(2^128): right shift, reduce with
+/// 0xE1 << 120 when the shifted-out bit was set.
+fn mul_x(v: &Block) -> Block {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in 0..16 {
+        let b = v[i];
+        out[i] = (b >> 1) | (carry << 7);
+        carry = b & 1;
+    }
+    if carry == 1 {
+        out[0] ^= 0xE1;
+    }
+    out
+}
+
+/// AES-128-GCM context for one key.
+pub struct AesGcm128 {
+    aes: Aes128,
+    ghash: GhashKey,
+}
+
+/// Authentication tag length (full 16-byte GCM tag).
+pub const TAG_LEN: usize = 16;
+
+impl AesGcm128 {
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        AesGcm128 { ghash: GhashKey::new(&h), aes }
+    }
+
+    fn j0(&self, nonce: &[u8; 12]) -> Block {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    fn ctr_inplace(&self, j0: &Block, data: &mut [u8]) {
+        let mut ctr = *j0;
+        for chunk in data.chunks_mut(16) {
+            inc32(&mut ctr);
+            let mut ks = ctr;
+            self.aes.encrypt_block(&mut ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    fn ghash_tag(&self, j0: &Block, aad: &[u8], ct: &[u8]) -> Block {
+        let mut y = [0u8; 16];
+        let feed = |data: &[u8], y: &mut Block| {
+            for chunk in data.chunks(16) {
+                let mut b = [0u8; 16];
+                b[..chunk.len()].copy_from_slice(chunk);
+                xor_block(y, &b);
+                self.ghash.mul_h(y);
+            }
+        };
+        feed(aad, &mut y);
+        feed(ct, &mut y);
+        let mut lens = [0u8; 16];
+        lens[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        lens[8..].copy_from_slice(&((ct.len() as u64) * 8).to_be_bytes());
+        xor_block(&mut y, &lens);
+        self.ghash.mul_h(&mut y);
+        // E(K, J0) ⊕ GHASH
+        let mut ek = *j0;
+        self.aes.encrypt_block(&mut ek);
+        xor_block(&mut y, &ek);
+        y
+    }
+
+    /// Encrypt `data` in place and return the tag. This is Atlas's
+    /// path: the plaintext sits in a diskmap DMA buffer and is
+    /// overwritten with ciphertext (§3, step 4).
+    pub fn seal_in_place(&self, nonce: &[u8; 12], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
+        let j0 = self.j0(nonce);
+        self.ctr_inplace(&j0, data);
+        self.ghash_tag(&j0, aad, data)
+    }
+
+    /// Verify `tag` and decrypt `data` in place. Returns false (and
+    /// leaves `data` decrypted-garbage-free: untouched) on tag
+    /// mismatch.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> bool {
+        let j0 = self.j0(nonce);
+        let expect = self.ghash_tag(&j0, aad, data);
+        // Constant-time-ish comparison (simulation: semantic only).
+        let diff = expect.iter().zip(tag.iter()).fold(0u8, |d, (a, b)| d | (a ^ b));
+        if diff != 0 {
+            return false;
+        }
+        self.ctr_inplace(&j0, data);
+        true
+    }
+}
+
+fn inc32(ctr: &mut Block) {
+    let mut v = u32::from_be_bytes([ctr[12], ctr[13], ctr[14], ctr[15]]);
+    v = v.wrapping_add(1);
+    ctr[12..].copy_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn empty_plaintext_tag_is_ekj0() {
+        // GCM structure: with empty AAD and plaintext, GHASH reduces
+        // to 0 (the length block is all-zero), so the tag must equal
+        // E(K, J0) exactly. This pins the J0 construction; the GHASH
+        // path itself is pinned by the NIST vectors below.
+        let gcm = AesGcm128::new(&[0u8; 16]);
+        let tag = gcm.seal_in_place(&[0u8; 12], &[], &mut []);
+        let mut j0 = [0u8; 16];
+        j0[15] = 1;
+        crate::aes::Aes128::new(&[0u8; 16]).encrypt_block(&mut j0);
+        assert_eq!(tag, j0);
+    }
+
+    #[test]
+    fn nist_case_2_one_block() {
+        // Test case 2: K=0, IV=0, P=0^128.
+        let gcm = AesGcm128::new(&[0u8; 16]);
+        let mut data = [0u8; 16];
+        let tag = gcm.seal_in_place(&[0u8; 12], &[], &mut data);
+        assert_eq!(data.to_vec(), hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    #[test]
+    fn nist_case_3_four_blocks() {
+        // Test case 3: the classic feffe992... key.
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let mut pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let gcm = AesGcm128::new(&key);
+        let tag = gcm.seal_in_place(&nonce, &[], &mut pt);
+        assert_eq!(
+            pt,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    #[test]
+    fn nist_case_4_with_aad() {
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let mut pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let gcm = AesGcm128::new(&key);
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut pt);
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let gcm = AesGcm128::new(b"0123456789abcdef");
+        let nonce = [7u8; 12];
+        let aad = b"header";
+        let original: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut data = original.clone();
+        let tag = gcm.seal_in_place(&nonce, aad, &mut data);
+        assert_ne!(data, original, "ciphertext differs");
+        assert!(gcm.open_in_place(&nonce, aad, &mut data, &tag));
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let gcm = AesGcm128::new(b"0123456789abcdef");
+        let nonce = [7u8; 12];
+        let mut data = vec![42u8; 64];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data);
+        data[10] ^= 1;
+        assert!(!gcm.open_in_place(&nonce, &[], &mut data, &tag));
+        // Wrong AAD also rejected.
+        data[10] ^= 1;
+        assert!(!gcm.open_in_place(&nonce, b"x", &mut data, &tag));
+        // Wrong nonce rejected.
+        assert!(!gcm.open_in_place(&[8u8; 12], &[], &mut data, &tag));
+        // Untampered passes.
+        assert!(gcm.open_in_place(&nonce, &[], &mut data, &tag));
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_keystreams() {
+        let gcm = AesGcm128::new(b"0123456789abcdef");
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        gcm.seal_in_place(&[1u8; 12], &[], &mut a);
+        gcm.seal_in_place(&[2u8; 12], &[], &mut b);
+        assert_ne!(a, b);
+    }
+}

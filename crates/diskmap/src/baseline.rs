@@ -1,0 +1,324 @@
+//! Conventional storage paths: `pread(2)` and FreeBSD `aio(4)`.
+//!
+//! These are the baselines of the paper's Figs 8 and 9. Both go
+//! through the in-kernel NVMe stack: interrupt-driven completion,
+//! per-I/O kernel cost, and (for pread) a copyout from kernel buffer
+//! to user buffer. They run against the same simulated devices as
+//! diskmap, so every difference in the figures comes from the path,
+//! not the hardware.
+
+use crate::kernel::{DiskId, DiskmapKernel};
+use dcn_mem::{CostParams, HostMem, MemSystem, PhysAlloc, PhysRegion};
+use dcn_nvme::{NvmeCommand, Opcode, LBA_SIZE};
+use dcn_simcore::Nanos;
+
+fn prp_pages(buf: PhysRegion, len: u64) -> Vec<PhysRegion> {
+    let mut prp = Vec::new();
+    let mut off = 0;
+    while off < len {
+        let n = (len - off).min(4096);
+        prp.push(buf.slice(off, n));
+        off += n;
+    }
+    prp
+}
+
+/// Blocking positional read through the conventional stack.
+///
+/// Timeline modeled: syscall entry → kernel I/O setup → device
+/// service → completion interrupt → kernel completion + copyout to
+/// the user buffer → syscall return. The calling thread is blocked
+/// throughout (this is why Fig 8's pread curve is latency-bound).
+pub struct PreadFile {
+    pub disk: DiskId,
+    pub qid: u16,
+    kbuf: PhysRegion,
+    next_cid: u16,
+}
+
+/// Result of one blocking read.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncReadResult {
+    /// When the syscall returns (thread runnable again).
+    pub done_at: Nanos,
+    /// CPU cycles consumed (kernel work + copy; the blocked wait is
+    /// not CPU time).
+    pub cpu_cycles: u64,
+}
+
+impl PreadFile {
+    pub fn open(disk: DiskId, qid: u16, phys: &mut PhysAlloc) -> Self {
+        PreadFile { disk, qid, kbuf: phys.alloc(crate::libnvme::MDTS_BYTES), next_cid: 0 }
+    }
+
+    /// `pread(fd, user_buf, len, offset)` — blocking. Drives the
+    /// device model forward internally until this I/O completes
+    /// (nothing else can run on the calling thread anyway).
+    #[allow(clippy::too_many_arguments)]
+    pub fn pread(
+        &mut self,
+        kernel: &mut DiskmapKernel,
+        now: Nanos,
+        nsid: u32,
+        offset: u64,
+        len: u64,
+        user_buf: PhysRegion,
+        mem: &mut MemSystem,
+        host: &mut HostMem,
+        costs: &CostParams,
+    ) -> SyncReadResult {
+        assert!(len <= crate::libnvme::MDTS_BYTES && len.is_multiple_of(LBA_SIZE));
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        // Syscall + kernel setup happen before the command reaches
+        // the device.
+        let setup_cycles = costs.syscall_cycles + costs.kernel_io_cycles;
+        let submit_at = now + Nanos::from_nanos(costs.cycles_to_ns(setup_cycles));
+        let dev = kernel.disk(self.disk);
+        let cmd = NvmeCommand {
+            opcode: Opcode::Read,
+            cid,
+            nsid,
+            slba: offset / LBA_SIZE,
+            nlb: (len / LBA_SIZE) as u32,
+            prp: prp_pages(self.kbuf, len),
+        };
+        assert!(dev.qpair(self.qid).sq_push(cmd), "pread never overlaps I/O");
+        dev.ring_sq_doorbell(submit_at, self.qid);
+        // Wait for the completion (and its interrupt).
+        let mut done_at;
+        loop {
+            let t = kernel.disk(self.disk).poll_at().expect("I/O in flight");
+            kernel.advance(t, mem, host);
+            let entries = kernel.disk(self.disk).qpair(self.qid).cq_consume(1);
+            if !entries.is_empty() {
+                done_at = t;
+                break;
+            }
+        }
+        // Interrupt delivery + handler, completion processing, then
+        // copyout kernel buffer → user buffer.
+        done_at += Nanos::from_nanos(u64::from(costs.interrupt_latency_ns as u32));
+        let copy = mem.cpu_read(done_at, self.kbuf.slice(0, len));
+        let copy_w = mem.cpu_write(done_at, user_buf.slice(0, len.min(user_buf.len)));
+        if host.resident_pages() > 0 {
+            host.copy(self.kbuf.addr, user_buf.addr, len.min(user_buf.len));
+        }
+        let cpu = setup_cycles
+            + costs.interrupt_cycles
+            + (len as f64 * costs.memcpy_cycles_per_byte) as u64
+            + copy.stall_cycles
+            + copy_w.stall_cycles;
+        let tail = costs.interrupt_cycles
+            + (len as f64 * costs.memcpy_cycles_per_byte) as u64
+            + copy.stall_cycles
+            + copy_w.stall_cycles;
+        done_at += Nanos::from_nanos(costs.cycles_to_ns(tail));
+        SyncReadResult { done_at, cpu_cycles: cpu }
+    }
+}
+
+/// FreeBSD `aio(4)`-style asynchronous reads with kqueue completion.
+///
+/// Batched submission (one `lio_listio`-style syscall for many
+/// requests); completions become visible to userspace only after the
+/// device interrupt fires and a `kevent` call drains them. Per-I/O
+/// kernel cost is higher than diskmap's but the data path is direct
+/// (no copy — O_DIRECT semantics, as in the paper's comparison).
+pub struct AioContext {
+    pub disk: DiskId,
+    pub qid: u16,
+    next_cid: u16,
+    inflight: std::collections::HashMap<u16, (u64, Nanos)>,
+    /// Completions seen by the kernel but not yet delivered to
+    /// userspace (kevent not called / interrupt not fired).
+    kernel_done: Vec<(u64, Nanos, Nanos)>, // (user, submitted, hw done)
+}
+
+/// A completed aio request.
+#[derive(Clone, Copy, Debug)]
+pub struct AioCompletion {
+    pub user: u64,
+    pub submitted_at: Nanos,
+    pub completed_at: Nanos,
+}
+
+impl AioContext {
+    #[must_use]
+    pub fn new(disk: DiskId, qid: u16) -> Self {
+        AioContext {
+            disk,
+            qid,
+            next_cid: 0,
+            inflight: std::collections::HashMap::new(),
+            kernel_done: Vec::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.len() + self.kernel_done.len()
+    }
+
+    /// Submit a batch of reads with one syscall. Returns cycles to
+    /// charge the submitting thread.
+    pub fn submit_reads(
+        &mut self,
+        kernel: &mut DiskmapKernel,
+        now: Nanos,
+        reads: &[(u64, u32, u64, u64, PhysRegion)], // (user, nsid, offset, len, buf)
+        costs: &CostParams,
+    ) -> u64 {
+        let dev = kernel.disk(self.disk);
+        for &(user, nsid, offset, len, buf) in reads {
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            let cmd = NvmeCommand {
+                opcode: Opcode::Read,
+                cid,
+                nsid,
+                slba: offset / LBA_SIZE,
+                nlb: (len / LBA_SIZE) as u32,
+                prp: prp_pages(buf, len),
+            };
+            assert!(dev.qpair(self.qid).sq_push(cmd), "aio queue overflow");
+            self.inflight.insert(cid, (user, now));
+        }
+        dev.ring_sq_doorbell(now, self.qid);
+        costs.syscall_cycles + reads.len() as u64 * costs.aio_io_cycles
+    }
+
+    /// The device-side harvest: called when the completion interrupt
+    /// fires; moves finished I/Os into the kernel-done set (kqueue).
+    /// Charges interrupt cycles.
+    pub fn on_interrupt(&mut self, kernel: &mut DiskmapKernel, now: Nanos, costs: &CostParams) -> u64 {
+        let entries = kernel.disk(self.disk).qpair(self.qid).cq_consume(usize::MAX >> 1);
+        let n = entries.len();
+        for e in entries {
+            let (user, submitted) = self
+                .inflight
+                .remove(&e.cid)
+                .expect("aio completion for unknown cid");
+            self.kernel_done.push((user, submitted, now));
+        }
+        if n > 0 {
+            costs.interrupt_cycles + n as u64 * 400
+        } else {
+            costs.interrupt_cycles
+        }
+    }
+
+    /// `kevent()`: deliver kernel-done completions to userspace.
+    /// Returns the completions and cycles to charge (one syscall).
+    pub fn kevent(&mut self, now: Nanos, costs: &CostParams) -> (Vec<AioCompletion>, u64) {
+        let out: Vec<AioCompletion> = self
+            .kernel_done
+            .drain(..)
+            .map(|(user, submitted_at, _hw)| AioCompletion { user, submitted_at, completed_at: now })
+            .collect();
+        (out, costs.syscall_cycles)
+    }
+}
+
+/// Convenience: the interrupt-then-kevent delivery latency for aio —
+/// the earliest a userspace thread can observe a completion that the
+/// hardware finished at `hw_done`.
+#[must_use]
+pub fn aio_visibility_delay(costs: &CostParams) -> Nanos {
+    Nanos::from_nanos(costs.interrupt_latency_ns)
+        + Nanos::from_nanos(costs.cycles_to_ns(costs.interrupt_cycles + costs.syscall_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_mem::LlcConfig;
+    use dcn_nvme::{NvmeConfig, NvmeDevice, SyntheticBacking};
+
+    fn setup() -> (DiskmapKernel, MemSystem, HostMem, PhysAlloc, CostParams) {
+        let disks = vec![NvmeDevice::new(
+            NvmeConfig::default(),
+            Box::new(SyntheticBacking::new(7)),
+            100,
+        )];
+        (
+            DiskmapKernel::new(disks),
+            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            HostMem::new(),
+            PhysAlloc::new(),
+            CostParams::default(),
+        )
+    }
+
+    #[test]
+    fn pread_blocks_for_device_latency_plus_overheads() {
+        let (mut k, mut m, mut h, mut pa, costs) = setup();
+        let mut f = PreadFile::open(DiskId(0), 0, &mut pa);
+        let ubuf = pa.alloc(16384);
+        let r = f.pread(&mut k, Nanos::ZERO, 1, 0, 16384, ubuf, &mut m, &mut h, &costs);
+        let us = r.done_at.as_micros_f64();
+        // Must exceed raw device latency (~90us) by the kernel path.
+        assert!(us > 95.0, "pread too fast: {us}us");
+        assert!(us < 500.0, "pread too slow: {us}us");
+        assert!(r.cpu_cycles > costs.syscall_cycles);
+        // Data really arrived in the user buffer.
+        let got = h.read_region(ubuf);
+        let mut want = vec![0u8; 16384];
+        SyntheticBacking::new(7).expected(1, 0, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pread_serial_throughput_is_latency_bound() {
+        let (mut k, mut m, mut h, mut pa, costs) = setup();
+        let mut f = PreadFile::open(DiskId(0), 0, &mut pa);
+        let ubuf = pa.alloc(16384);
+        let mut now = Nanos::ZERO;
+        let n = 20;
+        for i in 0..n {
+            let r = f.pread(&mut k, now, 1, i * 16384, 16384, ubuf, &mut m, &mut h, &costs);
+            assert!(r.done_at > now);
+            now = r.done_at;
+        }
+        let gbps = (n * 16384) as f64 * 8.0 / now.as_secs_f64() / 1e9;
+        assert!(gbps < 3.0, "pread must stay far below device limit, got {gbps}");
+    }
+
+    #[test]
+    fn aio_batch_completes_all() {
+        let (mut k, mut m, mut h, mut pa, costs) = setup();
+        let mut aio = AioContext::new(DiskId(0), 0);
+        let reads: Vec<_> = (0..16u64)
+            .map(|i| (i, 1u32, i * 16384, 16384u64, pa.alloc(16384)))
+            .collect();
+        let cyc = aio.submit_reads(&mut k, Nanos::ZERO, &reads, &costs);
+        assert!(cyc >= costs.syscall_cycles + 16 * costs.aio_io_cycles);
+        assert_eq!(aio.inflight(), 16);
+        // Drive hardware, take interrupts, kevent.
+        let mut got = Vec::new();
+        while aio.inflight() > 0 {
+            let Some(t) = k.poll_at() else { break };
+            k.advance(t, &mut m, &mut h);
+            aio.on_interrupt(&mut k, t + aio_visibility_delay(&costs), &costs);
+            let (done, _) = aio.kevent(t + aio_visibility_delay(&costs), &costs);
+            got.extend(done);
+        }
+        assert_eq!(got.len(), 16);
+        let mut users: Vec<u64> = got.iter().map(|c| c.user).collect();
+        users.sort_unstable();
+        assert_eq!(users, (0..16u64).collect::<Vec<_>>());
+        // Latency includes the visibility delay.
+        for c in &got {
+            assert!(c.completed_at > c.submitted_at);
+        }
+    }
+
+    #[test]
+    fn aio_latency_exceeds_diskmap_latency() {
+        // The structural claim behind Fig 9: same hardware, but aio
+        // completions are visible later than polled diskmap ones.
+        let costs = CostParams::default();
+        let delay = aio_visibility_delay(&costs);
+        assert!(delay >= Nanos::from_micros(6), "delay {delay:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Diskmap DMA buffer pool.
+//!
+//! All buffers are pre-allocated, non-pageable, and shared between
+//! the NVMe hardware and the application (§3.1.2). Each buffer
+//! descriptor carries the metadata the paper lists: a unique index,
+//! the current length, and the physical address libnvme uses when
+//! constructing commands.
+//!
+//! The free list is a **LIFO stack** on purpose: §4.1 argues that
+//! strict LIFO recycling of DMA buffers minimizes the stack's working
+//! set and maximizes DDIO efficacy (the most-recently-freed buffer is
+//! the one most likely still resident in the LLC).
+
+use dcn_mem::{PhysAlloc, PhysRegion};
+
+/// Index of a diskmap buffer within its pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BufId(pub u32);
+
+#[derive(Clone, Copy, Debug)]
+struct BufDesc {
+    region: PhysRegion,
+    len: u64,
+    in_use: bool,
+}
+
+/// Fixed-size pool of equal-sized DMA buffers.
+pub struct BufPool {
+    bufs: Vec<BufDesc>,
+    free: Vec<u32>, // LIFO
+    buf_size: u64,
+}
+
+impl BufPool {
+    /// Pre-allocate `count` buffers of `buf_size` bytes from the
+    /// simulated physical address space.
+    #[must_use]
+    pub fn new(count: u32, buf_size: u64, phys: &mut PhysAlloc) -> Self {
+        let bufs: Vec<BufDesc> = (0..count)
+            .map(|_| BufDesc { region: phys.alloc(buf_size), len: 0, in_use: false })
+            .collect();
+        // LIFO: lowest index on top initially (pop order 0,1,2...).
+        let free: Vec<u32> = (0..count).rev().collect();
+        BufPool { bufs, free, buf_size }
+    }
+
+    #[must_use]
+    pub fn buf_size(&self) -> u64 {
+        self.buf_size
+    }
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.bufs.len() as u32
+    }
+    #[must_use]
+    pub fn available(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Pop the most-recently-freed buffer (LIFO).
+    pub fn alloc(&mut self) -> Option<BufId> {
+        let idx = self.free.pop()?;
+        let d = &mut self.bufs[idx as usize];
+        debug_assert!(!d.in_use);
+        d.in_use = true;
+        d.len = 0;
+        Some(BufId(idx))
+    }
+
+    /// Return a buffer to the pool.
+    pub fn free(&mut self, id: BufId) {
+        let d = &mut self.bufs[id.0 as usize];
+        assert!(d.in_use, "double free of diskmap buffer {id:?}");
+        d.in_use = false;
+        self.free.push(id.0);
+    }
+
+    /// The buffer's whole physical region.
+    #[must_use]
+    pub fn region(&self, id: BufId) -> PhysRegion {
+        self.bufs[id.0 as usize].region
+    }
+
+    /// Current valid-data length (set by completed reads).
+    #[must_use]
+    pub fn len(&self, id: BufId) -> u64 {
+        self.bufs[id.0 as usize].len
+    }
+
+    pub fn set_len(&mut self, id: BufId, len: u64) {
+        assert!(len <= self.buf_size);
+        self.bufs[id.0 as usize].len = len;
+    }
+
+    /// All regions (for IOMMU domain programming at attach time).
+    #[must_use]
+    pub fn all_regions(&self) -> Vec<PhysRegion> {
+        self.bufs.iter().map(|b| b.region).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_lifo_order() {
+        let mut phys = PhysAlloc::new();
+        let mut p = BufPool::new(4, 16384, &mut phys);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        p.free(a);
+        p.free(b);
+        // LIFO: b comes back first.
+        assert_eq!(p.alloc().unwrap(), b);
+        assert_eq!(p.alloc().unwrap(), a);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut phys = PhysAlloc::new();
+        let mut p = BufPool::new(2, 4096, &mut phys);
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_none());
+        assert_eq!(p.available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut phys = PhysAlloc::new();
+        let mut p = BufPool::new(2, 4096, &mut phys);
+        let a = p.alloc().unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_sized() {
+        let mut phys = PhysAlloc::new();
+        let p = BufPool::new(8, 16384, &mut phys);
+        let regions = p.all_regions();
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.len, 16384);
+            for other in &regions[i + 1..] {
+                assert!(r.end() <= other.addr.0 || other.end() <= r.addr.0);
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut phys = PhysAlloc::new();
+        let mut p = BufPool::new(1, 16384, &mut phys);
+        let a = p.alloc().unwrap();
+        p.set_len(a, 300);
+        assert_eq!(p.len(a), 300);
+        p.free(a);
+        let b = p.alloc().unwrap();
+        assert_eq!(p.len(b), 0, "len resets on alloc");
+    }
+}

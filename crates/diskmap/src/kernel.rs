@@ -1,0 +1,299 @@
+//! The diskmap kernel module.
+//!
+//! Owns the NVMe devices, detaches datapath queue pairs from the
+//! in-kernel stack, pre-allocates the shared non-pageable memory
+//! (queues + buffers), programs the per-device IOMMU domain, and
+//! exposes the two privileged operations libnvme needs: the attach
+//! ioctl and the doorbell syscall. Administrative queue pairs stay
+//! kernel-side (device reset / format keep working), exactly as
+//! described in §3.1.2.
+
+use crate::bufpool::BufPool;
+use crate::iommu::IommuDomain;
+use dcn_mem::{HostMem, MemSystem, PhysAlloc};
+use dcn_nvme::{NvmeCommand, NvmeDevice};
+use dcn_simcore::{earliest, Nanos};
+
+/// Index of a disk within the kernel's device table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DiskId(pub usize);
+
+/// Errors surfaced to userspace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskmapError {
+    /// Queue pair already attached to another consumer.
+    Busy,
+    /// No such disk / queue pair.
+    NoEntry,
+    /// A command referenced memory outside the IOMMU domain.
+    IommuFault,
+    /// Submission queue full.
+    QueueFull,
+}
+
+impl std::fmt::Display for DiskmapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DiskmapError::Busy => "queue pair busy",
+            DiskmapError::NoEntry => "no such disk or queue pair",
+            DiskmapError::IommuFault => "DMA outside IOMMU domain",
+            DiskmapError::QueueFull => "submission queue full",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DiskmapError {}
+
+struct Attachment {
+    disk: DiskId,
+    qid: u16,
+    domain: IommuDomain,
+}
+
+/// The kernel side of diskmap.
+pub struct DiskmapKernel {
+    disks: Vec<NvmeDevice>,
+    attachments: Vec<Attachment>,
+    /// Syscall count (the paper's batching argument, §3.1.4, is about
+    /// amortizing exactly these).
+    pub syscalls: u64,
+}
+
+impl DiskmapKernel {
+    #[must_use]
+    pub fn new(disks: Vec<NvmeDevice>) -> Self {
+        DiskmapKernel { disks, attachments: Vec::new(), syscalls: 0 }
+    }
+
+    #[must_use]
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    pub fn disk(&mut self, id: DiskId) -> &mut NvmeDevice {
+        &mut self.disks[id.0]
+    }
+
+    /// The attach ioctl: detach `(disk, qid)` from the in-kernel
+    /// stack, allocate `buf_count` DMA buffers of `buf_size` bytes,
+    /// and program the IOMMU with the queue + buffer memory. Returns
+    /// the buffer pool (the userspace mapping of the shared memory).
+    pub fn attach(
+        &mut self,
+        disk: DiskId,
+        qid: u16,
+        buf_count: u32,
+        buf_size: u64,
+        phys: &mut PhysAlloc,
+        enforce_iommu: bool,
+    ) -> Result<(BufPool, usize), DiskmapError> {
+        if disk.0 >= self.disks.len() || qid >= self.disks[disk.0].config().num_qpairs {
+            return Err(DiskmapError::NoEntry);
+        }
+        if self.attachments.iter().any(|a| a.disk == disk && a.qid == qid) {
+            return Err(DiskmapError::Busy);
+        }
+        let pool = BufPool::new(buf_count, buf_size, phys);
+        let mut domain = if enforce_iommu { IommuDomain::new() } else { IommuDomain::passthrough() };
+        for r in pool.all_regions() {
+            domain.map(r);
+        }
+        self.attachments.push(Attachment { disk, qid, domain });
+        let token = self.attachments.len() - 1;
+        Ok((pool, token))
+    }
+
+    /// The doorbell syscall: validate `cmds` against the attachment's
+    /// IOMMU domain, push them into the device SQ, and ring the SQ
+    /// tail doorbell. All-or-nothing per call. Returns the number of
+    /// commands admitted.
+    pub fn sqsync(
+        &mut self,
+        token: usize,
+        now: Nanos,
+        cmds: &mut Vec<NvmeCommand>,
+    ) -> Result<usize, DiskmapError> {
+        self.syscalls += 1;
+        let att = self.attachments.get(token).ok_or(DiskmapError::NoEntry)?;
+        for cmd in cmds.iter() {
+            for prp in &cmd.prp {
+                if !att.domain.check(*prp) {
+                    return Err(DiskmapError::IommuFault);
+                }
+            }
+        }
+        let dev = &mut self.disks[att.disk.0];
+        let qp = dev.qpair(att.qid);
+        let mut admitted = 0;
+        for cmd in cmds.drain(..) {
+            if !qp.sq_push(cmd) {
+                // SQ full: stop; caller retries the rest later.
+                dev.ring_sq_doorbell(now, att.qid);
+                return Err(DiskmapError::QueueFull);
+            }
+            admitted += 1;
+        }
+        dev.ring_sq_doorbell(now, att.qid);
+        Ok(admitted)
+    }
+
+    /// Userspace-visible completion consumption (CQ is mapped shared
+    /// memory; no syscall). The CQ head doorbell write is folded into
+    /// the next `sqsync`.
+    pub fn consume(
+        &mut self,
+        token: usize,
+        max: usize,
+    ) -> Result<Vec<dcn_nvme::CompletionEntry>, DiskmapError> {
+        let att = self.attachments.get(token).ok_or(DiskmapError::NoEntry)?;
+        let dev = &mut self.disks[att.disk.0];
+        Ok(dev.qpair(att.qid).cq_consume(max))
+    }
+
+    /// Earliest instant any disk has a completion to post.
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Nanos> {
+        self.disks.iter().fold(None, |acc, d| earliest(acc, d.poll_at()))
+    }
+
+    /// Advance all devices to `now` (DMA through the memory model).
+    pub fn advance(&mut self, now: Nanos, mem: &mut MemSystem, host: &mut HostMem) -> usize {
+        self.disks.iter_mut().map(|d| d.advance(now, mem, host)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_mem::{CostParams, LlcConfig, PhysRegion};
+    use dcn_nvme::{NvmeConfig, Opcode, SyntheticBacking};
+
+    fn kernel(n_disks: usize) -> DiskmapKernel {
+        let disks = (0..n_disks)
+            .map(|i| {
+                NvmeDevice::new(
+                    NvmeConfig::default(),
+                    Box::new(SyntheticBacking::new(7 + i as u64)),
+                    100 + i as u64,
+                )
+            })
+            .collect();
+        DiskmapKernel::new(disks)
+    }
+
+    fn mem() -> (MemSystem, HostMem, PhysAlloc) {
+        (
+            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            HostMem::new(),
+            PhysAlloc::new(),
+        )
+    }
+
+    fn read_into(buf: PhysRegion, cid: u16, slba: u64, len: u64) -> NvmeCommand {
+        let mut prp = Vec::new();
+        let mut off = 0;
+        while off < len {
+            let n = (len - off).min(4096);
+            prp.push(buf.slice(off, n));
+            off += n;
+        }
+        NvmeCommand { opcode: Opcode::Read, cid, nsid: 1, slba, nlb: (len / 512) as u32, prp }
+    }
+
+    #[test]
+    fn attach_then_io_round_trip() {
+        let (mut m, mut h, mut pa) = mem();
+        let mut k = kernel(1);
+        let (mut pool, tok) = k.attach(DiskId(0), 0, 8, 16384, &mut pa, true).unwrap();
+        let b = pool.alloc().unwrap();
+        let mut cmds = vec![read_into(pool.region(b), 1, 0, 16384)];
+        k.sqsync(tok, Nanos::ZERO, &mut cmds).unwrap();
+        let mut n = 0;
+        while let Some(t) = k.poll_at() {
+            n += k.advance(t, &mut m, &mut h);
+        }
+        assert_eq!(n, 1);
+        let entries = k.consume(tok, 16).unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn double_attach_is_busy() {
+        let mut pa = PhysAlloc::new();
+        let mut k = kernel(1);
+        k.attach(DiskId(0), 0, 4, 4096, &mut pa, true).unwrap();
+        assert!(matches!(
+            k.attach(DiskId(0), 0, 4, 4096, &mut pa, true),
+            Err(DiskmapError::Busy)
+        ));
+        // A different queue pair of the same disk is fine (share-free
+        // multi-core design).
+        assert!(k.attach(DiskId(0), 1, 4, 4096, &mut pa, true).is_ok());
+    }
+
+    #[test]
+    fn attach_bad_ids_fail() {
+        let mut pa = PhysAlloc::new();
+        let mut k = kernel(1);
+        assert!(matches!(
+            k.attach(DiskId(3), 0, 4, 4096, &mut pa, true),
+            Err(DiskmapError::NoEntry)
+        ));
+        assert!(matches!(
+            k.attach(DiskId(0), 99, 4, 4096, &mut pa, true),
+            Err(DiskmapError::NoEntry)
+        ));
+    }
+
+    #[test]
+    fn iommu_blocks_stray_dma() {
+        let (_m, _h, mut pa) = mem();
+        let mut k = kernel(1);
+        let (_pool, tok) = k.attach(DiskId(0), 0, 4, 16384, &mut pa, true).unwrap();
+        // A buffer the kernel never mapped (e.g. arbitrary userspace
+        // address) must be rejected at the syscall boundary.
+        let stray = pa.alloc(16384);
+        let mut cmds = vec![read_into(stray, 1, 0, 16384)];
+        assert!(matches!(
+            k.sqsync(tok, Nanos::ZERO, &mut cmds),
+            Err(DiskmapError::IommuFault)
+        ));
+    }
+
+    #[test]
+    fn syscall_counter_tracks_batching() {
+        let (_m, _h, mut pa) = mem();
+        let mut k = kernel(1);
+        let (mut pool, tok) = k.attach(DiskId(0), 0, 64, 16384, &mut pa, true).unwrap();
+        // 32 commands in one sqsync = 1 syscall.
+        let mut cmds: Vec<NvmeCommand> = (0..32u16)
+            .map(|i| {
+                let b = pool.alloc().unwrap();
+                read_into(pool.region(b), i, u64::from(i) * 32, 16384)
+            })
+            .collect();
+        k.sqsync(tok, Nanos::ZERO, &mut cmds).unwrap();
+        assert_eq!(k.syscalls, 1);
+    }
+
+    #[test]
+    fn multiple_disks_complete_independently() {
+        let (mut m, mut h, mut pa) = mem();
+        let mut k = kernel(4);
+        let mut toks = Vec::new();
+        for d in 0..4 {
+            let (mut pool, tok) = k.attach(DiskId(d), 0, 4, 16384, &mut pa, true).unwrap();
+            let b = pool.alloc().unwrap();
+            let mut cmds = vec![read_into(pool.region(b), 1, 64, 16384)];
+            k.sqsync(tok, Nanos::ZERO, &mut cmds).unwrap();
+            toks.push(tok);
+        }
+        while let Some(t) = k.poll_at() {
+            k.advance(t, &mut m, &mut h);
+        }
+        for tok in toks {
+            assert_eq!(k.consume(tok, 8).unwrap().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # dcn-diskmap — kernel-bypass NVMe storage framework
+//!
+//! Reimplementation of the paper's first contribution (§3.1.2): a
+//! netmap-inspired service that maps NVMe datapath queue pairs and
+//! pre-allocated DMA buffer memory into userspace, with the OS
+//! mediating only privileged operations (attach, doorbell writes)
+//! and the IOMMU enforcing memory safety.
+//!
+//! The crate has two halves, mirroring the paper's architecture
+//! (Fig 7):
+//!
+//! * [`kernel`] — the *diskmap kernel module*: detaches datapath
+//!   queue pairs from the in-kernel stack, pre-allocates non-pageable
+//!   buffer memory, programs the IOMMU domain, and exposes the thin
+//!   doorbell syscall.
+//! * [`libnvme`] — the *userspace driver library* with the paper's
+//!   Table 1 API:
+//!
+//! | function | role |
+//! |---|---|
+//! | [`libnvme::NvmeQueue::nvme_open`] | configure, initialize and attach to a disk's queue pair |
+//! | [`libnvme::NvmeQueue::nvme_read`] | craft + enqueue a READ for (namespace, offset, length, buffer) |
+//! | [`libnvme::NvmeQueue::nvme_write`] | craft + enqueue a WRITE |
+//! | [`libnvme::NvmeQueue::nvme_sqsync`] | doorbell ioctl: start processing pending commands |
+//! | [`libnvme::NvmeQueue::nvme_consume_completions`] | consume completions (handles out-of-order), surface per-request results |
+//!
+//! [`baseline`] adds the two conventional storage paths the paper
+//! compares against in Figs 8/9: blocking `pread(2)` through the
+//! buffer cache, and `aio(4)` batched asynchronous I/O with
+//! kqueue/interrupt completion.
+
+pub mod baseline;
+pub mod bufpool;
+pub mod iommu;
+pub mod kernel;
+pub mod libnvme;
+
+pub use bufpool::{BufId, BufPool};
+pub use iommu::IommuDomain;
+pub use kernel::{DiskId, DiskmapError, DiskmapKernel};
+pub use libnvme::{CompletedIo, IoDesc, IoStatus, NvmeQueue};

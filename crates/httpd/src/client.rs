@@ -1,0 +1,190 @@
+//! The weighttp-like request driver (client application layer).
+//!
+//! "Each client establishes a long-lived TCP connection to the
+//! server, and generates a series of HTTP requests with a new request
+//! sent immediately after the previous one is served" (§4). The
+//! driver consumes the response byte stream (headers + body),
+//! verifies progress, and decides when to fire the next request.
+
+use crate::response::scan_response_header;
+use dcn_simcore::{SimRng, Zipf};
+use dcn_store::FileId;
+
+/// Per-connection request state machine.
+pub struct RequestDriver {
+    catalog_files: u64,
+    /// Popularity skew; None = uniform over distinct files (the
+    /// uncachable 0% BC workload), Some(zipf) for cacheable ones.
+    zipf: Option<Zipf>,
+    /// For the 100% BC workload the paper pins requests to a small
+    /// hot set that always fits in cache.
+    hot_set: Option<u64>,
+    rng: SimRng,
+    /// Bytes of the current response still expected (None = waiting
+    /// for header).
+    body_remaining: Option<u64>,
+    header_buf: Vec<u8>,
+    pub requests_issued: u64,
+    pub responses_done: u64,
+    pub body_bytes: u64,
+    /// Encrypted-body flag of the in-progress response.
+    pub current_encrypted: bool,
+}
+
+impl RequestDriver {
+    /// Uniform random requests over the whole catalog — effectively
+    /// uncachable (the paper's 0% BC workload: "each video chunk is
+    /// only requested once during the duration of the test").
+    #[must_use]
+    pub fn uncachable(catalog_files: u64, rng: SimRng) -> Self {
+        RequestDriver {
+            catalog_files,
+            zipf: None,
+            hot_set: None,
+            rng,
+            body_remaining: None,
+            header_buf: Vec::new(),
+            requests_issued: 0,
+            responses_done: 0,
+            body_bytes: 0,
+            current_encrypted: false,
+        }
+    }
+
+    /// Requests confined to a hot set that fits in the buffer cache
+    /// (the 100% BC workload).
+    #[must_use]
+    pub fn cacheable(catalog_files: u64, hot_files: u64, rng: SimRng) -> Self {
+        let mut d = Self::uncachable(catalog_files, rng);
+        d.hot_set = Some(hot_files.min(catalog_files));
+        d
+    }
+
+    /// Zipf-popular requests (realistic mixed workloads, used by the
+    /// examples).
+    #[must_use]
+    pub fn zipf(catalog_files: u64, alpha: f64, rng: SimRng) -> Self {
+        let mut d = Self::uncachable(catalog_files, rng);
+        d.zipf = Some(Zipf::new(catalog_files, alpha));
+        d
+    }
+
+    /// Pick the next file to request.
+    pub fn next_file(&mut self) -> FileId {
+        self.requests_issued += 1;
+        if let Some(hot) = self.hot_set {
+            return FileId(self.rng.gen_range(0, hot));
+        }
+        if let Some(z) = &self.zipf {
+            return FileId(z.sample(&mut self.rng));
+        }
+        FileId(self.rng.gen_range(0, self.catalog_files))
+    }
+
+    /// Is a response currently outstanding?
+    #[must_use]
+    pub fn awaiting_response(&self) -> bool {
+        self.body_remaining.is_some() || !self.header_buf.is_empty() || {
+            self.requests_issued > self.responses_done
+        }
+    }
+
+    /// Consume received stream bytes. Returns the number of
+    /// *responses completed* by this data (each completion means the
+    /// driver should send the next request).
+    pub fn on_bytes(&mut self, mut data: &[u8]) -> u64 {
+        let mut completed = 0;
+        while !data.is_empty() {
+            match self.body_remaining {
+                Some(rem) => {
+                    let n = rem.min(data.len() as u64);
+                    self.body_bytes += n;
+                    data = &data[n as usize..];
+                    let left = rem - n;
+                    if left == 0 {
+                        self.body_remaining = None;
+                        self.responses_done += 1;
+                        completed += 1;
+                    } else {
+                        self.body_remaining = Some(left);
+                    }
+                }
+                None => {
+                    self.header_buf.extend_from_slice(data);
+                    data = &[];
+                    if let Some((hl, cl, enc)) = scan_response_header(&self.header_buf) {
+                        self.current_encrypted = enc;
+                        // Any bytes past the header are body bytes:
+                        // recurse over the tail.
+                        let tail = self.header_buf.split_off(hl);
+                        self.header_buf.clear();
+                        if cl == 0 {
+                            self.responses_done += 1;
+                            completed += 1;
+                        } else {
+                            self.body_remaining = Some(cl);
+                        }
+                        if !tail.is_empty() {
+                            completed += self.on_bytes(&tail);
+                        }
+                    }
+                }
+            }
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{response_header, ResponseInfo};
+
+    #[test]
+    fn completes_response_across_fragments() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(1));
+        let _f = d.next_file();
+        let mut stream = response_header(ResponseInfo::Ok { body_len: 1000 }, false);
+        stream.extend_from_slice(&vec![7u8; 1000]);
+        let mid = stream.len() / 2;
+        assert_eq!(d.on_bytes(&stream[..mid]), 0);
+        assert_eq!(d.on_bytes(&stream[mid..]), 1);
+        assert_eq!(d.body_bytes, 1000);
+        assert_eq!(d.responses_done, 1);
+    }
+
+    #[test]
+    fn back_to_back_responses_in_one_burst() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(1));
+        let mut stream = Vec::new();
+        for _ in 0..3 {
+            stream.extend(response_header(ResponseInfo::Ok { body_len: 10 }, false));
+            stream.extend_from_slice(&[0u8; 10]);
+        }
+        assert_eq!(d.on_bytes(&stream), 3);
+    }
+
+    #[test]
+    fn uncachable_spreads_over_catalog() {
+        let mut d = RequestDriver::uncachable(1_000_000, SimRng::new(2));
+        let distinct: std::collections::HashSet<u64> =
+            (0..1000).map(|_| d.next_file().0).collect();
+        assert!(distinct.len() > 990, "uniform over 1M files ⇒ few repeats");
+    }
+
+    #[test]
+    fn cacheable_stays_in_hot_set() {
+        let mut d = RequestDriver::cacheable(1_000_000, 50, SimRng::new(2));
+        for _ in 0..1000 {
+            assert!(d.next_file().0 < 50);
+        }
+    }
+
+    #[test]
+    fn encrypted_flag_surfaces() {
+        let mut d = RequestDriver::uncachable(10, SimRng::new(1));
+        let h = response_header(ResponseInfo::Ok { body_len: 100 }, true);
+        d.on_bytes(&h);
+        assert!(d.current_encrypted);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dcn-httpd — HTTP/1.1 for the streaming workload
+//!
+//! The application layer both stacks serve: persistent connections
+//! carrying back-to-back GET requests for ~300 KB video chunks (§2,
+//! §4). URLs name catalog files directly (`GET /chunk/<id>`), the
+//! way a dumb CDN edge addresses content.
+//!
+//! The parser is incremental (bytes may arrive split across
+//! segments) and strict about what a video server accepts; the
+//! response builder emits the plaintext header block that precedes
+//! the (possibly encrypted) body — the paper's setup transmits HTTP
+//! headers in the clear even on "TLS" connections so the load
+//! generator can parse responses cheaply (§4.2).
+
+pub mod client;
+pub mod parser;
+pub mod response;
+
+pub use client::RequestDriver;
+pub use parser::{HttpError, HttpRequest, RequestParser};
+pub use response::{response_header, ResponseInfo};
+
+use dcn_store::FileId;
+
+/// Path for a chunk request.
+#[must_use]
+pub fn chunk_path(file: FileId) -> String {
+    format!("/chunk/{}", file.0)
+}
+
+/// Parse a `/chunk/<id>` path back to a file id.
+#[must_use]
+pub fn parse_chunk_path(path: &str) -> Option<FileId> {
+    path.strip_prefix("/chunk/")?.parse().ok().map(FileId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_path_round_trip() {
+        for id in [0u64, 1, 1_999_999] {
+            assert_eq!(parse_chunk_path(&chunk_path(FileId(id))), Some(FileId(id)));
+        }
+        assert_eq!(parse_chunk_path("/other/3"), None);
+        assert_eq!(parse_chunk_path("/chunk/abc"), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Incremental HTTP/1.1 request parser.
+
+/// A parsed GET request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub path: String,
+    /// `Connection: close` requested (default for HTTP/1.1 is
+    /// keep-alive).
+    pub close: bool,
+}
+
+/// Parse failures (connection-fatal, as in nginx).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HttpError {
+    BadRequestLine,
+    UnsupportedMethod,
+    HeaderTooLarge,
+}
+
+const MAX_HEADER: usize = 8 * 1024;
+
+/// Accumulates bytes until full request heads are available.
+/// Pipelined requests are surfaced one per call.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to extract the next complete request.
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        let Some(end) = find_double_crlf(&self.buf) else {
+            if self.buf.len() > MAX_HEADER {
+                return Err(HttpError::HeaderTooLarge);
+            }
+            return Ok(None);
+        };
+        let head = &self.buf[..end];
+        let text = std::str::from_utf8(head).map_err(|_| HttpError::BadRequestLine)?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let path = parts.next().ok_or(HttpError::BadRequestLine)?;
+        let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+        if method != "GET" {
+            return Err(HttpError::UnsupportedMethod);
+        }
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequestLine);
+        }
+        let mut close = false;
+        for line in lines {
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+        }
+        let req = HttpRequest { path: path.to_string(), close };
+        self.buf.drain(..end + 4);
+        Ok(Some(req))
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Build a GET request (what the client fleet sends).
+#[must_use]
+pub fn build_get(path: &str, host: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: dcn-weighttp/0.1\r\n\r\n")
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_complete_request() {
+        let mut p = RequestParser::new();
+        p.push(&build_get("/chunk/42", "cdn.example"));
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.path, "/chunk/42");
+        assert!(!r.close);
+        assert!(p.next_request().unwrap().is_none());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn handles_split_arrival() {
+        let req = build_get("/chunk/7", "h");
+        let mut p = RequestParser::new();
+        p.push(&req[..10]);
+        assert!(p.next_request().unwrap().is_none());
+        p.push(&req[10..]);
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/7");
+    }
+
+    #[test]
+    fn handles_pipelined_requests() {
+        let mut p = RequestParser::new();
+        p.push(&build_get("/chunk/1", "h"));
+        p.push(&build_get("/chunk/2", "h"));
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/1");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/2");
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(p.next_request().unwrap().unwrap().close);
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /x HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request(), Err(HttpError::UnsupportedMethod));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut p = RequestParser::new();
+        p.push(b"\xff\xfe\x00bogus\r\n\r\n");
+        assert!(p.next_request().is_err());
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut p = RequestParser::new();
+        p.push(&vec![b'a'; 9000]);
+        assert_eq!(p.next_request(), Err(HttpError::HeaderTooLarge));
+    }
+}

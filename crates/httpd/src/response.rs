@@ -1,0 +1,110 @@
+//! HTTP response header construction.
+//!
+//! Headers are always plaintext on the wire (even for "TLS" runs,
+//! matching the paper's measurement setup §4.2); the body follows —
+//! raw file content for plaintext runs, GCM-sealed records for
+//! encrypted ones.
+
+/// What the server decided about a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseInfo {
+    /// Serve this many body bytes (the chunk size).
+    Ok { body_len: u64 },
+    NotFound,
+}
+
+/// Build the response header block.
+#[must_use]
+pub fn response_header(info: ResponseInfo, encrypted: bool) -> Vec<u8> {
+    match info {
+        ResponseInfo::Ok { body_len } => {
+            // Encrypted bodies are longer on the wire (record framing
+            // + GCM tags); Content-Length describes the wire body so
+            // the client knows when the response ends.
+            let wire_len = if encrypted {
+                crate::response::encrypted_body_len(body_len)
+            } else {
+                body_len
+            };
+            format!(
+                "HTTP/1.1 200 OK\r\nServer: atlas/0.1\r\nContent-Type: video/mp4\r\n\
+                 Content-Length: {wire_len}\r\nX-Body-Encrypted: {}\r\n\r\n",
+                if encrypted { "1" } else { "0" }
+            )
+            .into_bytes()
+        }
+        ResponseInfo::NotFound => {
+            b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec()
+        }
+    }
+}
+
+/// Wire length of an encrypted body: one TLS-style record per
+/// RECORD_PAYLOAD_MAX plaintext bytes, each adding header + tag.
+#[must_use]
+pub fn encrypted_body_len(plain_len: u64) -> u64 {
+    const RECORD: u64 = 16 * 1024; // dcn_crypto::RECORD_PAYLOAD_MAX
+    const OVERHEAD: u64 = 5 + 16; // header + GCM tag
+    let records = plain_len.div_ceil(RECORD).max(1);
+    plain_len + records * OVERHEAD
+}
+
+/// Minimal response-header scanner for the client side: returns
+/// (header_len, content_length, encrypted) once the full header block
+/// is buffered.
+#[must_use]
+pub fn scan_response_header(buf: &[u8]) -> Option<(usize, u64, bool)> {
+    let end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let text = std::str::from_utf8(&buf[..end]).ok()?;
+    let mut content_length = None;
+    let mut encrypted = false;
+    for line in text.split("\r\n").skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok();
+            } else if k.eq_ignore_ascii_case("x-body-encrypted") {
+                encrypted = v.trim() == "1";
+            }
+        }
+    }
+    Some((end, content_length?, encrypted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_header_round_trips_through_scanner() {
+        let h = response_header(ResponseInfo::Ok { body_len: 300 * 1024 }, false);
+        let (hl, cl, enc) = scan_response_header(&h).unwrap();
+        assert_eq!(hl, h.len());
+        assert_eq!(cl, 300 * 1024);
+        assert!(!enc);
+    }
+
+    #[test]
+    fn encrypted_length_accounts_for_records() {
+        // 300 KiB = 18.75 → 19 records of 16 KiB.
+        let plain = 300 * 1024;
+        let wire = encrypted_body_len(plain);
+        assert_eq!(wire, plain + 19 * 21);
+        let h = response_header(ResponseInfo::Ok { body_len: plain }, true);
+        let (_, cl, enc) = scan_response_header(&h).unwrap();
+        assert_eq!(cl, wire);
+        assert!(enc);
+    }
+
+    #[test]
+    fn scanner_waits_for_full_header() {
+        let h = response_header(ResponseInfo::Ok { body_len: 10 }, false);
+        assert!(scan_response_header(&h[..h.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn not_found_has_zero_length() {
+        let h = response_header(ResponseInfo::NotFound, false);
+        let (_, cl, _) = scan_response_header(&h).unwrap();
+        assert_eq!(cl, 0);
+    }
+}

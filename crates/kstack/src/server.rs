@@ -1,0 +1,810 @@
+//! The conventional-stack server: nginx + FreeBSD (stock or
+//! Netflix-optimized) over the shared hardware models.
+
+use crate::conn::{KConn, StagedResponse};
+use dcn_atlas::server::parse_frame;
+use dcn_crypto::{RecordCipher, RECORD_PAYLOAD_MAX};
+use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
+use dcn_mem::{
+    CostParams, CoreSet, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
+    CHUNK_SIZE,
+};
+use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
+use dcn_nvme::{FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, Opcode, SyntheticBacking, LBA_SIZE};
+use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
+use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_store::{BufferCache, Catalog, FileId};
+use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackVariant {
+    /// Unmodified nginx/FreeBSD.
+    Stock,
+    /// The Netflix production stack (§2.1's optimizations).
+    Netflix,
+}
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct KstackConfig {
+    pub variant: StackVariant,
+    /// The paper's baseline uses all 8 cores.
+    pub cores: usize,
+    pub encrypted: bool,
+    /// Disk buffer cache capacity (the eval server has 128 GB RAM;
+    /// most of it is page cache).
+    pub bufcache_bytes: u64,
+    /// Per-connection socket-buffer cap.
+    pub sb_max: u64,
+    /// Fraction of payload bytes the kernel TX path incidentally
+    /// touches (mbuf/sf_buf handling, LRO merge inspection) —
+    /// calibrated against Fig 11e's ~1.5× read ratio; see
+    /// EXPERIMENTS.md.
+    pub touch_fraction: f64,
+    /// Fill granularity per disk I/O (FreeBSD MAXPHYS-style
+    /// read-ahead unit).
+    pub fill_bytes: u64,
+    pub tcb: TcbConfig,
+    pub nic: NicConfig,
+    pub firmware: FirmwareParams,
+    pub llc: LlcConfig,
+    pub costs: CostParams,
+    pub fidelity: Fidelity,
+    pub server_endpoint: Endpoint,
+}
+
+impl KstackConfig {
+    #[must_use]
+    pub fn netflix() -> Self {
+        KstackConfig {
+            variant: StackVariant::Netflix,
+            cores: 8,
+            encrypted: false,
+            bufcache_bytes: 96 << 30,
+            sb_max: 2 << 20,
+            touch_fraction: 0.45,
+            fill_bytes: 128 * 1024,
+            tcb: TcbConfig::default(),
+            nic: NicConfig { rings: 8, ..NicConfig::default() },
+            firmware: FirmwareParams::p3700(),
+            llc: LlcConfig::xeon_e5_2667v3(),
+            costs: CostParams::default(),
+            fidelity: Fidelity::Full,
+            server_endpoint: Endpoint {
+                mac: dcn_packet::MacAddr::from_host_id(1),
+                ip: dcn_packet::Ipv4Addr::new(10, 0, 0, 1),
+                port: 80,
+            },
+        }
+    }
+
+    #[must_use]
+    pub fn stock() -> Self {
+        KstackConfig { variant: StackVariant::Stock, ..Self::netflix() }
+    }
+}
+
+/// A disk fill in flight.
+struct Fill {
+    conn_slot: usize,
+    file: FileId,
+    file_off: u64,
+    len: u64,
+    pages: Vec<(u64, PhysRegion)>, // (page index, frame)
+    issued_at: Nanos,
+}
+
+struct ConnSlot {
+    conn: KConn,
+    core: usize,
+}
+
+/// The server.
+pub struct KstackServer {
+    pub cfg: KstackConfig,
+    pub mem: MemSystem,
+    pub host: HostMem,
+    pub nic: Nic,
+    pub cores: CoreSet,
+    pub catalog: Catalog,
+    pub bufcache: BufferCache,
+    disks: Vec<NvmeDevice>,
+    conns: HashMap<FlowId, usize>,
+    slots: Vec<ConnSlot>,
+    timers: BTreeSet<(Nanos, usize)>,
+    timer_of: Vec<Option<Nanos>>,
+    fills: HashMap<u16, Fill>,
+    /// Ciphertext socket-buffer frame pool (kTLS output).
+    ct_pool: Vec<PhysRegion>,
+    /// Stock only: is this worker's event loop blocked in a
+    /// synchronous sendfile I/O? (One outstanding fill per worker.)
+    sync_busy: Vec<bool>,
+    /// Stock only: connections whose staging is waiting for the
+    /// worker to unblock.
+    stage_waiting: Vec<std::collections::BTreeSet<usize>>,
+    next_cid: u16,
+    rx_slots: Vec<PhysRegion>,
+    rng: SimRng,
+    pub responses: u64,
+    pub disk_read_bytes: u64,
+    phys: PhysAlloc,
+}
+
+impl KstackServer {
+    #[must_use]
+    pub fn new(cfg: KstackConfig, catalog: Catalog, seed: u64) -> Self {
+        let mut phys = PhysAlloc::new();
+        let mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
+        let nvme_cfg = NvmeConfig {
+            num_qpairs: 1, // the in-kernel stack uses shared kernel queues
+            firmware: cfg.firmware,
+            fidelity: cfg.fidelity,
+            ..NvmeConfig::default()
+        };
+        let disks: Vec<NvmeDevice> = (0..catalog.n_disks())
+            .map(|d| {
+                NvmeDevice::new(
+                    nvme_cfg,
+                    Box::new(SyntheticBacking::new(catalog.disk_seed(d))),
+                    seed ^ (d as u64) << 8,
+                )
+            })
+            .collect();
+        // Cap simulated cache frames: the model only needs enough
+        // frames to exceed the LLC by a wide margin; beyond that more
+        // DRAM-resident frames change nothing but memory usage of the
+        // simulator itself.
+        let cache_bytes = cfg.bufcache_bytes.min(6 << 30);
+        let bufcache = BufferCache::new(cache_bytes, &mut phys);
+        let ct_pool = (0..4096)
+            .map(|_| phys.alloc(RECORD_PAYLOAD_MAX as u64 + 64))
+            .collect();
+        let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
+        KstackServer {
+            nic: Nic::new(NicConfig { rings: cfg.cores, fidelity: cfg.fidelity, ..cfg.nic }),
+            cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), false),
+            mem,
+            host: HostMem::new(),
+            catalog,
+            bufcache,
+            disks,
+            conns: HashMap::new(),
+            slots: Vec::new(),
+            timers: BTreeSet::new(),
+            timer_of: Vec::new(),
+            fills: HashMap::new(),
+            ct_pool,
+            sync_busy: vec![false; cfg.cores],
+            stage_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
+            next_cid: 0,
+            rx_slots,
+            rng: SimRng::new(seed ^ 0x6B57),
+            responses: 0,
+            disk_read_bytes: 0,
+            cfg,
+            phys,
+        }
+    }
+
+    #[must_use]
+    pub fn variant_label(&self) -> String {
+        format!(
+            "{}{}",
+            match self.cfg.variant {
+                StackVariant::Stock => "Stock FreeBSD/nginx",
+                StackVariant::Netflix => "Netflix",
+            },
+            if self.cfg.encrypted { " TLS" } else { "" }
+        )
+    }
+
+    fn core_of_flow(&self, flow: FlowId) -> usize {
+        (flow.rss_hash() as usize) % self.cfg.cores
+    }
+
+    // -------------------------------------------------------------- RX
+
+    pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
+        let mut touched = BTreeSet::new();
+        for frame in frames {
+            let Some((flow, tcp, payload)) = parse_frame(&frame) else { continue };
+            let core = self.core_of_flow(flow);
+            touched.insert(core);
+            self.nic
+                .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
+            self.handle_segment(now, core, flow, &tcp, &payload);
+        }
+        let _ = touched;
+        let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
+        self.collect_tx_completions();
+        bursts
+    }
+
+    fn handle_segment(&mut self, now: Nanos, core: usize, flow: FlowId, tcp: &TcpRepr, payload: &[u8]) {
+        if tcp.flags.contains(TcpFlags::SYN) && !tcp.flags.contains(TcpFlags::ACK) {
+            self.accept_conn(now, core, flow, tcp);
+            return;
+        }
+        let Some(&slot_idx) = self.conns.get(&flow) else { return };
+        // Per-ACK kernel RX cost; Netflix's RSS-assisted LRO saves a
+        // chunk of it (§2.1.3).
+        let mut cycles = self.cfg.costs.kstack_rx_ack_cycles;
+        if self.cfg.variant == StackVariant::Netflix {
+            cycles = (cycles as f64 * (1.0 - self.cfg.costs.lro_rx_discount)) as u64;
+        }
+        let done = self.cores.run_on(core, now, cycles);
+        let outs = self.slots[slot_idx].conn.tcb.on_segment(now, tcp, payload);
+        for out in outs {
+            self.nic.tx_rings[core].push(out.into_tx(0));
+        }
+        self.process_conn_events(done, slot_idx);
+    }
+
+    fn accept_conn(&mut self, now: Nanos, core: usize, flow: FlowId, syn: &TcpRepr) {
+        if self.conns.contains_key(&flow) {
+            return;
+        }
+        let remote = Endpoint {
+            mac: dcn_packet::MacAddr::from_host_id(flow.src_ip.0),
+            ip: flow.src_ip,
+            port: flow.src_port,
+        };
+        let iss = SeqNumber(self.rng.next_u64() as u32);
+        let (tcb, synack) =
+            Tcb::accept(self.cfg.tcb, self.cfg.server_endpoint, remote, syn, iss, now);
+        let cipher = self.cfg.encrypted.then(|| {
+            let mut key = [0u8; 16];
+            dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
+            RecordCipher::new(&key, flow.rss_hash())
+        });
+        let slot_idx = self.slots.len();
+        self.slots.push(ConnSlot { conn: KConn::new(tcb, cipher), core });
+        self.timer_of.push(None);
+        self.conns.insert(flow, slot_idx);
+        self.nic.tx_rings[core].push(synack.into_tx(0));
+        self.sync_timer(slot_idx);
+    }
+
+    // ---------------------------------------------------------- events
+
+    fn process_conn_events(&mut self, now: Nanos, slot_idx: usize) {
+        let events = self.slots[slot_idx].conn.tcb.take_events();
+        for ev in events {
+            match ev {
+                TcbEvent::Data(bytes) => self.on_request_bytes(now, slot_idx, &bytes),
+                TcbEvent::AckedTo(off) => {
+                    let (pages, regions, _) = self.slots[slot_idx].conn.release_acked(off);
+                    for (f, p) in pages {
+                        self.bufcache.unpin(f, p);
+                    }
+                    self.ct_pool.extend(regions);
+                }
+                TcbEvent::NeedRetransmit { offset, len } => {
+                    // Socket-buffer semantics: the data is still here.
+                    let core = self.slots[slot_idx].core;
+                    let slot = &mut self.slots[slot_idx];
+                    if let Some(sg) = slot.conn.slice_sent(offset, len) {
+                        let out = slot.conn.tcb.send_retransmit(now, offset, sg);
+                        self.nic.tx_rings[core].push(out.into_tx(0));
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.stage(now, slot_idx);
+        self.pump_tx(now, slot_idx);
+        self.sync_timer(slot_idx);
+    }
+
+    fn on_request_bytes(&mut self, now: Nanos, slot_idx: usize, bytes: &[u8]) {
+        let core = self.slots[slot_idx].core;
+        let n_files = self.catalog.n_files();
+        let file_size = self.catalog.file_size();
+        let encrypted = self.cfg.encrypted;
+        let costs = self.cfg.costs;
+        let slot = &mut self.slots[slot_idx];
+        slot.conn.parser.push(bytes);
+        let mut started = Vec::new();
+        while let Ok(Some(req)) = slot.conn.parser.next_request() {
+            started.push(parse_chunk_path(&req.path).filter(|f| f.0 < n_files));
+        }
+        for file in started {
+            // nginx userspace work + the sendfile syscall.
+            let done =
+                self.cores
+                    .run_on(core, now, costs.nginx_request_cycles + costs.sendfile_call_cycles);
+            let slot = &mut self.slots[slot_idx];
+            match file {
+                Some(file) => {
+                    let header = response_header(ResponseInfo::Ok { body_len: file_size }, encrypted);
+                    let body_stream_off = slot.conn.tx_cursor + header.len() as u64;
+                    slot.conn.enqueue(SgList::from_bytes(header), Vec::new(), None);
+                    slot.conn.staging.push_back(StagedResponse {
+                        file,
+                        body_len: file_size,
+                        next_fill: 0,
+                        body_stream_off,
+                    });
+                }
+                None => {
+                    let header = response_header(ResponseInfo::NotFound, encrypted);
+                    slot.conn.enqueue(SgList::from_bytes(header), Vec::new(), None);
+                }
+            }
+            let _ = done;
+        }
+    }
+
+    /// sendfile staging: move body bytes from the buffer cache (or
+    /// disk) into the socket buffer, up to sb_max.
+    fn stage(&mut self, now: Nanos, slot_idx: usize) {
+        let costs = self.cfg.costs;
+        let fill_bytes = self.cfg.fill_bytes;
+        let cores_n = self.cfg.cores;
+        loop {
+            let core = self.slots[slot_idx].core;
+            let slot = &mut self.slots[slot_idx];
+            let Some(st) = slot.conn.staging.front().copied_lite() else { break };
+            if st.next_fill >= st.body_len {
+                slot.conn.staging.pop_front();
+                slot.conn.responses_completed += 1;
+                self.responses += 1;
+                continue;
+            }
+            if slot.conn.sb_bytes >= self.cfg.sb_max {
+                break; // socket buffer full: wait for ACKs
+            }
+            if slot.conn.fills_inflight > 0 && self.cfg.variant == StackVariant::Netflix {
+                // Async sendfile pipelines one fill per connection.
+                break;
+            }
+            if self.cfg.variant == StackVariant::Stock && self.sync_busy[core] {
+                // Synchronous sendfile: this worker is blocked inside
+                // an earlier conn's I/O; nothing else stages on this
+                // core until it returns (§2.1.1).
+                self.stage_waiting[core].insert(slot_idx);
+                break;
+            }
+            let want = fill_bytes.min(st.body_len - st.next_fill);
+            // Page-by-page cache lookup.
+            let first_page = st.next_fill / CHUNK_SIZE;
+            let last_page = (st.next_fill + want - 1) / CHUNK_SIZE;
+            let mut all_hit = true;
+            let mut lookup_cycles = 0;
+            let mut pages = Vec::new();
+            for p in first_page..=last_page {
+                let (hit, cyc) = self.bufcache.lookup(st.file, p, &costs);
+                lookup_cycles += cyc;
+                match hit {
+                    Some(r) => pages.push((p, r.region)),
+                    None => {
+                        all_hit = false;
+                        // Unpin what we already pinned this round.
+                        for (pp, _) in &pages {
+                            self.bufcache.unpin(st.file, *pp);
+                        }
+                        pages.clear();
+                        break;
+                    }
+                }
+            }
+            let t_work = self.cores.run_on(core, now, lookup_cycles);
+            if all_hit {
+                // Cache hit: enqueue immediately.
+                self.enqueue_body(t_work, slot_idx, st, want, pages);
+                let slot = &mut self.slots[slot_idx];
+                if let Some(front) = slot.conn.staging.front_mut() {
+                    front.next_fill += want;
+                }
+                continue;
+            }
+            // Miss: allocate pages + issue the disk I/O. Allocation
+            // can fail under extreme VM pressure (every page pinned
+            // by socket buffers): back off until ACKs unpin pages.
+            let mut frames = Vec::new();
+            let mut alloc_cycles = 0;
+            let mut pressured = false;
+            for p in first_page..=last_page {
+                match self.bufcache.try_insert(st.file, p, &costs, cores_n) {
+                    Some((r, cyc)) => {
+                        alloc_cycles += cyc;
+                        frames.push((p, r.region));
+                    }
+                    None => {
+                        pressured = true;
+                        break;
+                    }
+                }
+            }
+            if pressured {
+                for (p, _) in &frames {
+                    self.bufcache.unpin(st.file, *p);
+                }
+                self.cores.run_on(core, now, alloc_cycles);
+                break;
+            }
+            let t_alloc = self.cores.run_on(core, now, alloc_cycles + costs.kernel_io_cycles);
+            self.issue_fill(t_alloc, slot_idx, st, want, frames);
+            let slot = &mut self.slots[slot_idx];
+            if let Some(front) = slot.conn.staging.front_mut() {
+                front.next_fill += want;
+            }
+            slot.conn.fills_inflight += 1;
+            if self.cfg.variant == StackVariant::Stock {
+                // The worker now blocks until this I/O completes.
+                self.sync_busy[core] = true;
+                break;
+            }
+        }
+    }
+
+    fn issue_fill(&mut self, now: Nanos, slot_idx: usize, st: StagedResponse, len: u64, pages: Vec<(u64, PhysRegion)>) {
+        let loc = self.catalog.locate(st.file, st.next_fill);
+        let aligned = len.div_ceil(LBA_SIZE) * LBA_SIZE;
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        // PRP list = the cache page frames.
+        let mut prp: Vec<PhysRegion> = Vec::new();
+        let mut remaining = aligned;
+        for (_, frame) in &pages {
+            let n = remaining.min(CHUNK_SIZE);
+            prp.push(frame.slice(0, n));
+            remaining -= n;
+            if remaining == 0 {
+                break;
+            }
+        }
+        let dev = &mut self.disks[loc.disk];
+        let pushed = dev.qpair(0).sq_push(NvmeCommand {
+            opcode: Opcode::Read,
+            cid,
+            nsid: loc.nsid,
+            slba: loc.dev_offset / LBA_SIZE,
+            nlb: (aligned / LBA_SIZE) as u32,
+            prp,
+        });
+        assert!(pushed, "kernel NVMe queue overflow");
+        dev.ring_sq_doorbell(now, 0);
+        self.fills.insert(
+            cid,
+            Fill {
+                conn_slot: slot_idx,
+                file: st.file,
+                file_off: st.next_fill,
+                len,
+                pages,
+                issued_at: now,
+            },
+        );
+        self.disk_read_bytes += aligned;
+    }
+
+    /// Disk fill completed: enqueue the body bytes (and for stock,
+    /// unblock the core).
+    fn complete_fill(&mut self, now: Nanos, cid: u16) {
+        let Some(fill) = self.fills.remove(&cid) else { return };
+        let slot_idx = fill.conn_slot;
+        let core = self.slots[slot_idx].core;
+        // Interrupt + completion handling.
+        let irq_done = self.cores.run_on(
+            core,
+            now + Nanos::from_nanos(self.cfg.costs.interrupt_latency_ns),
+            self.cfg.costs.interrupt_cycles,
+        );
+        if self.cfg.variant == StackVariant::Stock {
+            // Synchronous sendfile (§2.1.1): the worker's whole event
+            // loop was blocked from issue to completion — nothing
+            // else ran on this core meanwhile, which is the
+            // throughput collapse Fig 1 shows for stock at 0% BC.
+            let blocked_ns = (now.saturating_sub(fill.issued_at)).as_nanos();
+            self.cores
+                .run_on(core, fill.issued_at, self.cfg.costs.ns_to_cycles(blocked_ns));
+            self.sync_busy[core] = false;
+        }
+        let st = StagedResponse {
+            file: fill.file,
+            body_len: self.catalog.file_size(),
+            next_fill: fill.file_off,
+            body_stream_off: 0, // recomputed inside enqueue_body
+        };
+        self.enqueue_body(irq_done, slot_idx, st, fill.len, fill.pages);
+        let slot = &mut self.slots[slot_idx];
+        slot.conn.fills_inflight -= 1;
+        self.stage(irq_done, slot_idx);
+        self.pump_tx(irq_done, slot_idx);
+        self.sync_timer(slot_idx);
+        // Stock: the unblocked worker services connections that were
+        // waiting on it, until it blocks again.
+        let core2 = self.slots[slot_idx].core;
+        while !self.sync_busy[core2] {
+            let Some(&waiting) = self.stage_waiting[core2].iter().next() else { break };
+            self.stage_waiting[core2].remove(&waiting);
+            self.stage(irq_done, waiting);
+            self.pump_tx(irq_done, waiting);
+            self.sync_timer(waiting);
+        }
+    }
+
+    /// Move body bytes into the socket buffer, encrypting per the
+    /// variant's TLS design.
+    fn enqueue_body(
+        &mut self,
+        now: Nanos,
+        slot_idx: usize,
+        st: StagedResponse,
+        len: u64,
+        pages: Vec<(u64, PhysRegion)>,
+    ) {
+        let costs = self.cfg.costs;
+        let core = self.slots[slot_idx].core;
+        let encrypted = self.cfg.encrypted;
+        let variant = self.cfg.variant;
+        let file_off = st.next_fill;
+
+        if !encrypted {
+            // Plaintext sendfile: map the pinned pages straight into
+            // the socket buffer (sf_buf). The kernel still touches a
+            // fraction of the data on the TX path.
+            let mut sg = SgList::empty();
+            let mut remaining = len;
+            let mut pinned = Vec::new();
+            for (p, frame) in &pages {
+                let n = remaining.min(CHUNK_SIZE);
+                sg.push_region(frame.slice(0, n));
+                pinned.push((st.file, *p));
+                remaining -= n;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            // At full fidelity the cache pages must really hold the
+            // file content (the NIC materializes from them). Fills
+            // wrote them via device DMA; cache hits reuse them.
+            let slot = &mut self.slots[slot_idx];
+            slot.conn.enqueue(sg, pinned, None);
+            return;
+        }
+
+        // Encrypted: record-ize the plaintext.
+        let mut off_in_fill = 0u64;
+        while off_in_fill < len {
+            let rec_plain_off = file_off + off_in_fill;
+            debug_assert_eq!(rec_plain_off % RECORD_PAYLOAD_MAX as u64, 0);
+            let rec_plain =
+                (st.body_len - rec_plain_off).min(RECORD_PAYLOAD_MAX as u64).min(len - off_in_fill);
+            // Gather the plaintext source regions.
+            let mut src = SgList::empty();
+            let mut remaining = rec_plain;
+            let mut page_cursor = (off_in_fill / CHUNK_SIZE) as usize;
+            let mut in_page = off_in_fill % CHUNK_SIZE;
+            while remaining > 0 {
+                let (_, frame) = pages[page_cursor];
+                let n = remaining.min(CHUNK_SIZE - in_page);
+                src.push_region(frame.slice(in_page, n));
+                remaining -= n;
+                in_page = 0;
+                page_cursor += 1;
+            }
+            let ct_region = self.ct_pool.pop().unwrap_or_else(|| {
+                // The pool grows on demand: the real bound on
+                // ciphertext socket-buffer memory is sb_max per
+                // connection, enforced at staging time.
+                self.phys.alloc(RECORD_PAYLOAD_MAX as u64 + 64)
+            });
+            let ct_region = ct_region.slice(0, rec_plain);
+            let mut cycles = (rec_plain as f64 * costs.aes_gcm_cycles_per_byte) as u64;
+            match variant {
+                StackVariant::Netflix => {
+                    // kTLS: the sendfile path hands the record to a
+                    // dedicated TLS kernel thread (§2.1.4). By the
+                    // time that thread runs, the DMA-fresh pages have
+                    // aged out of the LLC (Fig 4's second flush), so
+                    // the plaintext read comes from DRAM; the
+                    // ciphertext goes out with ISA-L non-temporal
+                    // stores.
+                    for r in src.regions() {
+                        self.mem.flush_delayed(now, r);
+                        cycles += self.mem.cpu_read(now, r).stall_cycles;
+                    }
+                    self.mem.cpu_write_nt(now, ct_region);
+                }
+                StackVariant::Stock => {
+                    // Userspace OpenSSL: read() copy to user, encrypt,
+                    // write() copy to socket buffer: two copies + two
+                    // syscalls per record.
+                    cycles += 2 * costs.syscall_cycles;
+                    cycles += (2.0 * rec_plain as f64 * costs.memcpy_cycles_per_byte) as u64;
+                    for r in src.regions() {
+                        cycles += self.mem.cpu_read(now, r).stall_cycles;
+                    }
+                    // user buffer write + read back
+                    cycles += self.mem.cpu_write(now, ct_region).stall_cycles;
+                    cycles += self.mem.cpu_read(now, ct_region).stall_cycles;
+                    cycles += self.mem.cpu_write(now, ct_region).stall_cycles;
+                }
+            }
+            let t_enc = self.cores.run_on(core, now, cycles);
+            // Real encryption at full fidelity.
+            let tag = if self.cfg.fidelity == Fidelity::Full {
+                let plain = {
+                    let mut v = Vec::with_capacity(rec_plain as usize);
+                    for r in src.regions() {
+                        v.extend_from_slice(&self.host.read_region(r));
+                    }
+                    v
+                };
+                let slot = &self.slots[slot_idx];
+                let cipher = slot.conn.cipher.as_ref().expect("encrypted conn");
+                let mut ct = plain;
+                let tag = cipher.seal_record(rec_plain_off, &mut ct);
+                self.host.write(ct_region.addr, &ct);
+                tag
+            } else {
+                [0u8; 16]
+            };
+            let mut rec_hdr = vec![0x17, 0x03, 0x03, 0, 0];
+            rec_hdr[3..5]
+                .copy_from_slice(&u16::try_from(rec_plain + 16).expect("fits").to_be_bytes());
+            let mut sg = SgList::empty();
+            sg.push_bytes(rec_hdr);
+            sg.push_region(ct_region);
+            sg.push_bytes(tag.to_vec());
+            // Pages can be unpinned immediately: ciphertext owns the
+            // data now (this is the extra memory kTLS costs, §2.1.4).
+            for (p, _) in pages
+                .iter()
+                .skip((off_in_fill / CHUNK_SIZE) as usize)
+                .take(rec_plain.div_ceil(CHUNK_SIZE) as usize + 1)
+            {
+                let _ = p;
+            }
+            let slot = &mut self.slots[slot_idx];
+            slot.conn.enqueue(sg, Vec::new(), Some(ct_region.slice(0, 0).slice(0, 0)));
+            // Track the full pool region for release (not the
+            // truncated slice).
+            if let Some(last) = slot.conn.sendq.back_mut() {
+                last.ct_region = Some(PhysRegion::new(ct_region.addr, RECORD_PAYLOAD_MAX as u64 + 64));
+            }
+            off_in_fill += rec_plain;
+            let _ = t_enc;
+        }
+        // Encrypted path: unpin all the fill's pages now.
+        for (p, _) in &pages {
+            self.bufcache.unpin(st.file, *p);
+        }
+    }
+
+    /// Send from socket buffers as windows allow.
+    fn pump_tx(&mut self, now: Nanos, slot_idx: usize) {
+        let core = self.slots[slot_idx].core;
+        let costs = self.cfg.costs;
+        loop {
+            // TX-ring backpressure: unsent data stays in the socket
+            // buffer until slots free up.
+            if self.nic.tx_rings[core].space() == 0 {
+                break;
+            }
+            let slot = &mut self.slots[slot_idx];
+            let usable = slot.conn.tcb.usable_window();
+            let tso_max = u64::from(slot.conn.tcb.cfg.tso_max);
+            let budget = usable.min(tso_max);
+            if budget < u64::from(slot.conn.tcb.cfg.mss) && slot.conn.unsent() > budget {
+                break;
+            }
+            let Some((_, sg)) = slot.conn.take_for_tx(budget) else { break };
+            let n_segs = sg.len().div_ceil(u64::from(slot.conn.tcb.cfg.mss));
+            let mut cycles = costs.tcp_tx_op_cycles + n_segs * costs.kstack_tx_segment_cycles;
+            // The TCP output path walks the mbuf chain at transmit
+            // time: consume-once touches of a fraction of the payload
+            // (sf_buf mapping, LRO bookkeeping) — by now the data has
+            // usually aged out of the LLC.
+            let touch = self.cfg.touch_fraction;
+            for r in sg.regions() {
+                let t = r.slice(0, ((r.len as f64) * touch) as u64);
+                if t.len > 0 {
+                    cycles += self.mem.cpu_read_once(now, t).stall_cycles;
+                }
+            }
+            let out = slot.conn.tcb.send_data(now, sg, false);
+            self.nic.tx_rings[core].push(out.into_tx(0));
+            self.cores.run_on(core, now, cycles);
+        }
+    }
+
+    // ------------------------------------------------------- timekeeping
+
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Nanos> {
+        let disks = self
+            .disks
+            .iter()
+            .fold(None, |acc, d| earliest(acc, d.poll_at()));
+        let timer = self.timers.iter().next().map(|(d, _)| *d);
+        earliest(earliest(disks, timer), self.nic.poll_at())
+    }
+
+    pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
+        // Disk completions.
+        let mut done_cids = Vec::new();
+        for disk in &mut self.disks {
+            disk.advance(now, &mut self.mem, &mut self.host);
+            for e in disk.qpair(0).cq_consume(64) {
+                done_cids.push(e.cid);
+            }
+        }
+        let mut touched = BTreeSet::new();
+        for cid in done_cids {
+            if let Some(f) = self.fills.get(&cid) {
+                touched.insert(self.slots[f.conn_slot].core);
+            }
+            self.complete_fill(now, cid);
+        }
+        // TCP timers.
+        let due: Vec<usize> = self
+            .timers
+            .range(..=(now, usize::MAX))
+            .map(|&(_, s)| s)
+            .collect();
+        for slot_idx in due {
+            self.slots[slot_idx].conn.tcb.on_timer(now);
+            touched.insert(self.slots[slot_idx].core);
+            self.process_conn_events(now, slot_idx);
+        }
+        let _ = touched;
+        let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
+        self.collect_tx_completions();
+        bursts
+    }
+
+    fn collect_tx_completions(&mut self) {
+        for core in 0..self.cfg.cores {
+            // The kernel stack keeps data until ACKed (not until TX),
+            // so completions carry no buffer tokens; just drain them.
+            let _ = self.nic.tx_rings[core].txsync_collect();
+        }
+    }
+
+    fn sync_timer(&mut self, slot_idx: usize) {
+        let new = self.slots[slot_idx].conn.tcb.poll_at();
+        let old = self.timer_of[slot_idx];
+        if old == new {
+            return;
+        }
+        if let Some(d) = old {
+            self.timers.remove(&(d, slot_idx));
+        }
+        if let Some(d) = new {
+            self.timers.insert((d, slot_idx));
+        }
+        self.timer_of[slot_idx] = new;
+    }
+
+    /// Buffer-cache hit ratio observed (checks the BC workload knobs).
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.bufcache.hit_ratio()
+    }
+
+    pub fn phys_mut(&mut self) -> &mut PhysAlloc {
+        &mut self.phys
+    }
+}
+
+/// Tiny helper: `VecDeque::front().copied()` for non-Copy elements we
+/// only need a cheap projection of.
+trait FrontCopiedLite {
+    fn copied_lite(&self) -> Option<StagedResponse>;
+}
+
+impl FrontCopiedLite for Option<&StagedResponse> {
+    fn copied_lite(&self) -> Option<StagedResponse> {
+        self.map(|s| StagedResponse {
+            file: s.file,
+            body_len: s.body_len,
+            next_fill: s.next_fill,
+            body_stream_off: s.body_stream_off,
+        })
+    }
+}

@@ -1,0 +1,386 @@
+//! # dcn-mem — memory-hierarchy model and cycle cost accounting
+//!
+//! The paper's central evidence is *memory traffic*: the Netflix stack
+//! reads ~2.6× the network rate from DRAM when serving encrypted
+//! video, while Atlas holds data in the Last-Level Cache from disk DMA
+//! through encryption to NIC DMA and gets close to 1×. This crate is
+//! the instrument that measures those figures in the simulation.
+//!
+//! Every data movement in the system — disk DMA writes, NIC DMA reads,
+//! CPU loads/stores, in-place encryption, non-temporal streaming
+//! stores — is routed through [`MemSystem`], which maintains:
+//!
+//! * an LLC model: LRU over 4 KiB chunks of physical address space,
+//!   with a **DDIO allocation cap** (Intel DDIO may only allocate into
+//!   a fraction of LLC ways; overflow evicts the oldest DMA-allocated
+//!   chunk, reproducing the paper's Fig 14c pathology);
+//! * DRAM read/write byte counters, time-bucketed and attributed per
+//!   agent (disk DMA, NIC DMA, CPU, writeback);
+//! * CPU-visible LLC-miss counts (Figs 11f and 13f count "CPU reads
+//!   served from DRAM");
+//! * a [`CostParams`] table holding every cycle/latency constant in
+//!   the reproduction, so calibration happens in exactly one place.
+
+pub mod cost;
+pub mod hostmem;
+pub mod counters;
+pub mod cpu;
+pub mod llc;
+pub mod phys;
+
+pub use cost::CostParams;
+pub use hostmem::HostMem;
+pub use counters::{MemCounters, MemSnapshot};
+pub use cpu::{CoreSet, CpuCore};
+pub use llc::{Llc, LlcConfig};
+pub use phys::{PhysAddr, PhysAlloc, PhysRegion, CHUNK_SIZE};
+
+use dcn_simcore::Nanos;
+
+/// Whether payload bytes are materialized or only cost-accounted.
+/// Tests and examples run `Full`; large benchmark sweeps may run
+/// `Modeled` through the same code paths (see DESIGN.md §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fidelity {
+    /// Move real bytes through host memory.
+    Full,
+    /// Account cache/DRAM/cycle costs only.
+    Modeled,
+}
+
+/// Who initiated a memory access — used for attribution of DRAM
+/// traffic, mirroring how the paper separates DMA traffic from CPU
+/// traffic when interpreting its PMC data.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Agent {
+    /// NVMe controller DMA (disk → host on reads).
+    DiskDma,
+    /// NIC DMA (host → wire on TX, wire → host on RX).
+    NicDma,
+    /// A CPU core (loads, stores, encryption, copies).
+    Cpu,
+}
+
+/// Result of one access: DRAM traffic it generated and the CPU stall
+/// cycles implied (zero for pure DMA, which does not stall a core).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    pub dram_read_bytes: u64,
+    pub dram_write_bytes: u64,
+    /// 64-byte lines the CPU had to fetch from DRAM.
+    pub miss_lines: u64,
+    /// CPU stall cycles chargeable to this access.
+    pub stall_cycles: u64,
+}
+
+impl AccessOutcome {
+    fn merge(&mut self, other: AccessOutcome) {
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.miss_lines += other.miss_lines;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// The memory system: LLC model + counters + cost table.
+pub struct MemSystem {
+    pub llc: Llc,
+    pub counters: MemCounters,
+    pub costs: CostParams,
+}
+
+impl MemSystem {
+    #[must_use]
+    pub fn new(llc: LlcConfig, costs: CostParams, bucket: Nanos) -> Self {
+        MemSystem {
+            llc: Llc::new(llc),
+            counters: MemCounters::new(bucket),
+            costs,
+        }
+    }
+
+    /// Device writes `region` into host memory (e.g. NVMe read
+    /// completion data, NIC RX). With DDIO this allocates into the
+    /// LLC's DDIO portion; the data itself causes **no** DRAM write
+    /// unless/until it is evicted dirty.
+    pub fn dma_write(&mut self, now: Nanos, agent: Agent, region: PhysRegion) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        for chunk in region.chunks() {
+            let ev = self.llc.insert_dma(chunk);
+            out.merge(self.account_evictions(now, ev));
+        }
+        self.counters.record_dma_write(now, agent, region.len);
+        out
+    }
+
+    /// Device reads `region` from host memory (e.g. NIC TX DMA, NVMe
+    /// write command). Hits are served from the LLC (DDIO read);
+    /// misses read DRAM but do **not** allocate.
+    pub fn dma_read(&mut self, now: Nanos, agent: Agent, region: PhysRegion) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        let mut hit_bytes = 0u64;
+        for chunk in region.chunks() {
+            let len = region.len_within(chunk);
+            if self.llc.probe(chunk) {
+                hit_bytes += len;
+            } else {
+                out.dram_read_bytes += len;
+            }
+        }
+        self.counters.record_dma_read(now, agent, out.dram_read_bytes, hit_bytes);
+        out
+    }
+
+    /// CPU load of `region`. Misses read DRAM, allocate clean lines,
+    /// and stall the core.
+    pub fn cpu_read(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        self.cpu_access(now, region, /* dirty = */ false)
+    }
+
+    /// CPU store to `region` (normal, write-allocate): a miss performs
+    /// a read-for-ownership from DRAM and the line becomes dirty.
+    pub fn cpu_write(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        self.cpu_access(now, region, /* dirty = */ true)
+    }
+
+    /// CPU read-modify-write of `region` — the in-place encryption
+    /// path. One pass: misses cost one DRAM read; lines end dirty.
+    pub fn cpu_rmw(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        self.cpu_access(now, region, /* dirty = */ true)
+    }
+
+    /// CPU load that does not warm the cache: the line is consumed
+    /// once and immediately dead (header inspection, mbuf walks, LRO
+    /// merge checks). Misses read DRAM but do **not** allocate, and
+    /// hits do not refresh LRU — so these touches never keep payload
+    /// alive for a later DMA read.
+    pub fn cpu_read_once(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        let mut hit_bytes = 0u64;
+        for chunk in region.chunks() {
+            let len = region.len_within(chunk);
+            if self.llc.probe(chunk) {
+                hit_bytes += len;
+            } else {
+                out.dram_read_bytes += len;
+                out.miss_lines += len.div_ceil(64);
+            }
+        }
+        out.stall_cycles = (out.miss_lines as f64 * self.costs.dram_stall_cycles_per_line
+            + (hit_bytes.div_ceil(64)) as f64 * self.costs.llc_hit_cycles_per_line)
+            as u64;
+        self.counters
+            .record_cpu_access(now, out.dram_read_bytes, hit_bytes, out.miss_lines);
+        out
+    }
+
+    /// Non-temporal (streaming) store: bypasses the LLC entirely,
+    /// writing straight to DRAM and invalidating any cached copy.
+    /// This is the ISA-L/Netflix `kTLS` output path (§5 discusses why
+    /// it can be a pessimization).
+    pub fn cpu_write_nt(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        for chunk in region.chunks() {
+            self.llc.invalidate(chunk);
+        }
+        self.counters.record_dram_write(now, Agent::Cpu, region.len);
+        AccessOutcome {
+            dram_write_bytes: region.len,
+            ..AccessOutcome::default()
+        }
+    }
+
+    /// Drop `region` from the cache without writeback — the buffer was
+    /// freed and its contents are dead (diskmap buffer recycling).
+    pub fn discard(&mut self, region: PhysRegion) {
+        for chunk in region.chunks() {
+            self.llc.invalidate(chunk);
+        }
+    }
+
+    /// Model an asynchronous-handoff flush: between a producer stage
+    /// and a deferred consumer stage (e.g. async sendfile staging →
+    /// kTLS worker threads, §2.3/Fig 4), cached data ages out of the
+    /// LLC. Dirty resident chunks are written back to DRAM and the
+    /// region leaves the cache, so the consumer's reads really hit
+    /// DRAM.
+    pub fn flush_delayed(&mut self, now: Nanos, region: PhysRegion) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        for chunk in region.chunks() {
+            if self.llc.probe(chunk) {
+                // DMA-filled and CPU-dirtied chunks write back.
+                out.dram_write_bytes += CHUNK_SIZE;
+                self.llc.invalidate(chunk);
+            }
+        }
+        if out.dram_write_bytes > 0 {
+            self.counters.record_writeback(now, out.dram_write_bytes);
+        }
+        out
+    }
+
+    fn cpu_access(&mut self, now: Nanos, region: PhysRegion, dirty: bool) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        let mut hit_bytes = 0u64;
+        for chunk in region.chunks() {
+            let len = region.len_within(chunk);
+            if self.llc.touch(chunk, dirty) {
+                hit_bytes += len;
+            } else {
+                // Miss: fetch from DRAM, allocate (possibly evicting).
+                out.dram_read_bytes += len;
+                out.miss_lines += len.div_ceil(64);
+                let ev = self.llc.insert_cpu(chunk, dirty);
+                out.merge(self.account_evictions(now, ev));
+            }
+        }
+        out.stall_cycles = (out.miss_lines as f64 * self.costs.dram_stall_cycles_per_line
+            + (hit_bytes.div_ceil(64)) as f64 * self.costs.llc_hit_cycles_per_line)
+            as u64;
+        self.counters
+            .record_cpu_access(now, out.dram_read_bytes, hit_bytes, out.miss_lines);
+        out
+    }
+
+    fn account_evictions(&mut self, now: Nanos, evicted: llc::Evictions) -> AccessOutcome {
+        let bytes = evicted.dirty_chunks * CHUNK_SIZE;
+        if bytes > 0 {
+            self.counters.record_writeback(now, bytes);
+        }
+        AccessOutcome {
+            dram_write_bytes: bytes,
+            ..AccessOutcome::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_mem() -> MemSystem {
+        // 16-chunk LLC (64 KiB), DDIO capped at 4 chunks.
+        MemSystem::new(
+            LlcConfig { capacity_chunks: 16, ddio_chunks: 4 },
+            CostParams::default(),
+            Nanos::from_millis(1),
+        )
+    }
+
+    fn region(page: u64, len: u64) -> PhysRegion {
+        PhysRegion { addr: PhysAddr(page * CHUNK_SIZE), len }
+    }
+
+    #[test]
+    fn dma_write_then_dma_read_stays_in_llc() {
+        let mut m = small_mem();
+        let r = region(0, 2 * CHUNK_SIZE);
+        let t = Nanos::ZERO;
+        let w = m.dma_write(t, Agent::DiskDma, r);
+        assert_eq!(w.dram_write_bytes, 0);
+        let rd = m.dma_read(t, Agent::NicDma, r);
+        // Ideal Atlas path (paper Fig 5): zero DRAM traffic.
+        assert_eq!(rd.dram_read_bytes, 0);
+    }
+
+    #[test]
+    fn ddio_cap_evicts_oldest_dma_chunk() {
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        // Fill DDIO portion (4 chunks), then one more.
+        for p in 0..5 {
+            m.dma_write(t, Agent::DiskDma, region(p, CHUNK_SIZE));
+        }
+        // Chunk 0 was evicted dirty (DMA data is dirty by definition).
+        let rd = m.dma_read(t, Agent::NicDma, region(0, CHUNK_SIZE));
+        assert_eq!(rd.dram_read_bytes, CHUNK_SIZE, "oldest DDIO chunk must be gone");
+        // Chunk 4 is still cached.
+        let rd = m.dma_read(t, Agent::NicDma, region(4, CHUNK_SIZE));
+        assert_eq!(rd.dram_read_bytes, 0);
+    }
+
+    #[test]
+    fn cpu_read_promotes_out_of_ddio_budget() {
+        // Once the CPU touches a DMA'd chunk (e.g. encrypts it), it no
+        // longer counts against the DDIO cap — DDIO limits allocation,
+        // not residency of CPU-touched data.
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        for p in 0..4 {
+            m.dma_write(t, Agent::DiskDma, region(p, CHUNK_SIZE));
+        }
+        m.cpu_rmw(t, region(0, CHUNK_SIZE));
+        // Four more DMA chunks: evictions hit 1,2,3 (DMA-class) and
+        // then one of the new ones, but never chunk 0.
+        for p in 4..8 {
+            m.dma_write(t, Agent::DiskDma, region(p, CHUNK_SIZE));
+        }
+        let rd = m.dma_read(t, Agent::NicDma, region(0, CHUNK_SIZE));
+        assert_eq!(rd.dram_read_bytes, 0, "CPU-touched chunk was wrongly evicted");
+    }
+
+    #[test]
+    fn cpu_miss_costs_read_and_stall() {
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        let out = m.cpu_read(t, region(7, CHUNK_SIZE));
+        assert_eq!(out.dram_read_bytes, CHUNK_SIZE);
+        assert_eq!(out.miss_lines, CHUNK_SIZE / 64);
+        assert!(out.stall_cycles > 0);
+        // Second read hits.
+        let out2 = m.cpu_read(t, region(7, CHUNK_SIZE));
+        assert_eq!(out2.dram_read_bytes, 0);
+        assert_eq!(out2.miss_lines, 0);
+        assert!(out2.stall_cycles < out.stall_cycles);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        // Dirty one chunk via CPU write, then stream 16 more chunks of
+        // CPU reads to force it out of the 16-chunk LLC.
+        m.cpu_write(t, region(100, CHUNK_SIZE));
+        let mut wb = 0;
+        for p in 0..16 {
+            wb += m.cpu_read(t, region(p, CHUNK_SIZE)).dram_write_bytes;
+        }
+        assert_eq!(wb, CHUNK_SIZE, "exactly the dirty chunk must be written back");
+    }
+
+    #[test]
+    fn nt_store_bypasses_llc() {
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        let r = region(3, CHUNK_SIZE);
+        let out = m.cpu_write_nt(t, r);
+        assert_eq!(out.dram_write_bytes, CHUNK_SIZE);
+        // The data is NOT in the LLC afterwards.
+        let rd = m.dma_read(t, Agent::NicDma, r);
+        assert_eq!(rd.dram_read_bytes, CHUNK_SIZE);
+    }
+
+    #[test]
+    fn discard_avoids_writeback() {
+        let mut m = small_mem();
+        let t = Nanos::ZERO;
+        m.cpu_write(t, region(5, CHUNK_SIZE));
+        m.discard(region(5, CHUNK_SIZE));
+        let mut wb = 0;
+        for p in 10..26 {
+            wb += m.cpu_read(t, region(p, CHUNK_SIZE)).dram_write_bytes;
+        }
+        assert_eq!(wb, 0, "discarded chunk must not be written back");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = small_mem();
+        let t = Nanos::from_micros(500);
+        m.dma_write(t, Agent::DiskDma, region(0, CHUNK_SIZE));
+        m.cpu_rmw(t, region(0, CHUNK_SIZE));
+        m.dma_read(t, Agent::NicDma, region(0, CHUNK_SIZE));
+        let snap = m.counters.snapshot(Nanos::ZERO, Nanos::from_millis(1));
+        assert_eq!(snap.dram_read_bytes_per_sec, 0.0, "all hits: no DRAM reads");
+        assert!(snap.llc_miss_lines_per_sec == 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Scatter-gather payload lists.
+//!
+//! A TCP segment's payload is a sequence of chunks: small inline byte
+//! runs (record headers, GCM tags, HTTP headers) and references into
+//! DMA buffer memory (the video data — never copied). TSO splits an
+//! SgList at arbitrary byte boundaries without touching payload
+//! bytes.
+
+use dcn_mem::{HostMem, PhysRegion};
+
+/// One chunk of payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SgChunk {
+    /// Materialized bytes owned by the segment (framing, tags, HTTP).
+    Bytes(Vec<u8>),
+    /// Zero-copy reference into DMA-visible memory.
+    Region(PhysRegion),
+}
+
+impl SgChunk {
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            SgChunk::Bytes(b) => b.len() as u64,
+            SgChunk::Region(r) => r.len,
+        }
+    }
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A scatter-gather list (mbuf-chain equivalent).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SgList(pub Vec<SgChunk>);
+
+impl SgList {
+    #[must_use]
+    pub fn empty() -> Self {
+        SgList(Vec::new())
+    }
+
+    #[must_use]
+    pub fn from_bytes(b: Vec<u8>) -> Self {
+        SgList(vec![SgChunk::Bytes(b)])
+    }
+
+    #[must_use]
+    pub fn from_region(r: PhysRegion) -> Self {
+        SgList(vec![SgChunk::Region(r)])
+    }
+
+    pub fn push_bytes(&mut self, b: Vec<u8>) {
+        if !b.is_empty() {
+            self.0.push(SgChunk::Bytes(b));
+        }
+    }
+
+    pub fn push_region(&mut self, r: PhysRegion) {
+        if r.len > 0 {
+            self.0.push(SgChunk::Region(r));
+        }
+    }
+
+    pub fn append(&mut self, mut other: SgList) {
+        self.0.append(&mut other.0);
+    }
+
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.0.iter().map(SgChunk::len).sum()
+    }
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All physical regions referenced (for DMA accounting).
+    pub fn regions(&self) -> impl Iterator<Item = PhysRegion> + '_ {
+        self.0.iter().filter_map(|c| match c {
+            SgChunk::Region(r) => Some(*r),
+            SgChunk::Bytes(_) => None,
+        })
+    }
+
+    /// Split off the first `at` bytes; `self` keeps the remainder.
+    /// Chunks are sliced, not copied (a Region split yields two
+    /// sub-regions of the same buffer).
+    pub fn split_front(&mut self, at: u64) -> SgList {
+        assert!(at <= self.len(), "split past end");
+        let mut front = Vec::new();
+        let mut need = at;
+        let mut rest = std::mem::take(&mut self.0).into_iter();
+        for chunk in rest.by_ref() {
+            if need == 0 {
+                self.0.push(chunk);
+                break;
+            }
+            let l = chunk.len();
+            if l <= need {
+                need -= l;
+                front.push(chunk);
+            } else {
+                match chunk {
+                    SgChunk::Bytes(mut b) => {
+                        let tail = b.split_off(need as usize);
+                        front.push(SgChunk::Bytes(b));
+                        self.0.push(SgChunk::Bytes(tail));
+                    }
+                    SgChunk::Region(r) => {
+                        front.push(SgChunk::Region(r.slice(0, need)));
+                        self.0.push(SgChunk::Region(r.slice(need, r.len - need)));
+                    }
+                }
+                need = 0;
+            }
+        }
+        self.0.extend(rest);
+        SgList(front)
+    }
+
+    /// Materialize the full payload (what the NIC's DMA engine reads
+    /// onto the wire). Regions are read from simulated host memory.
+    #[must_use]
+    pub fn materialize(&self, host: &HostMem) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for c in &self.0 {
+            match c {
+                SgChunk::Bytes(b) => out.extend_from_slice(b),
+                SgChunk::Region(r) => out.extend_from_slice(&host.read_region(*r)),
+            }
+        }
+        out
+    }
+}
+
+/// Wire payload representation: real bytes at full fidelity, a length
+/// at modeled fidelity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PayloadBytes {
+    Real(Vec<u8>),
+    Virtual(u64),
+}
+
+impl PayloadBytes {
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            PayloadBytes::Real(b) => b.len() as u64,
+            PayloadBytes::Virtual(n) => *n,
+        }
+    }
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_mem::PhysAddr;
+
+    fn region(addr: u64, len: u64) -> PhysRegion {
+        PhysRegion::new(PhysAddr(addr), len)
+    }
+
+    #[test]
+    fn length_sums_chunks() {
+        let mut sg = SgList::empty();
+        sg.push_bytes(vec![1, 2, 3]);
+        sg.push_region(region(4096, 1000));
+        sg.push_bytes(vec![9; 16]);
+        assert_eq!(sg.len(), 3 + 1000 + 16);
+    }
+
+    #[test]
+    fn split_front_within_bytes_chunk() {
+        let mut sg = SgList::from_bytes(vec![0, 1, 2, 3, 4, 5]);
+        let front = sg.split_front(2);
+        assert_eq!(front, SgList::from_bytes(vec![0, 1]));
+        assert_eq!(sg, SgList::from_bytes(vec![2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn split_front_within_region_chunk() {
+        let mut sg = SgList::from_region(region(8192, 4096));
+        let front = sg.split_front(1500);
+        assert_eq!(front.len(), 1500);
+        assert_eq!(sg.len(), 2596);
+        // The split regions tile the original.
+        let SgChunk::Region(fr) = front.0[0] else { panic!() };
+        let SgChunk::Region(re) = sg.0[0] else { panic!() };
+        assert_eq!(fr.addr.0, 8192);
+        assert_eq!(re.addr.0, 8192 + 1500);
+    }
+
+    #[test]
+    fn split_front_across_chunks() {
+        let mut sg = SgList::empty();
+        sg.push_bytes(vec![7; 100]);
+        sg.push_region(region(4096, 200));
+        sg.push_bytes(vec![8; 50]);
+        let front = sg.split_front(250);
+        assert_eq!(front.len(), 250);
+        assert_eq!(sg.len(), 100);
+        assert_eq!(front.0.len(), 2);
+        assert_eq!(sg.0.len(), 2); // 50-byte region tail + 50 bytes
+    }
+
+    #[test]
+    fn split_at_boundary_and_zero() {
+        let mut sg = SgList::from_bytes(vec![1; 10]);
+        let f = sg.split_front(0);
+        assert!(f.is_empty());
+        assert_eq!(sg.len(), 10);
+        let f = sg.split_front(10);
+        assert_eq!(f.len(), 10);
+        assert!(sg.is_empty());
+    }
+
+    #[test]
+    fn materialize_reads_regions_from_host_memory() {
+        let mut host = HostMem::new();
+        host.write(PhysAddr(4096), &[0xAB; 100]);
+        let mut sg = SgList::empty();
+        sg.push_bytes(vec![1, 2]);
+        sg.push_region(region(4096, 100));
+        sg.push_bytes(vec![3]);
+        let m = sg.materialize(&host);
+        assert_eq!(m.len(), 103);
+        assert_eq!(&m[..2], &[1, 2]);
+        assert!(m[2..102].iter().all(|&b| b == 0xAB));
+        assert_eq!(m[102], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "split past end")]
+    fn split_past_end_panics() {
+        let mut sg = SgList::from_bytes(vec![0; 4]);
+        sg.split_front(5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Wire frames and the latency middlebox.
+
+use crate::sg::PayloadBytes;
+use dcn_packet::FlowId;
+use dcn_simcore::{Nanos, SimRng};
+
+/// Per-frame Ethernet overhead beyond header bytes: preamble + SFD
+/// (8), FCS (4), inter-frame gap (12) = 24 bytes on the wire.
+pub const ETH_WIRE_OVERHEAD: u64 = 24;
+
+/// A frame on the wire: real L2–L4 headers plus payload (real bytes
+/// at full fidelity, zero-filled content at modeled fidelity).
+///
+/// `aggregated` is the number of MSS-sized wire segments this frame
+/// stands for: at modeled fidelity the NIC emits one aggregated
+/// frame per TSO train (the receiver GRO-merges them anyway), and
+/// serialization is still charged for every segment's headers and
+/// Ethernet overhead. Full fidelity always uses `aggregated == 1`.
+#[derive(Clone, Debug)]
+pub struct WireFrame {
+    pub headers: Vec<u8>,
+    pub payload: PayloadBytes,
+    pub aggregated: u32,
+}
+
+impl WireFrame {
+    /// A plain single-segment frame.
+    #[must_use]
+    pub fn single(headers: Vec<u8>, payload: PayloadBytes) -> Self {
+        WireFrame { headers, payload, aggregated: 1 }
+    }
+
+    /// Total bytes this frame occupies on the wire (incl. Ethernet
+    /// overheads) — what link serialization is charged for.
+    #[must_use]
+    pub fn wire_len(&self) -> u64 {
+        self.payload.len()
+            + u64::from(self.aggregated.max(1)) * (self.headers.len() as u64 + ETH_WIRE_OVERHEAD)
+    }
+
+    /// L2 view (headers + payload), excluding preamble/FCS.
+    #[must_use]
+    pub fn frame_len(&self) -> u64 {
+        self.headers.len() as u64 + self.payload.len()
+    }
+}
+
+/// The §4 middlebox: "a configurable set of delay bands — we use this
+/// feature to add different delays to different flows, with latencies
+/// chosen from the range 10 to 40 ms", applied on the client→server
+/// path, constant per flow (no reordering within a flow).
+pub struct DelayMiddlebox {
+    bands: Vec<Nanos>,
+    /// Salt so different experiment seeds shuffle flows across bands.
+    salt: u32,
+}
+
+impl DelayMiddlebox {
+    /// Evenly spaced bands over `[min, max]`.
+    #[must_use]
+    pub fn new(min: Nanos, max: Nanos, n_bands: usize, seed: u64) -> Self {
+        assert!(n_bands >= 1 && max >= min);
+        let mut rng = SimRng::new(seed);
+        let bands = (0..n_bands)
+            .map(|i| {
+                if n_bands == 1 {
+                    min
+                } else {
+                    let frac = i as f64 / (n_bands - 1) as f64;
+                    min + (max - min).mul_f64(frac)
+                }
+            })
+            .collect();
+        DelayMiddlebox { bands, salt: rng.next_u64() as u32 }
+    }
+
+    /// The paper's configuration: 10–40 ms in 7 bands.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self::new(Nanos::from_millis(10), Nanos::from_millis(40), 7, seed)
+    }
+
+    /// The constant delay applied to this flow.
+    #[must_use]
+    pub fn delay(&self, flow: FlowId) -> Nanos {
+        let h = flow.rss_hash() ^ self.salt;
+        self.bands[(h as usize) % self.bands.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_packet::Ipv4Addr;
+
+    fn flow(port: u16) -> FlowId {
+        FlowId {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 1, 0, 1),
+            src_port: port,
+            dst_port: 80,
+        }
+    }
+
+    #[test]
+    fn wire_len_includes_overheads() {
+        let f = WireFrame::single(vec![0; 54], PayloadBytes::Virtual(1448));
+        assert_eq!(f.wire_len(), 54 + 1448 + 24);
+        assert_eq!(f.frame_len(), 1502);
+    }
+
+    #[test]
+    fn per_flow_delay_is_constant_and_in_range() {
+        let mb = DelayMiddlebox::paper(1);
+        for p in 1000..1100 {
+            let d1 = mb.delay(flow(p));
+            let d2 = mb.delay(flow(p));
+            assert_eq!(d1, d2, "constant per flow (no intra-flow reordering)");
+            assert!(d1 >= Nanos::from_millis(10) && d1 <= Nanos::from_millis(40));
+        }
+    }
+
+    #[test]
+    fn delays_spread_across_bands() {
+        let mb = DelayMiddlebox::paper(1);
+        let distinct: std::collections::HashSet<u64> =
+            (1000u16..1200).map(|p| mb.delay(flow(p)).as_nanos()).collect();
+        assert!(distinct.len() >= 5, "flows should spread over bands: {distinct:?}");
+    }
+
+    #[test]
+    fn symmetric_flow_same_band() {
+        let mb = DelayMiddlebox::paper(9);
+        let f = flow(1234);
+        assert_eq!(mb.delay(f), mb.delay(f.reversed()));
+    }
+}

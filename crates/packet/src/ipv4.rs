@@ -1,0 +1,196 @@
+//! IPv4 header handling (no options, no fragmentation — video
+//! streaming traffic is plain unfragmented TCP/IPv4).
+
+use crate::{internet_checksum, ParseError};
+
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    #[must_use]
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+    #[must_use]
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// IP protocol numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IpProtocol {
+    Tcp,
+    Udp,
+    Unknown(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl IpProtocol {
+    #[must_use]
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Unknown(v) => v,
+        }
+    }
+}
+
+/// Parsed IPv4 header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv4Repr {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub protocol: IpProtocol,
+    /// Payload (L4) length in bytes.
+    pub payload_len: u16,
+    pub ttl: u8,
+}
+
+impl Ipv4Repr {
+    /// Parse and checksum-verify; returns the repr and payload offset
+    /// within `data`.
+    pub fn parse(data: &[u8]) -> Result<(Ipv4Repr, usize), ParseError> {
+        Self::parse_with_extra(data, 0)
+    }
+
+    /// Like [`Ipv4Repr::parse`], but `extra` payload bytes live in a
+    /// separate buffer (scatter-gather frames carry L2–L4 headers and
+    /// payload in different segments, as NIC descriptors do).
+    pub fn parse_with_extra(data: &[u8], extra: usize) -> Result<(Ipv4Repr, usize), ParseError> {
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if data[0] >> 4 != 4 {
+            return Err(ParseError::BadVersion);
+        }
+        let ihl = usize::from(data[0] & 0x0F) * 4;
+        if !(IPV4_HEADER_LEN..=60).contains(&ihl) || data.len() < ihl {
+            return Err(ParseError::BadHeaderLen);
+        }
+        if internet_checksum(0, &data[..ihl]) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        let total = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if total < ihl || data.len() + extra < total {
+            return Err(ParseError::Truncated);
+        }
+        Ok((
+            Ipv4Repr {
+                src: Ipv4Addr(u32::from_be_bytes([data[12], data[13], data[14], data[15]])),
+                dst: Ipv4Addr(u32::from_be_bytes([data[16], data[17], data[18], data[19]])),
+                protocol: data[9].into(),
+                payload_len: (total - ihl) as u16,
+                ttl: data[8],
+            },
+            ihl,
+        ))
+    }
+
+    /// Emit a 20-byte header (checksummed) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) {
+        let total = IPV4_HEADER_LEN as u16 + self.payload_len;
+        buf[0] = 0x45; // v4, ihl=5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&total.to_be_bytes());
+        buf[4..6].copy_from_slice(&0u16.to_be_bytes()); // id
+        buf[6..8].copy_from_slice(&0x4000u16.to_be_bytes()); // DF
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.to_u8();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let csum = internet_checksum(0, &buf[..IPV4_HEADER_LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Partial pseudo-header sum for the TCP checksum.
+    #[must_use]
+    pub fn pseudo_header_sum(&self) -> u32 {
+        let s = self.src.octets();
+        let d = self.dst.octets();
+        u32::from(u16::from_be_bytes([s[0], s[1]]))
+            + u32::from(u16::from_be_bytes([s[2], s[3]]))
+            + u32::from(u16::from_be_bytes([d[0], d[1]]))
+            + u32::from(u16::from_be_bytes([d[2], d[3]]))
+            + u32::from(self.protocol.to_u8())
+            + u32::from(self.payload_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(10, 1, 0, 1),
+            dst: Ipv4Addr::new(10, 2, 0, 99),
+            protocol: IpProtocol::Tcp,
+            payload_len: 100,
+            ttl: 64,
+        }
+    }
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let r = sample();
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + 100];
+        r.emit(&mut buf);
+        let (parsed, off) = Ipv4Repr::parse(&buf).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(off, IPV4_HEADER_LEN);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let r = sample();
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + 100];
+        r.emit(&mut buf);
+        buf[15] ^= 0xFF;
+        assert_eq!(Ipv4Repr::parse(&buf), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let r = sample();
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + 100];
+        r.emit(&mut buf);
+        buf[0] = 0x65;
+        assert_eq!(Ipv4Repr::parse(&buf), Err(ParseError::BadVersion));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let r = sample();
+        let mut buf = vec![0u8; IPV4_HEADER_LEN + 100];
+        r.emit(&mut buf);
+        buf.truncate(IPV4_HEADER_LEN + 50);
+        assert_eq!(Ipv4Repr::parse(&buf), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn display_dotted_quad() {
+        assert_eq!(Ipv4Addr::new(192, 168, 1, 7).to_string(), "192.168.1.7");
+    }
+}

@@ -1,0 +1,150 @@
+//! # dcn-packet — wire formats for the userspace network stack
+//!
+//! Ethernet II, IPv4 and TCP header parsing/building with real
+//! checksums, plus flow hashing (the RSS hash used to shard
+//! connections across stack instances, §2.1.3 and §4).
+//!
+//! Headers are built into and parsed from plain byte slices — the
+//! same bytes that live in simulated DMA buffers — so the packet path
+//! in the simulator carries genuine, checksum-valid frames end to
+//! end. smoltcp-style representation structs (`EthernetRepr`,
+//! `Ipv4Repr`, `TcpRepr`) keep parse → modify → emit round trips
+//! explicit and testable.
+
+pub mod eth;
+pub mod ipv4;
+pub mod tcp;
+
+pub use eth::{EtherType, EthernetRepr, MacAddr, ETH_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Addr, Ipv4Repr, IPV4_HEADER_LEN};
+pub use tcp::{SeqNumber, TcpFlags, TcpRepr, TCP_HEADER_LEN};
+
+/// Errors from parsing malformed packets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    Truncated,
+    BadVersion,
+    BadHeaderLen,
+    BadChecksum,
+    UnsupportedProtocol,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ParseError::Truncated => "truncated packet",
+            ParseError::BadVersion => "bad IP version",
+            ParseError::BadHeaderLen => "bad header length",
+            ParseError::BadChecksum => "bad checksum",
+            ParseError::UnsupportedProtocol => "unsupported protocol",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Internet checksum (RFC 1071) over `data`, starting from `initial`
+/// (used to chain the TCP pseudo-header).
+#[must_use]
+pub fn internet_checksum(initial: u32, data: &[u8]) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A bidirectional TCP/IPv4 flow identifier (the 4-tuple).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowId {
+    pub src_ip: Ipv4Addr,
+    pub dst_ip: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FlowId {
+    /// The reverse direction of the same flow.
+    #[must_use]
+    pub fn reversed(self) -> FlowId {
+        FlowId {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// Symmetric RSS-style hash: both directions of a flow map to the
+    /// same bucket, which is what NIC RSS plus the stack's core
+    /// sharding rely on.
+    #[must_use]
+    pub fn rss_hash(&self) -> u32 {
+        let a = self.src_ip.0 ^ self.dst_ip.0;
+        let p = u32::from(self.src_port ^ self.dst_port);
+        let mut h = a ^ (p | p << 16);
+        // fmix32 finalizer.
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x85EB_CA6B);
+        h ^= h >> 13;
+        h = h.wrapping_mul(0xC2B2_AE35);
+        h ^= h >> 16;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_complement_property() {
+        // Appending a correct checksum makes the total sum verify.
+        let data = [0x45u8, 0x00, 0x00, 0x34, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06];
+        let s = internet_checksum(0, &data);
+        let mut whole = data.to_vec();
+        whole.extend_from_slice(&s.to_be_bytes());
+        assert_eq!(internet_checksum(0, &whole), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_with_zero() {
+        assert_eq!(
+            internet_checksum(0, &[0xFF, 0x00, 0xAB]),
+            internet_checksum(0, &[0xFF, 0x00, 0xAB, 0x00])
+        );
+    }
+
+    #[test]
+    fn flow_hash_is_symmetric() {
+        let f = FlowId {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 51000,
+            dst_port: 80,
+        };
+        assert_eq!(f.rss_hash(), f.reversed().rss_hash());
+        assert_eq!(f.reversed().reversed(), f);
+    }
+
+    #[test]
+    fn flow_hash_distinguishes_flows() {
+        let mk = |p: u16| FlowId {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: p,
+            dst_port: 80,
+        };
+        let buckets: std::collections::HashSet<u32> =
+            (1000..1256).map(|p| mk(p).rss_hash() % 8).collect();
+        assert!(buckets.len() >= 7, "ports should spread across cores");
+    }
+}

@@ -1,0 +1,203 @@
+//! Typed index arenas.
+//!
+//! Simulation objects (connections, buffers, in-flight I/Os) are held
+//! in arenas and referred to by small typed indices rather than Rust
+//! references — the standard pattern for mutable graphs of simulation
+//! state. `Id<T>` is a `u32` with a phantom tag so a buffer id cannot
+//! be confused with a connection id at compile time.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Typed arena index.
+pub struct Id<T> {
+    raw: u32,
+    _tag: PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        Id { raw, _tag: PhantomData }
+    }
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.raw as usize
+    }
+}
+
+// Manual impls: derive would bound on `T`, which is only a tag.
+impl<T> Clone for Id<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+impl<T> PartialEq for Id<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for Id<T> {}
+impl<T> std::hash::Hash for Id<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<T> PartialOrd for Id<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Id<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<T> fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.raw)
+    }
+}
+
+/// Slab arena with free-list reuse. Slots keep a generation-free
+/// design on purpose: simulation code frees an id exactly once by
+/// construction (buffer pools, connection tables), and the arena
+/// asserts on double-free in debug builds.
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    #[must_use]
+    pub fn new() -> Self {
+        Arena { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    pub fn insert(&mut self, value: T) -> Id<T> {
+        self.live += 1;
+        if let Some(raw) = self.free.pop() {
+            self.slots[raw as usize] = Some(value);
+            Id::from_raw(raw)
+        } else {
+            let raw = u32::try_from(self.slots.len()).expect("arena overflow");
+            self.slots.push(Some(value));
+            Id::from_raw(raw)
+        }
+    }
+
+    pub fn remove(&mut self, id: Id<T>) -> T {
+        let v = self.slots[id.index()].take().expect("double free / stale id");
+        self.free.push(id.raw());
+        self.live -= 1;
+        v
+    }
+
+    #[must_use]
+    pub fn get(&self, id: Id<T>) -> Option<&T> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+    pub fn get_mut(&mut self, id: Id<T>) -> Option<&mut T> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Id<T>, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (Id::from_raw(i as u32), v)))
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Id<T>, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (Id::from_raw(i as u32), v)))
+    }
+
+    /// All live ids (snapshot) — useful when the loop body needs
+    /// `&mut self`.
+    #[must_use]
+    pub fn ids(&self) -> Vec<Id<T>> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+impl<T> std::ops::Index<Id<T>> for Arena<T> {
+    type Output = T;
+    fn index(&self, id: Id<T>) -> &T {
+        self.slots[id.index()].as_ref().expect("stale id")
+    }
+}
+
+impl<T> std::ops::IndexMut<Id<T>> for Arena<T> {
+    fn index_mut(&mut self, id: Id<T>) -> &mut T {
+        self.slots[id.index()].as_mut().expect("stale id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a: Arena<String> = Arena::new();
+        let id = a.insert("hello".into());
+        assert_eq!(a[id], "hello");
+        assert_eq!(a.len(), 1);
+        let v = a.remove(id);
+        assert_eq!(v, "hello");
+        assert!(a.is_empty());
+        assert!(a.get(id).is_none());
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut a: Arena<u32> = Arena::new();
+        let id1 = a.insert(1);
+        a.remove(id1);
+        let id2 = a.insert(2);
+        assert_eq!(id1.raw(), id2.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_remove_panics() {
+        let mut a: Arena<u32> = Arena::new();
+        let id = a.insert(1);
+        a.remove(id);
+        a.remove(id);
+    }
+
+    #[test]
+    fn iteration_sees_only_live() {
+        let mut a: Arena<u32> = Arena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.insert(i)).collect();
+        a.remove(ids[2]);
+        let live: Vec<u32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec![0, 1, 3, 4]);
+        assert_eq!(a.ids().len(), 4);
+    }
+}

@@ -1,0 +1,298 @@
+//! Seeded, deterministic randomness for simulations.
+//!
+//! Wraps a small-state xoshiro-style generator seeded explicitly; the
+//! same seed always yields the same stream. Helpers cover the
+//! distributions the models need: uniform ranges, exponential
+//! interarrivals, log-normal service jitter, and Zipf content
+//! popularity (for buffer-cache hit-ratio experiments).
+
+/// Positional pseudo-random bytes: fills `out` with the bytes of the
+/// infinite deterministic stream `PRF(seed)` starting at `offset`.
+/// Any byte of any stream can be generated (and therefore verified)
+/// independently — this is how the reproduction serves a synthetic
+/// multi-terabyte video catalog without storing it: the byte at
+/// (file, offset) is `prf_bytes(file_seed, offset, ..)`.
+pub fn prf_bytes(seed: u64, offset: u64, out: &mut [u8]) {
+    let mut pos = offset;
+    let mut written = 0usize;
+    while written < out.len() {
+        let block = pos / 8;
+        let in_block = (pos % 8) as usize;
+        // SplitMix64 of (seed, block) — cheap and high quality.
+        let mut z = seed ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let bytes = z.to_le_bytes();
+        let n = (8 - in_block).min(out.len() - written);
+        out[written..written + n].copy_from_slice(&bytes[in_block..in_block + n]);
+        written += n;
+        pos += n as u64;
+    }
+}
+
+/// Deterministic PRNG (xoshiro256** core).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed via SplitMix64 expansion so that nearby seeds give
+    /// unrelated streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Derive an independent child stream (e.g. one per flow) without
+    /// correlating with the parent.
+    #[must_use]
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Log-normal with the given median and sigma (of the underlying
+    /// normal). Used for NVMe firmware service-time jitter.
+    pub fn log_normal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.std_normal()).exp()
+    }
+
+    /// Standard normal via Box–Muller (one value per call; the twin is
+    /// discarded to keep the stream position deterministic and simple).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0, i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Zipf(α) sampler over `{0, .., n-1}` using the rejection-inversion
+/// method — O(1) per sample, suitable for large catalogs.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// `alpha` must be positive and not exactly 1 (use 1.0001 for the
+    /// classic web value).
+    #[must_use]
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1 && alpha > 0.0 && (alpha - 1.0).abs() > 1e-9);
+        let h = |x: f64| ((1.0 - alpha) * x.ln()).exp() / (1.0 - alpha) * x;
+        // H(x) = x^(1-alpha)/(1-alpha); written via exp/ln for clarity.
+        let hf = |x: f64| x.powf(1.0 - alpha) / (1.0 - alpha);
+        let _ = h;
+        Zipf {
+            n,
+            alpha,
+            h_x1: hf(1.5) - 1.0f64.powf(-alpha),
+            h_n: hf(n as f64 + 0.5),
+            s: 2.0 - Self::h_inv_inner(hf(1.5) - 1.0f64.powf(-alpha), alpha),
+        }
+    }
+
+    fn h_inv_inner(x: f64, alpha: f64) -> f64 {
+        ((1.0 - alpha) * x).powf(1.0 / (1.0 - alpha))
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        x.powf(1.0 - self.alpha) / (1.0 - self.alpha)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        Self::h_inv_inner(x, self.alpha)
+    }
+
+    /// Draw a rank in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().max(1.0).min(self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - (-self.alpha * k.ln()).exp() {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SimRng::new(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_mean_approx() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000, 0.9);
+        let mut r = SimRng::new(5);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            let k = z.sample(&mut r);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Rank 0 must dominate rank 100 heavily under Zipf(0.9).
+        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}
+
+#[cfg(test)]
+mod prf_tests {
+    use super::*;
+
+    #[test]
+    fn prf_positional_consistency() {
+        // Reading [0,100) in one shot equals reading it in shards at
+        // arbitrary offsets.
+        let mut whole = vec![0u8; 100];
+        prf_bytes(99, 0, &mut whole);
+        for start in [0u64, 1, 7, 8, 13, 63, 64, 99] {
+            let mut part = vec![0u8; 100 - start as usize];
+            prf_bytes(99, start, &mut part);
+            assert_eq!(&whole[start as usize..], &part[..], "offset {start}");
+        }
+    }
+
+    #[test]
+    fn prf_streams_differ_by_seed() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        prf_bytes(1, 0, &mut a);
+        prf_bytes(2, 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prf_bytes_look_random() {
+        let mut buf = vec![0u8; 65536];
+        prf_bytes(7, 0, &mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        let total = 65536 * 8;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+}

@@ -1,0 +1,295 @@
+//! The conventional stack's disk buffer cache + VM pressure model.
+//!
+//! Page-granular (4 KiB) cache of file content with LRU reclamation.
+//! Each resident page owns a physical region, so its cache-hierarchy
+//! behaviour (LLC residency, evictions) is tracked by `dcn-mem` like
+//! every other buffer in the system.
+//!
+//! The VM model captures §2.1.2: when the working set exceeds
+//! capacity, every new page allocation must reclaim one, at
+//! `vm_reclaim_page_cycles` plus a contention surcharge that grows
+//! with core count (stock FreeBSD) or is damped (Netflix's fake-NUMA
+//! partitioning and batched re-enqueueing).
+
+use crate::catalog::FileId;
+use dcn_mem::{CostParams, PhysAlloc, PhysRegion, CHUNK_SIZE};
+use std::collections::HashMap;
+
+/// A page key: (file, page index within the file).
+type PageKey = (FileId, u64);
+
+/// A resident cache page handed to sendfile.
+#[derive(Clone, Copy, Debug)]
+pub struct CachePageRef {
+    pub region: PhysRegion,
+    /// Pin count > 0 ⇒ not reclaimable (mapped into a socket buffer).
+    pub pinned: bool,
+}
+
+struct Page {
+    region: PhysRegion,
+    /// LRU stamp; present in `by_stamp` only while unpinned
+    /// (reclaimable). Pinned pages are not eligible for reclaim, so
+    /// keeping them out of the index makes reclaim O(log n) instead
+    /// of a scan past every pinned page.
+    stamp: u64,
+    pins: u32,
+}
+
+/// VM pressure statistics for one measurement window.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct VmPressure {
+    pub lookups: u64,
+    pub hits: u64,
+    pub inserts: u64,
+    pub reclaims: u64,
+    /// Allocations that had to spin on the reclaim path with every
+    /// page pinned (the stall condition Netflix's patches attack).
+    pub reclaim_stalls: u64,
+}
+
+/// The disk buffer cache.
+pub struct BufferCache {
+    capacity_pages: usize,
+    pages: HashMap<PageKey, Page>,
+    by_stamp: std::collections::BTreeMap<u64, PageKey>,
+    next_stamp: u64,
+    /// Pre-allocated page frames, recycled forever (the VM page
+    /// pool).
+    free_frames: Vec<PhysRegion>,
+    pub stats: VmPressure,
+}
+
+impl BufferCache {
+    /// A cache of `capacity_bytes` backed by pre-allocated frames.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, phys: &mut PhysAlloc) -> Self {
+        let capacity_pages = (capacity_bytes / CHUNK_SIZE) as usize;
+        assert!(capacity_pages > 0);
+        BufferCache {
+            capacity_pages,
+            pages: HashMap::new(),
+            by_stamp: std::collections::BTreeMap::new(),
+            next_stamp: 0,
+            free_frames: (0..capacity_pages).map(|_| phys.alloc(CHUNK_SIZE)).collect(),
+            stats: VmPressure::default(),
+        }
+    }
+
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[must_use]
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Cache hit ratio so far.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.stats.lookups == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / self.stats.lookups as f64
+        }
+    }
+
+    /// Look up the page holding `(file, page_index)`. A hit pins the
+    /// page (removing it from the reclaimable set). Returns the page
+    /// and the CPU cycles the lookup cost.
+    pub fn lookup(&mut self, file: FileId, page: u64, costs: &CostParams) -> (Option<CachePageRef>, u64) {
+        self.stats.lookups += 1;
+        let key = (file, page);
+        if let Some(p) = self.pages.get_mut(&key) {
+            self.stats.hits += 1;
+            if p.pins == 0 {
+                self.by_stamp.remove(&p.stamp);
+            }
+            p.pins += 1;
+            let r = CachePageRef { region: p.region, pinned: true };
+            (Some(r), costs.bufcache_page_cycles)
+        } else {
+            (None, costs.bufcache_page_cycles)
+        }
+    }
+
+    /// Allocate (insert) a page for `(file, page_index)` about to be
+    /// filled by disk I/O; the page comes back pinned. Returns the
+    /// page and the cycles charged (lookup + any reclaim work,
+    /// including the `contention` multiplier for `cores` cores).
+    /// Panics when every page is pinned — callers that can back off
+    /// should use [`BufferCache::try_insert`].
+    pub fn insert(
+        &mut self,
+        file: FileId,
+        page: u64,
+        costs: &CostParams,
+        cores: usize,
+    ) -> (CachePageRef, u64) {
+        self.try_insert(file, page, costs, cores)
+            .expect("buffer cache wedged: every page pinned (socket buffers ate the VM)")
+    }
+
+    /// Like [`BufferCache::insert`], but returns None when no frame
+    /// can be allocated (all pages pinned) — VM pressure the caller
+    /// must absorb by stalling staging until ACKs unpin pages.
+    pub fn try_insert(
+        &mut self,
+        file: FileId,
+        page: u64,
+        costs: &CostParams,
+        cores: usize,
+    ) -> Option<(CachePageRef, u64)> {
+        let key = (file, page);
+        self.stats.inserts += 1;
+        let mut cycles = costs.bufcache_page_cycles;
+        let frame = if let Some(f) = self.free_frames.pop() {
+            f
+        } else {
+            if self.by_stamp.is_empty() {
+                self.stats.reclaim_stalls += 1;
+                return None;
+            }
+            // Reclaim the LRU unpinned page (proactive scan in the
+            // allocation context, as the Netflix patches do).
+            cycles += self.reclaim_one(costs, cores);
+            self.free_frames.pop().expect("reclaim produced a frame")
+        };
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(old) = self.pages.insert(key, Page { region: frame, stamp, pins: 1 }) {
+            // Racing insert of the same page: return the old frame.
+            if old.pins == 0 {
+                self.by_stamp.remove(&old.stamp);
+            }
+            self.free_frames.push(old.region);
+        }
+        // Pinned on insert: joins the reclaimable index at unpin.
+        Some((CachePageRef { region: frame, pinned: true }, cycles))
+    }
+
+    fn reclaim_one(&mut self, costs: &CostParams, cores: usize) -> u64 {
+        let contention = 1.0 + costs.vm_contention_per_core * cores.saturating_sub(1) as f64;
+        // The reclaimable index holds only unpinned pages: the LRU
+        // victim is its first entry (callers check non-empty).
+        let (&stamp, &key) = self.by_stamp.iter().next().expect("caller checked reclaimable");
+        let p = self.pages.remove(&key).expect("victim resident");
+        debug_assert_eq!(p.pins, 0);
+        self.by_stamp.remove(&stamp);
+        self.free_frames.push(p.region);
+        self.stats.reclaims += 1;
+        (costs.vm_reclaim_page_cycles as f64 * contention) as u64
+    }
+
+    /// Unpin a page (socket buffer released it after the NIC consumed
+    /// the data); it becomes reclaimable at MRU position.
+    pub fn unpin(&mut self, file: FileId, page: u64) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(p) = self.pages.get_mut(&(file, page)) {
+            assert!(p.pins > 0, "unpin of unpinned page");
+            p.pins -= 1;
+            if p.pins == 0 {
+                p.stamp = stamp;
+                self.by_stamp.insert(stamp, (file, page));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(pages: u64) -> (BufferCache, CostParams) {
+        let mut phys = PhysAlloc::new();
+        (BufferCache::new(pages * CHUNK_SIZE, &mut phys), CostParams::default())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (mut c, costs) = cache(8);
+        let (miss, _) = c.lookup(FileId(1), 0, &costs);
+        assert!(miss.is_none());
+        let (_page, _) = c.insert(FileId(1), 0, &costs, 1);
+        c.unpin(FileId(1), 0);
+        let (hit, _) = c.lookup(FileId(1), 0, &costs);
+        assert!(hit.is_some());
+        assert_eq!(c.stats.hits, 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_reclaim_picks_oldest_unpinned() {
+        let (mut c, costs) = cache(3);
+        for i in 0..3 {
+            c.insert(FileId(i), 0, &costs, 1);
+            c.unpin(FileId(i), 0);
+        }
+        // Touch file 0 so file 1 is LRU.
+        c.lookup(FileId(0), 0, &costs);
+        c.unpin(FileId(0), 0);
+        let (_p, cycles) = c.insert(FileId(9), 0, &costs, 1);
+        assert!(cycles > costs.bufcache_page_cycles, "reclaim work charged");
+        assert!(c.lookup(FileId(1), 0, &costs).0.is_none(), "file 1 evicted");
+        assert!(c.lookup(FileId(0), 0, &costs).0.is_some());
+        assert_eq!(c.stats.reclaims, 1);
+    }
+
+    #[test]
+    fn pinned_pages_survive_reclaim() {
+        let (mut c, costs) = cache(2);
+        c.insert(FileId(0), 0, &costs, 1); // stays pinned
+        c.insert(FileId(1), 0, &costs, 1);
+        c.unpin(FileId(1), 0);
+        // Needs a frame: pinned file 0 is not reclaimable, file 1 is.
+        c.insert(FileId(2), 0, &costs, 1);
+        assert!(c.lookup(FileId(0), 0, &costs).0.is_some());
+        assert!(c.lookup(FileId(1), 0, &costs).0.is_none());
+        assert_eq!(c.stats.reclaims, 1);
+    }
+
+    #[test]
+    fn contention_grows_with_cores() {
+        let (mut c1, costs) = cache(1);
+        c1.insert(FileId(0), 0, &costs, 1);
+        c1.unpin(FileId(0), 0);
+        let (_, cyc1) = c1.insert(FileId(1), 0, &costs, 1);
+
+        let (mut c8, _) = cache(1);
+        c8.insert(FileId(0), 0, &costs, 8);
+        c8.unpin(FileId(0), 0);
+        let (_, cyc8) = c8.insert(FileId(1), 0, &costs, 8);
+        assert!(cyc8 > cyc1, "8-core reclaim must cost more ({cyc8} vs {cyc1})");
+    }
+
+    #[test]
+    fn frames_are_recycled_not_leaked() {
+        let (mut c, costs) = cache(4);
+        for i in 0..100 {
+            c.insert(FileId(i), 0, &costs, 1);
+            c.unpin(FileId(i), 0);
+        }
+        assert_eq!(c.resident_pages(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wedged")]
+    fn all_pinned_wedges_loudly() {
+        let (mut c, costs) = cache(1);
+        c.insert(FileId(0), 0, &costs, 1);
+        c.insert(FileId(1), 0, &costs, 1);
+    }
+
+    #[test]
+    fn try_insert_backs_off_when_all_pinned() {
+        let (mut c, costs) = cache(1);
+        c.insert(FileId(0), 0, &costs, 1);
+        assert!(c.try_insert(FileId(1), 0, &costs, 1).is_none());
+        // Unpinning makes progress possible again.
+        c.unpin(FileId(0), 0);
+        assert!(c.try_insert(FileId(1), 0, &costs, 1).is_some());
+    }
+}

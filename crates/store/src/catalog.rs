@@ -1,0 +1,177 @@
+//! The flat-namespace content catalog (Atlas's "filesystem").
+//!
+//! No directories, no inodes, no indirection: file `f` of size `s`
+//! occupies `ceil(s / LBA)` consecutive logical blocks on one disk,
+//! at an extent base assigned round-robin across disks at catalog
+//! build time. This is the paper's §3.2 design and also how the
+//! conventional-stack model addresses disk blocks (their VFS layer
+//! adds cost, not layout).
+
+use dcn_nvme::{SyntheticBacking, LBA_SIZE};
+
+/// A file (video chunk) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Where a byte range of a file lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkLoc {
+    /// Disk index in the kernel's device table.
+    pub disk: usize,
+    /// NVMe namespace on that disk.
+    pub nsid: u32,
+    /// Starting byte offset on the namespace (LBA-aligned).
+    pub dev_offset: u64,
+}
+
+/// The catalog: `n_files` equal-sized files striped over `n_disks`.
+///
+/// The paper's workload uses ~300 KB files ("each corresponding to
+/// the equivalent of a video chunk", §4); per-file placement spreads
+/// load evenly, and within a file all blocks are consecutive on one
+/// disk, so a chunk fetch is exactly one contiguous NVMe read.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    n_files: u64,
+    file_size: u64,
+    n_disks: usize,
+    /// Blocks each file's extent occupies (rounded up to LBA).
+    extent_lbas: u64,
+    seed: u64,
+}
+
+impl Catalog {
+    #[must_use]
+    pub fn new(n_files: u64, file_size: u64, n_disks: usize, seed: u64) -> Self {
+        assert!(n_files > 0 && file_size > 0 && n_disks > 0);
+        Catalog {
+            n_files,
+            file_size,
+            n_disks,
+            extent_lbas: file_size.div_ceil(LBA_SIZE),
+            seed,
+        }
+    }
+
+    /// The paper's evaluation catalog: 300 KB chunks over 4 disks,
+    /// sized so the catalog far exceeds RAM (0% BC workloads always
+    /// miss).
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        // 2 million chunks ≈ 600 GB of content.
+        Catalog::new(2_000_000, 300 * 1024, 4, seed)
+    }
+
+    #[must_use]
+    pub fn n_files(&self) -> u64 {
+        self.n_files
+    }
+    #[must_use]
+    pub fn file_size(&self) -> u64 {
+        self.file_size
+    }
+    #[must_use]
+    pub fn n_disks(&self) -> usize {
+        self.n_disks
+    }
+
+    /// Locate `offset` within `file`. Panics on out-of-range access —
+    /// the HTTP layer validates requests first.
+    #[must_use]
+    pub fn locate(&self, file: FileId, offset: u64) -> ChunkLoc {
+        assert!(file.0 < self.n_files, "no such file {file:?}");
+        assert!(offset < self.file_size, "offset {offset} beyond file size");
+        let disk = (file.0 % self.n_disks as u64) as usize;
+        let index_on_disk = file.0 / self.n_disks as u64;
+        let base_lba = index_on_disk * self.extent_lbas;
+        ChunkLoc {
+            disk,
+            nsid: 1,
+            dev_offset: base_lba * LBA_SIZE + (offset / LBA_SIZE) * LBA_SIZE,
+        }
+    }
+
+    /// LBA-aligned read covering `[offset, offset+len)` of the file:
+    /// returns (location, aligned length, byte slack before `offset`).
+    #[must_use]
+    pub fn read_span(&self, file: FileId, offset: u64, len: u64) -> (ChunkLoc, u64, u64) {
+        let loc = self.locate(file, offset);
+        let pre = offset % LBA_SIZE;
+        let aligned = (pre + len).div_ceil(LBA_SIZE) * LBA_SIZE;
+        (loc, aligned.min((self.file_size - (offset - pre)).div_ceil(LBA_SIZE) * LBA_SIZE), pre)
+    }
+
+    /// Expected content of `file` at `offset` — verification oracle
+    /// for clients: must equal what the disks return through any
+    /// stack.
+    pub fn expected(&self, file: FileId, offset: u64, out: &mut [u8]) {
+        let loc = self.locate(file, offset);
+        // Content is whatever the synthetic backing stores at the
+        // file's extent (disk seed convention: seed + disk index).
+        let backing = SyntheticBacking::new(self.seed + loc.disk as u64);
+        backing.expected(loc.nsid, loc.dev_offset + offset % LBA_SIZE, out);
+    }
+
+    /// Seed convention for the disks backing this catalog.
+    #[must_use]
+    pub fn disk_seed(&self, disk: usize) -> u64 {
+        self.seed + disk as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_stripe_round_robin() {
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        assert_eq!(c.locate(FileId(0), 0).disk, 0);
+        assert_eq!(c.locate(FileId(1), 0).disk, 1);
+        assert_eq!(c.locate(FileId(5), 0).disk, 1);
+    }
+
+    #[test]
+    fn extents_are_consecutive_and_disjoint() {
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        // Files 0 and 4 are consecutive extents on disk 0.
+        let a = c.locate(FileId(0), 0);
+        let b = c.locate(FileId(4), 0);
+        let extent_bytes = (300 * 1024u64).div_ceil(LBA_SIZE) * LBA_SIZE;
+        assert_eq!(b.dev_offset - a.dev_offset, extent_bytes);
+        // Offsets within a file are consecutive.
+        let mid = c.locate(FileId(0), 150 * 1024);
+        assert_eq!(mid.dev_offset - a.dev_offset, 150 * 1024);
+    }
+
+    #[test]
+    fn read_span_aligns_to_lba() {
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        let (loc, aligned, pre) = c.read_span(FileId(3), 1000, 16 * 1024);
+        assert_eq!(pre, 1000 % LBA_SIZE);
+        assert_eq!(loc.dev_offset % LBA_SIZE, 0);
+        assert!(aligned >= 16 * 1024);
+        assert_eq!(aligned % LBA_SIZE, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond file size")]
+    fn out_of_range_offset_panics() {
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        let _ = c.locate(FileId(0), 400 * 1024);
+    }
+
+    #[test]
+    fn expected_content_is_deterministic_and_positional() {
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        let mut whole = vec![0u8; 2048];
+        c.expected(FileId(9), 0, &mut whole);
+        let mut tail = vec![0u8; 1024];
+        c.expected(FileId(9), 1024, &mut tail);
+        assert_eq!(&whole[1024..], &tail[..]);
+        // Different files differ.
+        let mut other = vec![0u8; 2048];
+        c.expected(FileId(10), 0, &mut other);
+        assert_ne!(whole, other);
+    }
+}

@@ -1,0 +1,21 @@
+//! # dcn-store — content storage layers for both stacks
+//!
+//! Two very different storage designs sit above the same NVMe disks,
+//! mirroring the paper's comparison:
+//!
+//! * [`catalog`] — Atlas's storage: "disks are treated as flat
+//!   namespaces, and files are laid out in consecutive disk blocks"
+//!   (§3.2). A [`catalog::Catalog`] maps (file, offset) → (disk,
+//!   LBA) directly, files are striped across the four disks at file
+//!   granularity, and content is the synthetic PRF stream so any
+//!   received byte can be verified.
+//! * [`bufcache`] — the conventional stack's VFS-lite + disk buffer
+//!   cache: page-granular lookup, LRU reclamation, hit/miss
+//!   accounting, and the VM pressure model (§2.1.2) whose reclaim
+//!   cost grows when the working set thrashes.
+
+pub mod bufcache;
+pub mod catalog;
+
+pub use bufcache::{BufferCache, CachePageRef, VmPressure};
+pub use catalog::{Catalog, ChunkLoc, FileId};

@@ -1,0 +1,242 @@
+//! Congestion control: NewReno and CUBIC.
+//!
+//! The Netflix production stack of the era ran a mix of NewReno and
+//! CUBIC (their RSS-LRO change log §2.1.3 notes CPU savings varied
+//! "depending on the congestion control algorithm"); both are
+//! provided and selectable per connection.
+
+use dcn_simcore::Nanos;
+
+/// Which algorithm a connection runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CcKind {
+    NewReno,
+    Cubic,
+}
+
+/// Common congestion-control interface (units: bytes).
+#[derive(Clone, Debug)]
+pub struct CcAlgo {
+    kind: CcKind,
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Bytes acked since last cwnd bump (Reno congestion avoidance).
+    acked_accum: u64,
+    // CUBIC state.
+    w_max: f64,
+    epoch_start: Option<Nanos>,
+    k: f64,
+}
+
+impl CcAlgo {
+    /// IW10 per RFC 6928 — also the watermark Atlas keys its fetch
+    /// policy off.
+    #[must_use]
+    pub fn new(kind: CcKind, mss: u32) -> Self {
+        CcAlgo {
+            kind,
+            mss,
+            cwnd: u64::from(mss) * 10,
+            ssthresh: u64::MAX,
+            acked_accum: 0,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
+    }
+
+    #[must_use]
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+    #[must_use]
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+    #[must_use]
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// New data acknowledged. `app_limited`: the sender had no data
+    /// waiting, so the window must not grow (RFC 7661 in spirit).
+    pub fn on_ack(&mut self, now: Nanos, newly_acked: u64, app_limited: bool) {
+        if app_limited {
+            return;
+        }
+        if self.in_slow_start() {
+            // Byte counting without the RFC 3465 L-cap: receivers
+            // coalesce ACKs (GRO/LRO, one ACK per TSO train), so
+            // per-ACK caps would stunt growth — Linux and FreeBSD
+            // both credit full acked byte counts here.
+            self.cwnd += newly_acked;
+            return;
+        }
+        match self.kind {
+            CcKind::NewReno => {
+                // cwnd += MSS per cwnd of acked bytes.
+                self.acked_accum += newly_acked;
+                if self.acked_accum >= self.cwnd {
+                    self.acked_accum -= self.cwnd;
+                    self.cwnd += u64::from(self.mss);
+                }
+            }
+            CcKind::Cubic => {
+                let epoch = *self.epoch_start.get_or_insert(now);
+                let t = (now - epoch).as_secs_f64();
+                const C: f64 = 0.4;
+                let mss = f64::from(self.mss);
+                let target = C * (t - self.k).powi(3) + self.w_max / mss;
+                let target_bytes = (target * mss).max(mss);
+                if target_bytes > self.cwnd as f64 {
+                    // Approach the cubic target one MSS-fraction per ACK.
+                    let inc = ((target_bytes - self.cwnd as f64) / self.cwnd as f64 * mss)
+                        .clamp(0.0, mss);
+                    self.cwnd += inc as u64 + 1;
+                }
+            }
+        }
+    }
+
+    /// Fast-retransmit loss (3 dup ACKs): multiplicative decrease.
+    pub fn on_fast_retransmit(&mut self, now: Nanos) {
+        let beta = match self.kind {
+            CcKind::NewReno => 0.5,
+            CcKind::Cubic => 0.7,
+        };
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * beta) as u64).max(u64::from(self.mss) * 2);
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+        if self.kind == CcKind::Cubic {
+            const C: f64 = 0.4;
+            let mss = f64::from(self.mss);
+            self.k = ((self.w_max / mss) * (1.0 - 0.7) / C).cbrt();
+            self.epoch_start = Some(now);
+        }
+    }
+
+    /// Retransmission timeout: collapse to one segment (RFC 5681).
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(u64::from(self.mss) * 2);
+        self.cwnd = u64::from(self.mss);
+        self.acked_accum = 0;
+        self.epoch_start = None;
+        self.w_max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1448;
+
+    #[test]
+    fn starts_at_iw10() {
+        let cc = CcAlgo::new(CcKind::NewReno, MSS);
+        assert_eq!(cc.cwnd(), 14480);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = CcAlgo::new(CcKind::NewReno, MSS);
+        let before = cc.cwnd();
+        // Ack a full window's worth in MSS chunks.
+        let mut acked = 0;
+        while acked < before {
+            cc.on_ack(Nanos::from_millis(10), u64::from(MSS), false);
+            acked += u64::from(MSS);
+        }
+        assert!(cc.cwnd() >= before * 2 - u64::from(MSS), "{} vs {}", cc.cwnd(), before);
+    }
+
+    #[test]
+    fn app_limited_acks_do_not_grow_window() {
+        let mut cc = CcAlgo::new(CcKind::NewReno, MSS);
+        let before = cc.cwnd();
+        for _ in 0..100 {
+            cc.on_ack(Nanos::from_millis(10), u64::from(MSS), true);
+        }
+        assert_eq!(cc.cwnd(), before);
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_is_linear() {
+        let mut cc = CcAlgo::new(CcKind::NewReno, MSS);
+        cc.on_fast_retransmit(Nanos::from_millis(1)); // exits slow start
+        let w0 = cc.cwnd();
+        // One full window of ACKs → +1 MSS.
+        let mut acked = 0;
+        while acked < w0 {
+            cc.on_ack(Nanos::from_millis(20), u64::from(MSS), false);
+            acked += u64::from(MSS);
+        }
+        assert!(cc.cwnd() >= w0 + u64::from(MSS));
+        assert!(cc.cwnd() <= w0 + 3 * u64::from(MSS), "{} vs {w0}", cc.cwnd());
+    }
+
+    #[test]
+    fn fast_retransmit_halves_reno() {
+        let mut cc = CcAlgo::new(CcKind::NewReno, MSS);
+        for _ in 0..50 {
+            cc.on_ack(Nanos::from_millis(5), u64::from(MSS), false);
+        }
+        let before = cc.cwnd();
+        cc.on_fast_retransmit(Nanos::from_millis(100));
+        assert!(cc.cwnd() <= before * 6 / 10);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = CcAlgo::new(CcKind::Cubic, MSS);
+        for _ in 0..50 {
+            cc.on_ack(Nanos::from_millis(5), u64::from(MSS), false);
+        }
+        cc.on_timeout();
+        assert_eq!(cc.cwnd(), u64::from(MSS));
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax() {
+        let mut cc = CcAlgo::new(CcKind::Cubic, MSS);
+        // Grow, then lose, then ack for a while: cwnd approaches w_max.
+        for _ in 0..200 {
+            cc.on_ack(Nanos::from_millis(5), u64::from(MSS), false);
+        }
+        let peak = cc.cwnd();
+        cc.on_fast_retransmit(Nanos::from_millis(200));
+        let floor = cc.cwnd();
+        assert!(floor < peak);
+        let mut now = Nanos::from_millis(200);
+        for _ in 0..2000 {
+            now += Nanos::from_millis(5);
+            cc.on_ack(now, u64::from(MSS), false);
+        }
+        assert!(cc.cwnd() > peak * 8 / 10, "{} vs peak {peak}", cc.cwnd());
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_wmax() {
+        // Cubic's signature: slow near w_max, faster beyond (convex
+        // region).
+        let mut cc = CcAlgo::new(CcKind::Cubic, MSS);
+        for _ in 0..100 {
+            cc.on_ack(Nanos::from_millis(1), u64::from(MSS), false);
+        }
+        cc.on_fast_retransmit(Nanos::from_millis(100));
+        let mut now = Nanos::from_millis(100);
+        let mut sizes = Vec::new();
+        for _ in 0..10 {
+            for _ in 0..200 {
+                now += Nanos::from_millis(2);
+                cc.on_ack(now, u64::from(MSS), false);
+            }
+            sizes.push(cc.cwnd());
+        }
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]), "monotone: {sizes:?}");
+    }
+}

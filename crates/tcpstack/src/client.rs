@@ -1,0 +1,358 @@
+//! Client-side TCP receiver — the simulated weighttp fleet (§4).
+//!
+//! Each client holds a lightweight connection: it completes the
+//! handshake, sends HTTP requests, reassembles the response stream
+//! (with out-of-order buffering so that retransmissions heal gaps),
+//! and generates cumulative ACKs — one per received burst, matching a
+//! GRO-enabled Linux receiver, plus duplicate ACKs for out-of-order
+//! arrivals so the server's fast-retransmit machinery engages.
+//!
+//! Client CPU is free (the paper sizes its client machines so they
+//! are never the bottleneck); only protocol behaviour matters here.
+
+use crate::tcb::Endpoint;
+use dcn_packet::{
+    EtherType, EthernetRepr, FlowId, IpProtocol, Ipv4Repr, SeqNumber, TcpFlags, TcpRepr,
+    ETH_HEADER_LEN, IPV4_HEADER_LEN,
+};
+use dcn_simcore::Nanos;
+use std::collections::BTreeMap;
+
+/// Client connection state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientState {
+    SynSent,
+    Established,
+    Closed,
+}
+
+/// What the client wants to put on the wire after an input.
+#[derive(Debug)]
+pub struct ClientFrame {
+    pub headers: Vec<u8>,
+    pub payload: Vec<u8>,
+}
+
+/// A lightweight client connection.
+pub struct ClientConn {
+    pub state: ClientState,
+    local: Endpoint,
+    remote: Endpoint,
+    iss: SeqNumber,
+    snd_nxt: SeqNumber,
+    rcv_nxt: SeqNumber,
+    /// Advertised receive window (bytes) with scale 8.
+    rcv_wnd: u32,
+    /// Out-of-order segments waiting for the gap to fill.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Total in-order stream bytes delivered to the application.
+    pub delivered: u64,
+    /// In-order payload not yet consumed by the app layer.
+    inbox: Vec<u8>,
+    /// Duplicate ACKs generated (diagnostics).
+    pub dupacks_sent: u64,
+}
+
+const CLIENT_WSCALE: u8 = 8;
+
+impl ClientConn {
+    /// Create and return the SYN frame.
+    pub fn connect(local: Endpoint, remote: Endpoint, iss: SeqNumber, rcv_wnd: u32) -> (Self, ClientFrame) {
+        let mut c = ClientConn {
+            state: ClientState::SynSent,
+            local,
+            remote,
+            iss,
+            snd_nxt: iss.wrapping_add(1),
+            rcv_nxt: SeqNumber(0),
+            rcv_wnd,
+            ooo: BTreeMap::new(),
+            delivered: 0,
+            inbox: Vec::new(),
+            dupacks_sent: 0,
+        };
+        let syn = c.frame(
+            iss,
+            TcpFlags::SYN,
+            Vec::new(),
+            Some((1460, CLIENT_WSCALE)),
+        );
+        (c, syn)
+    }
+
+    #[must_use]
+    pub fn flow(&self) -> FlowId {
+        FlowId {
+            src_ip: self.local.ip,
+            dst_ip: self.remote.ip,
+            src_port: self.local.port,
+            dst_port: self.remote.port,
+        }
+    }
+
+    fn frame(
+        &mut self,
+        seq: SeqNumber,
+        flags: TcpFlags,
+        payload: Vec<u8>,
+        opts: Option<(u16, u8)>,
+    ) -> ClientFrame {
+        let tcp = TcpRepr {
+            src_port: self.local.port,
+            dst_port: self.remote.port,
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            window: (self.rcv_wnd >> CLIENT_WSCALE).min(0xFFFF) as u16,
+            mss: opts.map(|(m, _)| m),
+            wscale: opts.map(|(_, w)| w),
+        };
+        let tcp_len = tcp.header_len();
+        let ip = Ipv4Repr {
+            src: self.local.ip,
+            dst: self.remote.ip,
+            protocol: IpProtocol::Tcp,
+            payload_len: (tcp_len + payload.len()) as u16,
+            ttl: 64,
+        };
+        let eth = EthernetRepr {
+            dst: self.remote.mac,
+            src: self.local.mac,
+            ethertype: EtherType::Ipv4,
+        };
+        let mut headers = vec![0u8; ETH_HEADER_LEN + IPV4_HEADER_LEN + tcp_len];
+        eth.emit(&mut headers);
+        ip.emit(&mut headers[ETH_HEADER_LEN..]);
+        tcp.emit(
+            &mut headers[ETH_HEADER_LEN + IPV4_HEADER_LEN..],
+            ip.pseudo_header_sum(),
+            &payload,
+        );
+        ClientFrame { headers, payload }
+    }
+
+    /// Send application data (an HTTP request). Requests are small,
+    /// so no segmentation or windowing is modeled on the client send
+    /// side.
+    pub fn send(&mut self, data: Vec<u8>) -> ClientFrame {
+        assert_eq!(self.state, ClientState::Established);
+        let seq = self.snd_nxt;
+        self.snd_nxt = self.snd_nxt.wrapping_add(data.len() as u32);
+        self.frame(seq, TcpFlags::ACK | TcpFlags::PSH, data, None)
+    }
+
+    /// Send FIN.
+    pub fn close(&mut self) -> ClientFrame {
+        let seq = self.snd_nxt;
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        self.state = ClientState::Closed;
+        self.frame(seq, TcpFlags::ACK | TcpFlags::FIN, Vec::new(), None)
+    }
+
+    /// Process a burst of arriving frames (one TSO train = one call)
+    /// and return the ACKs to send — one cumulative ACK per burst in
+    /// the common case, plus one duplicate ACK per out-of-order
+    /// frame.
+    pub fn on_burst(
+        &mut self,
+        _now: Nanos,
+        frames: impl IntoIterator<Item = (TcpRepr, Vec<u8>)>,
+    ) -> Vec<ClientFrame> {
+        let mut acks = Vec::new();
+        let mut progress = false;
+        for (tcp, payload) in frames {
+            match self.state {
+                ClientState::SynSent => {
+                    if tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
+                        && tcp.ack == self.iss.wrapping_add(1)
+                    {
+                        self.rcv_nxt = tcp.seq.wrapping_add(1);
+                        self.state = ClientState::Established;
+                        progress = true;
+                    }
+                }
+                ClientState::Established | ClientState::Closed => {
+                    if payload.is_empty() && !tcp.flags.contains(TcpFlags::FIN) {
+                        continue; // pure ACK from server
+                    }
+                    if tcp.seq == self.rcv_nxt {
+                        self.accept_in_order(payload);
+                        if tcp.flags.contains(TcpFlags::FIN) {
+                            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                        }
+                        self.drain_ooo();
+                        progress = true;
+                    } else if tcp.seq.gt(self.rcv_nxt) {
+                        // Out of order: buffer + immediate dup ACK.
+                        self.ooo.insert(tcp.seq.0, payload);
+                        self.dupacks_sent += 1;
+                        acks.push(self.frame(self.snd_nxt, TcpFlags::ACK, Vec::new(), None));
+                    } else {
+                        // Old duplicate (retransmission overlap):
+                        // cumulative ACK reasserts our position.
+                        progress = true;
+                    }
+                }
+            }
+        }
+        if progress {
+            acks.push(self.frame(self.snd_nxt, TcpFlags::ACK, Vec::new(), None));
+        }
+        acks
+    }
+
+    fn accept_in_order(&mut self, payload: Vec<u8>) {
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+        self.delivered += payload.len() as u64;
+        self.inbox.extend_from_slice(&payload);
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&seq, _)) = self.ooo.iter().next() {
+            let s = SeqNumber(seq);
+            if s.gt(self.rcv_nxt) {
+                break;
+            }
+            let payload = self.ooo.remove(&seq).expect("just seen");
+            if s == self.rcv_nxt {
+                self.accept_in_order(payload);
+            }
+            // s < rcv_nxt: stale duplicate, drop.
+        }
+    }
+
+    /// Take delivered in-order payload (the HTTP layer consumes it).
+    pub fn take_inbox(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    #[must_use]
+    pub fn ooo_segments(&self) -> usize {
+        self.ooo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_packet::{Ipv4Addr, MacAddr};
+
+    fn eps() -> (Endpoint, Endpoint) {
+        (
+            Endpoint { mac: MacAddr::from_host_id(10), ip: Ipv4Addr::new(10, 1, 0, 1), port: 7000 },
+            Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 },
+        )
+    }
+
+    fn server_seg(seq: u32, flags: TcpFlags, payload: &[u8]) -> (TcpRepr, Vec<u8>) {
+        (
+            TcpRepr {
+                src_port: 80,
+                dst_port: 7000,
+                seq: SeqNumber(seq),
+                ack: SeqNumber(1),
+                flags,
+                window: 1000,
+                mss: None,
+                wscale: None,
+            },
+            payload.to_vec(),
+        )
+    }
+
+    fn established() -> ClientConn {
+        let (local, remote) = eps();
+        let (mut c, _syn) = ClientConn::connect(local, remote, SeqNumber(0), 4 << 20);
+        let synack = (
+            TcpRepr {
+                src_port: 80,
+                dst_port: 7000,
+                seq: SeqNumber(999),
+                ack: SeqNumber(1),
+                flags: TcpFlags::SYN | TcpFlags::ACK,
+                window: 1000,
+                mss: Some(1448),
+                wscale: Some(8),
+            },
+            Vec::new(),
+        );
+        let acks = c.on_burst(Nanos::ZERO, [synack]);
+        assert_eq!(acks.len(), 1);
+        assert_eq!(c.state, ClientState::Established);
+        c
+    }
+
+    #[test]
+    fn handshake_completes() {
+        let c = established();
+        assert_eq!(c.rcv_nxt, SeqNumber(1000));
+    }
+
+    #[test]
+    fn in_order_burst_single_cumulative_ack() {
+        let mut c = established();
+        let burst = vec![
+            server_seg(1000, TcpFlags::ACK, &[1; 100]),
+            server_seg(1100, TcpFlags::ACK, &[2; 100]),
+            server_seg(1200, TcpFlags::ACK, &[3; 100]),
+        ];
+        let acks = c.on_burst(Nanos::ZERO, burst);
+        assert_eq!(acks.len(), 1, "GRO-style: one ACK per burst");
+        let (t, _) = TcpRepr::parse(&acks[0].headers[34..], None).unwrap();
+        assert_eq!(t.ack, SeqNumber(1300));
+        assert_eq!(c.delivered, 300);
+        assert_eq!(c.take_inbox().len(), 300);
+    }
+
+    #[test]
+    fn gap_generates_dupack_then_heals() {
+        let mut c = established();
+        // Segment 2 arrives without segment 1.
+        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1100, TcpFlags::ACK, &[2; 100])]);
+        assert_eq!(acks.len(), 1);
+        let (t, _) = TcpRepr::parse(&acks[0].headers[34..], None).unwrap();
+        assert_eq!(t.ack, SeqNumber(1000), "dup ACK at the gap");
+        assert_eq!(c.delivered, 0);
+        assert_eq!(c.ooo_segments(), 1);
+        // The hole fills: cumulative ACK jumps past both.
+        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
+        let (t, _) = TcpRepr::parse(&acks.last().unwrap().headers[34..], None).unwrap();
+        assert_eq!(t.ack, SeqNumber(1200));
+        assert_eq!(c.delivered, 200);
+        assert_eq!(c.ooo_segments(), 0);
+        // Stream order preserved.
+        let inbox = c.take_inbox();
+        assert!(inbox[..100].iter().all(|&b| b == 1));
+        assert!(inbox[100..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn stale_duplicate_reacked_not_delivered_twice() {
+        let mut c = established();
+        c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
+        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
+        assert_eq!(acks.len(), 1, "re-ACK the duplicate");
+        assert_eq!(c.delivered, 100, "not delivered twice");
+    }
+
+    #[test]
+    fn request_send_advances_sequence() {
+        let mut c = established();
+        let f1 = c.send(b"GET /a HTTP/1.1\r\n\r\n".to_vec());
+        let f2 = c.send(b"GET /b HTTP/1.1\r\n\r\n".to_vec());
+        let (t1, _) = TcpRepr::parse(&f1.headers[34..], None).unwrap();
+        let (t2, _) = TcpRepr::parse(&f2.headers[34..], None).unwrap();
+        assert_eq!(t2.seq.dist(t1.seq) as usize, f1.payload.len());
+    }
+
+    #[test]
+    fn fin_consumes_sequence_space() {
+        let mut c = established();
+        let acks = c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1000, TcpFlags::ACK | TcpFlags::FIN, &[9; 10])],
+        );
+        let (t, _) = TcpRepr::parse(&acks[0].headers[34..], None).unwrap();
+        assert_eq!(t.ack, SeqNumber(1011), "payload + FIN");
+    }
+}

@@ -1,0 +1,34 @@
+//! # dcn-tcpstack — the userspace TCP engine
+//!
+//! A Sandstorm-descended TCP implementation (§3.2) shared by both
+//! stacks in the comparison:
+//!
+//! * **Atlas** drives it pull-based: the TCB never owns payload; when
+//!   ACKs open congestion-window space the stack raises a
+//!   [`TcbEvent::WindowOpen`] and the application fetches data from
+//!   disk just-in-time. There are **no socket buffers**; a loss event
+//!   surfaces as [`TcbEvent::NeedRetransmit`] with stream offsets so
+//!   the owner can re-fetch from disk and re-encrypt statelessly.
+//! * The **conventional-stack model** drives the same engine from
+//!   socket buffers, as FreeBSD would.
+//!
+//! The engine is a pure state machine (smoltcp-style): segments in,
+//! `TcpOutput` descriptors + events out; all policy costs (cycles,
+//! syscalls) are charged by the stack layer that owns it.
+//!
+//! Implemented: three-way handshake (listener side and client side),
+//! IW10 slow start, NewReno and CUBIC congestion control, RFC 6298
+//! RTO with Karn's rule, fast retransmit on three duplicate ACKs,
+//! window scaling, TSO-sized sends, FIN teardown in both directions.
+//! Out of scope (as in the paper's stack): SACK, timestamps, urgent
+//! data, silly-window avoidance.
+
+pub mod cc;
+pub mod client;
+pub mod rto;
+pub mod tcb;
+
+pub use cc::{CcAlgo, CcKind};
+pub use client::ClientConn;
+pub use rto::RttEstimator;
+pub use tcb::{Endpoint, Tcb, TcbConfig, TcbEvent, TcbState, TcpOutput};

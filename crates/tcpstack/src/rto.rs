@@ -1,0 +1,143 @@
+//! RTT estimation and retransmission timeout per RFC 6298.
+
+use dcn_simcore::Nanos;
+
+/// SRTT/RTTVAR estimator with exponential RTO backoff and Karn's
+/// rule (callers must not feed samples from retransmitted segments —
+/// the TCB enforces that by dropping its sample on retransmit).
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<Nanos>,
+    rttvar: Nanos,
+    rto: Nanos,
+    backoff: u32,
+    min_rto: Nanos,
+    max_rto: Nanos,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new(Nanos::from_millis(200), Nanos::from_secs(60))
+    }
+}
+
+impl RttEstimator {
+    /// `min_rto`: FreeBSD uses 200 ms (the classic BSD tick floor).
+    #[must_use]
+    pub fn new(min_rto: Nanos, max_rto: Nanos) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Nanos::ZERO,
+            rto: Nanos::from_secs(1), // RFC 6298 initial RTO
+            backoff: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Feed one RTT sample (from a never-retransmitted segment).
+    pub fn sample(&mut self, rtt: Nanos) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Nanos(rtt.0 / 2);
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = Nanos(self.rttvar.0 * 3 / 4 + err.0 / 4);
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(Nanos(srtt.0 * 7 / 8 + rtt.0 / 8));
+            }
+        }
+        self.backoff = 0;
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let srtt = self.srtt.unwrap_or(Nanos::from_secs(1));
+        let base = Nanos(srtt.0 + (4 * self.rttvar.0).max(Nanos::from_millis(10).0));
+        let scaled = Nanos(base.0.saturating_mul(1 << self.backoff.min(16)));
+        self.rto = scaled.max(self.min_rto).min(self.max_rto);
+    }
+
+    /// Current retransmission timeout.
+    #[must_use]
+    pub fn rto(&self) -> Nanos {
+        self.rto
+    }
+
+    /// Smoothed RTT, if a sample exists.
+    #[must_use]
+    pub fn srtt(&self) -> Option<Nanos> {
+        self.srtt
+    }
+
+    /// A timeout fired: double the RTO (exponential backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff += 1;
+        self.recompute();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut r = RttEstimator::default();
+        r.sample(Nanos::from_millis(20));
+        assert_eq!(r.srtt(), Some(Nanos::from_millis(20)));
+        // RTO = SRTT + 4*RTTVAR = 20 + 40 = 60ms, floored to 200ms min.
+        assert_eq!(r.rto(), Nanos::from_millis(200));
+    }
+
+    #[test]
+    fn smooths_toward_samples() {
+        let mut r = RttEstimator::default();
+        r.sample(Nanos::from_millis(10));
+        for _ in 0..50 {
+            r.sample(Nanos::from_millis(40));
+        }
+        let srtt = r.srtt().unwrap().as_millis_f64();
+        assert!((38.0..41.0).contains(&srtt), "srtt={srtt}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut r = RttEstimator::default();
+        r.sample(Nanos::from_millis(100));
+        let base = r.rto();
+        r.on_timeout();
+        assert_eq!(r.rto(), Nanos(base.0 * 2));
+        r.on_timeout();
+        assert_eq!(r.rto(), Nanos(base.0 * 4));
+        r.sample(Nanos::from_millis(100));
+        // Backoff cleared: back near the un-backed-off value (RTTVAR
+        // decays slightly with each consistent sample).
+        assert!(r.rto() <= base && r.rto() >= Nanos(base.0 / 2), "{:?}", r.rto());
+    }
+
+    #[test]
+    fn rto_respects_bounds() {
+        let mut r = RttEstimator::new(Nanos::from_millis(200), Nanos::from_secs(60));
+        r.sample(Nanos::from_micros(50)); // LAN-fast
+        assert_eq!(r.rto(), Nanos::from_millis(200), "min clamp");
+        for _ in 0..20 {
+            r.on_timeout();
+        }
+        assert_eq!(r.rto(), Nanos::from_secs(60), "max clamp");
+    }
+
+    #[test]
+    fn jittery_samples_inflate_rttvar() {
+        let mut smooth = RttEstimator::default();
+        let mut jitter = RttEstimator::default();
+        for i in 0..100 {
+            smooth.sample(Nanos::from_millis(300));
+            jitter.sample(Nanos::from_millis(if i % 2 == 0 { 100 } else { 500 }));
+        }
+        assert!(jitter.rto() > smooth.rto());
+    }
+}

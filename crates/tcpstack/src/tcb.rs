@@ -1,0 +1,920 @@
+//! The TCP control block: a pure state machine with pull-based TX.
+//!
+//! Unlike a conventional TCB there is **no send buffer**: the owner
+//! (Atlas or the kernel-stack model) is told how much window space is
+//! usable and supplies payload on demand; on loss it is told which
+//! *stream offsets* to re-supply (Atlas re-fetches them from disk,
+//! §3.2). Received in-order payload is surfaced directly to the
+//! owner (the HTTP layer) without buffering.
+
+use crate::cc::{CcAlgo, CcKind};
+use crate::rto::RttEstimator;
+use dcn_netdev::{SgList, TxDescriptor};
+use dcn_packet::{
+    EtherType, EthernetRepr, FlowId, IpProtocol, Ipv4Repr, MacAddr, SeqNumber, TcpFlags, TcpRepr,
+    ETH_HEADER_LEN, IPV4_HEADER_LEN,
+};
+use dcn_simcore::{earliest, Nanos};
+
+/// Network identity of one side of a connection.
+#[derive(Clone, Copy, Debug)]
+pub struct Endpoint {
+    pub mac: MacAddr,
+    pub ip: dcn_packet::Ipv4Addr,
+    pub port: u16,
+}
+
+/// Connection state (RFC 793 subset; no TIME_WAIT on the server —
+/// the paper's server lets clients carry that cost).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcbState {
+    SynRcvd,
+    SynSent,
+    Established,
+    /// We sent FIN, awaiting its ACK (and possibly peer FIN).
+    FinWait1,
+    FinWait2,
+    /// Peer sent FIN; we may still send.
+    CloseWait,
+    LastAck,
+    Closed,
+}
+
+/// Events surfaced to the owner after processing input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcbEvent {
+    /// Handshake completed.
+    Established,
+    /// ACKs opened usable window space (bytes now sendable). The
+    /// Atlas fetch policy (10×MSS watermark) keys off this.
+    WindowOpen(u64),
+    /// Cumulative ACK advanced: stream bytes `[..offset)` are
+    /// delivered and their buffers may be recycled.
+    AckedTo(u64),
+    /// In-order payload arrived (an HTTP request on the server).
+    Data(Vec<u8>),
+    /// Loss detected: re-supply stream bytes `[offset, offset+len)`
+    /// via [`Tcb::send_retransmit`]. Atlas re-fetches these from disk.
+    NeedRetransmit { offset: u64, len: u64 },
+    /// Peer closed its direction.
+    PeerFin,
+    /// Connection fully closed.
+    Closed,
+}
+
+/// A frame to hand to the NIC.
+#[derive(Debug)]
+pub struct TcpOutput {
+    pub headers: Vec<u8>,
+    pub payload: SgList,
+    pub tso_mss: Option<u16>,
+    pub tcp_seq_off: usize,
+}
+
+impl TcpOutput {
+    /// Convert into a NIC TX descriptor carrying `completion` token.
+    #[must_use]
+    pub fn into_tx(self, completion: u64) -> TxDescriptor {
+        TxDescriptor {
+            headers: self.headers,
+            payload: self.payload,
+            tso_mss: self.tso_mss,
+            completion,
+            tcp_seq_off: self.tcp_seq_off,
+        }
+    }
+}
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TcbConfig {
+    pub mss: u16,
+    /// Max bytes per TSO send (hardware limit ~64 KiB).
+    pub tso_max: u32,
+    /// Our receive window (bytes) and scale shift.
+    pub rcv_wnd: u32,
+    pub wscale: u8,
+    pub cc: CcKind,
+    pub min_rto: Nanos,
+}
+
+impl Default for TcbConfig {
+    fn default() -> Self {
+        TcbConfig {
+            mss: 1448,
+            tso_max: 63 * 1024,
+            rcv_wnd: 4 << 20,
+            wscale: 8,
+            cc: CcKind::NewReno,
+            min_rto: Nanos::from_millis(200),
+        }
+    }
+}
+
+/// The connection.
+pub struct Tcb {
+    pub state: TcbState,
+    pub cfg: TcbConfig,
+    pub local: Endpoint,
+    pub remote: Endpoint,
+    // Send state.
+    iss: SeqNumber,
+    snd_una: SeqNumber,
+    /// Stream byte offset of `snd_una` (u64 so streams > 4 GiB work).
+    snd_una_off: u64,
+    snd_nxt: SeqNumber,
+    /// Highest sequence ever sent (snd_nxt may rewind on RTO).
+    snd_max: SeqNumber,
+    snd_wnd: u64,
+    peer_wscale: u8,
+    fin_sent: bool,
+    // Receive state.
+    irs: SeqNumber,
+    rcv_nxt: SeqNumber,
+    // Congestion + timing.
+    pub cc: CcAlgo,
+    pub rtt: RttEstimator,
+    rto_deadline: Option<Nanos>,
+    rtt_probe: Option<(SeqNumber, Nanos)>,
+    dupacks: u32,
+    /// NewReno recovery point.
+    recover: Option<SeqNumber>,
+    /// A retransmit was requested from the owner but not yet supplied
+    /// (suppresses duplicate NeedRetransmit events).
+    retx_outstanding: bool,
+    events: Vec<TcbEvent>,
+    /// Lifetime counters.
+    pub bytes_sent: u64,
+    pub bytes_retransmitted: u64,
+    pub segs_received: u64,
+}
+
+impl Tcb {
+    // ---------------------------------------------------------- setup
+
+    /// Passive open: build a TCB from a received SYN; returns the TCB
+    /// and the SYN-ACK to emit. (The listener dispatches SYNs here.)
+    pub fn accept(
+        cfg: TcbConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        syn: &TcpRepr,
+        iss: SeqNumber,
+        now: Nanos,
+    ) -> (Tcb, TcpOutput) {
+        let mut tcb = Tcb::raw(cfg, local, remote, iss);
+        tcb.state = TcbState::SynRcvd;
+        tcb.irs = syn.seq;
+        tcb.rcv_nxt = syn.seq.wrapping_add(1);
+        tcb.peer_wscale = syn.wscale.unwrap_or(0);
+        tcb.snd_wnd = u64::from(syn.window); // unscaled on SYN
+        if let Some(m) = syn.mss {
+            tcb.cfg.mss = tcb.cfg.mss.min(m);
+            tcb.cc = CcAlgo::new(cfg.cc, u32::from(tcb.cfg.mss));
+        }
+        tcb.snd_nxt = iss.wrapping_add(1);
+        tcb.snd_max = tcb.snd_nxt;
+        let synack = tcb.build_output(
+            iss,
+            TcpFlags::SYN | TcpFlags::ACK,
+            SgList::empty(),
+            true,
+            None,
+        );
+        tcb.arm_rto(now);
+        (tcb, synack)
+    }
+
+    /// Active open (client side): returns the TCB and the SYN.
+    pub fn connect(
+        cfg: TcbConfig,
+        local: Endpoint,
+        remote: Endpoint,
+        iss: SeqNumber,
+        now: Nanos,
+    ) -> (Tcb, TcpOutput) {
+        let mut tcb = Tcb::raw(cfg, local, remote, iss);
+        tcb.state = TcbState::SynSent;
+        tcb.snd_nxt = iss.wrapping_add(1);
+        tcb.snd_max = tcb.snd_nxt;
+        let syn = tcb.build_output(iss, TcpFlags::SYN, SgList::empty(), true, None);
+        tcb.arm_rto(now);
+        (tcb, syn)
+    }
+
+    fn raw(cfg: TcbConfig, local: Endpoint, remote: Endpoint, iss: SeqNumber) -> Tcb {
+        Tcb {
+            state: TcbState::Closed,
+            cc: CcAlgo::new(cfg.cc, u32::from(cfg.mss)),
+            rtt: RttEstimator::new(cfg.min_rto, Nanos::from_secs(60)),
+            cfg,
+            local,
+            remote,
+            iss,
+            snd_una: iss,
+            snd_una_off: 0,
+            snd_nxt: iss,
+            snd_max: iss,
+            snd_wnd: 0,
+            peer_wscale: 0,
+            fin_sent: false,
+            irs: SeqNumber(0),
+            rcv_nxt: SeqNumber(0),
+            rto_deadline: None,
+            rtt_probe: None,
+            dupacks: 0,
+            recover: None,
+            retx_outstanding: false,
+            events: Vec::new(),
+            bytes_sent: 0,
+            bytes_retransmitted: 0,
+            segs_received: 0,
+        }
+    }
+
+    // ------------------------------------------------------- plumbing
+
+    #[must_use]
+    pub fn flow(&self) -> FlowId {
+        FlowId {
+            src_ip: self.local.ip,
+            dst_ip: self.remote.ip,
+            src_port: self.local.port,
+            dst_port: self.remote.port,
+        }
+    }
+
+    /// Map a sequence number on our send direction to a stream byte
+    /// offset (0 = first payload byte after the handshake). Valid for
+    /// sequence numbers within ±2 GiB of `snd_una`, i.e. anything in
+    /// or near the current window.
+    #[must_use]
+    pub fn stream_offset(&self, seq: SeqNumber) -> u64 {
+        let base = self.una_data_base();
+        (self.snd_una_off as i64 + i64::from(seq.dist(base))) as u64
+    }
+
+    /// Inverse of [`Tcb::stream_offset`].
+    #[must_use]
+    pub fn seq_at(&self, offset: u64) -> SeqNumber {
+        let delta = offset as i64 - self.snd_una_off as i64;
+        self.una_data_base().wrapping_add(delta as u32)
+    }
+
+    /// Stream offset of `snd_nxt` — where the next new payload byte
+    /// will sit on the stream.
+    #[must_use]
+    pub fn stream_offset_of_snd_nxt(&self) -> u64 {
+        // Before any data is sent, snd_nxt is iss+1 (after the SYN):
+        // that is stream offset 0. FIN consumption is handled by the
+        // caller never sending after FIN.
+        self.stream_offset(self.snd_nxt)
+    }
+
+    /// The sequence number of stream offset `snd_una_off`: normally
+    /// `snd_una`, except before the handshake ACK arrives, when
+    /// `snd_una` still points at our SYN.
+    fn una_data_base(&self) -> SeqNumber {
+        if self.snd_una == self.iss {
+            self.iss.wrapping_add(1)
+        } else {
+            self.snd_una
+        }
+    }
+
+    /// Bytes of new data the windows permit sending right now.
+    #[must_use]
+    pub fn usable_window(&self) -> u64 {
+        let inflight = self.snd_nxt.dist(self.snd_una).max(0) as u64;
+        self.cc.cwnd().min(self.snd_wnd).saturating_sub(inflight)
+    }
+
+    /// Bytes in flight (sent, unacknowledged).
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.snd_nxt.dist(self.snd_una).max(0) as u64
+    }
+
+    /// Drain queued events.
+    pub fn take_events(&mut self) -> Vec<TcbEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Next timer deadline.
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Nanos> {
+        earliest(self.rto_deadline, None)
+    }
+
+    fn arm_rto(&mut self, now: Nanos) {
+        self.rto_deadline = Some(now + self.rtt.rto());
+    }
+
+    fn disarm_rto(&mut self) {
+        self.rto_deadline = None;
+    }
+
+    // ---------------------------------------------------------- output
+
+    fn build_output(
+        &self,
+        seq: SeqNumber,
+        flags: TcpFlags,
+        payload: SgList,
+        with_opts: bool,
+        tso: Option<u16>,
+    ) -> TcpOutput {
+        let tcp = TcpRepr {
+            src_port: self.local.port,
+            dst_port: self.remote.port,
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            window: self.window_field(),
+            mss: if with_opts { Some(self.cfg.mss) } else { None },
+            wscale: if with_opts { Some(self.cfg.wscale) } else { None },
+        };
+        let tcp_len = tcp.header_len();
+        let ip = Ipv4Repr {
+            src: self.local.ip,
+            dst: self.remote.ip,
+            protocol: IpProtocol::Tcp,
+            payload_len: (tcp_len as u64 + payload.len()) as u16,
+            ttl: 64,
+        };
+        let eth = EthernetRepr {
+            dst: self.remote.mac,
+            src: self.local.mac,
+            ethertype: EtherType::Ipv4,
+        };
+        let mut headers = vec![0u8; ETH_HEADER_LEN + IPV4_HEADER_LEN + tcp_len];
+        eth.emit(&mut headers[..ETH_HEADER_LEN]);
+        ip.emit(&mut headers[ETH_HEADER_LEN..ETH_HEADER_LEN + IPV4_HEADER_LEN]);
+        // TCP checksum over header only; payload checksum is the
+        // NIC's job (checksum offload — it recomputes per TSO frame).
+        tcp.emit(
+            &mut headers[ETH_HEADER_LEN + IPV4_HEADER_LEN..],
+            ip.pseudo_header_sum(),
+            &[],
+        );
+        TcpOutput {
+            headers,
+            payload,
+            tso_mss: tso,
+            tcp_seq_off: ETH_HEADER_LEN + IPV4_HEADER_LEN + 4,
+        }
+    }
+
+    fn window_field(&self) -> u16 {
+        let w = u64::from(self.cfg.rcv_wnd) >> self.cfg.wscale;
+        w.min(0xFFFF) as u16
+    }
+
+    /// Send new data at `snd_nxt`. `payload.len()` must fit in the
+    /// usable window. Returns the frame for the NIC.
+    pub fn send_data(&mut self, now: Nanos, payload: SgList, fin: bool) -> TcpOutput {
+        debug_assert!(matches!(
+            self.state,
+            TcbState::Established | TcbState::CloseWait
+        ));
+        let len = payload.len();
+        // Atlas's watermark policy may transiently overshoot the
+        // window by up to one fetch unit (it issues a 16 KiB read once
+        // 10xMSS of space is free, per paper section 3.2); anything
+        // beyond that is a caller bug.
+        debug_assert!(
+            len <= self.usable_window() + 64 * 1024,
+            "caller overran the window by more than one fetch unit"
+        );
+        let seq = self.snd_nxt;
+        let mut flags = TcpFlags::ACK;
+        if fin {
+            flags = flags | TcpFlags::FIN;
+            self.fin_sent = true;
+            self.state = match self.state {
+                TcbState::CloseWait => TcbState::LastAck,
+                _ => TcbState::FinWait1,
+            };
+        }
+        if len > 0 {
+            flags = flags | TcpFlags::PSH;
+        }
+        self.snd_nxt = self.snd_nxt.wrapping_add(len as u32 + u32::from(fin));
+        self.snd_max = self.snd_max.max_seq(self.snd_nxt);
+        self.bytes_sent += len;
+        // RTT sampling: one probe at a time (Karn's rule: never from
+        // retransmitted data).
+        if self.rtt_probe.is_none() && len > 0 {
+            self.rtt_probe = Some((self.snd_nxt, now));
+        }
+        if self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        let tso = if len > u64::from(self.cfg.mss) { Some(self.cfg.mss) } else { None };
+        self.build_output(seq, flags, payload, false, tso)
+    }
+
+    /// The owner could not service a NeedRetransmit right now (e.g.
+    /// no DMA buffer free): clear the outstanding flag so the next
+    /// loss signal (dup ACK / RTO) re-raises the event.
+    pub fn retransmit_abandoned(&mut self) {
+        self.retx_outstanding = false;
+    }
+
+    /// Supply previously-sent stream bytes for retransmission
+    /// (response to [`TcbEvent::NeedRetransmit`]).
+    ///
+    /// Retransmit supply can race the ACK clock: Atlas re-fetches the
+    /// range from disk, and by the time the read completes a late ACK
+    /// may already cover part (or all) of it. Acked bytes are trimmed
+    /// off the front; a fully-acked range degenerates to a pure ACK.
+    pub fn send_retransmit(&mut self, now: Nanos, offset: u64, payload: SgList) -> TcpOutput {
+        let mut offset = offset;
+        let mut payload = payload;
+        if offset < self.snd_una_off {
+            let stale = (self.snd_una_off - offset).min(payload.len());
+            let _ = payload.split_front(stale);
+            offset += stale;
+        }
+        if payload.is_empty() {
+            self.retx_outstanding = false;
+            return self.send_ack();
+        }
+        let seq = self.seq_at(offset);
+        debug_assert!(seq.ge(self.snd_una), "retransmitting acked data");
+        let len = payload.len();
+        self.bytes_retransmitted += len;
+        self.retx_outstanding = false;
+        // Karn: this range's RTT sample is void.
+        if let Some((probe_seq, _)) = self.rtt_probe {
+            if probe_seq.gt(seq) {
+                self.rtt_probe = None;
+            }
+        }
+        self.arm_rto(now);
+        let tso = if len > u64::from(self.cfg.mss) { Some(self.cfg.mss) } else { None };
+        self.build_output(seq, TcpFlags::ACK | TcpFlags::PSH, payload, false, tso)
+    }
+
+    /// Emit a pure ACK (window update / delayed-ACK flush / response
+    /// to out-of-window segments).
+    pub fn send_ack(&mut self) -> TcpOutput {
+        self.build_output(self.snd_nxt, TcpFlags::ACK, SgList::empty(), false, None)
+    }
+
+    // ----------------------------------------------------------- input
+
+    /// Process one received segment addressed to this connection.
+    /// Returns any immediate control output (ACKs, handshake frames).
+    pub fn on_segment(
+        &mut self,
+        now: Nanos,
+        tcp: &TcpRepr,
+        payload: &[u8],
+    ) -> Vec<TcpOutput> {
+        self.segs_received += 1;
+        let mut out = Vec::new();
+        match self.state {
+            TcbState::SynSent => {
+                if tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
+                    && tcp.ack == self.snd_nxt
+                {
+                    self.irs = tcp.seq;
+                    self.rcv_nxt = tcp.seq.wrapping_add(1);
+                    self.peer_wscale = tcp.wscale.unwrap_or(0);
+                    if let Some(m) = tcp.mss {
+                        self.cfg.mss = self.cfg.mss.min(m);
+                    }
+                    self.snd_una = tcp.ack;
+                    self.snd_wnd = u64::from(tcp.window) << self.peer_wscale;
+                    self.state = TcbState::Established;
+                    self.disarm_rto();
+                    self.rtt_probe = None;
+                    self.events.push(TcbEvent::Established);
+                    out.push(self.send_ack());
+                }
+                return out;
+            }
+            TcbState::SynRcvd => {
+                if tcp.flags.contains(TcpFlags::ACK) && tcp.ack == self.snd_nxt {
+                    self.snd_una = tcp.ack;
+                    self.snd_wnd = u64::from(tcp.window) << self.peer_wscale;
+                    self.state = TcbState::Established;
+                    self.disarm_rto();
+                    self.events.push(TcbEvent::Established);
+                    self.events.push(TcbEvent::WindowOpen(self.usable_window()));
+                    // Fall through: the ACK may carry data (TFO-less
+                    // piggyback of the first request is common).
+                } else {
+                    return out;
+                }
+            }
+            TcbState::Closed => return out,
+            _ => {}
+        }
+
+        // --- ACK processing -------------------------------------------
+        if tcp.flags.contains(TcpFlags::ACK) {
+            let ack = tcp.ack;
+            if ack.gt(self.snd_una) && ack.le(self.snd_max) {
+                let inflight_before = self.snd_nxt.dist(self.snd_una).max(0) as u64;
+                let newly = ack.dist(self.snd_una) as u64;
+                // Stream-offset accounting: the SYN (if still
+                // unacked) and a FIN occupy sequence space but are
+                // not data bytes.
+                let mut data_newly = newly;
+                if self.snd_una == self.iss {
+                    data_newly -= 1; // the SYN
+                }
+                if self.fin_sent && ack == self.snd_max {
+                    data_newly = data_newly.saturating_sub(1); // the FIN
+                }
+                self.snd_una_off += data_newly;
+                self.snd_una = ack;
+                if self.snd_nxt.lt(ack) {
+                    self.snd_nxt = ack; // post-RTO partial catch-up
+                }
+                self.dupacks = 0;
+                // RTT sample. Guard against owner-supplied send
+                // timestamps that run ahead of wall time (a blocked
+                // kernel worker's deferred completion may stamp a
+                // send later than the ACK's arrival).
+                if let Some((probe_seq, sent_at)) = self.rtt_probe {
+                    if ack.ge(probe_seq) {
+                        if now > sent_at {
+                            self.rtt.sample(now - sent_at);
+                        }
+                        self.rtt_probe = None;
+                    }
+                }
+                // NewReno recovery bookkeeping. The window may only
+                // grow when the sender was actually using it all
+                // (RFC 7661): compare pre-ACK flight size to cwnd.
+                let app_limited =
+                    inflight_before + u64::from(self.cfg.mss) < self.cc.cwnd().min(self.snd_wnd);
+                if let Some(rec) = self.recover {
+                    if ack.ge(rec) {
+                        self.recover = None;
+                    } else if !self.retx_outstanding {
+                        // Partial ACK: retransmit the next hole.
+                        let len = u64::from(self.cfg.mss)
+                            .min(self.snd_max.dist(ack) as u64);
+                        self.events.push(TcbEvent::NeedRetransmit {
+                            offset: self.stream_offset(ack),
+                            len,
+                        });
+                        self.retx_outstanding = true;
+                    }
+                } else {
+                    self.cc.on_ack(now, newly, app_limited);
+                }
+                self.events.push(TcbEvent::AckedTo(self.snd_una_off));
+                if self.snd_una == self.snd_max {
+                    self.disarm_rto();
+                    if self.fin_sent {
+                        match self.state {
+                            TcbState::FinWait1 => self.state = TcbState::FinWait2,
+                            TcbState::LastAck => {
+                                self.state = TcbState::Closed;
+                                self.events.push(TcbEvent::Closed);
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    self.arm_rto(now);
+                }
+                let usable = self.usable_window();
+                if usable > 0 && !matches!(self.state, TcbState::Closed) {
+                    self.events.push(TcbEvent::WindowOpen(usable));
+                }
+            } else if ack == self.snd_una && self.inflight() > 0 && payload.is_empty() {
+                // Duplicate ACK.
+                self.dupacks += 1;
+                if self.dupacks == 3 && self.recover.is_none() {
+                    self.cc.on_fast_retransmit(now);
+                    self.recover = Some(self.snd_max);
+                    if !self.retx_outstanding {
+                        self.events.push(TcbEvent::NeedRetransmit {
+                            offset: self.stream_offset(self.snd_una),
+                            len: u64::from(self.cfg.mss),
+                        });
+                        self.retx_outstanding = true;
+                    }
+                }
+            }
+            self.snd_wnd = u64::from(tcp.window) << self.peer_wscale;
+        }
+
+        // --- payload / FIN --------------------------------------------
+        let mut advanced = false;
+        if !payload.is_empty() {
+            if tcp.seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                self.events.push(TcbEvent::Data(payload.to_vec()));
+                advanced = true;
+            } else {
+                // Out-of-order request data: drop; our cumulative ACK
+                // tells the peer (requests are tiny; clients retry).
+                out.push(self.send_ack());
+            }
+        }
+        if tcp.flags.contains(TcpFlags::FIN) && tcp.seq.wrapping_add(payload.len() as u32) == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+            self.events.push(TcbEvent::PeerFin);
+            match self.state {
+                TcbState::Established => self.state = TcbState::CloseWait,
+                TcbState::FinWait1 => self.state = TcbState::LastAck, // simultaneous close
+                TcbState::FinWait2 => {
+                    self.state = TcbState::Closed;
+                    self.events.push(TcbEvent::Closed);
+                }
+                _ => {}
+            }
+            advanced = true;
+        }
+        if advanced {
+            out.push(self.send_ack());
+        }
+        out
+    }
+
+    /// Fire timers due at `now`. On RTO: collapse cwnd, rewind
+    /// snd_nxt, and ask the owner for the first outstanding segment.
+    pub fn on_timer(&mut self, now: Nanos) {
+        let Some(deadline) = self.rto_deadline else { return };
+        if deadline > now {
+            return;
+        }
+        if self.inflight() == 0 && !self.fin_sent {
+            self.disarm_rto();
+            return;
+        }
+        self.rtt.on_timeout();
+        self.cc.on_timeout();
+        self.recover = Some(self.snd_max);
+        self.rtt_probe = None;
+        self.arm_rto(now);
+        if !self.retx_outstanding && self.inflight() > 0 {
+            self.events.push(TcbEvent::NeedRetransmit {
+                offset: self.stream_offset(self.snd_una),
+                len: u64::from(self.cfg.mss).min(self.snd_max.dist(self.snd_una) as u64),
+            });
+            self.retx_outstanding = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_packet::Ipv4Addr;
+
+    fn server_ep() -> Endpoint {
+        Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 }
+    }
+    fn client_ep() -> Endpoint {
+        Endpoint { mac: MacAddr::from_host_id(2), ip: Ipv4Addr::new(10, 0, 0, 2), port: 5555 }
+    }
+
+    fn syn() -> TcpRepr {
+        TcpRepr {
+            src_port: 5555,
+            dst_port: 80,
+            seq: SeqNumber(1000),
+            ack: SeqNumber(0),
+            flags: TcpFlags::SYN,
+            window: 65535,
+            mss: Some(1460),
+            wscale: Some(7),
+        }
+    }
+
+    fn accept() -> (Tcb, TcpOutput) {
+        Tcb::accept(
+            TcbConfig::default(),
+            server_ep(),
+            client_ep(),
+            &syn(),
+            SeqNumber(5_000_000),
+            Nanos::ZERO,
+        )
+    }
+
+    fn ack(tcb: &Tcb, acknum: SeqNumber, window: u16) -> TcpRepr {
+        TcpRepr {
+            src_port: 5555,
+            dst_port: 80,
+            seq: tcb.rcv_nxt,
+            ack: acknum,
+            flags: TcpFlags::ACK,
+            window,
+            mss: None,
+            wscale: None,
+        }
+    }
+
+    fn establish() -> Tcb {
+        let (mut tcb, _synack) = accept();
+        let a = ack(&tcb, SeqNumber(5_000_001), 512); // 512<<7 = 64KiB window
+        tcb.on_segment(Nanos::from_millis(1), &a, &[]);
+        assert_eq!(tcb.state, TcbState::Established);
+        tcb.take_events();
+        tcb
+    }
+
+    #[test]
+    fn passive_open_handshake() {
+        let (mut tcb, synack) = accept();
+        assert_eq!(tcb.state, TcbState::SynRcvd);
+        // SYN-ACK parses and carries our options.
+        let (t, _) = TcpRepr::parse(&synack.headers[34..], None).unwrap();
+        assert!(t.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert_eq!(t.ack, SeqNumber(1001));
+        assert!(t.mss.is_some() && t.wscale.is_some());
+        // Third ACK establishes.
+        let a = ack(&tcb, SeqNumber(5_000_001), 512);
+        tcb.on_segment(Nanos::from_millis(1), &a, &[]);
+        let ev = tcb.take_events();
+        assert!(ev.contains(&TcbEvent::Established));
+        assert!(ev.iter().find(|e| matches!(e, TcbEvent::WindowOpen(_))).is_some());
+    }
+
+    #[test]
+    fn mss_negotiated_to_min() {
+        let (tcb, _) = accept();
+        assert_eq!(tcb.cfg.mss, 1448, "min(ours 1448, theirs 1460)");
+    }
+
+    #[test]
+    fn send_data_advances_and_acks_recycle() {
+        let mut tcb = establish();
+        let usable = tcb.usable_window();
+        assert_eq!(usable, 14480, "IW10 with 64KiB peer window");
+        let out = tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![7; 14480]), false);
+        assert_eq!(out.tso_mss, Some(1448));
+        assert_eq!(tcb.usable_window(), 0);
+        assert_eq!(tcb.inflight(), 14480);
+        // Client acks everything.
+        let a = ack(&tcb, tcb.seq_at(14480), 512);
+        tcb.on_segment(Nanos::from_millis(30), &a, &[]);
+        let ev = tcb.take_events();
+        assert!(ev.contains(&TcbEvent::AckedTo(14480)));
+        assert!(tcb.inflight() == 0);
+        // cwnd grew (slow start), so WindowOpen fired with more room.
+        let opened = ev.iter().find_map(|e| match e {
+            TcbEvent::WindowOpen(n) => Some(*n),
+            _ => None,
+        });
+        assert!(opened.unwrap() > 14480);
+    }
+
+    #[test]
+    fn stream_offset_round_trip() {
+        let tcb = establish();
+        for off in [0u64, 1, 1448, 300_000, 1_000_000_000] {
+            assert_eq!(tcb.stream_offset(tcb.seq_at(off)), off);
+        }
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let mut tcb = establish();
+        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 14480]), false);
+        tcb.take_events();
+        let cwnd_before = tcb.cc.cwnd();
+        let a = ack(&tcb, tcb.seq_at(0), 512);
+        for _ in 0..3 {
+            tcb.on_segment(Nanos::from_millis(10), &a, &[]);
+        }
+        let ev = tcb.take_events();
+        let retx = ev.iter().find_map(|e| match e {
+            TcbEvent::NeedRetransmit { offset, len } => Some((*offset, *len)),
+            _ => None,
+        });
+        assert_eq!(retx, Some((0, 1448)));
+        assert!(tcb.cc.cwnd() < cwnd_before);
+        // Owner supplies the data.
+        let out = tcb.send_retransmit(Nanos::from_millis(11), 0, SgList::from_bytes(vec![1; 1448]));
+        let (t, _) = TcpRepr::parse(&out.headers[34..], None).unwrap();
+        assert_eq!(t.seq, tcb.seq_at(0));
+        assert_eq!(tcb.bytes_retransmitted, 1448);
+    }
+
+    #[test]
+    fn no_duplicate_retransmit_requests() {
+        let mut tcb = establish();
+        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 14480]), false);
+        tcb.take_events();
+        let a = ack(&tcb, tcb.seq_at(0), 512);
+        for _ in 0..6 {
+            tcb.on_segment(Nanos::from_millis(10), &a, &[]);
+        }
+        let n = tcb
+            .take_events()
+            .iter()
+            .filter(|e| matches!(e, TcbEvent::NeedRetransmit { .. }))
+            .count();
+        assert_eq!(n, 1, "only one outstanding retransmit request");
+    }
+
+    #[test]
+    fn rto_fires_and_backs_off() {
+        let mut tcb = establish();
+        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 1448]), false);
+        tcb.take_events();
+        let deadline = tcb.poll_at().expect("RTO armed");
+        tcb.on_timer(deadline);
+        let ev = tcb.take_events();
+        assert!(ev.iter().any(|e| matches!(e, TcbEvent::NeedRetransmit { offset: 0, .. })));
+        assert_eq!(tcb.cc.cwnd(), 1448, "cwnd collapsed to 1 MSS");
+        let next = tcb.poll_at().unwrap();
+        assert!(next - deadline >= Nanos::from_millis(400), "backoff doubled");
+    }
+
+    #[test]
+    fn in_order_data_is_delivered_and_acked() {
+        let mut tcb = establish();
+        let req = b"GET /f/1 HTTP/1.1\r\n\r\n".to_vec();
+        let seg = TcpRepr {
+            src_port: 5555,
+            dst_port: 80,
+            seq: tcb.rcv_nxt,
+            ack: SeqNumber(5_000_001),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 512,
+            mss: None,
+            wscale: None,
+        };
+        let outs = tcb.on_segment(Nanos::from_millis(5), &seg, &req);
+        assert_eq!(outs.len(), 1, "immediate ACK of request data");
+        let ev = tcb.take_events();
+        assert!(ev.contains(&TcbEvent::Data(req)));
+    }
+
+    #[test]
+    fn out_of_order_data_elicits_dup_ack_and_no_delivery() {
+        let mut tcb = establish();
+        let seg = TcpRepr {
+            src_port: 5555,
+            dst_port: 80,
+            seq: tcb.rcv_nxt.wrapping_add(500),
+            ack: SeqNumber(5_000_001),
+            flags: TcpFlags::ACK,
+            window: 512,
+            mss: None,
+            wscale: None,
+        };
+        let outs = tcb.on_segment(Nanos::from_millis(5), &seg, b"xxxx");
+        assert_eq!(outs.len(), 1);
+        assert!(!tcb.take_events().iter().any(|e| matches!(e, TcbEvent::Data(_))));
+    }
+
+    #[test]
+    fn teardown_client_initiated() {
+        let mut tcb = establish();
+        // Client FIN.
+        let fin = TcpRepr {
+            src_port: 5555,
+            dst_port: 80,
+            seq: tcb.rcv_nxt,
+            ack: SeqNumber(5_000_001),
+            flags: TcpFlags::ACK | TcpFlags::FIN,
+            window: 512,
+            mss: None,
+            wscale: None,
+        };
+        tcb.on_segment(Nanos::from_millis(5), &fin, &[]);
+        assert_eq!(tcb.state, TcbState::CloseWait);
+        assert!(tcb.take_events().contains(&TcbEvent::PeerFin));
+        // Server sends its FIN.
+        let out = tcb.send_data(Nanos::from_millis(6), SgList::empty(), true);
+        let (t, _) = TcpRepr::parse(&out.headers[34..], None).unwrap();
+        assert!(t.flags.contains(TcpFlags::FIN));
+        assert_eq!(tcb.state, TcbState::LastAck);
+        // Client acks the FIN.
+        let a = ack(&tcb, tcb.seq_at(0).wrapping_add(1), 512);
+        tcb.on_segment(Nanos::from_millis(40), &a, &[]);
+        assert_eq!(tcb.state, TcbState::Closed);
+        assert!(tcb.take_events().contains(&TcbEvent::Closed));
+    }
+
+    #[test]
+    fn peer_window_limits_sending() {
+        let mut tcb = establish();
+        // Peer advertises a tiny window.
+        let a = ack(&tcb, SeqNumber(5_000_001), 1); // 1<<7 = 128 bytes
+        tcb.on_segment(Nanos::from_millis(2), &a, &[]);
+        assert_eq!(tcb.usable_window(), 128);
+    }
+
+    #[test]
+    fn rtt_is_sampled_from_acks() {
+        let mut tcb = establish();
+        tcb.send_data(Nanos::from_millis(10), SgList::from_bytes(vec![1; 1448]), false);
+        let a = ack(&tcb, tcb.seq_at(1448), 512);
+        tcb.on_segment(Nanos::from_millis(35), &a, &[]);
+        let srtt = tcb.rtt.srtt().expect("sampled");
+        assert_eq!(srtt, Nanos::from_millis(25));
+    }
+}

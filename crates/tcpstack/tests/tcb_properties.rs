@@ -1,0 +1,212 @@
+//! Property-based tests of the TCP control block: under arbitrary
+//! (well-formed) sequences of peer behaviour, the TCB's invariants
+//! hold and no arithmetic ever goes backwards.
+
+use dcn_netdev::SgList;
+use dcn_packet::{Ipv4Addr, MacAddr, SeqNumber, TcpFlags, TcpRepr};
+use dcn_simcore::Nanos;
+use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent, TcbState};
+use proptest::prelude::*;
+
+fn server_ep() -> Endpoint {
+    Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 }
+}
+fn client_ep() -> Endpoint {
+    Endpoint { mac: MacAddr::from_host_id(2), ip: Ipv4Addr::new(10, 0, 0, 2), port: 5555 }
+}
+
+fn established() -> Tcb {
+    let syn = TcpRepr {
+        src_port: 5555,
+        dst_port: 80,
+        seq: SeqNumber(1000),
+        ack: SeqNumber(0),
+        flags: TcpFlags::SYN,
+        window: 65535,
+        mss: Some(1448),
+        wscale: Some(8),
+    };
+    let (mut tcb, _) = Tcb::accept(
+        TcbConfig::default(),
+        server_ep(),
+        client_ep(),
+        &syn,
+        SeqNumber(50_000),
+        Nanos::ZERO,
+    );
+    let ack = TcpRepr {
+        src_port: 5555,
+        dst_port: 80,
+        seq: SeqNumber(1001),
+        ack: SeqNumber(50_001),
+        flags: TcpFlags::ACK,
+        window: 4096,
+        mss: None,
+        wscale: None,
+    };
+    tcb.on_segment(Nanos::from_millis(1), &ack, &[]);
+    tcb.take_events();
+    tcb
+}
+
+/// One step of simulated peer behaviour.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Owner sends `n` fresh bytes (clamped to the usable window +
+    /// overshoot allowance).
+    Send(u16),
+    /// Peer cumulatively ACKs `frac` of the outstanding data.
+    AckFraction(u8),
+    /// Peer repeats its last ACK (duplicate).
+    DupAck,
+    /// Time passes; fire due timers.
+    Tick(u8),
+    /// Owner services one pending retransmit request with data.
+    ServeRetransmit,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u16..20_000).prop_map(Step::Send),
+        (0u8..=100).prop_map(Step::AckFraction),
+        Just(Step::DupAck),
+        (1u8..100).prop_map(Step::Tick),
+        Just(Step::ServeRetransmit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tcb_invariants_under_arbitrary_peer(steps in prop::collection::vec(step_strategy(), 1..80)) {
+        let mut tcb = established();
+        let mut now = Nanos::from_millis(2);
+        let mut highest_sent: u64 = 0; // stream offset of snd_max
+        let mut acked: u64 = 0;
+        let mut pending_retx: Vec<(u64, u64)> = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Send(n) => {
+                    let usable = tcb.usable_window();
+                    if usable == 0 {
+                        continue;
+                    }
+                    let n = u64::from(n).min(usable);
+                    if n == 0 {
+                        continue;
+                    }
+                    let before = tcb.stream_offset_of_snd_nxt();
+                    let _out = tcb.send_data(now, SgList::from_bytes(vec![7; n as usize]), false);
+                    let after = tcb.stream_offset_of_snd_nxt();
+                    prop_assert_eq!(after, before + n, "snd_nxt advances by exactly n");
+                    highest_sent = highest_sent.max(after);
+                }
+                Step::AckFraction(frac) => {
+                    let outstanding = highest_sent.saturating_sub(acked);
+                    if outstanding == 0 {
+                        continue;
+                    }
+                    let newly = (outstanding * u64::from(frac) / 100).max(1);
+                    acked += newly;
+                    let ack = TcpRepr {
+                        src_port: 5555,
+                        dst_port: 80,
+                        seq: SeqNumber(1001),
+                        ack: tcb.seq_at(acked),
+                        flags: TcpFlags::ACK,
+                        window: 4096,
+                        mss: None,
+                        wscale: None,
+                    };
+                    now += Nanos::from_millis(1);
+                    tcb.on_segment(now, &ack, &[]);
+                }
+                Step::DupAck => {
+                    let ack = TcpRepr {
+                        src_port: 5555,
+                        dst_port: 80,
+                        seq: SeqNumber(1001),
+                        ack: tcb.seq_at(acked),
+                        flags: TcpFlags::ACK,
+                        window: 4096,
+                        mss: None,
+                        wscale: None,
+                    };
+                    now += Nanos::from_micros(100);
+                    tcb.on_segment(now, &ack, &[]);
+                }
+                Step::Tick(ms) => {
+                    now += Nanos::from_millis(u64::from(ms) * 10);
+                    tcb.on_timer(now);
+                }
+                Step::ServeRetransmit => {
+                    if let Some((off, len)) = pending_retx.pop() {
+                        let len = len.min(highest_sent - off);
+                        if len > 0 {
+                            tcb.send_retransmit(now, off, SgList::from_bytes(vec![7; len as usize]));
+                        } else {
+                            tcb.retransmit_abandoned();
+                        }
+                    }
+                }
+            }
+            // Collect events and check their invariants.
+            for ev in tcb.take_events() {
+                match ev {
+                    TcbEvent::AckedTo(off) => {
+                        prop_assert!(off <= highest_sent, "cannot ack unsent data");
+                        prop_assert_eq!(off, acked, "cumulative ack tracks peer");
+                    }
+                    TcbEvent::NeedRetransmit { offset, len } => {
+                        prop_assert!(offset >= acked, "never retransmit acked data");
+                        prop_assert!(offset < highest_sent, "retransmit within sent data");
+                        prop_assert!(len > 0);
+                        pending_retx.push((offset, len));
+                    }
+                    TcbEvent::WindowOpen(n) => prop_assert!(n > 0),
+                    _ => {}
+                }
+            }
+            // Global invariants after every step.
+            prop_assert!(tcb.inflight() <= highest_sent - acked + 1_000_000);
+            prop_assert_eq!(tcb.state, TcbState::Established);
+            prop_assert!(tcb.cc.cwnd() >= 1448, "cwnd never below 1 MSS");
+            let off = tcb.stream_offset_of_snd_nxt();
+            prop_assert!(off >= acked, "snd_nxt never behind snd_una");
+        }
+    }
+
+    /// Sending exactly the permitted window never triggers the
+    /// overshoot guard, for any sequence of sends and full ACKs.
+    #[test]
+    fn window_accounting_is_exact(sizes in prop::collection::vec(1u32..100_000, 1..40)) {
+        let mut tcb = established();
+        let mut now = Nanos::from_millis(2);
+        let mut sent_total = 0u64;
+        for s in sizes {
+            let usable = tcb.usable_window();
+            let n = u64::from(s).min(usable);
+            if n > 0 {
+                tcb.send_data(now, SgList::from_bytes(vec![1; n as usize]), false);
+                sent_total += n;
+            }
+            // Peer acks everything.
+            let ack = TcpRepr {
+                src_port: 5555,
+                dst_port: 80,
+                seq: SeqNumber(1001),
+                ack: tcb.seq_at(sent_total),
+                flags: TcpFlags::ACK,
+                window: 4096,
+                mss: None,
+                wscale: None,
+            };
+            now += Nanos::from_millis(20);
+            tcb.on_segment(now, &ack, &[]);
+            tcb.take_events();
+            prop_assert_eq!(tcb.inflight(), 0);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The client fleet: protocol + application + verification.
+
+use dcn_atlas::server::parse_frame;
+use dcn_crypto::{RecordCipher, GCM_TAG_LEN, RECORD_HEADER_LEN, RECORD_PAYLOAD_MAX};
+use dcn_httpd::response::scan_response_header;
+use dcn_httpd::{chunk_path, parser::build_get, RequestDriver};
+use dcn_netdev::WireFrame;
+use dcn_packet::{FlowId, Ipv4Addr, MacAddr, SeqNumber};
+use dcn_simcore::{Nanos, SimRng, TimeBuckets};
+use dcn_store::{Catalog, FileId};
+use dcn_tcpstack::{ClientConn, Endpoint};
+use std::collections::{HashMap, VecDeque};
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    pub n_clients: usize,
+    /// 0% BC (uniform over the catalog) vs 100% BC (hot set).
+    pub cacheable: bool,
+    /// Hot-set size for the cacheable workload.
+    pub hot_files: u64,
+    /// Verify every body byte against the catalog oracle (full
+    /// fidelity runs only).
+    pub verify: bool,
+    pub server_ip: Ipv4Addr,
+    pub server_port: u16,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_clients: 64,
+            cacheable: false,
+            hot_files: 64,
+            verify: true,
+            server_ip: Ipv4Addr::new(10, 0, 0, 1),
+            server_port: 80,
+        }
+    }
+}
+
+/// Outcome counters of stream verification.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct VerifyStats {
+    pub verified_bytes: u64,
+    pub failures: u64,
+}
+
+/// Incremental verifier: re-parses the response stream (headers,
+/// record framing), decrypts records with the session cipher, and
+/// compares plaintext against the catalog oracle. Wholly independent
+/// of the RequestDriver's accounting, so the two cross-check each
+/// other.
+struct StreamVerifier {
+    buf: Vec<u8>,
+    /// Current response body state: (file, plaintext offset,
+    /// encrypted?).
+    body: Option<(FileId, u64, bool)>,
+}
+
+impl StreamVerifier {
+    fn new() -> Self {
+        StreamVerifier { buf: Vec::new(), body: None }
+    }
+
+    fn push(
+        &mut self,
+        data: &[u8],
+        outstanding: &mut VecDeque<FileId>,
+        catalog: &Catalog,
+        cipher: &RecordCipher,
+        stats: &mut VerifyStats,
+    ) {
+        self.buf.extend_from_slice(data);
+        loop {
+            match self.body {
+                None => {
+                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else { return };
+                    self.buf.drain(..hl);
+                    let file = outstanding.front().copied().expect("response w/o request");
+                    self.body = Some((file, 0, enc));
+                }
+                Some((file, plain_off, encrypted)) => {
+                    let file_size = catalog.file_size();
+                    if plain_off >= file_size {
+                        self.body = None;
+                        outstanding.pop_front();
+                        continue;
+                    }
+                    if encrypted {
+                        let rec_plain =
+                            (file_size - plain_off).min(RECORD_PAYLOAD_MAX as u64) as usize;
+                        let rec_wire = RECORD_HEADER_LEN + rec_plain + GCM_TAG_LEN;
+                        if self.buf.len() < rec_wire {
+                            return;
+                        }
+                        let record: Vec<u8> = self.buf.drain(..rec_wire).collect();
+                        let mut ct =
+                            record[RECORD_HEADER_LEN..RECORD_HEADER_LEN + rec_plain].to_vec();
+                        let tag: [u8; GCM_TAG_LEN] =
+                            record[rec_wire - GCM_TAG_LEN..].try_into().expect("tag");
+                        if cipher.open_record(plain_off, &mut ct, &tag) {
+                            let mut want = vec![0u8; ct.len()];
+                            catalog.expected(file, plain_off, &mut want);
+                            if ct == want {
+                                stats.verified_bytes += ct.len() as u64;
+                            } else {
+                                stats.failures += 1;
+                            }
+                        } else {
+                            stats.failures += 1;
+                        }
+                        self.body = Some((file, plain_off + rec_plain as u64, encrypted));
+                    } else {
+                        if self.buf.is_empty() {
+                            return;
+                        }
+                        let n = (file_size - plain_off).min(self.buf.len() as u64) as usize;
+                        let got: Vec<u8> = self.buf.drain(..n).collect();
+                        let mut want = vec![0u8; n];
+                        catalog.expected(file, plain_off, &mut want);
+                        if got == want {
+                            stats.verified_bytes += n as u64;
+                        } else {
+                            stats.failures += 1;
+                        }
+                        self.body = Some((file, plain_off + n as u64, encrypted));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Client {
+    conn: ClientConn,
+    driver: RequestDriver,
+    cipher: RecordCipher,
+    verifier: StreamVerifier,
+    /// Requested files, front = response currently arriving.
+    outstanding: VecDeque<FileId>,
+    done_at_least_one: bool,
+    first_request_sent: bool,
+}
+
+/// The fleet.
+pub struct ClientFleet {
+    cfg: FleetConfig,
+    catalog: Catalog,
+    clients: Vec<Client>,
+    by_flow: HashMap<FlowId, usize>,
+    /// Response-body bytes received per time bucket — the network
+    /// goodput the paper's throughput panels plot.
+    pub goodput: TimeBuckets,
+    pub total_body_bytes: u64,
+    pub responses_completed: u64,
+    pub verify_stats: VerifyStats,
+}
+
+/// Frames a client wants transmitted (they enter the middlebox).
+pub struct ClientTx {
+    pub flow: FlowId,
+    pub frames: Vec<WireFrame>,
+}
+
+impl ClientFleet {
+    #[must_use]
+    pub fn new(cfg: FleetConfig, catalog: Catalog, _seed: u64) -> Self {
+        ClientFleet {
+            cfg,
+            catalog,
+            clients: Vec::new(),
+            by_flow: HashMap::new(),
+            goodput: TimeBuckets::new(Nanos::from_millis(1)),
+            total_body_bytes: 0,
+            responses_completed: 0,
+            verify_stats: VerifyStats::default(),
+        }
+    }
+
+    #[must_use]
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn endpoint_of(idx: usize, _cfg: &FleetConfig) -> Endpoint {
+        // Clients spread over many source IPs and ports, as two load
+        // generator machines with many sockets would.
+        let ip = Ipv4Addr::new(10, 1, (idx / 250) as u8, (idx % 250) as u8 + 1);
+        Endpoint {
+            mac: MacAddr::from_host_id(1000 + idx as u32),
+            ip,
+            port: 10_000 + (idx % 50_000) as u16,
+        }
+    }
+
+    /// Spawn the next client: returns its SYN.
+    pub fn spawn(&mut self, idx: usize, seed: u64) -> ClientTx {
+        assert_eq!(idx, self.clients.len(), "spawn in order");
+        let local = Self::endpoint_of(idx, &self.cfg);
+        let remote = Endpoint {
+            mac: MacAddr::from_host_id(1),
+            ip: self.cfg.server_ip,
+            port: self.cfg.server_port,
+        };
+        let mut rng = SimRng::new(seed ^ (idx as u64) << 20);
+        let iss = SeqNumber(rng.next_u64() as u32);
+        let (conn, syn) = ClientConn::connect(local, remote, iss, 4 << 20);
+        let flow = conn.flow();
+        let driver = if self.cfg.cacheable {
+            RequestDriver::cacheable(self.catalog.n_files(), self.cfg.hot_files, rng.fork(1))
+        } else {
+            RequestDriver::uncachable(self.catalog.n_files(), rng.fork(1))
+        };
+        // Same per-session dummy-key derivation as the server (§4.2's
+        // TLS emulation: handshake out of scope, keys pre-shared).
+        let mut key = [0u8; 16];
+        dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
+        let cipher = RecordCipher::new(&key, flow.rss_hash());
+        self.clients.push(Client {
+            conn,
+            driver,
+            cipher,
+            verifier: StreamVerifier::new(),
+            outstanding: VecDeque::new(),
+            done_at_least_one: false,
+            first_request_sent: false,
+        });
+        self.by_flow.insert(flow, idx);
+        ClientTx { flow, frames: vec![frame_of(syn.headers, syn.payload)] }
+    }
+
+    /// A burst of frames arrived at the clients (one flow per burst;
+    /// `flow` is the server→client direction). Returns frames the
+    /// client sends back (ACKs, the next request).
+    pub fn on_burst(&mut self, now: Nanos, flow: FlowId, frames: Vec<WireFrame>) -> Option<ClientTx> {
+        let &idx = self.by_flow.get(&flow.reversed())?;
+        let client = &mut self.clients[idx];
+        let parsed: Vec<_> = frames
+            .iter()
+            .filter_map(|f| {
+                let (_, tcp, payload) = parse_frame(f)?;
+                Some((tcp, payload))
+            })
+            .collect();
+        let acks = client.conn.on_burst(now, parsed);
+        let mut out: Vec<WireFrame> = acks
+            .into_iter()
+            .map(|f| frame_of(f.headers, f.payload))
+            .collect();
+
+        // Application layer: consume delivered stream bytes.
+        let delivered = client.conn.take_inbox();
+        let mut completed = 0;
+        if !delivered.is_empty() {
+            let body_before = client.driver.body_bytes;
+            completed = client.driver.on_bytes(&delivered);
+            let body_new = client.driver.body_bytes - body_before;
+            self.goodput.add(now, body_new as f64);
+            self.total_body_bytes += body_new;
+            self.responses_completed += completed;
+            if self.cfg.verify {
+                client.verifier.push(
+                    &delivered,
+                    &mut client.outstanding,
+                    &self.catalog,
+                    &client.cipher,
+                    &mut self.verify_stats,
+                );
+            }
+            if completed > 0 {
+                client.done_at_least_one = true;
+            }
+        }
+        // Fire follow-up requests: one per completed response, plus
+        // the very first request when the handshake completes.
+        let client = &mut self.clients[idx];
+        let mut to_send = completed;
+        if !client.first_request_sent
+            && matches!(client.conn.state, dcn_tcpstack::client::ClientState::Established)
+        {
+            client.first_request_sent = true;
+            to_send += 1;
+        }
+        for _ in 0..to_send {
+            out.push(self.next_request(idx));
+        }
+        Some(ClientTx { flow: flow.reversed(), frames: out })
+    }
+
+    fn next_request(&mut self, idx: usize) -> WireFrame {
+        let verify = self.cfg.verify;
+        let client = &mut self.clients[idx];
+        let file = client.driver.next_file();
+        if verify {
+            client.outstanding.push_back(file);
+        }
+        let req = build_get(&chunk_path(file), "cdn.test");
+        let f = client.conn.send(req);
+        frame_of(f.headers, f.payload)
+    }
+
+    /// Fraction of clients that completed at least one response
+    /// (liveness check for tests).
+    #[must_use]
+    pub fn live_fraction(&self) -> f64 {
+        if self.clients.is_empty() {
+            return 0.0;
+        }
+        self.clients.iter().filter(|c| c.done_at_least_one).count() as f64
+            / self.clients.len() as f64
+    }
+
+    /// Total dup-ACKs the fleet generated (loss diagnostics).
+    #[must_use]
+    pub fn dupacks(&self) -> u64 {
+        self.clients.iter().map(|c| c.conn.dupacks_sent).sum()
+    }
+}
+
+fn frame_of(headers: Vec<u8>, payload: Vec<u8>) -> WireFrame {
+    WireFrame::single(headers, dcn_netdev::PayloadBytes::Real(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_netdev::PayloadBytes;
+
+    fn catalog() -> Catalog {
+        Catalog::new(1000, 300 * 1024, 4, 7)
+    }
+
+    #[test]
+    fn spawn_emits_syn_and_registers_flow() {
+        let mut fleet = ClientFleet::new(FleetConfig::default(), catalog(), 1);
+        let tx = fleet.spawn(0, 1);
+        assert_eq!(tx.frames.len(), 1);
+        let (flow, tcp, _) = parse_frame(&tx.frames[0]).expect("parsable SYN");
+        assert!(tcp.flags.contains(dcn_packet::TcpFlags::SYN));
+        assert_eq!(flow, tx.flow);
+        assert_eq!(fleet.n_clients(), 1);
+    }
+
+    #[test]
+    fn clients_have_distinct_flows() {
+        let mut fleet = ClientFleet::new(
+            FleetConfig { n_clients: 500, ..FleetConfig::default() },
+            catalog(),
+            1,
+        );
+        let mut flows = std::collections::HashSet::new();
+        for i in 0..500 {
+            let tx = fleet.spawn(i, 1);
+            assert!(flows.insert(tx.flow), "duplicate flow at client {i}");
+        }
+    }
+
+    #[test]
+    fn burst_for_unknown_flow_is_ignored() {
+        let mut fleet = ClientFleet::new(FleetConfig::default(), catalog(), 1);
+        fleet.spawn(0, 1);
+        let bogus = dcn_packet::FlowId {
+            src_ip: dcn_packet::Ipv4Addr::new(1, 2, 3, 4),
+            dst_ip: dcn_packet::Ipv4Addr::new(5, 6, 7, 8),
+            src_port: 1,
+            dst_port: 2,
+        };
+        let frame = WireFrame::single(vec![0u8; 54], PayloadBytes::Real(vec![]));
+        assert!(fleet.on_burst(Nanos::ZERO, bogus, vec![frame]).is_none());
+    }
+
+    #[test]
+    fn verifier_counts_failures_on_corrupt_plaintext() {
+        // Feed a hand-built response whose body does NOT match the
+        // catalog oracle: the verifier must flag it.
+        let cat = catalog();
+        let mut outstanding: VecDeque<FileId> = VecDeque::new();
+        outstanding.push_back(FileId(3));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::new();
+        let mut stats = VerifyStats::default();
+        let mut stream =
+            dcn_httpd::response::response_header(
+                dcn_httpd::response::ResponseInfo::Ok { body_len: 100 },
+                false,
+            );
+        stream.extend_from_slice(&[0xEE; 100]); // wrong content
+        v.push(&stream, &mut outstanding, &cat, &cipher, &mut stats);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.verified_bytes, 0);
+    }
+
+    #[test]
+    fn verifier_accepts_oracle_plaintext() {
+        let cat = catalog();
+        let mut outstanding: VecDeque<FileId> = VecDeque::new();
+        outstanding.push_back(FileId(3));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::new();
+        let mut stats = VerifyStats::default();
+        let file_size = cat.file_size();
+        let mut stream = dcn_httpd::response::response_header(
+            dcn_httpd::response::ResponseInfo::Ok { body_len: file_size },
+            false,
+        );
+        let mut body = vec![0u8; file_size as usize];
+        cat.expected(FileId(3), 0, &mut body);
+        stream.extend_from_slice(&body);
+        // Deliver in awkward fragment sizes.
+        for chunk in stream.chunks(1013) {
+            v.push(chunk, &mut outstanding, &cat, &cipher, &mut stats);
+        }
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.verified_bytes, file_size);
+        assert!(outstanding.is_empty(), "response consumed");
+    }
+}

@@ -1,0 +1,20 @@
+//! # dcn-workload — the evaluation harness
+//!
+//! Wires a server (Atlas or a conventional-stack variant), the §4
+//! testbed network (40 GbE switch + delay middlebox), and a fleet of
+//! weighttp-style clients into one deterministic discrete-event run,
+//! then reads out every metric the paper plots: network throughput,
+//! CPU utilization, DRAM read/write throughput, the read:network
+//! ratio, and LLC-miss rates.
+//!
+//! At full fidelity the fleet **verifies content end to end**: every
+//! response body is reassembled from TCP, (for encrypted runs)
+//! de-framed and GCM-opened with the session key, and compared
+//! byte-for-byte against the catalog's PRF oracle. A stack that
+//! corrupts, reorders, or mis-encrypts anything fails the run.
+
+pub mod fleet;
+pub mod runner;
+
+pub use fleet::{ClientFleet, FleetConfig};
+pub use runner::{run_scenario, RunMetrics, Scenario, ServerKind, VideoServer};

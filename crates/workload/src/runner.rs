@@ -1,0 +1,314 @@
+//! The §4 testbed in one deterministic event loop.
+//!
+//! Topology: server ↔ 40 GbE cut-through switch ↔ clients, with the
+//! delay middlebox on the client→server path only (data flows
+//! server→client over the LAN with microsecond latency; ACKs and
+//! requests take the per-flow 10–40 ms detour — exactly the paper's
+//! setup, including its rationale of keeping the middlebox out of
+//! the high-rate direction).
+
+use crate::fleet::{ClientFleet, ClientTx, FleetConfig};
+use dcn_atlas::server::parse_frame;
+use dcn_atlas::{AtlasConfig, AtlasServer};
+use dcn_kstack::{KstackConfig, KstackServer};
+use dcn_mem::{Fidelity, MemSnapshot};
+use dcn_netdev::{DelayMiddlebox, SentBurst, WireFrame};
+use dcn_packet::FlowId;
+use dcn_simcore::{EventQueue, Nanos};
+use dcn_store::Catalog;
+
+/// Switch forwarding latency (cut-through 40 GbE).
+const SWITCH_LATENCY: Nanos = Nanos(2_000);
+
+/// Abstraction over the two server implementations so the harness
+/// and every figure binary treat them identically.
+pub trait VideoServer {
+    /// Frames arrive from the wire; returns bursts that left the NIC.
+    fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst>;
+    /// Next instant internal state needs service.
+    fn poll_at(&self) -> Option<Nanos>;
+    /// Service internal state (disk completions, timers, worker
+    /// threads); returns bursts that left the NIC.
+    fn advance(&mut self, now: Nanos) -> Vec<SentBurst>;
+    /// DRAM counters over a window.
+    fn mem_snapshot(&self, warmup: Nanos, end: Nanos) -> MemSnapshot;
+    /// Total CPU utilization in percent over a window.
+    fn cpu_pct(&self, warmup: Nanos, end: Nanos) -> f64;
+    /// Descriptive label for reports.
+    fn label(&self) -> String;
+    /// Free-form diagnostics line (stall debugging).
+    fn debug_stats(&self) -> String {
+        String::new()
+    }
+    /// Poll-source breakdown (wake-storm debugging).
+    fn poll_breakdown(&self) -> String {
+        String::new()
+    }
+}
+
+impl VideoServer for AtlasServer {
+    fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
+        AtlasServer::on_wire_rx(self, now, frames)
+    }
+    fn poll_at(&self) -> Option<Nanos> {
+        AtlasServer::poll_at(self)
+    }
+    fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
+        AtlasServer::advance(self, now)
+    }
+    fn mem_snapshot(&self, warmup: Nanos, end: Nanos) -> MemSnapshot {
+        self.mem.counters.snapshot(warmup, end)
+    }
+    fn cpu_pct(&self, warmup: Nanos, end: Nanos) -> f64 {
+        self.cores.utilization_pct(warmup, end)
+    }
+    fn label(&self) -> String {
+        format!(
+            "Atlas/{} cores{}",
+            self.cfg.cores,
+            if self.cfg.encrypted { " TLS" } else { "" }
+        )
+    }
+    fn debug_stats(&self) -> String {
+        self.debug_stats_string()
+    }
+    fn poll_breakdown(&self) -> String {
+        self.poll_breakdown()
+    }
+}
+
+impl VideoServer for KstackServer {
+    fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
+        KstackServer::on_wire_rx(self, now, frames)
+    }
+    fn poll_at(&self) -> Option<Nanos> {
+        KstackServer::poll_at(self)
+    }
+    fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
+        KstackServer::advance(self, now)
+    }
+    fn mem_snapshot(&self, warmup: Nanos, end: Nanos) -> MemSnapshot {
+        self.mem.counters.snapshot(warmup, end)
+    }
+    fn cpu_pct(&self, warmup: Nanos, end: Nanos) -> f64 {
+        self.cores.utilization_pct(warmup, end)
+    }
+    fn label(&self) -> String {
+        self.variant_label()
+    }
+}
+
+/// Which server to run.
+#[derive(Clone, Debug)]
+pub enum ServerKind {
+    Atlas(AtlasConfig),
+    Kstack(KstackConfig),
+}
+
+/// One experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub server: ServerKind,
+    pub fleet: FleetConfig,
+    pub catalog: Catalog,
+    /// Measurement starts here (connections ramp + TCP slow start
+    /// settle during warm-up).
+    pub warmup: Nanos,
+    /// Simulated end time.
+    pub duration: Nanos,
+    pub seed: u64,
+    /// Probability of dropping each server→client frame (fault
+    /// injection; 0.0 for the paper's lossless testbed).
+    pub data_loss: f64,
+}
+
+impl Scenario {
+    /// Sensible defaults for tests/examples: small fleet, full
+    /// fidelity, verification on.
+    #[must_use]
+    pub fn smoke(server: ServerKind, n_clients: usize, seed: u64) -> Scenario {
+        Scenario {
+            server,
+            fleet: FleetConfig { n_clients, ..FleetConfig::default() },
+            catalog: Catalog::new(50_000, 300 * 1024, 4, seed),
+            warmup: Nanos::from_millis(250),
+            duration: Nanos::from_millis(700),
+            seed,
+            data_loss: 0.0,
+        }
+    }
+}
+
+/// Everything the paper's panels need from one run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    pub label: String,
+    pub net_gbps: f64,
+    pub cpu_pct: f64,
+    pub mem_read_gbps: f64,
+    pub mem_write_gbps: f64,
+    pub read_net_ratio: f64,
+    pub llc_miss_e8: f64,
+    pub responses: u64,
+    pub total_body_bytes: u64,
+    pub verified_bytes: u64,
+    pub verify_failures: u64,
+    pub live_fraction: f64,
+}
+
+enum Ev {
+    /// Ramp-up: spawn client `idx`.
+    Spawn(usize),
+    /// Frames arrive at the server.
+    ServerRx(Vec<WireFrame>),
+    /// A burst arrives at the clients for `flow` (server→client
+    /// direction).
+    ClientRx(FlowId, Vec<WireFrame>),
+    /// Server internal wake (disk completion / TCP timer).
+    ServerWake,
+}
+
+/// Run one scenario to completion and report metrics.
+pub fn run_scenario(sc: &Scenario) -> RunMetrics {
+    let mut server: Box<dyn VideoServer> = match &sc.server {
+        ServerKind::Atlas(cfg) => Box::new(AtlasServer::new(cfg.clone(), sc.catalog.clone(), sc.seed)),
+        ServerKind::Kstack(cfg) => Box::new(KstackServer::new(cfg.clone(), sc.catalog.clone(), sc.seed)),
+    };
+    let fidelity_full = matches!(
+        &sc.server,
+        ServerKind::Atlas(AtlasConfig { fidelity: Fidelity::Full, .. })
+            | ServerKind::Kstack(KstackConfig { fidelity: Fidelity::Full, .. })
+    );
+    let mut fleet_cfg = sc.fleet;
+    if !fidelity_full {
+        fleet_cfg.verify = false; // nothing real to verify
+    }
+    let mut fleet = ClientFleet::new(fleet_cfg, sc.catalog.clone(), sc.seed);
+    let middlebox = DelayMiddlebox::paper(sc.seed);
+    let mut loss_rng = dcn_simcore::SimRng::new(sc.seed ^ 0x1055);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+
+    // Ramp clients over the first 150 ms (or the warm-up, whichever
+    // is shorter) so the server isn't hit by one synchronized SYN
+    // flood.
+    let ramp = sc.warmup.min(Nanos::from_millis(150));
+    for idx in 0..sc.fleet.n_clients {
+        let at = ramp.mul_f64(idx as f64 / sc.fleet.n_clients.max(1) as f64);
+        q.schedule(at, Ev::Spawn(idx));
+    }
+    q.schedule(Nanos::ZERO, Ev::ServerWake);
+
+    let mut next_wake = Nanos::MAX;
+    let progress = std::env::var_os("DCN_PROGRESS").is_some();
+    let mut n_events: u64 = 0;
+    let mut counts = [0u64; 4];
+    while let Some(ev) = q.pop() {
+        let now = ev.at;
+        n_events += 1;
+        counts[match &ev.event {
+            Ev::Spawn(_) => 0,
+            Ev::ServerRx(_) => 1,
+            Ev::ClientRx(..) => 2,
+            Ev::ServerWake => 3,
+        }] += 1;
+        if progress && n_events.is_multiple_of(1_000_000) {
+            eprintln!(
+                "  ... {}M events (spawn {} srx {} crx {} wake {}), sim t={:?}, queue={}, poll: {}",
+                n_events / 1_000_000, counts[0], counts[1], counts[2], counts[3], now, q.len(),
+                server.poll_breakdown()
+            );
+        }
+        if now > sc.duration {
+            break;
+        }
+        match ev.event {
+            Ev::Spawn(idx) => {
+                let tx = fleet.spawn(idx, sc.seed);
+                route_client_tx(&mut q, &middlebox, now, tx);
+            }
+            Ev::ServerRx(frames) => {
+                let bursts = server.on_wire_rx(now, frames);
+                route_bursts(&mut q, now, bursts, sc.data_loss, &mut loss_rng);
+            }
+            Ev::ClientRx(flow, frames) => {
+                if let Some(tx) = fleet.on_burst(now, flow, frames) {
+                    route_client_tx(&mut q, &middlebox, now, tx);
+                }
+            }
+            Ev::ServerWake => {
+                // `next_wake` tracks the earliest wake still in the
+                // queue. Only clear it when THAT wake fires; a stale
+                // earlier duplicate must not clear it, or every stale
+                // pop would re-schedule the same future deadline and
+                // wakes would multiply without bound.
+                if now >= next_wake {
+                    next_wake = Nanos::MAX;
+                }
+                let bursts = server.advance(now);
+                route_bursts(&mut q, now, bursts, sc.data_loss, &mut loss_rng);
+            }
+        }
+        // Keep exactly one pending wake at the server's next deadline.
+        if let Some(at) = server.poll_at() {
+            let at = at.max(q.now());
+            if at < next_wake {
+                q.schedule(at, Ev::ServerWake);
+                next_wake = at;
+            }
+        }
+    }
+
+    if std::env::var_os("DCN_DEBUG").is_some() {
+        eprintln!("server debug: {}", server.debug_stats());
+    }
+    let end = sc.duration;
+    let snap = server.mem_snapshot(sc.warmup, end);
+    let net_gbps = fleet.goodput.rate_per_sec(sc.warmup, end) * 8.0 / 1e9;
+    RunMetrics {
+        label: server.label(),
+        net_gbps,
+        cpu_pct: server.cpu_pct(sc.warmup, end),
+        mem_read_gbps: snap.read_gbps(),
+        mem_write_gbps: snap.write_gbps(),
+        read_net_ratio: if net_gbps > 0.0 { snap.read_gbps() / net_gbps } else { 0.0 },
+        llc_miss_e8: snap.miss_reads_e8(),
+        responses: fleet.responses_completed,
+        total_body_bytes: fleet.total_body_bytes,
+        verified_bytes: fleet.verify_stats.verified_bytes,
+        verify_failures: fleet.verify_stats.failures,
+        live_fraction: fleet.live_fraction(),
+    }
+}
+
+fn route_client_tx(q: &mut EventQueue<Ev>, mb: &DelayMiddlebox, now: Nanos, tx: ClientTx) {
+    if tx.frames.is_empty() {
+        return;
+    }
+    // Client → middlebox (per-flow constant delay) → switch → server.
+    let delay = mb.delay(tx.flow) + SWITCH_LATENCY;
+    q.schedule(now + delay, Ev::ServerRx(tx.frames));
+}
+
+fn route_bursts(
+    q: &mut EventQueue<Ev>,
+    _now: Nanos,
+    bursts: Vec<SentBurst>,
+    loss: f64,
+    rng: &mut dcn_simcore::SimRng,
+) {
+    for b in bursts {
+        // All frames of one burst belong to one flow (one TX
+        // descriptor). Server → switch → client: LAN latency only.
+        // Fault injection drops individual frames of the burst.
+        let frames: Vec<_> = if loss > 0.0 {
+            b.frames.into_iter().filter(|_| !rng.chance(loss)).collect()
+        } else {
+            b.frames
+        };
+        if frames.is_empty() {
+            continue;
+        }
+        let Some((flow, _, _)) = parse_frame(&frames[0]) else { continue };
+        q.schedule(b.departed + SWITCH_LATENCY, Ev::ClientRx(flow, frames));
+    }
+}

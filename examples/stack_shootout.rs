@@ -1,0 +1,41 @@
+//! Stack shootout: Atlas vs Netflix vs stock FreeBSD on one workload.
+//!
+//! A miniature of the paper's Table-style comparison (§4): the same
+//! client fleet, catalog and network, served by all three stacks in
+//! turn. Full fidelity — every stack's output is byte-verified.
+//!
+//!     cargo run --release --example stack_shootout
+
+use disk_crypt_net::atlas::AtlasConfig;
+use disk_crypt_net::kstack::KstackConfig;
+use disk_crypt_net::workload::{run_scenario, Scenario, ServerKind};
+
+fn main() {
+    println!("Stack shootout: 24 clients, 300 KB chunks, uncachable workload\n");
+    println!(
+        "{:<24} {:>9} {:>8} {:>9} {:>9} {:>7}",
+        "stack", "net Gb/s", "CPU %", "memR Gb/s", "memW Gb/s", "verify"
+    );
+    for (name, server) in [
+        ("Atlas (4 cores)", ServerKind::Atlas(AtlasConfig::default())),
+        ("Netflix (8 cores)", ServerKind::Kstack(KstackConfig::netflix())),
+        ("Stock FreeBSD (8 cores)", ServerKind::Kstack(KstackConfig::stock())),
+    ] {
+        let sc = Scenario::smoke(server, 24, 99);
+        let m = run_scenario(&sc);
+        println!(
+            "{:<24} {:>9.2} {:>8.0} {:>9.2} {:>9.2} {:>7}",
+            name,
+            m.net_gbps,
+            m.cpu_pct,
+            m.mem_read_gbps,
+            m.mem_write_gbps,
+            if m.verify_failures == 0 { "ok" } else { "FAIL" }
+        );
+        assert_eq!(m.verify_failures, 0);
+    }
+    println!(
+        "\nNote: at this scale no stack is saturated; run the fig11/fig13 bench\n\
+         binaries for the paper's full comparison under load."
+    );
+}

@@ -1,0 +1,44 @@
+//! Tune the NVMe I/O window: reproduce the measurement behind Fig 6.
+//!
+//! Before building Atlas, the paper profiles a P3700 to find the I/O
+//! window where the drive is saturated *and* latency is still far
+//! below WAN RTTs — the fact that makes putting the SSD inside the
+//! TCP ACK clock viable at all (§3). This example runs that profile
+//! and prints the operating-point recommendation.
+//!
+//!     cargo run --release --example tune_io_window
+
+use dcn_bench::storage::run_diskmap;
+use disk_crypt_net::simcore::Nanos;
+
+fn main() {
+    println!("Profiling one simulated P3700 with 16 KiB reads...\n");
+    println!("{:>7} {:>12} {:>12}", "window", "latency(ms)", "Gb/s");
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut max_gbps: f64 = 0.0;
+    let mut results = Vec::new();
+    for window in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let r = run_diskmap(1, 16 * 1024, window, Nanos::from_millis(200), 42);
+        println!(
+            "{window:>7} {:>12.3} {:>12.1}",
+            r.mean_latency_us / 1000.0,
+            r.throughput_gbps
+        );
+        max_gbps = max_gbps.max(r.throughput_gbps);
+        results.push((window, r.mean_latency_us, r.throughput_gbps));
+    }
+    for (window, lat_us, gbps) in results {
+        if gbps >= 0.95 * max_gbps && lat_us < 1000.0 && best.is_none() {
+            best = Some((window, lat_us, gbps));
+        }
+    }
+    match best {
+        Some((w, lat, gbps)) => println!(
+            "\nOperating point: window {w} -> {gbps:.1} Gb/s at {:.2} ms latency\n\
+             (≥95% of peak, latency well under typical WAN RTTs — safe to clock\n\
+             this drive off TCP ACKs, as §3 concludes).",
+            lat / 1000.0
+        ),
+        None => println!("\nNo window met the criteria — check the firmware model."),
+    }
+}

@@ -1,0 +1,30 @@
+//! # disk-crypt-net — facade crate
+//!
+//! Re-exports the whole Disk|Crypt|Net reproduction behind one
+//! dependency. See DESIGN.md for the crate map and EXPERIMENTS.md for
+//! the paper-vs-measured record.
+//!
+//! The headline entry points:
+//!
+//! * [`atlas`] — the Atlas video-streaming stack (the paper's core
+//!   contribution): buffer-cache-free, ACK-clocked disk reads,
+//!   in-place encryption, process-to-completion.
+//! * [`diskmap`] — the kernel-bypass NVMe storage framework with the
+//!   paper's Table 1 API.
+//! * [`kstack`] — the conventional-stack baselines (stock
+//!   nginx/FreeBSD and the Netflix-optimized variant).
+//! * [`workload`] — scenario runner that reproduces every figure.
+
+pub use dcn_atlas as atlas;
+pub use dcn_crypto as crypto;
+pub use dcn_diskmap as diskmap;
+pub use dcn_httpd as httpd;
+pub use dcn_kstack as kstack;
+pub use dcn_mem as mem;
+pub use dcn_netdev as netdev;
+pub use dcn_nvme as nvme;
+pub use dcn_packet as packet;
+pub use dcn_simcore as simcore;
+pub use dcn_store as store;
+pub use dcn_tcpstack as tcpstack;
+pub use dcn_workload as workload;

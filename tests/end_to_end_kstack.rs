@@ -1,0 +1,48 @@
+//! End-to-end integration: the conventional-stack baselines serve
+//! verified content over the same testbed.
+
+use disk_crypt_net::kstack::KstackConfig;
+use disk_crypt_net::workload::{run_scenario, Scenario, ServerKind};
+
+#[test]
+fn netflix_plaintext_serves_verified_content() {
+    let sc = Scenario::smoke(ServerKind::Kstack(KstackConfig::netflix()), 16, 42);
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert!(m.responses > 10, "responses={}", m.responses);
+    assert_eq!(m.verify_failures, 0);
+    assert!(m.verified_bytes > 3_000_000, "verified={}", m.verified_bytes);
+    assert!(m.live_fraction > 0.9);
+}
+
+#[test]
+fn netflix_encrypted_serves_verified_content() {
+    let cfg = KstackConfig { encrypted: true, ..KstackConfig::netflix() };
+    let sc = Scenario::smoke(ServerKind::Kstack(cfg), 16, 43);
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert!(m.responses > 10, "responses={}", m.responses);
+    assert_eq!(m.verify_failures, 0, "kTLS GCM verification failed");
+}
+
+#[test]
+fn stock_plaintext_serves_verified_content() {
+    let sc = Scenario::smoke(ServerKind::Kstack(KstackConfig::stock()), 16, 44);
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert!(m.responses > 5, "responses={}", m.responses);
+    assert_eq!(m.verify_failures, 0);
+}
+
+#[test]
+fn cacheable_workload_hits_buffer_cache() {
+    // 100% BC: a hot set that fits in cache must stop generating disk
+    // traffic once warm.
+    let mut sc = Scenario::smoke(ServerKind::Kstack(KstackConfig::netflix()), 8, 45);
+    sc.fleet.cacheable = true;
+    sc.fleet.hot_files = 16;
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert!(m.responses > 10);
+    assert_eq!(m.verify_failures, 0);
+}

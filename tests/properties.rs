@@ -1,0 +1,261 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants (proptest).
+
+use disk_crypt_net::crypto::{AesGcm128, RecordCipher, RECORD_PAYLOAD_MAX};
+use disk_crypt_net::mem::{CostParams, HostMem, Llc, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE};
+use disk_crypt_net::netdev::{SgChunk, SgList};
+use disk_crypt_net::packet::{Ipv4Addr, Ipv4Repr, SeqNumber, TcpFlags, TcpRepr};
+use disk_crypt_net::simcore::{prf_bytes, Histogram, Nanos};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------- scatter-gather
+
+    /// split_front at any point conserves both length and content.
+    #[test]
+    fn sg_split_conserves_bytes(
+        chunks in prop::collection::vec(
+            prop_oneof![
+                prop::collection::vec(any::<u8>(), 0..64).prop_map(SgChunkKind::Bytes),
+                (0u64..32, 1u64..4096).prop_map(|(page, len)| SgChunkKind::Region(page, len)),
+            ],
+            0..8,
+        ),
+        split_frac in 0.0f64..=1.0,
+    ) {
+        let mut host = HostMem::new();
+        let mut sg = SgList::empty();
+        for (i, c) in chunks.iter().enumerate() {
+            match c {
+                SgChunkKind::Bytes(b) => sg.push_bytes(b.clone()),
+                SgChunkKind::Region(page, len) => {
+                    let region = PhysRegion::new(PhysAddr((1000 + 100 * i as u64 + page) * CHUNK_SIZE), *len);
+                    host.fill_region(region, |buf| {
+                        prf_bytes(i as u64, 0, buf);
+                    });
+                    sg.push_region(region);
+                }
+            }
+        }
+        let total = sg.len();
+        let whole = sg.materialize(&host);
+        let at = (total as f64 * split_frac) as u64;
+        let mut rest = sg;
+        let front = rest.split_front(at);
+        prop_assert_eq!(front.len(), at);
+        prop_assert_eq!(rest.len(), total - at);
+        let mut rejoined = front.materialize(&host);
+        rejoined.extend(rest.materialize(&host));
+        prop_assert_eq!(rejoined, whole);
+    }
+
+    // ----------------------------------------------------- wire formats
+
+    /// Any TcpRepr emits to bytes and parses back identically, with a
+    /// checksum that verifies over arbitrary payloads.
+    #[test]
+    fn tcp_header_roundtrip(
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in 0u8..32,
+        window in any::<u16>(),
+        mss in prop::option::of(536u16..9000),
+        wscale in prop::option::of(0u8..15),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let repr = TcpRepr {
+            src_port: src,
+            dst_port: dst,
+            seq: SeqNumber(seq),
+            ack: SeqNumber(ack),
+            flags: TcpFlags(flags),
+            window,
+            mss,
+            wscale,
+        };
+        let ip = Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 1, 2, 3),
+            protocol: disk_crypt_net::packet::IpProtocol::Tcp,
+            payload_len: (repr.header_len() + payload.len()) as u16,
+            ttl: 64,
+        };
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut buf, ip.pseudo_header_sum(), &payload);
+        let mut whole = buf.clone();
+        whole.extend_from_slice(&payload);
+        let (parsed, off) = TcpRepr::parse(&whole, Some(ip.pseudo_header_sum())).unwrap();
+        prop_assert_eq!(parsed, repr);
+        prop_assert_eq!(off, repr.header_len());
+    }
+
+    /// Flipping any single bit of a TCP segment breaks its checksum.
+    #[test]
+    fn tcp_checksum_detects_any_bitflip(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        flip in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let repr = TcpRepr {
+            src_port: 80,
+            dst_port: 9999,
+            seq: SeqNumber(1),
+            ack: SeqNumber(2),
+            flags: TcpFlags::ACK,
+            window: 100,
+            mss: None,
+            wscale: None,
+        };
+        let ps = 0xBEEFu32;
+        let mut whole = vec![0u8; repr.header_len()];
+        repr.emit(&mut whole, ps, &payload);
+        whole.extend_from_slice(&payload);
+        let idx = flip.index(whole.len());
+        whole[idx] ^= 1 << bit;
+        // Either the parse fails outright (header structure) or the
+        // checksum rejects it; it must never parse cleanly as the
+        // SAME header with intact payload.
+        // The corruption must never parse cleanly as the SAME header:
+        // either the parse fails (checksum/structure) or the repr
+        // changed (the flip hit a header field, breaking equality).
+        let same_header_survived = matches!(
+            TcpRepr::parse(&whole, Some(ps)),
+            Ok((parsed, off)) if parsed == repr && off == repr.header_len()
+        );
+        prop_assert!(!same_header_survived);
+    }
+
+    // --------------------------------------------------------- crypto
+
+    /// Seal/open round-trips for arbitrary payloads, keys, nonces;
+    /// any tamper of ciphertext or tag is rejected.
+    #[test]
+    fn gcm_roundtrip_and_tamper(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        mut data in prop::collection::vec(any::<u8>(), 0..512),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        tamper in any::<proptest::sample::Index>(),
+    ) {
+        let gcm = AesGcm128::new(&key);
+        let original = data.clone();
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data);
+        if !original.is_empty() {
+            prop_assert_ne!(&data, &original, "ciphertext differs from plaintext");
+            // Tamper one ciphertext byte: open must fail.
+            let mut tampered = data.clone();
+            let idx = tamper.index(tampered.len());
+            tampered[idx] ^= 0x01;
+            prop_assert!(!gcm.open_in_place(&nonce, &aad, &mut tampered, &tag));
+        }
+        prop_assert!(gcm.open_in_place(&nonce, &aad, &mut data, &tag));
+        prop_assert_eq!(data, original);
+    }
+
+    /// Record re-encryption at the same stream offset is bit-identical
+    /// (the stateless-retransmission property §3.2 rests on).
+    #[test]
+    fn record_reencryption_deterministic(
+        key in any::<[u8; 16]>(),
+        salt in any::<u32>(),
+        record_idx in 0u64..1_000_000,
+        data in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let rc = RecordCipher::new(&key, salt);
+        let off = record_idx * RECORD_PAYLOAD_MAX as u64;
+        let mut a = data.clone();
+        let mut b = data.clone();
+        let ta = rc.seal_record(off, &mut a);
+        let tb = rc.seal_record(off, &mut b);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ta, tb);
+    }
+
+    // ------------------------------------------------------------- PRF
+
+    /// Content PRF is positional: any sub-range equals the same slice
+    /// of the whole stream.
+    #[test]
+    fn prf_subrange_consistency(seed in any::<u64>(), start in 0u64..500, len in 1usize..200) {
+        let mut whole = vec![0u8; 700];
+        prf_bytes(seed, 0, &mut whole);
+        let mut part = vec![0u8; len];
+        prf_bytes(seed, start, &mut part);
+        prop_assert_eq!(&whole[start as usize..start as usize + len], &part[..]);
+    }
+
+    // ------------------------------------------------------------- LLC
+
+    /// LLC residency never exceeds capacity, and the DDIO population
+    /// never exceeds its cap, under arbitrary op sequences.
+    #[test]
+    fn llc_capacity_invariants(ops in prop::collection::vec((0u8..5, 0u64..64), 1..300)) {
+        let mut llc = Llc::new(LlcConfig { capacity_chunks: 16, ddio_chunks: 4 });
+        for (op, chunk) in ops {
+            match op {
+                0 => { llc.insert_dma(chunk); }
+                1 => { llc.insert_cpu(chunk, false); }
+                2 => { llc.insert_cpu(chunk, true); }
+                3 => { llc.touch(chunk, false); }
+                _ => { llc.invalidate(chunk); }
+            }
+            prop_assert!(llc.resident() <= 16, "capacity exceeded");
+            prop_assert!(llc.dma_resident() <= 4, "DDIO cap exceeded");
+            prop_assert!(llc.dma_resident() <= llc.resident());
+        }
+    }
+
+    /// DRAM traffic conservation: bytes read via CPU misses equal the
+    /// counter total; discarding never writes back.
+    #[test]
+    fn mem_counters_track_misses(pages in prop::collection::vec(0u64..512, 1..100)) {
+        let mut mem = MemSystem::new(
+            LlcConfig { capacity_chunks: 32, ddio_chunks: 8 },
+            CostParams::default(),
+            Nanos::from_millis(1),
+        );
+        let mut expect_rd = 0u64;
+        for p in pages {
+            let r = PhysRegion::new(PhysAddr(p * CHUNK_SIZE), CHUNK_SIZE);
+            let out = mem.cpu_read(Nanos::ZERO, r);
+            expect_rd += out.dram_read_bytes;
+        }
+        prop_assert_eq!(mem.counters.total_dram_rd, expect_rd);
+    }
+
+    // ------------------------------------------------------ statistics
+
+    /// Histogram quantiles are monotone in q and bounded by the range.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let mut h = Histogram::new(0.0, 100.0, 64);
+        for s in &samples {
+            h.add(*s);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantiles must be monotone");
+            prop_assert!((0.0..=100.0).contains(&v));
+            last = v;
+        }
+    }
+}
+
+/// Local helper enum for the SgList strategy.
+#[derive(Clone, Debug)]
+enum SgChunkKind {
+    Bytes(Vec<u8>),
+    Region(u64, u64),
+}
+
+#[test]
+fn sg_chunks_are_well_formed() {
+    // Anchor: an empty SgList materializes to nothing.
+    let host = HostMem::new();
+    assert!(SgList::empty().materialize(&host).is_empty());
+    let sg = SgList(vec![SgChunk::Bytes(vec![1, 2, 3])]);
+    assert_eq!(sg.materialize(&host), vec![1, 2, 3]);
+}
