@@ -91,7 +91,11 @@ impl ResponseLayout {
     /// Stream offset of record `i`'s first wire byte.
     #[must_use]
     pub fn record_stream_off(&self, i: u64) -> u64 {
-        let per = if self.encrypted { RECORD_WIRE } else { RECORD_PLAIN };
+        let per = if self.encrypted {
+            RECORD_WIRE
+        } else {
+            RECORD_PLAIN
+        };
         self.body_start() + i * per
     }
 
@@ -109,8 +113,15 @@ impl ResponseLayout {
             return None;
         }
         let rel = stream_off - self.body_start();
-        let per = if self.encrypted { RECORD_WIRE } else { RECORD_PLAIN };
-        Some(BodyPos { record: rel / per, off_in_record: rel % per })
+        let per = if self.encrypted {
+            RECORD_WIRE
+        } else {
+            RECORD_PLAIN
+        };
+        Some(BodyPos {
+            record: rel / per,
+            off_in_record: rel % per,
+        })
     }
 
     /// Does `stream_off` fall within the header block?

@@ -6,9 +6,12 @@ use crate::conn::{AtlasConn, InflightFetch, ResponseLayout, RECORD_PLAIN};
 use dcn_crypto::RecordCipher;
 use dcn_diskmap::{BufId, DiskId, DiskmapKernel, IoDesc, NvmeQueue};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
-use dcn_mem::{CostParams, CoreSet, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion};
+use dcn_mem::{
+    CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
+};
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
 use dcn_nvme::{FirmwareParams, NvmeConfig, NvmeDevice, SyntheticBacking};
+use dcn_obs::{ChunkKind, CounterId, Registry, Stage, Tracer};
 use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::Catalog;
@@ -36,6 +39,11 @@ pub struct AtlasConfig {
     pub costs: CostParams,
     pub fidelity: Fidelity,
     pub server_endpoint: Endpoint,
+    /// Enable the dcn-obs chunk-lifecycle tracer. Off by default:
+    /// the disabled tracer adds no per-chunk allocations and the
+    /// run is bit-identical either way (residency queries use the
+    /// non-mutating LLC probe).
+    pub trace: bool,
 }
 
 impl Default for AtlasConfig {
@@ -47,7 +55,10 @@ impl Default for AtlasConfig {
             watermark: 10 * 1448,
             encrypted: false,
             tcb: TcbConfig::default(),
-            nic: NicConfig { rings: 4, ..NicConfig::default() },
+            nic: NicConfig {
+                rings: 4,
+                ..NicConfig::default()
+            },
             firmware: FirmwareParams::p3700(),
             llc: LlcConfig::xeon_e5_2667v3(),
             costs: CostParams::default(),
@@ -57,11 +68,15 @@ impl Default for AtlasConfig {
                 ip: dcn_packet::Ipv4Addr::new(10, 0, 0, 1),
                 port: 80,
             },
+            trace: false,
         }
     }
 }
 
-/// Steady-state measurements (read at the end of a run).
+/// Steady-state measurements. Since the dcn-obs refactor this is a
+/// thin view assembled from the unified registry by
+/// [`AtlasServer::metrics`] — the registry (per-core labelled
+/// counters) is the source of truth.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AtlasMetrics {
     pub http_payload_bytes: u64,
@@ -69,6 +84,37 @@ pub struct AtlasMetrics {
     pub disk_read_bytes: u64,
     pub retransmit_fetches: u64,
     pub conns: usize,
+}
+
+/// Pre-registered registry handles for the per-chunk hot path: one
+/// counter per (signal, core), indexed by core — incrementing is a
+/// `Vec` index add, no hashing or allocation.
+struct AtlasIds {
+    conns: CounterId,
+    responses: Vec<CounterId>,
+    http_payload_bytes: Vec<CounterId>,
+    disk_read_bytes: Vec<CounterId>,
+    retransmit_fetches: Vec<CounterId>,
+}
+
+impl AtlasIds {
+    fn register(reg: &mut Registry, cores: usize) -> Self {
+        AtlasIds {
+            conns: reg.counter("atlas.conns"),
+            responses: (0..cores)
+                .map(|c| reg.counter_core("atlas.responses", c))
+                .collect(),
+            http_payload_bytes: (0..cores)
+                .map(|c| reg.counter_core("atlas.http_payload_bytes", c))
+                .collect(),
+            disk_read_bytes: (0..cores)
+                .map(|c| reg.counter_core("atlas.disk_read_bytes", c))
+                .collect(),
+            retransmit_fetches: (0..cores)
+                .map(|c| reg.counter_core("atlas.retransmit_fetches", c))
+                .collect(),
+        }
+    }
 }
 
 struct ConnSlot {
@@ -104,7 +150,16 @@ pub struct AtlasServer {
     /// traffic is pure ACKs).
     rx_slots: Vec<PhysRegion>,
     rng: SimRng,
-    pub metrics: AtlasMetrics,
+    /// Unified dcn-obs registry: every subsystem (server, TCP, NIC,
+    /// diskmap) publishes here; [`AtlasServer::metrics`] is a view.
+    pub reg: Registry,
+    /// Chunk-lifecycle tracer (no-op unless `cfg.trace`).
+    pub tracer: Tracer,
+    ids: AtlasIds,
+    /// Virtual time of the wire event (RX frame or timer) that the
+    /// current control-loop pass is servicing — the AckArrival stamp
+    /// for any fetch that pass issues.
+    trace_rx_at: Nanos,
     phys: PhysAlloc,
 }
 
@@ -151,8 +206,19 @@ impl AtlasServer {
             core_disks.push(CoreDisks { queues });
         }
         let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
+        let mut reg = Registry::new();
+        let ids = AtlasIds::register(&mut reg, cfg.cores);
+        let tracer = if cfg.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         AtlasServer {
-            nic: Nic::new(NicConfig { rings: cfg.cores, fidelity: cfg.fidelity, ..cfg.nic }),
+            nic: Nic::new(NicConfig {
+                rings: cfg.cores,
+                fidelity: cfg.fidelity,
+                ..cfg.nic
+            }),
             cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), true),
             kernel,
             mem,
@@ -167,10 +233,50 @@ impl AtlasServer {
             next_token: 1,
             rx_slots,
             rng: SimRng::new(seed ^ 0xA71A5),
-            metrics: AtlasMetrics::default(),
+            reg,
+            tracer,
+            ids,
+            trace_rx_at: Nanos::ZERO,
             cfg,
             phys,
         }
+    }
+
+    /// Assemble the legacy metrics view from the unified registry.
+    #[must_use]
+    pub fn metrics(&self) -> AtlasMetrics {
+        AtlasMetrics {
+            http_payload_bytes: self.reg.sum_prefixed("atlas.http_payload_bytes"),
+            responses: self.reg.sum_prefixed("atlas.responses"),
+            disk_read_bytes: self.reg.sum_prefixed("atlas.disk_read_bytes"),
+            retransmit_fetches: self.reg.sum_prefixed("atlas.retransmit_fetches"),
+            conns: self.reg.counter_value(self.ids.conns) as usize,
+        }
+    }
+
+    /// Refresh gauge-type registry metrics from component state —
+    /// buffer-pool depth per core, per-core TCP counters (RTO
+    /// firings, retransmitted bytes), NIC and diskmap totals. Called
+    /// at sample/report points, never on the per-chunk hot path.
+    pub fn publish_obs(&mut self) {
+        for core in 0..self.cfg.cores {
+            let free: u32 = self.core_disks[core]
+                .queues
+                .iter()
+                .map(|q| q.pool_ref().available())
+                .sum();
+            let g = self.reg.gauge_core("atlas.pool_free_bufs", core);
+            self.reg.set(g, f64::from(free));
+            let tcbs = self
+                .slots
+                .iter()
+                .filter(|s| s.core == core)
+                .map(|s| &s.conn.tcb);
+            dcn_tcpstack::publish_tcb_metrics(&mut self.reg, core, tcbs);
+        }
+        self.nic.publish_metrics(&mut self.reg);
+        self.kernel.publish_metrics(&mut self.reg);
+        self.mem.counters.publish_metrics(&mut self.reg);
     }
 
     fn core_of_flow(&self, flow: FlowId) -> usize {
@@ -185,7 +291,9 @@ impl AtlasServer {
     pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
         let mut touched_cores = BTreeSet::new();
         for frame in frames {
-            let Some((flow, tcp, payload)) = parse_frame(&frame) else { continue };
+            let Some((flow, tcp, payload)) = parse_frame(&frame) else {
+                continue;
+            };
             let core = self.core_of_flow(flow);
             touched_cores.insert(core);
             self.nic
@@ -194,17 +302,48 @@ impl AtlasServer {
         }
         let _ = touched_cores;
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
+        self.trace_bursts(&bursts);
         self.reclaim_tx(now);
         bursts
     }
 
-    fn handle_segment(&mut self, now: Nanos, core: usize, flow: FlowId, tcp: &TcpRepr, payload: &[u8]) {
+    /// Stamp NIC-DMA time (and LLC residency at that instant) for
+    /// every chunk a drained burst carried. A burst whose payload DMA
+    /// read touched zero DRAM bytes was served entirely from the LLC
+    /// — the paper's ideal disk→LLC→wire path.
+    fn trace_bursts(&mut self, bursts: &[SentBurst]) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for b in bursts {
+            if b.completion != 0 {
+                self.tracer
+                    .stamp_tx(b.completion, Stage::NicTxDma, b.departed);
+                self.tracer
+                    .llc_at_nic_dma_tx(b.completion, b.dma_dram_bytes == 0);
+            }
+        }
+    }
+
+    fn handle_segment(
+        &mut self,
+        now: Nanos,
+        core: usize,
+        flow: FlowId,
+        tcp: &TcpRepr,
+        payload: &[u8],
+    ) {
         let costs = self.cfg.costs;
-        if tcp.flags.contains(dcn_packet::TcpFlags::SYN) && !tcp.flags.contains(dcn_packet::TcpFlags::ACK) {
+        self.trace_rx_at = now;
+        if tcp.flags.contains(dcn_packet::TcpFlags::SYN)
+            && !tcp.flags.contains(dcn_packet::TcpFlags::ACK)
+        {
             self.accept_conn(now, core, flow, tcp);
             return;
         }
-        let Some(&slot_idx) = self.conns.get(&flow) else { return };
+        let Some(&slot_idx) = self.conns.get(&flow) else {
+            return;
+        };
         let cycles = costs.tcp_rx_ack_cycles;
         let done_at = self.cores.run_on(core, now, cycles);
         let slot = &mut self.slots[slot_idx];
@@ -225,8 +364,14 @@ impl AtlasServer {
             port: flow.src_port,
         };
         let iss = SeqNumber(self.rng.next_u64() as u32);
-        let (tcb, synack) =
-            Tcb::accept(self.cfg.tcb, self.cfg.server_endpoint, remote, syn, iss, now);
+        let (tcb, synack) = Tcb::accept(
+            self.cfg.tcb,
+            self.cfg.server_endpoint,
+            remote,
+            syn,
+            iss,
+            now,
+        );
         let cipher = self.cfg.encrypted.then(|| {
             // Per-session key material (dummy keys, as in §4.2's TLS
             // emulation — handshake out of scope).
@@ -235,12 +380,15 @@ impl AtlasServer {
             RecordCipher::new(&key, flow.rss_hash())
         });
         let slot_idx = self.slots.len();
-        self.slots.push(ConnSlot { conn: AtlasConn::new(tcb, cipher), core });
+        self.slots.push(ConnSlot {
+            conn: AtlasConn::new(tcb, cipher),
+            core,
+        });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
         self.nic.tx_rings[core].push(synack.into_tx(0));
         self.sync_timer(slot_idx);
-        self.metrics.conns += 1;
+        self.reg.inc(self.ids.conns);
     }
 
     // ------------------------------------------------- event processing
@@ -279,7 +427,9 @@ impl AtlasServer {
             match slot.conn.parser.next_request() {
                 Ok(Some(req)) => {
                     let info = match parse_chunk_path(&req.path) {
-                        Some(f) if f.0 < n_files => ResponseInfo::Ok { body_len: file_size },
+                        Some(f) if f.0 < n_files => ResponseInfo::Ok {
+                            body_len: file_size,
+                        },
                         _ => ResponseInfo::NotFound,
                     };
                     new_responses.push((info, parse_chunk_path(&req.path)));
@@ -365,8 +515,13 @@ impl AtlasServer {
             }
             let slot = &mut self.slots[slot_idx];
             let cursor = slot.conn.tcb.stream_offset_of_snd_nxt();
-            let Some((&off, _)) = slot.conn.ready_tx.first_key_value() else { break };
-            debug_assert!(off >= cursor, "ready item behind the stream: {off} < {cursor}");
+            let Some((&off, _)) = slot.conn.ready_tx.first_key_value() else {
+                break;
+            };
+            debug_assert!(
+                off >= cursor,
+                "ready item behind the stream: {off} < {cursor}"
+            );
             if off != cursor {
                 break; // a hole: an earlier record's disk read is still in flight
             }
@@ -375,10 +530,13 @@ impl AtlasServer {
             slot.conn.reserved = slot.conn.reserved.saturating_sub(len);
             if item.completes_response {
                 slot.conn.responses_completed += 1;
-                self.metrics.responses += 1;
+                self.reg.inc(self.ids.responses[core]);
             }
             let out = slot.conn.tcb.send_data(now, item.sg, false);
             self.nic.tx_rings[core].push(out.into_tx(item.token));
+            if item.token != 0 {
+                self.tracer.stamp_tx(item.token, Stage::TsoPacketize, now);
+            }
         }
     }
 
@@ -390,7 +548,9 @@ impl AtlasServer {
         loop {
             let slot = &mut self.slots[slot_idx];
             // Start the next queued request if the active one is done.
-            let Some(layout) = slot.conn.active_layout() else { break };
+            let Some(layout) = slot.conn.active_layout() else {
+                break;
+            };
             let record = slot.conn.next_record;
             let wire = layout.record_wire_len(record);
             let usable = slot
@@ -428,7 +588,11 @@ impl AtlasServer {
             let issued = self.issue_fetch(
                 now,
                 slot_idx,
-                InflightFetch { layout_id, record, retx: None },
+                InflightFetch {
+                    layout_id,
+                    record,
+                    retx: None,
+                },
                 file,
                 file_off,
                 plain,
@@ -479,10 +643,27 @@ impl AtlasServer {
         let cycles = q
             .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
             .expect("sqsync");
-        self.cores.run_on(core, now, cycles);
+        let submitted_at = self.cores.run_on(core, now, cycles);
         self.fetches.insert(token, (slot_idx, fetch, buf, loc.disk));
         if fetch.retx.is_some() {
-            self.metrics.retransmit_fetches += 1;
+            self.reg.inc(self.ids.retransmit_fetches[core]);
+        }
+        if self.tracer.is_enabled() {
+            let kind = if fetch.retx.is_some() {
+                ChunkKind::RetransmitFetch
+            } else {
+                ChunkKind::Fresh
+            };
+            self.tracer
+                .begin(token, slot_idx as u64, core as u32, file_off, aligned, kind);
+            self.tracer
+                .stamp(token, Stage::AckArrival, self.trace_rx_at);
+            if fetch.retx.is_none() {
+                // A retransmit fetch is loss-driven, not watermark-
+                // driven; the stage is legitimately absent for it.
+                self.tracer.stamp(token, Stage::WatermarkTrigger, now);
+            }
+            self.tracer.stamp(token, Stage::NvmeSubmit, submitted_at);
         }
         true
     }
@@ -500,12 +681,17 @@ impl AtlasServer {
             let rel = (offset - layout.start) as usize;
             let end = (rel + len as usize).min(layout.header.len());
             let bytes = layout.header[rel..end].to_vec();
-            let out = slot.conn.tcb.send_retransmit(now, offset, SgList::from_bytes(bytes));
+            let out = slot
+                .conn
+                .tcb
+                .send_retransmit(now, offset, SgList::from_bytes(bytes));
             let core = slot.core;
             self.nic.tx_rings[core].push(out.into_tx(0));
             return;
         }
-        let Some(pos) = layout.locate_body(offset) else { return };
+        let Some(pos) = layout.locate_body(offset) else {
+            return;
+        };
         // Re-fetch the containing record; on completion, slice out
         // exactly [off_in_record, off_in_record+len).
         let record = pos.record;
@@ -519,7 +705,11 @@ impl AtlasServer {
         let issued = self.issue_fetch(
             now,
             slot_idx,
-            InflightFetch { layout_id, record, retx: Some((pos.off_in_record, retx_len)) },
+            InflightFetch {
+                layout_id,
+                record,
+                retx: Some((pos.off_in_record, retx_len)),
+            },
             file,
             file_off,
             plain,
@@ -573,6 +763,7 @@ impl AtlasServer {
             .map(|&(_, s)| s)
             .collect();
         for slot_idx in due {
+            self.trace_rx_at = now;
             let slot = &mut self.slots[slot_idx];
             slot.conn.tcb.on_timer(now);
             touched.insert(slot.core);
@@ -580,6 +771,7 @@ impl AtlasServer {
         }
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         let _ = touched;
+        self.trace_bursts(&bursts);
         self.reclaim_tx(now);
         bursts
     }
@@ -590,12 +782,15 @@ impl AtlasServer {
         let Some((slot_idx, fetch, buf, disk)) = self.fetches.remove(&io.user) else {
             return;
         };
+        self.tracer
+            .stamp(io.user, Stage::FirmwareComplete, io.completed_at);
         let core = self.slots[slot_idx].core;
         let costs = self.cfg.costs;
         if io.status != dcn_diskmap::IoStatus::Ok {
             // §2.1.1 semantics: a failed video read is irrecoverable
             // for the connection; drop it.
             self.core_disks[core].queues[disk].pool().free(buf);
+            self.tracer.discard(io.user);
             return;
         }
         let slot = &mut self.slots[slot_idx];
@@ -603,6 +798,7 @@ impl AtlasServer {
             // The response was fully acked and pruned while this
             // (retransmit) fetch was in flight: drop it.
             self.core_disks[core].queues[disk].pool().free(buf);
+            self.tracer.discard(io.user);
             return;
         };
         let layout = layout.clone();
@@ -614,11 +810,24 @@ impl AtlasServer {
         // nonce from the record's position in the stream.
         let mut framing_tag: Option<(Vec<u8>, Vec<u8>)> = None;
         if layout.encrypted {
+            // Fig 12/14 classification, per chunk: is the DMA'd
+            // buffer still LLC-resident as the CPU starts the
+            // in-place encrypt? (Non-mutating probe — tracing on or
+            // off, the simulation is bit-identical.)
+            if self.tracer.is_enabled() {
+                let resident = self.mem.probe_region(buf_region);
+                self.tracer.llc_at_encrypt(io.user, resident);
+                self.tracer.stamp(io.user, Stage::EncryptStart, now);
+            }
             let rmw = self.mem.cpu_rmw(now, buf_region);
             cycles += rmw.stall_cycles + (plain_len as f64 * costs.aes_gcm_cycles_per_byte) as u64;
             let record_plain_off = fetch.record * RECORD_PLAIN;
             let tag = if self.cfg.fidelity == Fidelity::Full {
-                let cipher = slot.conn.cipher.as_ref().expect("encrypted conn has cipher");
+                let cipher = slot
+                    .conn
+                    .cipher
+                    .as_ref()
+                    .expect("encrypted conn has cipher");
                 self.host.update_region(buf_region, |data| {
                     cipher.seal_record(record_plain_off, data)
                 })
@@ -627,7 +836,9 @@ impl AtlasServer {
             };
             let mut rec_hdr = vec![0x17, 0x03, 0x03, 0, 0]; // TLS1.2 app-data
             rec_hdr[3..5].copy_from_slice(
-                &u16::try_from(plain_len + 16).expect("record fits u16").to_be_bytes(),
+                &u16::try_from(plain_len + 16)
+                    .expect("record fits u16")
+                    .to_be_bytes(),
             );
             framing_tag = Some((rec_hdr, tag.to_vec()));
         } else {
@@ -646,19 +857,27 @@ impl AtlasServer {
         }
 
         let done_at = self.cores.run_on(core, now, cycles);
+        if layout.encrypted {
+            self.tracer.stamp(io.user, Stage::EncryptEnd, done_at);
+        }
         let token = tx_token(core, disk, buf);
+        self.tracer.map_tx(token, io.user);
         match fetch.retx {
             None => {
                 slot.conn.fetches_inflight -= 1;
-                self.metrics.http_payload_bytes += sg.len();
-                self.metrics.disk_read_bytes += io.len;
+                self.reg.add(self.ids.http_payload_bytes[core], sg.len());
+                self.reg.add(self.ids.disk_read_bytes[core], io.len);
                 let last = fetch.record + 1 == layout.n_records()
                     && fetch.layout_id + 1 == slot.conn.next_layout_id;
                 // Park at the record's stream offset; drain sends
                 // everything in order.
                 slot.conn.ready_tx.insert(
                     layout.record_stream_off(fetch.record),
-                    crate::conn::ReadyTx { sg, token, completes_response: last },
+                    crate::conn::ReadyTx {
+                        sg,
+                        token,
+                        completes_response: last,
+                    },
                 );
                 self.drain_tx(done_at, slot_idx);
             }
@@ -674,6 +893,7 @@ impl AtlasServer {
                 let stream_off = layout.record_stream_off(fetch.record) + off;
                 let out = slot.conn.tcb.send_retransmit(done_at, stream_off, piece);
                 self.nic.tx_rings[core].push(out.into_tx(token));
+                self.tracer.stamp_tx(token, Stage::TsoPacketize, done_at);
             }
         }
         // Keep pumping: completing a fetch freed a buffer slot and the
@@ -683,12 +903,13 @@ impl AtlasServer {
     }
 
     /// §3 step 5: NIC TX completions recycle buffers (LIFO).
-    fn reclaim_tx(&mut self, _now: Nanos) {
+    fn reclaim_tx(&mut self, now: Nanos) {
         for core in 0..self.cfg.cores {
             for token in self.nic.tx_rings[core].txsync_collect() {
                 if token == 0 {
                     continue;
                 }
+                self.tracer.finish_tx(token, now);
                 let (c, disk, buf) = untx_token(token);
                 self.core_disks[c].queues[disk].pool().free(buf);
             }
@@ -760,7 +981,7 @@ impl AtlasServer {
         }
         format!(
             "metrics={:?} inflight_fetch_tokens={} free_bufs={}{per_conn}",
-            self.metrics,
+            self.metrics(),
             self.fetches.len(),
             self.free_buffers(),
         )

@@ -1,31 +1,60 @@
-//! Criterion micro-benchmarks for the hot primitives: AES-GCM
-//! sealing, TCP segment processing, NVMe queue operations, the LLC
-//! model, and the wire-format codecs.
+//! Micro-benchmarks for the hot primitives: AES-GCM sealing, TCP
+//! wire codecs, NVMe firmware submit/drain, and the LLC model.
+//!
+//! This is a plain `harness = false` binary (the container builds
+//! offline, so no external bench framework): each case is warmed up,
+//! then timed over enough iterations to smooth scheduler noise, and
+//! reported as ns/iter plus throughput where bytes are meaningful.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dcn_crypto::{AesGcm128, RecordCipher};
 use dcn_mem::{CostParams, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE};
 use dcn_nvme::{FirmwareParams, NvmeCommand, Opcode};
 use dcn_packet::{internet_checksum, SeqNumber, TcpFlags, TcpRepr};
 use dcn_simcore::Nanos;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
-    let gcm = AesGcm128::new(b"0123456789abcdef");
-    let mut buf = vec![0xA5u8; 16 * 1024];
-    g.throughput(Throughput::Bytes(buf.len() as u64));
-    g.bench_function("aes128gcm_seal_16k", |b| {
-        b.iter(|| gcm.seal_in_place(&[7u8; 12], &[], &mut buf))
-    });
-    let rc = RecordCipher::new(b"0123456789abcdef", 99);
-    g.bench_function("record_seal_16k", |b| {
-        b.iter(|| rc.seal_record(0, &mut buf[..16 * 1024]))
-    });
-    g.finish();
+/// Run `f` for ~`target_ms` of wall time and report ns/iter.
+fn bench(name: &str, bytes_per_iter: u64, mut f: impl FnMut()) {
+    const WARMUP: u32 = 50;
+    for _ in 0..WARMUP {
+        f();
+    }
+    // Calibrate: start small, grow until the batch takes >= 20ms.
+    let mut iters: u64 = 100;
+    let (elapsed, iters) = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed();
+        if dt.as_millis() >= 20 || iters >= 100_000_000 {
+            break (dt, iters);
+        }
+        iters *= 4;
+    };
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    if bytes_per_iter > 0 {
+        let gibps = bytes_per_iter as f64 / ns; // bytes/ns == GB/s
+        println!("{name:<34} {ns:>12.1} ns/iter  {gibps:>8.2} GB/s");
+    } else {
+        println!("{name:<34} {ns:>12.1} ns/iter");
+    }
 }
 
-fn bench_packet(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packet");
+fn bench_crypto() {
+    let gcm = AesGcm128::new(b"0123456789abcdef");
+    let mut buf = vec![0xA5u8; 16 * 1024];
+    bench("crypto/aes128gcm_seal_16k", buf.len() as u64, || {
+        black_box(gcm.seal_in_place(&[7u8; 12], &[], &mut buf));
+    });
+    let rc = RecordCipher::new(b"0123456789abcdef", 99);
+    bench("crypto/record_seal_16k", 16 * 1024, || {
+        black_box(rc.seal_record(0, &mut buf[..16 * 1024]));
+    });
+}
+
+fn bench_packet() {
     let repr = TcpRepr {
         src_port: 80,
         dst_port: 5555,
@@ -38,62 +67,55 @@ fn bench_packet(c: &mut Criterion) {
     };
     let mut hdr = vec![0u8; 20];
     repr.emit(&mut hdr, 0x1234, &[]);
-    g.bench_function("tcp_parse", |b| b.iter(|| TcpRepr::parse(&hdr, None).unwrap()));
-    g.bench_function("tcp_emit", |b| {
-        b.iter(|| {
-            let mut h = [0u8; 20];
-            repr.emit(&mut h, 0x1234, &[]);
-            h
-        })
+    bench("packet/tcp_parse", 0, || {
+        black_box(TcpRepr::parse(black_box(&hdr), None).unwrap());
+    });
+    bench("packet/tcp_emit", 0, || {
+        let mut h = [0u8; 20];
+        repr.emit(&mut h, 0x1234, &[]);
+        black_box(h);
     });
     let payload = vec![0x5Au8; 1448];
-    g.throughput(Throughput::Bytes(1448));
-    g.bench_function("checksum_1448", |b| b.iter(|| internet_checksum(0, &payload)));
-    g.finish();
-}
-
-fn bench_nvme(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nvme");
-    g.bench_function("firmware_submit_drain_16k", |b| {
-        b.iter_batched(
-            || dcn_nvme::firmware::Firmware::new(FirmwareParams::p3700(), 1),
-            |mut fw| {
-                let cmd = NvmeCommand {
-                    opcode: Opcode::Read,
-                    cid: 1,
-                    nsid: 1,
-                    slba: 0,
-                    nlb: 32,
-                    prp: vec![PhysRegion::new(PhysAddr(4096), 16 * 1024)],
-                };
-                fw.submit(Nanos::ZERO, 0, 0, &cmd);
-                fw.drain_finished(Nanos::from_millis(10))
-            },
-            BatchSize::SmallInput,
-        )
+    bench("packet/checksum_1448", 1448, || {
+        black_box(internet_checksum(0, black_box(&payload)));
     });
-    g.finish();
 }
 
-fn bench_llc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mem");
-    g.throughput(Throughput::Bytes(16 * 1024));
-    g.bench_function("llc_dma_write_read_16k", |b| {
-        let mut mem = MemSystem::new(
-            LlcConfig::xeon_e5_2667v3(),
-            CostParams::default(),
-            Nanos::from_millis(1),
-        );
-        let mut page = 0u64;
-        b.iter(|| {
-            page = (page + 4) % 100_000;
-            let r = PhysRegion::new(PhysAddr(page * CHUNK_SIZE), 16 * 1024);
-            mem.dma_write(Nanos::ZERO, dcn_mem::Agent::DiskDma, r);
-            mem.dma_read(Nanos::ZERO, dcn_mem::Agent::NicDma, r)
-        })
+fn bench_nvme() {
+    bench("nvme/firmware_submit_drain_16k", 0, || {
+        let mut fw = dcn_nvme::firmware::Firmware::new(FirmwareParams::p3700(), 1);
+        let cmd = NvmeCommand {
+            opcode: Opcode::Read,
+            cid: 1,
+            nsid: 1,
+            slba: 0,
+            nlb: 32,
+            prp: vec![PhysRegion::new(PhysAddr(4096), 16 * 1024)],
+        };
+        fw.submit(Nanos::ZERO, 0, 0, &cmd);
+        black_box(fw.drain_finished(Nanos::from_millis(10)));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_packet, bench_nvme, bench_llc);
-criterion_main!(benches);
+fn bench_llc() {
+    let mut mem = MemSystem::new(
+        LlcConfig::xeon_e5_2667v3(),
+        CostParams::default(),
+        Nanos::from_millis(1),
+    );
+    let mut page = 0u64;
+    bench("mem/llc_dma_write_read_16k", 16 * 1024, || {
+        page = (page + 4) % 100_000;
+        let r = PhysRegion::new(PhysAddr(page * CHUNK_SIZE), 16 * 1024);
+        mem.dma_write(Nanos::ZERO, dcn_mem::Agent::DiskDma, r);
+        black_box(mem.dma_read(Nanos::ZERO, dcn_mem::Agent::NicDma, r));
+    });
+}
+
+fn main() {
+    println!("{:-<34} {:->12}--------  {:->8}-----", "", "", "");
+    bench_crypto();
+    bench_packet();
+    bench_nvme();
+    bench_llc();
+}

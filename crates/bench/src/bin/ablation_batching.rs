@@ -17,7 +17,10 @@ fn main() {
     let mut rows = Vec::new();
     for &batch in &[1usize, 4, 16, 64] {
         let costs = CostParams::default();
-        let cfg = NvmeConfig { fidelity: Fidelity::Modeled, ..NvmeConfig::default() };
+        let cfg = NvmeConfig {
+            fidelity: Fidelity::Modeled,
+            ..NvmeConfig::default()
+        };
         let mut kernel = DiskmapKernel::new(vec![NvmeDevice::new(
             cfg,
             Box::new(SyntheticBacking::new(7)),
@@ -26,7 +29,8 @@ fn main() {
         let mut mem = MemSystem::new(LlcConfig::xeon_e5_2667v3(), costs, Nanos::from_millis(1));
         let mut host = HostMem::new();
         let mut pa = PhysAlloc::new();
-        let mut q = NvmeQueue::nvme_open(&mut kernel, DiskId(0), 0, 256, 16 * 1024, &mut pa).unwrap();
+        let mut q =
+            NvmeQueue::nvme_open(&mut kernel, DiskId(0), 0, 256, 16 * 1024, &mut pa).unwrap();
         let mut rng = SimRng::new(3);
         let window = 128usize;
         let mut now = Nanos::ZERO;
@@ -36,7 +40,13 @@ fn main() {
         for _ in 0..window {
             let buf = q.pool().alloc().unwrap();
             q.nvme_read(
-                IoDesc { user: 0, buf, nsid: 1, offset: rng.gen_range(0, 1 << 20) * 16384, len: 16384 },
+                IoDesc {
+                    user: 0,
+                    buf,
+                    nsid: 1,
+                    offset: rng.gen_range(0, 1 << 20) * 16384,
+                    len: 16384,
+                },
                 &costs,
             );
         }
@@ -83,4 +93,5 @@ fn main() {
         &["batch", "gbps", "cpu_ns/io", "syscalls"],
         &rows,
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

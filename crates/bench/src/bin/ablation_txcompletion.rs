@@ -26,13 +26,20 @@ fn main() {
         .iter()
         .map(|&batch| {
             let cfg = AtlasConfig {
-                nic: NicConfig { tx_report_batch: batch, ..NicConfig::default() },
+                nic: NicConfig {
+                    tx_report_batch: batch,
+                    ..NicConfig::default()
+                },
                 fidelity: Fidelity::Modeled,
                 ..AtlasConfig::default()
             };
             let sc = Scenario {
                 server: ServerKind::Atlas(cfg),
-                fleet: FleetConfig { n_clients: n, verify: false, ..FleetConfig::default() },
+                fleet: FleetConfig {
+                    n_clients: n,
+                    verify: false,
+                    ..FleetConfig::default()
+                },
                 catalog: Catalog::paper(31),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
@@ -58,4 +65,5 @@ fn main() {
         "\nSmaller batches = more timely buffer recycling = tighter LIFO reuse\n\
          = smaller working set in the LLC (the paper's §5 design principle)."
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -28,7 +28,11 @@ fn main() {
             };
             let sc = Scenario {
                 server: ServerKind::Atlas(cfg),
-                fleet: FleetConfig { n_clients: n, verify: false, ..FleetConfig::default() },
+                fleet: FleetConfig {
+                    n_clients: n,
+                    verify: false,
+                    ..FleetConfig::default()
+                },
                 catalog: Catalog::paper(11),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
@@ -49,4 +53,5 @@ fn main() {
         &["watermark", "net_gbps", "R:net", "responses"],
         &rows,
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -20,7 +20,18 @@ fn main() {
             Variant::stock(enc, false),
         ];
         let curves = sweep(&variants, scale);
-        print_metric(&format!("{fig}: network throughput (Gb/s)"), &curves, |a| &a.net_gbps, 1);
-        print_metric(&format!("{fig}: CPU utilization (%)"), &curves, |a| &a.cpu_pct, 0);
+        print_metric(
+            &format!("{fig}: network throughput (Gb/s)"),
+            &curves,
+            |a| &a.net_gbps,
+            1,
+        );
+        print_metric(
+            &format!("{fig}: CPU utilization (%)"),
+            &curves,
+            |a| &a.cpu_pct,
+            0,
+        );
     }
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -11,8 +11,29 @@ fn main() {
     let scale = Scale::from_args();
     let variants = [Variant::netflix(true, false), Variant::netflix(true, true)];
     let curves = sweep(&variants, scale);
-    print_metric("Fig 3: memory READ (Gb/s)", &curves, |a| &a.mem_read_gbps, 1);
-    print_metric("Fig 3: memory WRITE (Gb/s)", &curves, |a| &a.mem_write_gbps, 1);
-    print_metric("Fig 3 (context): network throughput (Gb/s)", &curves, |a| &a.net_gbps, 1);
-    print_metric("Fig 3 (derived): read/net ratio", &curves, |a| &a.read_net_ratio, 2);
+    print_metric(
+        "Fig 3: memory READ (Gb/s)",
+        &curves,
+        |a| &a.mem_read_gbps,
+        1,
+    );
+    print_metric(
+        "Fig 3: memory WRITE (Gb/s)",
+        &curves,
+        |a| &a.mem_write_gbps,
+        1,
+    );
+    print_metric(
+        "Fig 3 (context): network throughput (Gb/s)",
+        &curves,
+        |a| &a.net_gbps,
+        1,
+    );
+    print_metric(
+        "Fig 3 (derived): read/net ratio",
+        &curves,
+        |a| &a.read_net_ratio,
+        2,
+    );
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -33,4 +33,5 @@ fn main() {
         &["window", "latency_ms", "gbps", "ios"],
         &rows,
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

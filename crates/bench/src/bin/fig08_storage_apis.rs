@@ -38,4 +38,5 @@ fn main() {
         &["KiB", "diskmap", "aio(4)", "pread(2)"],
         &rows,
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

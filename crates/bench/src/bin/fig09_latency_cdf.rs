@@ -40,4 +40,5 @@ fn main() {
             .collect();
         println!("  {name}: {}", sampled.join(" "));
     }
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -24,10 +24,18 @@ fn main() {
     for encrypted in [false, true] {
         let mut rows = Vec::new();
         for &n in loads {
-            let cfg = AtlasConfig { encrypted, fidelity: Fidelity::Modeled, ..AtlasConfig::default() };
+            let cfg = AtlasConfig {
+                encrypted,
+                fidelity: Fidelity::Modeled,
+                ..AtlasConfig::default()
+            };
             let sc = Scenario {
                 server: ServerKind::Atlas(cfg.clone()),
-                fleet: FleetConfig { n_clients: n, verify: false, ..FleetConfig::default() },
+                fleet: FleetConfig {
+                    n_clients: n,
+                    verify: false,
+                    ..FleetConfig::default()
+                },
                 catalog: Catalog::paper(7),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
@@ -66,8 +74,17 @@ fn main() {
                 "Figs 12/14: Atlas memory patterns ({})",
                 if encrypted { "encrypted" } else { "plaintext" }
             ),
-            &["conns", "net", "memR", "memW", "R:net", "missE8", "dominant pattern"],
+            &[
+                "conns",
+                "net",
+                "memR",
+                "memW",
+                "R:net",
+                "missE8",
+                "dominant pattern",
+            ],
             &rows,
         );
     }
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -16,10 +16,36 @@ fn main() {
         Variant::atlas(true),
     ];
     let curves = sweep(&variants, scale);
-    print_metric("Fig 13a: network throughput (Gb/s)", &curves, |a| &a.net_gbps, 1);
+    print_metric(
+        "Fig 13a: network throughput (Gb/s)",
+        &curves,
+        |a| &a.net_gbps,
+        1,
+    );
     print_metric("Fig 13b: CPU utilization (%)", &curves, |a| &a.cpu_pct, 0);
-    print_metric("Fig 13c: memory READ (Gb/s)", &curves, |a| &a.mem_read_gbps, 1);
-    print_metric("Fig 13d: memory WRITE (Gb/s)", &curves, |a| &a.mem_write_gbps, 1);
-    print_metric("Fig 13e: mem-read / net ratio", &curves, |a| &a.read_net_ratio, 2);
-    print_metric("Fig 13f: CPU DRAM reads (x1e8/s)", &curves, |a| &a.llc_miss_e8, 2);
+    print_metric(
+        "Fig 13c: memory READ (Gb/s)",
+        &curves,
+        |a| &a.mem_read_gbps,
+        1,
+    );
+    print_metric(
+        "Fig 13d: memory WRITE (Gb/s)",
+        &curves,
+        |a| &a.mem_write_gbps,
+        1,
+    );
+    print_metric(
+        "Fig 13e: mem-read / net ratio",
+        &curves,
+        |a| &a.read_net_ratio,
+        2,
+    );
+    print_metric(
+        "Fig 13f: CPU DRAM reads (x1e8/s)",
+        &curves,
+        |a| &a.llc_miss_e8,
+        2,
+    );
+    dcn_bench::maybe_run_observed_atlas();
 }

@@ -47,7 +47,15 @@ fn main() {
         .collect();
     print_table(
         "Summary: throughput / CPU / memory at the highest swept load",
-        &["configuration", "conns", "net Gb/s", "CPU %", "memR Gb/s", "R:net"],
+        &[
+            "configuration",
+            "conns",
+            "net Gb/s",
+            "CPU %",
+            "memR Gb/s",
+            "R:net",
+        ],
         &rows,
     );
+    dcn_bench::maybe_run_observed_atlas();
 }

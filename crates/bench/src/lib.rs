@@ -15,6 +15,7 @@ pub mod storage;
 pub mod sweep;
 
 use dcn_simcore::MeanCi;
+use dcn_workload::ObsOptions;
 
 /// Render a simple aligned table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -33,7 +34,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -51,6 +55,64 @@ pub enum Scale {
     Quick,
     Default,
     Paper,
+}
+
+/// Observability flags shared by every figure binary:
+/// `--trace-out <path>` (chunk-lifecycle JSONL) and
+/// `--metrics-out <path>` (registry time-series CSV).
+#[must_use]
+pub fn obs_from_args() -> ObsOptions {
+    let args: Vec<String> = std::env::args().collect();
+    let grab = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
+    ObsOptions {
+        trace_out: grab("--trace-out"),
+        metrics_out: grab("--metrics-out"),
+        sample_interval: None,
+    }
+}
+
+/// If `--trace-out` / `--metrics-out` was passed, run one small
+/// full-fidelity TLS Atlas scenario with the chunk-lifecycle tracer
+/// on, dump the requested artifacts, and print the per-stage latency
+/// summary (p50/p99). No-op without the flags, so every figure binary
+/// can call this unconditionally at the end of `main`.
+pub fn maybe_run_observed_atlas() {
+    use dcn_atlas::AtlasConfig;
+    use dcn_mem::Fidelity;
+    use dcn_workload::{run_scenario_observed, Scenario, ServerKind};
+
+    let obs = obs_from_args();
+    if !obs.active() {
+        return;
+    }
+    let server = ServerKind::Atlas(AtlasConfig {
+        encrypted: true,
+        fidelity: Fidelity::Full,
+        ..AtlasConfig::default()
+    });
+    let sc = Scenario::smoke(server, 48, 42);
+    let (m, report) = run_scenario_observed(&sc, &obs);
+    println!("\n=== Observability: traced Atlas run (full fidelity, TLS) ===");
+    println!(
+        "responses={} net={:.2} Gbps cpu={:.0}%",
+        m.responses, m.net_gbps, m.cpu_pct
+    );
+    if let Some(p) = &obs.trace_out {
+        println!(
+            "chunk trace: {} chunks -> {}",
+            report.traced_chunks,
+            p.display()
+        );
+        print!("{}", report.stage_summary);
+    }
+    if let Some(p) = &obs.metrics_out {
+        println!("metrics CSV -> {}", p.display());
+    }
 }
 
 impl Scale {

@@ -19,15 +19,26 @@ pub struct StorageRun {
 }
 
 fn make_kernel(n_disks: usize, seed: u64) -> (DiskmapKernel, MemSystem, HostMem, PhysAlloc) {
-    let cfg = NvmeConfig { fidelity: Fidelity::Modeled, ..NvmeConfig::default() };
+    let cfg = NvmeConfig {
+        fidelity: Fidelity::Modeled,
+        ..NvmeConfig::default()
+    };
     let disks = (0..n_disks)
         .map(|d| {
-            NvmeDevice::new(cfg, Box::new(SyntheticBacking::new(7 + d as u64)), seed ^ (d as u64) << 8)
+            NvmeDevice::new(
+                cfg,
+                Box::new(SyntheticBacking::new(7 + d as u64)),
+                seed ^ (d as u64) << 8,
+            )
         })
         .collect();
     (
         DiskmapKernel::new(disks),
-        MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+        MemSystem::new(
+            LlcConfig::xeon_e5_2667v3(),
+            CostParams::default(),
+            Nanos::from_millis(1),
+        ),
         HostMem::new(),
         PhysAlloc::new(),
     )
@@ -71,7 +82,13 @@ pub fn run_diskmap(
             let buf = q.pool().alloc().expect("sized for window");
             let lba = rng.gen_range(0, span_lbas) * (io_size.div_ceil(LBA_SIZE));
             q.nvme_read(
-                IoDesc { user: buf.0 as u64, buf, nsid: 1, offset: lba * LBA_SIZE, len: io_size },
+                IoDesc {
+                    user: buf.0 as u64,
+                    buf,
+                    nsid: 1,
+                    offset: lba * LBA_SIZE,
+                    len: io_size,
+                },
                 &costs,
             );
         }
@@ -127,10 +144,16 @@ pub fn run_aio(
     let (mut kernel, mut mem, mut host, mut pa) = make_kernel(n_disks, seed);
     let costs = CostParams::default();
     let mut rng = SimRng::new(seed);
-    let mut ctxs: Vec<AioContext> = (0..n_disks).map(|d| AioContext::new(DiskId(d), 0)).collect();
+    let mut ctxs: Vec<AioContext> = (0..n_disks)
+        .map(|d| AioContext::new(DiskId(d), 0))
+        .collect();
     // O_DIRECT user buffers.
     let bufs: Vec<Vec<dcn_mem::PhysRegion>> = (0..n_disks)
-        .map(|_| (0..window_per_disk).map(|_| pa.alloc(io_size.max(LBA_SIZE))).collect())
+        .map(|_| {
+            (0..window_per_disk)
+                .map(|_| pa.alloc(io_size.max(LBA_SIZE)))
+                .collect()
+        })
         .collect();
     let span_lbas = 1_000_000u64;
     let mut now = Nanos::ZERO;
@@ -174,7 +197,13 @@ pub fn run_aio(
                 done_bytes += io_size;
                 ios += 1;
                 let lba = rng.gen_range(0, span_lbas) * stride;
-                reads.push((c.user, 1u32, lba * LBA_SIZE, io_size, bufs[d][c.user as usize]));
+                reads.push((
+                    c.user,
+                    1u32,
+                    lba * LBA_SIZE,
+                    io_size,
+                    bufs[d][c.user as usize],
+                ));
             }
             // aio(4) per-request kernel work gates how fast a single
             // thread can resubmit: model the submission as serialized
@@ -198,7 +227,9 @@ pub fn run_pread(n_disks: usize, io_size: u64, horizon: Nanos, seed: u64) -> Sto
     let (mut kernel, mut mem, mut host, mut pa) = make_kernel(n_disks, seed);
     let costs = CostParams::default();
     let mut rng = SimRng::new(seed);
-    let mut files: Vec<PreadFile> = (0..n_disks).map(|d| PreadFile::open(DiskId(d), 0, &mut pa)).collect();
+    let mut files: Vec<PreadFile> = (0..n_disks)
+        .map(|d| PreadFile::open(DiskId(d), 0, &mut pa))
+        .collect();
     let ubuf = pa.alloc(io_size.max(LBA_SIZE));
     let span_lbas = 1_000_000u64;
     let stride = io_size.div_ceil(LBA_SIZE);
@@ -232,7 +263,13 @@ pub fn run_pread(n_disks: usize, io_size: u64, horizon: Nanos, seed: u64) -> Sto
     finish(done_bytes, ios, latency, now, cpu_busy_ns)
 }
 
-fn finish(done_bytes: u64, ios: u64, latency: Histogram, now: Nanos, cpu_busy_ns: u64) -> StorageRun {
+fn finish(
+    done_bytes: u64,
+    ios: u64,
+    latency: Histogram,
+    now: Nanos,
+    cpu_busy_ns: u64,
+) -> StorageRun {
     let secs = now.as_secs_f64().max(1e-9);
     StorageRun {
         throughput_gbps: done_bytes as f64 * 8.0 / secs / 1e9,

@@ -138,7 +138,12 @@ pub fn sweep(variants: &[Variant], scale: Scale) -> Vec<Curve> {
 }
 
 /// Print one metric of all curves as a table (rows = x).
-pub fn print_metric(title: &str, curves: &[Curve], metric: impl Fn(&Agg) -> &MeanCi, digits: usize) {
+pub fn print_metric(
+    title: &str,
+    curves: &[Curve],
+    metric: impl Fn(&Agg) -> &MeanCi,
+    digits: usize,
+) {
     let mut headers = vec!["conns".to_string()];
     headers.extend(curves.iter().map(|c| c.label.clone()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();

@@ -67,7 +67,10 @@ impl Aes128 {
                 rk[i][j] = prev[j] ^ rk[i][j - 4];
             }
         }
-        Aes128 { round_keys: rk, use_ni: Self::ni_available() }
+        Aes128 {
+            round_keys: rk,
+            use_ni: Self::ni_available(),
+        }
     }
 
     /// Is the hardware AES path in use?
@@ -224,8 +227,14 @@ mod tests {
         // FIPS-197 A.1: key expansion of 2b7e151628aed2a6abf7158809cf4f3c.
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
         let aes = Aes128::portable(&key);
-        assert_eq!(aes.round_keys[1].to_vec(), hex("a0fafe1788542cb123a339392a6c7605"));
-        assert_eq!(aes.round_keys[10].to_vec(), hex("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+        assert_eq!(
+            aes.round_keys[1].to_vec(),
+            hex("a0fafe1788542cb123a339392a6c7605")
+        );
+        assert_eq!(
+            aes.round_keys[10].to_vec(),
+            hex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ impl GhashKey {
         let mut table = [[0u8; 16]; 16];
         // table[1] = H; table[i<<1] = xtime(table[i]); sums for the rest.
         table[8] = *h; // bit 0 of nibble = MSB-first "8"
-        // In GHASH's reflected representation, multiplying by x is a
-        // right shift with conditional reduction by E1000...0.
+                       // In GHASH's reflected representation, multiplying by x is a
+                       // right shift with conditional reduction by E1000...0.
         for i in [4usize, 2, 1] {
             table[i] = mul_x(&table[i * 2]);
         }
@@ -93,7 +93,10 @@ impl AesGcm128 {
         let aes = Aes128::new(key);
         let mut h = [0u8; 16];
         aes.encrypt_block(&mut h);
-        AesGcm128 { ghash: GhashKey::new(&h), aes }
+        AesGcm128 {
+            ghash: GhashKey::new(&h),
+            aes,
+        }
     }
 
     fn j0(&self, nonce: &[u8; 12]) -> Block {
@@ -161,7 +164,10 @@ impl AesGcm128 {
         let j0 = self.j0(nonce);
         let expect = self.ghash_tag(&j0, aad, data);
         // Constant-time-ish comparison (simulation: semantic only).
-        let diff = expect.iter().zip(tag.iter()).fold(0u8, |d, (a, b)| d | (a ^ b));
+        let diff = expect
+            .iter()
+            .zip(tag.iter())
+            .fold(0u8, |d, (a, b)| d | (a ^ b));
         if diff != 0 {
             return false;
         }

@@ -53,7 +53,10 @@ pub struct RecordCipher {
 impl RecordCipher {
     #[must_use]
     pub fn new(key: &[u8; 16], salt: u32) -> Self {
-        RecordCipher { gcm: AesGcm128::new(key), salt }
+        RecordCipher {
+            gcm: AesGcm128::new(key),
+            salt,
+        }
     }
 
     /// Encrypt one record's payload in place. `stream_offset` is the
@@ -68,7 +71,8 @@ impl RecordCipher {
             "records are aligned on stream offsets"
         );
         let nonce = derive_nonce(self.salt, stream_offset);
-        self.gcm.seal_in_place(&nonce, &stream_offset.to_be_bytes(), payload)
+        self.gcm
+            .seal_in_place(&nonce, &stream_offset.to_be_bytes(), payload)
     }
 
     /// Decrypt + verify one record in place. Returns false on a bad
@@ -80,7 +84,8 @@ impl RecordCipher {
         tag: &[u8; GCM_TAG_LEN],
     ) -> bool {
         let nonce = derive_nonce(self.salt, stream_offset);
-        self.gcm.open_in_place(&nonce, &stream_offset.to_be_bytes(), payload, tag)
+        self.gcm
+            .open_in_place(&nonce, &stream_offset.to_be_bytes(), payload, tag)
     }
 }
 

@@ -48,7 +48,12 @@ pub struct SyncReadResult {
 
 impl PreadFile {
     pub fn open(disk: DiskId, qid: u16, phys: &mut PhysAlloc) -> Self {
-        PreadFile { disk, qid, kbuf: phys.alloc(crate::libnvme::MDTS_BYTES), next_cid: 0 }
+        PreadFile {
+            disk,
+            qid,
+            kbuf: phys.alloc(crate::libnvme::MDTS_BYTES),
+            next_cid: 0,
+        }
     }
 
     /// `pread(fd, user_buf, len, offset)` — blocking. Drives the
@@ -114,7 +119,10 @@ impl PreadFile {
             + copy.stall_cycles
             + copy_w.stall_cycles;
         done_at += Nanos::from_nanos(costs.cycles_to_ns(tail));
-        SyncReadResult { done_at, cpu_cycles: cpu }
+        SyncReadResult {
+            done_at,
+            cpu_cycles: cpu,
+        }
     }
 }
 
@@ -191,8 +199,16 @@ impl AioContext {
     /// The device-side harvest: called when the completion interrupt
     /// fires; moves finished I/Os into the kernel-done set (kqueue).
     /// Charges interrupt cycles.
-    pub fn on_interrupt(&mut self, kernel: &mut DiskmapKernel, now: Nanos, costs: &CostParams) -> u64 {
-        let entries = kernel.disk(self.disk).qpair(self.qid).cq_consume(usize::MAX >> 1);
+    pub fn on_interrupt(
+        &mut self,
+        kernel: &mut DiskmapKernel,
+        now: Nanos,
+        costs: &CostParams,
+    ) -> u64 {
+        let entries = kernel
+            .disk(self.disk)
+            .qpair(self.qid)
+            .cq_consume(usize::MAX >> 1);
         let n = entries.len();
         for e in entries {
             let (user, submitted) = self
@@ -214,7 +230,11 @@ impl AioContext {
         let out: Vec<AioCompletion> = self
             .kernel_done
             .drain(..)
-            .map(|(user, submitted_at, _hw)| AioCompletion { user, submitted_at, completed_at: now })
+            .map(|(user, submitted_at, _hw)| AioCompletion {
+                user,
+                submitted_at,
+                completed_at: now,
+            })
             .collect();
         (out, costs.syscall_cycles)
     }
@@ -243,7 +263,11 @@ mod tests {
         )];
         (
             DiskmapKernel::new(disks),
-            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            MemSystem::new(
+                LlcConfig::xeon_e5_2667v3(),
+                CostParams::default(),
+                Nanos::from_millis(1),
+            ),
             HostMem::new(),
             PhysAlloc::new(),
             CostParams::default(),
@@ -255,7 +279,17 @@ mod tests {
         let (mut k, mut m, mut h, mut pa, costs) = setup();
         let mut f = PreadFile::open(DiskId(0), 0, &mut pa);
         let ubuf = pa.alloc(16384);
-        let r = f.pread(&mut k, Nanos::ZERO, 1, 0, 16384, ubuf, &mut m, &mut h, &costs);
+        let r = f.pread(
+            &mut k,
+            Nanos::ZERO,
+            1,
+            0,
+            16384,
+            ubuf,
+            &mut m,
+            &mut h,
+            &costs,
+        );
         let us = r.done_at.as_micros_f64();
         // Must exceed raw device latency (~90us) by the kernel path.
         assert!(us > 95.0, "pread too fast: {us}us");
@@ -276,12 +310,25 @@ mod tests {
         let mut now = Nanos::ZERO;
         let n = 20;
         for i in 0..n {
-            let r = f.pread(&mut k, now, 1, i * 16384, 16384, ubuf, &mut m, &mut h, &costs);
+            let r = f.pread(
+                &mut k,
+                now,
+                1,
+                i * 16384,
+                16384,
+                ubuf,
+                &mut m,
+                &mut h,
+                &costs,
+            );
             assert!(r.done_at > now);
             now = r.done_at;
         }
         let gbps = (n * 16384) as f64 * 8.0 / now.as_secs_f64() / 1e9;
-        assert!(gbps < 3.0, "pread must stay far below device limit, got {gbps}");
+        assert!(
+            gbps < 3.0,
+            "pread must stay far below device limit, got {gbps}"
+        );
     }
 
     #[test]

@@ -37,11 +37,19 @@ impl BufPool {
     #[must_use]
     pub fn new(count: u32, buf_size: u64, phys: &mut PhysAlloc) -> Self {
         let bufs: Vec<BufDesc> = (0..count)
-            .map(|_| BufDesc { region: phys.alloc(buf_size), len: 0, in_use: false })
+            .map(|_| BufDesc {
+                region: phys.alloc(buf_size),
+                len: 0,
+                in_use: false,
+            })
             .collect();
         // LIFO: lowest index on top initially (pop order 0,1,2...).
         let free: Vec<u32> = (0..count).rev().collect();
-        BufPool { bufs, free, buf_size }
+        BufPool {
+            bufs,
+            free,
+            buf_size,
+        }
     }
 
     #[must_use]

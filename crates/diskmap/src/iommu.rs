@@ -22,7 +22,10 @@ impl IommuDomain {
     /// An enforcing domain with nothing mapped.
     #[must_use]
     pub fn new() -> Self {
-        IommuDomain { pages: HashSet::new(), enabled: true }
+        IommuDomain {
+            pages: HashSet::new(),
+            enabled: true,
+        }
     }
 
     /// A pass-through domain (the paper notes diskmap can run unsafely
@@ -30,7 +33,10 @@ impl IommuDomain {
     /// API is unchanged either way).
     #[must_use]
     pub fn passthrough() -> Self {
-        IommuDomain { pages: HashSet::new(), enabled: false }
+        IommuDomain {
+            pages: HashSet::new(),
+            enabled: false,
+        }
     }
 
     #[must_use]

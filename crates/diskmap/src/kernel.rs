@@ -63,12 +63,27 @@ pub struct DiskmapKernel {
 impl DiskmapKernel {
     #[must_use]
     pub fn new(disks: Vec<NvmeDevice>) -> Self {
-        DiskmapKernel { disks, attachments: Vec::new(), syscalls: 0 }
+        DiskmapKernel {
+            disks,
+            attachments: Vec::new(),
+            syscalls: 0,
+        }
     }
 
     #[must_use]
     pub fn num_disks(&self) -> usize {
         self.disks.len()
+    }
+
+    /// Publish kernel-side storage counters into a dcn-obs registry
+    /// under `diskmap.*` (sample/report points, not the I/O path).
+    pub fn publish_metrics(&self, reg: &mut dcn_obs::Registry) {
+        let g = reg.gauge("diskmap.syscalls");
+        reg.set(g, self.syscalls as f64);
+        let g = reg.gauge("diskmap.disks");
+        reg.set(g, self.disks.len() as f64);
+        let g = reg.gauge("diskmap.attachments");
+        reg.set(g, self.attachments.len() as f64);
     }
 
     pub fn disk(&mut self, id: DiskId) -> &mut NvmeDevice {
@@ -91,11 +106,19 @@ impl DiskmapKernel {
         if disk.0 >= self.disks.len() || qid >= self.disks[disk.0].config().num_qpairs {
             return Err(DiskmapError::NoEntry);
         }
-        if self.attachments.iter().any(|a| a.disk == disk && a.qid == qid) {
+        if self
+            .attachments
+            .iter()
+            .any(|a| a.disk == disk && a.qid == qid)
+        {
             return Err(DiskmapError::Busy);
         }
         let pool = BufPool::new(buf_count, buf_size, phys);
-        let mut domain = if enforce_iommu { IommuDomain::new() } else { IommuDomain::passthrough() };
+        let mut domain = if enforce_iommu {
+            IommuDomain::new()
+        } else {
+            IommuDomain::passthrough()
+        };
         for r in pool.all_regions() {
             domain.map(r);
         }
@@ -154,12 +177,17 @@ impl DiskmapKernel {
     /// Earliest instant any disk has a completion to post.
     #[must_use]
     pub fn poll_at(&self) -> Option<Nanos> {
-        self.disks.iter().fold(None, |acc, d| earliest(acc, d.poll_at()))
+        self.disks
+            .iter()
+            .fold(None, |acc, d| earliest(acc, d.poll_at()))
     }
 
     /// Advance all devices to `now` (DMA through the memory model).
     pub fn advance(&mut self, now: Nanos, mem: &mut MemSystem, host: &mut HostMem) -> usize {
-        self.disks.iter_mut().map(|d| d.advance(now, mem, host)).sum()
+        self.disks
+            .iter_mut()
+            .map(|d| d.advance(now, mem, host))
+            .sum()
     }
 }
 
@@ -184,7 +212,11 @@ mod tests {
 
     fn mem() -> (MemSystem, HostMem, PhysAlloc) {
         (
-            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            MemSystem::new(
+                LlcConfig::xeon_e5_2667v3(),
+                CostParams::default(),
+                Nanos::from_millis(1),
+            ),
             HostMem::new(),
             PhysAlloc::new(),
         )
@@ -198,7 +230,14 @@ mod tests {
             prp.push(buf.slice(off, n));
             off += n;
         }
-        NvmeCommand { opcode: Opcode::Read, cid, nsid: 1, slba, nlb: (len / 512) as u32, prp }
+        NvmeCommand {
+            opcode: Opcode::Read,
+            cid,
+            nsid: 1,
+            slba,
+            nlb: (len / 512) as u32,
+            prp,
+        }
     }
 
     #[test]

@@ -147,7 +147,10 @@ impl NvmeQueue {
         assert!(desc.len > 0, "zero-length I/O");
         assert_eq!(desc.offset % LBA_SIZE, 0, "offset must be LBA-aligned");
         assert_eq!(desc.len % LBA_SIZE, 0, "length must be an LBA multiple");
-        assert!(desc.len <= self.pool.buf_size(), "request exceeds buffer size");
+        assert!(
+            desc.len <= self.pool.buf_size(),
+            "request exceeds buffer size"
+        );
         let buf_region = self.pool.region(desc.buf);
         let n_cmds = desc.len.div_ceil(MDTS_BYTES) as u32;
         let first_cid = self.next_cid;
@@ -212,7 +215,12 @@ impl NvmeQueue {
             }
             self.pending_reqs.insert(
                 key,
-                Pending { desc, cmds_left: n_cmds, failed: false, submitted_at: now },
+                Pending {
+                    desc,
+                    cmds_left: n_cmds,
+                    failed: false,
+                    submitted_at: now,
+                },
             );
         }
         kernel.sqsync(self.token, now, &mut self.staged)?;
@@ -242,7 +250,10 @@ impl NvmeQueue {
                 .pending
                 .remove(&e.cid)
                 .expect("completion for unknown cid — device/driver bug");
-            let p = self.pending_reqs.get_mut(&key).expect("pending map out of sync");
+            let p = self
+                .pending_reqs
+                .get_mut(&key)
+                .expect("pending map out of sync");
             if e.status != NvmeStatus::Success {
                 p.failed = true;
             }
@@ -254,7 +265,11 @@ impl NvmeQueue {
                     user: p.desc.user,
                     buf: p.desc.buf,
                     len: p.desc.len,
-                    status: if p.failed { IoStatus::Failed } else { IoStatus::Ok },
+                    status: if p.failed {
+                        IoStatus::Failed
+                    } else {
+                        IoStatus::Ok
+                    },
                     submitted_at: p.submitted_at,
                     completed_at: now,
                 });
@@ -280,7 +295,11 @@ mod tests {
         let disks = vec![NvmeDevice::new(NvmeConfig::default(), backing, 100)];
         (
             DiskmapKernel::new(disks),
-            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            MemSystem::new(
+                LlcConfig::xeon_e5_2667v3(),
+                CostParams::default(),
+                Nanos::from_millis(1),
+            ),
             HostMem::new(),
             PhysAlloc::new(),
             CostParams::default(),
@@ -301,7 +320,16 @@ mod tests {
         let (mut k, mut m, mut h, mut pa, costs) = setup();
         let mut q = NvmeQueue::nvme_open(&mut k, DiskId(0), 0, 8, 16384, &mut pa).unwrap();
         let b = q.pool().alloc().unwrap();
-        q.nvme_read(IoDesc { user: 42, buf: b, nsid: 1, offset: 512 * 100, len: 16384 }, &costs);
+        q.nvme_read(
+            IoDesc {
+                user: 42,
+                buf: b,
+                nsid: 1,
+                offset: 512 * 100,
+                len: 16384,
+            },
+            &costs,
+        );
         assert_eq!(q.staged_count(), 1);
         let cyc = q.nvme_sqsync(&mut k, Nanos::ZERO, &costs).unwrap();
         assert!(cyc >= costs.syscall_cycles);
@@ -327,7 +355,16 @@ mod tests {
         let mut q = NvmeQueue::nvme_open(&mut k, DiskId(0), 0, 4, 512 * 1024, &mut pa).unwrap();
         let b = q.pool().alloc().unwrap();
         // 512 KiB = 4 commands at 128 KiB MDTS.
-        q.nvme_read(IoDesc { user: 1, buf: b, nsid: 1, offset: 0, len: 512 * 1024 }, &costs);
+        q.nvme_read(
+            IoDesc {
+                user: 1,
+                buf: b,
+                nsid: 1,
+                offset: 0,
+                len: 512 * 1024,
+            },
+            &costs,
+        );
         assert_eq!(q.staged_count(), 4);
         q.nvme_sqsync(&mut k, Nanos::ZERO, &costs).unwrap();
         // Consume in small bites: exactly one aggregated completion
@@ -360,7 +397,16 @@ mod tests {
         let mut bufs = Vec::new();
         for i in 0..32u64 {
             let b = q.pool().alloc().unwrap();
-            q.nvme_read(IoDesc { user: i, buf: b, nsid: 1, offset: i * 16384, len: 16384 }, &costs);
+            q.nvme_read(
+                IoDesc {
+                    user: i,
+                    buf: b,
+                    nsid: 1,
+                    offset: i * 16384,
+                    len: 16384,
+                },
+                &costs,
+            );
             bufs.push(b);
         }
         q.nvme_sqsync(&mut k, Nanos::ZERO, &costs).unwrap();
@@ -385,7 +431,16 @@ mod tests {
         let (mut k, _m, _h, mut pa, costs) = setup();
         let mut q = NvmeQueue::nvme_open(&mut k, DiskId(0), 0, 4, 16384, &mut pa).unwrap();
         let b = q.pool().alloc().unwrap();
-        q.nvme_read(IoDesc { user: 0, buf: b, nsid: 1, offset: 100, len: 512 }, &costs);
+        q.nvme_read(
+            IoDesc {
+                user: 0,
+                buf: b,
+                nsid: 1,
+                offset: 100,
+                len: 512,
+            },
+            &costs,
+        );
     }
 
     #[test]
@@ -397,7 +452,16 @@ mod tests {
         let b = q.pool().alloc().unwrap();
         let payload = vec![0x5Au8; 4096];
         h.write(q.buf_region(b, 4096).addr, &payload);
-        q.nvme_write(IoDesc { user: 9, buf: b, nsid: 1, offset: 0, len: 4096 }, &costs);
+        q.nvme_write(
+            IoDesc {
+                user: 9,
+                buf: b,
+                nsid: 1,
+                offset: 0,
+                len: 4096,
+            },
+            &costs,
+        );
         q.nvme_sqsync(&mut k, Nanos::ZERO, &costs).unwrap();
         let t = drive(&mut k, &mut m, &mut h);
         let (done, _) = q.nvme_consume_completions(&mut k, t, 8, &costs).unwrap();
@@ -405,7 +469,16 @@ mod tests {
         assert_eq!(done[0].status, IoStatus::Ok);
         // Read it back through a fresh request.
         let b2 = q.pool().alloc().unwrap();
-        q.nvme_read(IoDesc { user: 10, buf: b2, nsid: 1, offset: 0, len: 4096 }, &costs);
+        q.nvme_read(
+            IoDesc {
+                user: 10,
+                buf: b2,
+                nsid: 1,
+                offset: 0,
+                len: 4096,
+            },
+            &costs,
+        );
         q.nvme_sqsync(&mut k, t, &costs).unwrap();
         let t2 = drive(&mut k, &mut m, &mut h);
         let (done, _) = q.nvme_consume_completions(&mut k, t2, 8, &costs).unwrap();

@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn uncachable_spreads_over_catalog() {
         let mut d = RequestDriver::uncachable(1_000_000, SimRng::new(2));
-        let distinct: std::collections::HashSet<u64> =
-            (0..1000).map(|_| d.next_file().0).collect();
+        let distinct: std::collections::HashSet<u64> = (0..1000).map(|_| d.next_file().0).collect();
         assert!(distinct.len() > 990, "uniform over 1M files ⇒ few repeats");
     }
 

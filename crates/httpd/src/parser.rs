@@ -72,7 +72,10 @@ impl RequestParser {
                 }
             }
         }
-        let req = HttpRequest { path: path.to_string(), close };
+        let req = HttpRequest {
+            path: path.to_string(),
+            close,
+        };
         self.buf.drain(..end + 4);
         Ok(Some(req))
     }

@@ -9,7 +9,9 @@
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ResponseInfo {
     /// Serve this many body bytes (the chunk size).
-    Ok { body_len: u64 },
+    Ok {
+        body_len: u64,
+    },
     NotFound,
 }
 
@@ -33,9 +35,7 @@ pub fn response_header(info: ResponseInfo, encrypted: bool) -> Vec<u8> {
             )
             .into_bytes()
         }
-        ResponseInfo::NotFound => {
-            b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec()
-        }
+        ResponseInfo::NotFound => b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec(),
     }
 }
 
@@ -76,7 +76,12 @@ mod tests {
 
     #[test]
     fn ok_header_round_trips_through_scanner() {
-        let h = response_header(ResponseInfo::Ok { body_len: 300 * 1024 }, false);
+        let h = response_header(
+            ResponseInfo::Ok {
+                body_len: 300 * 1024,
+            },
+            false,
+        );
         let (hl, cl, enc) = scan_response_header(&h).unwrap();
         assert_eq!(hl, h.len());
         assert_eq!(cl, 300 * 1024);

@@ -157,10 +157,7 @@ impl KConn {
 
     /// Release chunks fully covered by the cumulative ACK. Returns
     /// (pages to unpin, ciphertext regions to free, bytes released).
-    pub fn release_acked(
-        &mut self,
-        acked_to: u64,
-    ) -> (Vec<(FileId, u64)>, Vec<PhysRegion>, u64) {
+    pub fn release_acked(&mut self, acked_to: u64) -> (Vec<(FileId, u64)>, Vec<PhysRegion>, u64) {
         let mut pages = Vec::new();
         let mut regions = Vec::new();
         let mut released = 0;
@@ -187,8 +184,16 @@ mod tests {
     use dcn_tcpstack::{Endpoint, TcbConfig};
 
     fn conn() -> KConn {
-        let local = Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 };
-        let remote = Endpoint { mac: MacAddr::from_host_id(2), ip: Ipv4Addr::new(10, 1, 0, 1), port: 999 };
+        let local = Endpoint {
+            mac: MacAddr::from_host_id(1),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            port: 80,
+        };
+        let remote = Endpoint {
+            mac: MacAddr::from_host_id(2),
+            ip: Ipv4Addr::new(10, 1, 0, 1),
+            port: 999,
+        };
         let syn = TcpRepr {
             src_port: 999,
             dst_port: 80,
@@ -225,7 +230,11 @@ mod tests {
     #[test]
     fn enqueue_take_release_cycle() {
         let mut c = conn();
-        c.enqueue(SgList::from_bytes(vec![1; 1000]), vec![(FileId(1), 0)], None);
+        c.enqueue(
+            SgList::from_bytes(vec![1; 1000]),
+            vec![(FileId(1), 0)],
+            None,
+        );
         c.enqueue(SgList::from_bytes(vec![2; 500]), vec![(FileId(1), 1)], None);
         assert_eq!(c.sb_bytes, 1500);
         assert_eq!(c.unsent(), 1500);
@@ -252,7 +261,9 @@ mod tests {
         c.take_for_tx(100);
         let sg = c.slice_sent(10, 20).unwrap();
         assert_eq!(sg.len(), 20);
-        let dcn_netdev::SgChunk::Bytes(b) = &sg.0[0] else { panic!() };
+        let dcn_netdev::SgChunk::Bytes(b) = &sg.0[0] else {
+            panic!()
+        };
         assert_eq!(b[0], 10);
         assert_eq!(b[19], 29);
         // Beyond the buffer: nothing.

@@ -6,11 +6,13 @@ use dcn_atlas::server::parse_frame;
 use dcn_crypto::{RecordCipher, RECORD_PAYLOAD_MAX};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
 use dcn_mem::{
-    CostParams, CoreSet, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
-    CHUNK_SIZE,
+    CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion, CHUNK_SIZE,
 };
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
-use dcn_nvme::{FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, Opcode, SyntheticBacking, LBA_SIZE};
+use dcn_nvme::{
+    FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, Opcode, SyntheticBacking, LBA_SIZE,
+};
+use dcn_obs::{CounterId, Registry};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::{BufferCache, Catalog, FileId};
@@ -67,7 +69,10 @@ impl KstackConfig {
             touch_fraction: 0.45,
             fill_bytes: 128 * 1024,
             tcb: TcbConfig::default(),
-            nic: NicConfig { rings: 8, ..NicConfig::default() },
+            nic: NicConfig {
+                rings: 8,
+                ..NicConfig::default()
+            },
             firmware: FirmwareParams::p3700(),
             llc: LlcConfig::xeon_e5_2667v3(),
             costs: CostParams::default(),
@@ -82,7 +87,10 @@ impl KstackConfig {
 
     #[must_use]
     pub fn stock() -> Self {
-        KstackConfig { variant: StackVariant::Stock, ..Self::netflix() }
+        KstackConfig {
+            variant: StackVariant::Stock,
+            ..Self::netflix()
+        }
     }
 }
 
@@ -99,6 +107,26 @@ struct Fill {
 struct ConnSlot {
     conn: KConn,
     core: usize,
+}
+
+/// Pre-registered counter handles (per-core), resolved once at
+/// construction so the hot path is a plain indexed add.
+struct KstackIds {
+    responses: Vec<CounterId>,
+    disk_read_bytes: Vec<CounterId>,
+}
+
+impl KstackIds {
+    fn register(reg: &mut Registry, cores: usize) -> Self {
+        KstackIds {
+            responses: (0..cores)
+                .map(|c| reg.counter_core("kstack.responses", c))
+                .collect(),
+            disk_read_bytes: (0..cores)
+                .map(|c| reg.counter_core("kstack.disk_read_bytes", c))
+                .collect(),
+        }
+    }
 }
 
 /// The server.
@@ -127,8 +155,10 @@ pub struct KstackServer {
     next_cid: u16,
     rx_slots: Vec<PhysRegion>,
     rng: SimRng,
-    pub responses: u64,
-    pub disk_read_bytes: u64,
+    /// Unified metrics registry (`kstack.*{core=N}`); counters are
+    /// bumped on the hot path through pre-registered handles.
+    pub reg: Registry,
+    ids: KstackIds,
     phys: PhysAlloc,
 }
 
@@ -162,8 +192,14 @@ impl KstackServer {
             .map(|_| phys.alloc(RECORD_PAYLOAD_MAX as u64 + 64))
             .collect();
         let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
+        let mut reg = Registry::new();
+        let ids = KstackIds::register(&mut reg, cfg.cores);
         KstackServer {
-            nic: Nic::new(NicConfig { rings: cfg.cores, fidelity: cfg.fidelity, ..cfg.nic }),
+            nic: Nic::new(NicConfig {
+                rings: cfg.cores,
+                fidelity: cfg.fidelity,
+                ..cfg.nic
+            }),
             cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), false),
             mem,
             host: HostMem::new(),
@@ -181,11 +217,42 @@ impl KstackServer {
             next_cid: 0,
             rx_slots,
             rng: SimRng::new(seed ^ 0x6B57),
-            responses: 0,
-            disk_read_bytes: 0,
+            reg,
+            ids,
             cfg,
             phys,
         }
+    }
+
+    /// Responses completed, served from the unified registry.
+    #[must_use]
+    pub fn responses(&self) -> u64 {
+        self.reg.sum_prefixed("kstack.responses")
+    }
+
+    /// Bytes read from disk, served from the unified registry.
+    #[must_use]
+    pub fn disk_read_bytes(&self) -> u64 {
+        self.reg.sum_prefixed("kstack.disk_read_bytes")
+    }
+
+    /// Publish sample-point gauges (TCP, NIC, buffer cache) into the
+    /// registry. Called at report/sample time, never on the hot path.
+    pub fn publish_obs(&mut self) {
+        for core in 0..self.cfg.cores {
+            dcn_tcpstack::publish_tcb_metrics(
+                &mut self.reg,
+                core,
+                self.slots
+                    .iter()
+                    .filter(|s| s.core == core)
+                    .map(|s| &s.conn.tcb),
+            );
+        }
+        self.nic.publish_metrics(&mut self.reg);
+        self.mem.counters.publish_metrics(&mut self.reg);
+        let g = self.reg.gauge("kstack.bufcache_hit_ratio");
+        self.reg.set(g, self.bufcache.hit_ratio());
     }
 
     #[must_use]
@@ -209,7 +276,9 @@ impl KstackServer {
     pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
         let mut touched = BTreeSet::new();
         for frame in frames {
-            let Some((flow, tcp, payload)) = parse_frame(&frame) else { continue };
+            let Some((flow, tcp, payload)) = parse_frame(&frame) else {
+                continue;
+            };
             let core = self.core_of_flow(flow);
             touched.insert(core);
             self.nic
@@ -222,12 +291,21 @@ impl KstackServer {
         bursts
     }
 
-    fn handle_segment(&mut self, now: Nanos, core: usize, flow: FlowId, tcp: &TcpRepr, payload: &[u8]) {
+    fn handle_segment(
+        &mut self,
+        now: Nanos,
+        core: usize,
+        flow: FlowId,
+        tcp: &TcpRepr,
+        payload: &[u8],
+    ) {
         if tcp.flags.contains(TcpFlags::SYN) && !tcp.flags.contains(TcpFlags::ACK) {
             self.accept_conn(now, core, flow, tcp);
             return;
         }
-        let Some(&slot_idx) = self.conns.get(&flow) else { return };
+        let Some(&slot_idx) = self.conns.get(&flow) else {
+            return;
+        };
         // Per-ACK kernel RX cost; Netflix's RSS-assisted LRO saves a
         // chunk of it (§2.1.3).
         let mut cycles = self.cfg.costs.kstack_rx_ack_cycles;
@@ -252,15 +330,24 @@ impl KstackServer {
             port: flow.src_port,
         };
         let iss = SeqNumber(self.rng.next_u64() as u32);
-        let (tcb, synack) =
-            Tcb::accept(self.cfg.tcb, self.cfg.server_endpoint, remote, syn, iss, now);
+        let (tcb, synack) = Tcb::accept(
+            self.cfg.tcb,
+            self.cfg.server_endpoint,
+            remote,
+            syn,
+            iss,
+            now,
+        );
         let cipher = self.cfg.encrypted.then(|| {
             let mut key = [0u8; 16];
             dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
             RecordCipher::new(&key, flow.rss_hash())
         });
         let slot_idx = self.slots.len();
-        self.slots.push(ConnSlot { conn: KConn::new(tcb, cipher), core });
+        self.slots.push(ConnSlot {
+            conn: KConn::new(tcb, cipher),
+            core,
+        });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
         self.nic.tx_rings[core].push(synack.into_tx(0));
@@ -312,15 +399,23 @@ impl KstackServer {
         }
         for file in started {
             // nginx userspace work + the sendfile syscall.
-            let done =
-                self.cores
-                    .run_on(core, now, costs.nginx_request_cycles + costs.sendfile_call_cycles);
+            let done = self.cores.run_on(
+                core,
+                now,
+                costs.nginx_request_cycles + costs.sendfile_call_cycles,
+            );
             let slot = &mut self.slots[slot_idx];
             match file {
                 Some(file) => {
-                    let header = response_header(ResponseInfo::Ok { body_len: file_size }, encrypted);
+                    let header = response_header(
+                        ResponseInfo::Ok {
+                            body_len: file_size,
+                        },
+                        encrypted,
+                    );
                     let body_stream_off = slot.conn.tx_cursor + header.len() as u64;
-                    slot.conn.enqueue(SgList::from_bytes(header), Vec::new(), None);
+                    slot.conn
+                        .enqueue(SgList::from_bytes(header), Vec::new(), None);
                     slot.conn.staging.push_back(StagedResponse {
                         file,
                         body_len: file_size,
@@ -330,7 +425,8 @@ impl KstackServer {
                 }
                 None => {
                     let header = response_header(ResponseInfo::NotFound, encrypted);
-                    slot.conn.enqueue(SgList::from_bytes(header), Vec::new(), None);
+                    slot.conn
+                        .enqueue(SgList::from_bytes(header), Vec::new(), None);
                 }
             }
             let _ = done;
@@ -346,11 +442,13 @@ impl KstackServer {
         loop {
             let core = self.slots[slot_idx].core;
             let slot = &mut self.slots[slot_idx];
-            let Some(st) = slot.conn.staging.front().copied_lite() else { break };
+            let Some(st) = slot.conn.staging.front().copied_lite() else {
+                break;
+            };
             if st.next_fill >= st.body_len {
                 slot.conn.staging.pop_front();
                 slot.conn.responses_completed += 1;
-                self.responses += 1;
+                self.reg.inc(self.ids.responses[core]);
                 continue;
             }
             if slot.conn.sb_bytes >= self.cfg.sb_max {
@@ -425,7 +523,9 @@ impl KstackServer {
                 self.cores.run_on(core, now, alloc_cycles);
                 break;
             }
-            let t_alloc = self.cores.run_on(core, now, alloc_cycles + costs.kernel_io_cycles);
+            let t_alloc = self
+                .cores
+                .run_on(core, now, alloc_cycles + costs.kernel_io_cycles);
             self.issue_fill(t_alloc, slot_idx, st, want, frames);
             let slot = &mut self.slots[slot_idx];
             if let Some(front) = slot.conn.staging.front_mut() {
@@ -440,7 +540,14 @@ impl KstackServer {
         }
     }
 
-    fn issue_fill(&mut self, now: Nanos, slot_idx: usize, st: StagedResponse, len: u64, pages: Vec<(u64, PhysRegion)>) {
+    fn issue_fill(
+        &mut self,
+        now: Nanos,
+        slot_idx: usize,
+        st: StagedResponse,
+        len: u64,
+        pages: Vec<(u64, PhysRegion)>,
+    ) {
         let loc = self.catalog.locate(st.file, st.next_fill);
         let aligned = len.div_ceil(LBA_SIZE) * LBA_SIZE;
         let cid = self.next_cid;
@@ -478,13 +585,16 @@ impl KstackServer {
                 issued_at: now,
             },
         );
-        self.disk_read_bytes += aligned;
+        let core = self.slots[slot_idx].core;
+        self.reg.add(self.ids.disk_read_bytes[core], aligned);
     }
 
     /// Disk fill completed: enqueue the body bytes (and for stock,
     /// unblock the core).
     fn complete_fill(&mut self, now: Nanos, cid: u16) {
-        let Some(fill) = self.fills.remove(&cid) else { return };
+        let Some(fill) = self.fills.remove(&cid) else {
+            return;
+        };
         let slot_idx = fill.conn_slot;
         let core = self.slots[slot_idx].core;
         // Interrupt + completion handling.
@@ -499,8 +609,11 @@ impl KstackServer {
             // else ran on this core meanwhile, which is the
             // throughput collapse Fig 1 shows for stock at 0% BC.
             let blocked_ns = (now.saturating_sub(fill.issued_at)).as_nanos();
-            self.cores
-                .run_on(core, fill.issued_at, self.cfg.costs.ns_to_cycles(blocked_ns));
+            self.cores.run_on(
+                core,
+                fill.issued_at,
+                self.cfg.costs.ns_to_cycles(blocked_ns),
+            );
             self.sync_busy[core] = false;
         }
         let st = StagedResponse {
@@ -519,7 +632,9 @@ impl KstackServer {
         // waiting on it, until it blocks again.
         let core2 = self.slots[slot_idx].core;
         while !self.sync_busy[core2] {
-            let Some(&waiting) = self.stage_waiting[core2].iter().next() else { break };
+            let Some(&waiting) = self.stage_waiting[core2].iter().next() else {
+                break;
+            };
             self.stage_waiting[core2].remove(&waiting);
             self.stage(irq_done, waiting);
             self.pump_tx(irq_done, waiting);
@@ -572,8 +687,9 @@ impl KstackServer {
         while off_in_fill < len {
             let rec_plain_off = file_off + off_in_fill;
             debug_assert_eq!(rec_plain_off % RECORD_PAYLOAD_MAX as u64, 0);
-            let rec_plain =
-                (st.body_len - rec_plain_off).min(RECORD_PAYLOAD_MAX as u64).min(len - off_in_fill);
+            let rec_plain = (st.body_len - rec_plain_off)
+                .min(RECORD_PAYLOAD_MAX as u64)
+                .min(len - off_in_fill);
             // Gather the plaintext source regions.
             let mut src = SgList::empty();
             let mut remaining = rec_plain;
@@ -661,11 +777,15 @@ impl KstackServer {
                 let _ = p;
             }
             let slot = &mut self.slots[slot_idx];
-            slot.conn.enqueue(sg, Vec::new(), Some(ct_region.slice(0, 0).slice(0, 0)));
+            slot.conn
+                .enqueue(sg, Vec::new(), Some(ct_region.slice(0, 0).slice(0, 0)));
             // Track the full pool region for release (not the
             // truncated slice).
             if let Some(last) = slot.conn.sendq.back_mut() {
-                last.ct_region = Some(PhysRegion::new(ct_region.addr, RECORD_PAYLOAD_MAX as u64 + 64));
+                last.ct_region = Some(PhysRegion::new(
+                    ct_region.addr,
+                    RECORD_PAYLOAD_MAX as u64 + 64,
+                ));
             }
             off_in_fill += rec_plain;
             let _ = t_enc;
@@ -693,7 +813,9 @@ impl KstackServer {
             if budget < u64::from(slot.conn.tcb.cfg.mss) && slot.conn.unsent() > budget {
                 break;
             }
-            let Some((_, sg)) = slot.conn.take_for_tx(budget) else { break };
+            let Some((_, sg)) = slot.conn.take_for_tx(budget) else {
+                break;
+            };
             let n_segs = sg.len().div_ceil(u64::from(slot.conn.tcb.cfg.mss));
             let mut cycles = costs.tcp_tx_op_cycles + n_segs * costs.kstack_tx_segment_cycles;
             // The TCP output path walks the mbuf chain at transmit

@@ -3,6 +3,10 @@
 //! These are the simulation's equivalent of the paper's uncore PMC
 //! measurements: memory READ/WRITE throughput (Figs 3, 11c/d, 13c/d)
 //! and the LLC-miss rate ("CPU reads served from DRAM", Figs 11f/13f).
+//!
+//! All state is private; consumers read through [`MemCounters::totals`]
+//! (lifetime, per-agent) or [`MemCounters::snapshot`] (steady-state
+//! rates) so figure code and the dcn-obs registry share one surface.
 
 use crate::Agent;
 use dcn_simcore::{Nanos, TimeBuckets};
@@ -15,11 +19,31 @@ pub struct MemCounters {
     dram_rd_cpu: TimeBuckets,
     dram_rd_nic: TimeBuckets,
     miss_lines: TimeBuckets,
-    /// Lifetime totals (cheap cross-checks for tests).
-    pub total_dram_rd: u64,
-    pub total_dram_wr: u64,
-    pub total_dma_write_bytes: u64,
-    pub total_dma_read_hit_bytes: u64,
+    totals: MemTotals,
+}
+
+/// Lifetime totals, broken down by the agent that generated the
+/// traffic. Returned by value from [`MemCounters::totals`]; the
+/// fields stay private to the mem crate so nothing can poke them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemTotals {
+    /// All bytes read from DRAM (CPU misses + device DMA misses).
+    pub dram_read_bytes: u64,
+    /// All bytes written to DRAM (writebacks + non-temporal stores).
+    pub dram_write_bytes: u64,
+    /// DRAM reads caused by CPU loads that missed the LLC.
+    pub dram_read_cpu_bytes: u64,
+    /// DRAM reads caused by NIC TX DMA that missed the LLC.
+    pub dram_read_nic_bytes: u64,
+    /// DRAM reads caused by disk-controller DMA (rare: DDIO probes).
+    pub dram_read_disk_bytes: u64,
+    /// Total device-DMA write volume (lands in LLC under DDIO; DRAM
+    /// traffic happens only at eviction).
+    pub dma_write_bytes: u64,
+    /// Device-DMA read bytes served from the LLC (no DRAM touch).
+    pub dma_read_hit_bytes: u64,
+    /// CPU cache lines missed in the LLC.
+    pub miss_lines: u64,
 }
 
 impl MemCounters {
@@ -31,49 +55,91 @@ impl MemCounters {
             dram_rd_cpu: TimeBuckets::new(bucket),
             dram_rd_nic: TimeBuckets::new(bucket),
             miss_lines: TimeBuckets::new(bucket),
-            total_dram_rd: 0,
-            total_dram_wr: 0,
-            total_dma_write_bytes: 0,
-            total_dma_read_hit_bytes: 0,
+            totals: MemTotals::default(),
         }
     }
 
     pub(crate) fn record_dma_write(&mut self, _now: Nanos, _agent: Agent, bytes: u64) {
         // DDIO: device writes land in LLC; DRAM traffic happens only at
         // eviction (record_writeback). We still track the DMA volume.
-        self.total_dma_write_bytes += bytes;
+        self.totals.dma_write_bytes += bytes;
     }
 
-    pub(crate) fn record_dma_read(&mut self, now: Nanos, agent: Agent, dram_bytes: u64, hit_bytes: u64) {
+    pub(crate) fn record_dma_read(
+        &mut self,
+        now: Nanos,
+        agent: Agent,
+        dram_bytes: u64,
+        hit_bytes: u64,
+    ) {
         if dram_bytes > 0 {
             self.dram_rd.add(now, dram_bytes as f64);
-            self.total_dram_rd += dram_bytes;
-            if agent == Agent::NicDma {
-                self.dram_rd_nic.add(now, dram_bytes as f64);
+            self.totals.dram_read_bytes += dram_bytes;
+            match agent {
+                Agent::NicDma => {
+                    self.dram_rd_nic.add(now, dram_bytes as f64);
+                    self.totals.dram_read_nic_bytes += dram_bytes;
+                }
+                Agent::DiskDma => self.totals.dram_read_disk_bytes += dram_bytes,
+                Agent::Cpu => {}
             }
         }
-        self.total_dma_read_hit_bytes += hit_bytes;
+        self.totals.dma_read_hit_bytes += hit_bytes;
     }
 
-    pub(crate) fn record_cpu_access(&mut self, now: Nanos, dram_bytes: u64, _hit_bytes: u64, miss_lines: u64) {
+    pub(crate) fn record_cpu_access(
+        &mut self,
+        now: Nanos,
+        dram_bytes: u64,
+        _hit_bytes: u64,
+        miss_lines: u64,
+    ) {
         if dram_bytes > 0 {
             self.dram_rd.add(now, dram_bytes as f64);
             self.dram_rd_cpu.add(now, dram_bytes as f64);
-            self.total_dram_rd += dram_bytes;
+            self.totals.dram_read_bytes += dram_bytes;
+            self.totals.dram_read_cpu_bytes += dram_bytes;
         }
         if miss_lines > 0 {
             self.miss_lines.add(now, miss_lines as f64);
+            self.totals.miss_lines += miss_lines;
         }
     }
 
     pub(crate) fn record_writeback(&mut self, now: Nanos, bytes: u64) {
         self.dram_wr.add(now, bytes as f64);
-        self.total_dram_wr += bytes;
+        self.totals.dram_write_bytes += bytes;
     }
 
     pub(crate) fn record_dram_write(&mut self, now: Nanos, _agent: Agent, bytes: u64) {
         self.dram_wr.add(now, bytes as f64);
-        self.total_dram_wr += bytes;
+        self.totals.dram_write_bytes += bytes;
+    }
+
+    /// Lifetime totals, per agent. The public read API.
+    #[must_use]
+    pub fn totals(&self) -> MemTotals {
+        self.totals
+    }
+
+    /// Publish the lifetime totals into a dcn-obs registry under
+    /// `mem.*` gauges — the single surface Figs 3/11c–f/13c–f and
+    /// the CSV export read from. Sample/report points only.
+    pub fn publish_metrics(&self, reg: &mut dcn_obs::Registry) {
+        let t = self.totals;
+        for (name, v) in [
+            ("mem.dram_read_bytes", t.dram_read_bytes),
+            ("mem.dram_write_bytes", t.dram_write_bytes),
+            ("mem.dram_read_cpu_bytes", t.dram_read_cpu_bytes),
+            ("mem.dram_read_nic_bytes", t.dram_read_nic_bytes),
+            ("mem.dram_read_disk_bytes", t.dram_read_disk_bytes),
+            ("mem.dma_write_bytes", t.dma_write_bytes),
+            ("mem.dma_read_hit_bytes", t.dma_read_hit_bytes),
+            ("mem.llc_miss_lines", t.miss_lines),
+        ] {
+            let g = reg.gauge(name);
+            reg.set(g, v as f64);
+        }
     }
 
     /// Steady-state rates over `[warmup, end)`.
@@ -136,14 +202,33 @@ mod tests {
             );
         }
         let snap = c.snapshot(Nanos::ZERO, Nanos::from_millis(100));
-        assert!((snap.read_gbps() - 100.0).abs() < 1.0, "{}", snap.read_gbps());
+        assert!(
+            (snap.read_gbps() - 100.0).abs() < 1.0,
+            "{}",
+            snap.read_gbps()
+        );
         assert!(snap.llc_miss_lines_per_sec > 0.0);
+        assert_eq!(c.totals().dram_read_bytes, total);
+        assert_eq!(c.totals().dram_read_cpu_bytes, total);
+        assert_eq!(c.totals().miss_lines, chunks * (total / chunks / 64));
     }
 
     #[test]
     fn writebacks_count_as_dram_writes() {
         let mut c = MemCounters::new(Nanos::from_millis(1));
         c.record_writeback(Nanos::from_micros(10), 4096);
-        assert_eq!(c.total_dram_wr, 4096);
+        assert_eq!(c.totals().dram_write_bytes, 4096);
+    }
+
+    #[test]
+    fn per_agent_dma_read_attribution() {
+        let mut c = MemCounters::new(Nanos::from_millis(1));
+        c.record_dma_read(Nanos::ZERO, Agent::NicDma, 1000, 500);
+        c.record_dma_read(Nanos::ZERO, Agent::DiskDma, 64, 0);
+        let t = c.totals();
+        assert_eq!(t.dram_read_bytes, 1064);
+        assert_eq!(t.dram_read_nic_bytes, 1000);
+        assert_eq!(t.dram_read_disk_bytes, 64);
+        assert_eq!(t.dma_read_hit_bytes, 500);
     }
 }

@@ -83,7 +83,9 @@ impl CoreSet {
     #[must_use]
     pub fn new(n: usize, costs: &CostParams, bucket: Nanos, polling: bool) -> Self {
         CoreSet {
-            cores: (0..n).map(|_| CpuCore::new(costs.cpu_ghz, bucket)).collect(),
+            cores: (0..n)
+                .map(|_| CpuCore::new(costs.cpu_ghz, bucket))
+                .collect(),
             polling,
         }
     }
@@ -185,7 +187,10 @@ mod tests {
     fn polling_coreset_reports_full_utilization() {
         let costs = CostParams::default();
         let cs = CoreSet::new(4, &costs, Nanos::from_millis(1), true);
-        assert_eq!(cs.utilization_pct(Nanos::ZERO, Nanos::from_millis(10)), 400.0);
+        assert_eq!(
+            cs.utilization_pct(Nanos::ZERO, Nanos::from_millis(10)),
+            400.0
+        );
         assert_eq!(cs.useful_pct(Nanos::ZERO, Nanos::from_millis(10)), 0.0);
     }
 }

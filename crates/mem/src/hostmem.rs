@@ -34,7 +34,9 @@ impl HostMem {
     }
 
     fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE] {
-        self.pages.entry(pno).or_insert_with(|| Box::new([0u8; PAGE]))
+        self.pages
+            .entry(pno)
+            .or_insert_with(|| Box::new([0u8; PAGE]))
     }
 
     /// Copy `data` into memory at `addr` (scatter across pages).

@@ -22,16 +22,16 @@
 //!   the reproduction, so calibration happens in exactly one place.
 
 pub mod cost;
-pub mod hostmem;
 pub mod counters;
 pub mod cpu;
+pub mod hostmem;
 pub mod llc;
 pub mod phys;
 
 pub use cost::CostParams;
-pub use hostmem::HostMem;
-pub use counters::{MemCounters, MemSnapshot};
+pub use counters::{MemCounters, MemSnapshot, MemTotals};
 pub use cpu::{CoreSet, CpuCore};
+pub use hostmem::HostMem;
 pub use llc::{Llc, LlcConfig};
 pub use phys::{PhysAddr, PhysAlloc, PhysRegion, CHUNK_SIZE};
 
@@ -127,8 +127,18 @@ impl MemSystem {
                 out.dram_read_bytes += len;
             }
         }
-        self.counters.record_dma_read(now, agent, out.dram_read_bytes, hit_bytes);
+        self.counters
+            .record_dma_read(now, agent, out.dram_read_bytes, hit_bytes);
         out
+    }
+
+    /// Non-mutating residency query: is every cache line of `region`
+    /// currently LLC-resident? Touches no LRU state and no counters,
+    /// so observers (the dcn-obs tracer) can ask without perturbing
+    /// the simulation — tracing on or off yields identical runs.
+    #[must_use]
+    pub fn probe_region(&self, region: PhysRegion) -> bool {
+        region.chunks().all(|chunk| self.llc.probe(chunk))
     }
 
     /// CPU load of `region`. Misses read DRAM, allocate clean lines,
@@ -260,14 +270,20 @@ mod tests {
     fn small_mem() -> MemSystem {
         // 16-chunk LLC (64 KiB), DDIO capped at 4 chunks.
         MemSystem::new(
-            LlcConfig { capacity_chunks: 16, ddio_chunks: 4 },
+            LlcConfig {
+                capacity_chunks: 16,
+                ddio_chunks: 4,
+            },
             CostParams::default(),
             Nanos::from_millis(1),
         )
     }
 
     fn region(page: u64, len: u64) -> PhysRegion {
-        PhysRegion { addr: PhysAddr(page * CHUNK_SIZE), len }
+        PhysRegion {
+            addr: PhysAddr(page * CHUNK_SIZE),
+            len,
+        }
     }
 
     #[test]
@@ -292,7 +308,10 @@ mod tests {
         }
         // Chunk 0 was evicted dirty (DMA data is dirty by definition).
         let rd = m.dma_read(t, Agent::NicDma, region(0, CHUNK_SIZE));
-        assert_eq!(rd.dram_read_bytes, CHUNK_SIZE, "oldest DDIO chunk must be gone");
+        assert_eq!(
+            rd.dram_read_bytes, CHUNK_SIZE,
+            "oldest DDIO chunk must be gone"
+        );
         // Chunk 4 is still cached.
         let rd = m.dma_read(t, Agent::NicDma, region(4, CHUNK_SIZE));
         assert_eq!(rd.dram_read_bytes, 0);
@@ -315,7 +334,10 @@ mod tests {
             m.dma_write(t, Agent::DiskDma, region(p, CHUNK_SIZE));
         }
         let rd = m.dma_read(t, Agent::NicDma, region(0, CHUNK_SIZE));
-        assert_eq!(rd.dram_read_bytes, 0, "CPU-touched chunk was wrongly evicted");
+        assert_eq!(
+            rd.dram_read_bytes, 0,
+            "CPU-touched chunk was wrongly evicted"
+        );
     }
 
     #[test]
@@ -344,7 +366,10 @@ mod tests {
         for p in 0..16 {
             wb += m.cpu_read(t, region(p, CHUNK_SIZE)).dram_write_bytes;
         }
-        assert_eq!(wb, CHUNK_SIZE, "exactly the dirty chunk must be written back");
+        assert_eq!(
+            wb, CHUNK_SIZE,
+            "exactly the dirty chunk must be written back"
+        );
     }
 
     #[test]

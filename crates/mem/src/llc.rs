@@ -37,7 +37,10 @@ impl LlcConfig {
     #[must_use]
     pub fn xeon_e5_2667v3() -> Self {
         let capacity_chunks = 20 * 1024 * 1024 / crate::phys::CHUNK_SIZE;
-        LlcConfig { capacity_chunks, ddio_chunks: capacity_chunks / 10 }
+        LlcConfig {
+            capacity_chunks,
+            ddio_chunks: capacity_chunks / 10,
+        }
     }
 }
 
@@ -204,7 +207,10 @@ impl Llc {
     }
 
     fn evict(&mut self, chunk: u64, ev: &mut Evictions) {
-        let e = self.entries.remove(&chunk).expect("evict of non-resident chunk");
+        let e = self
+            .entries
+            .remove(&chunk)
+            .expect("evict of non-resident chunk");
         self.by_stamp.remove(&e.stamp);
         if e.dma {
             self.dma_by_stamp.remove(&e.stamp);
@@ -225,7 +231,10 @@ mod tests {
     use super::*;
 
     fn llc(cap: u64, ddio: u64) -> Llc {
-        Llc::new(LlcConfig { capacity_chunks: cap, ddio_chunks: ddio })
+        Llc::new(LlcConfig {
+            capacity_chunks: cap,
+            ddio_chunks: ddio,
+        })
     }
 
     #[test]

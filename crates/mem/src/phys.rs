@@ -38,8 +38,15 @@ impl PhysRegion {
     /// bounds — slicing past a DMA buffer is a driver bug.
     #[must_use]
     pub fn slice(&self, off: u64, len: u64) -> PhysRegion {
-        assert!(off + len <= self.len, "slice {off}+{len} out of region len {}", self.len);
-        PhysRegion { addr: PhysAddr(self.addr.0 + off), len }
+        assert!(
+            off + len <= self.len,
+            "slice {off}+{len} out of region len {}",
+            self.len
+        );
+        PhysRegion {
+            addr: PhysAddr(self.addr.0 + off),
+            len,
+        }
     }
 
     /// Chunk ids (page numbers) this region overlaps.
@@ -118,22 +125,37 @@ mod tests {
         assert!(r2.addr.0 + 8192 <= r3.addr.0 + 8192); // r2 spans 2 chunks
         let c1: Vec<_> = r1.chunks().collect();
         let c2: Vec<_> = r2.chunks().collect();
-        assert!(c1.iter().all(|c| !c2.contains(c)), "chunks must not be shared");
+        assert!(
+            c1.iter().all(|c| !c2.contains(c)),
+            "chunks must not be shared"
+        );
     }
 
     #[test]
     fn chunks_iteration() {
-        let r = PhysRegion { addr: PhysAddr(4096), len: 8192 };
+        let r = PhysRegion {
+            addr: PhysAddr(4096),
+            len: 8192,
+        };
         assert_eq!(r.chunks().collect::<Vec<_>>(), vec![1, 2]);
-        let r = PhysRegion { addr: PhysAddr(4096), len: 1 };
+        let r = PhysRegion {
+            addr: PhysAddr(4096),
+            len: 1,
+        };
         assert_eq!(r.chunks().collect::<Vec<_>>(), vec![1]);
-        let r = PhysRegion { addr: PhysAddr(4000), len: 200 };
+        let r = PhysRegion {
+            addr: PhysAddr(4000),
+            len: 200,
+        };
         assert_eq!(r.chunks().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
     fn len_within_partial_chunks() {
-        let r = PhysRegion { addr: PhysAddr(4000), len: 200 };
+        let r = PhysRegion {
+            addr: PhysAddr(4000),
+            len: 200,
+        };
         assert_eq!(r.len_within(0), 96);
         assert_eq!(r.len_within(1), 104);
         assert_eq!(r.len_within(2), 0);
@@ -142,7 +164,10 @@ mod tests {
 
     #[test]
     fn slice_within_bounds() {
-        let r = PhysRegion { addr: PhysAddr(8192), len: 4096 };
+        let r = PhysRegion {
+            addr: PhysAddr(8192),
+            len: 4096,
+        };
         let s = r.slice(100, 200);
         assert_eq!(s.addr.0, 8292);
         assert_eq!(s.len, 200);
@@ -151,13 +176,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of region")]
     fn slice_out_of_bounds_panics() {
-        let r = PhysRegion { addr: PhysAddr(0), len: 100 };
+        let r = PhysRegion {
+            addr: PhysAddr(0),
+            len: 100,
+        };
         let _ = r.slice(50, 100);
     }
 
     #[test]
     fn empty_region_has_no_chunks() {
-        let r = PhysRegion { addr: PhysAddr(4096), len: 0 };
+        let r = PhysRegion {
+            addr: PhysAddr(4096),
+            len: 0,
+        };
         assert_eq!(r.chunks().count(), 0);
         assert!(r.is_empty());
     }

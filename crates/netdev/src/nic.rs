@@ -59,6 +59,13 @@ pub struct SentBurst {
     pub departed: Nanos,
     pub port: usize,
     pub ring: usize,
+    /// The descriptor's completion token (0 = none) — lets callers
+    /// correlate the burst back to the buffer / chunk it carried.
+    pub completion: u64,
+    /// DRAM bytes the payload DMA read actually touched. Zero means
+    /// the whole payload was still LLC-resident at transmit time
+    /// (the paper's ideal disk→LLC→wire path).
+    pub dma_dram_bytes: u64,
     pub frames: Vec<WireFrame>,
 }
 
@@ -90,11 +97,17 @@ impl Nic {
     #[must_use]
     pub fn new(cfg: NicConfig) -> Self {
         Nic {
-            ports: (0..cfg.ports).map(|_| Port { busy_until: Nanos::ZERO }).collect(),
+            ports: (0..cfg.ports)
+                .map(|_| Port {
+                    busy_until: Nanos::ZERO,
+                })
+                .collect(),
             tx_rings: (0..cfg.rings)
                 .map(|_| TxRing::new(cfg.ring_slots, cfg.tx_report_batch))
                 .collect(),
-            rx_rings: (0..cfg.rings).map(|_| RxRing::new(cfg.ring_slots)).collect(),
+            rx_rings: (0..cfg.rings)
+                .map(|_| RxRing::new(cfg.ring_slots))
+                .collect(),
             cfg,
             tx_wire_bytes: 0,
             tx_payload_bytes: 0,
@@ -133,11 +146,14 @@ impl Nic {
             if self.ports[port_idx].busy_until > now {
                 break; // port still serializing an earlier burst
             }
-            let Some(desc) = self.tx_rings[ring].nic_take() else { break };
+            let Some(desc) = self.tx_rings[ring].nic_take() else {
+                break;
+            };
             // DMA-read the payload regions (cache accounting) at the
             // moment the wire actually consumes them.
+            let mut dma_dram_bytes = 0u64;
             for r in desc.payload.regions() {
-                mem.dma_read(start, Agent::NicDma, r);
+                dma_dram_bytes += mem.dma_read(start, Agent::NicDma, r).dram_read_bytes;
             }
             let frames = self.segment(&desc, host);
             let burst_wire: u64 = frames.iter().map(WireFrame::wire_len).sum();
@@ -148,7 +164,14 @@ impl Nic {
             self.tx_payload_bytes += desc.payload.len();
             self.tx_frames += frames.len() as u64;
             let token = desc.completion;
-            out.push(SentBurst { departed, port: port_idx, ring, frames });
+            out.push(SentBurst {
+                departed,
+                port: port_idx,
+                ring,
+                completion: token,
+                dma_dram_bytes,
+                frames,
+            });
             self.tx_rings[ring].nic_done(token);
         }
         out
@@ -156,7 +179,12 @@ impl Nic {
 
     /// Drain every ring (the per-core stacks each own one, but the
     /// ports are shared — a server's advance() services them all).
-    pub fn tx_drain_all(&mut self, now: Nanos, mem: &mut MemSystem, host: &HostMem) -> Vec<SentBurst> {
+    pub fn tx_drain_all(
+        &mut self,
+        now: Nanos,
+        mem: &mut MemSystem,
+        host: &HostMem,
+    ) -> Vec<SentBurst> {
         let mut out = Vec::new();
         for ring in 0..self.tx_rings.len() {
             out.extend(self.tx_drain(ring, now, mem, host));
@@ -225,7 +253,9 @@ impl Nic {
         let mut off = 0u64;
         let base_seq = if desc.tcp_seq_off != usize::MAX {
             u32::from_be_bytes(
-                desc.headers[desc.tcp_seq_off..desc.tcp_seq_off + 4].try_into().expect("seq field"),
+                desc.headers[desc.tcp_seq_off..desc.tcp_seq_off + 4]
+                    .try_into()
+                    .expect("seq field"),
             )
         } else {
             0
@@ -236,8 +266,7 @@ impl Nic {
             let mut headers = desc.headers.clone();
             if desc.tcp_seq_off != usize::MAX {
                 let seq = base_seq.wrapping_add(off as u32);
-                headers[desc.tcp_seq_off..desc.tcp_seq_off + 4]
-                    .copy_from_slice(&seq.to_be_bytes());
+                headers[desc.tcp_seq_off..desc.tcp_seq_off + 4].copy_from_slice(&seq.to_be_bytes());
             }
             // Patch the IP total length for this frame and restore a
             // valid header checksum — TSO hardware rewrites both per
@@ -284,14 +313,41 @@ impl Nic {
         mem: &mut MemSystem,
         rx_slot_region: dcn_mem::PhysRegion,
     ) {
-        mem.dma_write(now, Agent::NicDma, rx_slot_region.slice(0, frame.frame_len().min(rx_slot_region.len)));
+        mem.dma_write(
+            now,
+            Agent::NicDma,
+            rx_slot_region.slice(0, frame.frame_len().min(rx_slot_region.len)),
+        );
         self.rx_rings[ring].nic_deliver(RxFrame { at: now, frame });
     }
 
     /// Earliest port-idle instant (diagnostics: NIC saturation).
     #[must_use]
     pub fn ports_busy_until(&self) -> Nanos {
-        self.ports.iter().map(|p| p.busy_until).max().unwrap_or(Nanos::ZERO)
+        self.ports
+            .iter()
+            .map(|p| p.busy_until)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Publish NIC counters into a dcn-obs registry under `nic.*`
+    /// (idempotent registration; called at sample/report points, not
+    /// on the per-frame hot path).
+    pub fn publish_metrics(&self, reg: &mut dcn_obs::Registry) {
+        let g = reg.gauge("nic.tx_wire_bytes");
+        reg.set(g, self.tx_wire_bytes as f64);
+        let g = reg.gauge("nic.tx_payload_bytes");
+        reg.set(g, self.tx_payload_bytes as f64);
+        let g = reg.gauge("nic.tx_frames");
+        reg.set(g, self.tx_frames as f64);
+        for (ring, r) in self.tx_rings.iter().enumerate() {
+            let g = reg.gauge(&dcn_obs::registry::labeled(
+                "nic.tx_ring_pending",
+                &[("ring", ring as u64)],
+            ));
+            reg.set(g, r.pending_len() as f64);
+        }
     }
 }
 
@@ -318,7 +374,11 @@ mod tests {
 
     fn mem() -> (MemSystem, HostMem, PhysAlloc) {
         (
-            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            MemSystem::new(
+                LlcConfig::xeon_e5_2667v3(),
+                CostParams::default(),
+                Nanos::from_millis(1),
+            ),
             HostMem::new(),
             PhysAlloc::new(),
         )
@@ -327,7 +387,13 @@ mod tests {
     fn data_desc(payload: SgList, mss: Option<u16>, seq: u32, token: u64) -> TxDescriptor {
         let mut headers = vec![0u8; 54];
         headers[38..42].copy_from_slice(&seq.to_be_bytes()); // 14+20+4
-        TxDescriptor { headers, payload, tso_mss: mss, completion: token, tcp_seq_off: 38 }
+        TxDescriptor {
+            headers,
+            payload,
+            tso_mss: mss,
+            completion: token,
+            tcp_seq_off: 38,
+        }
     }
 
     #[test]
@@ -335,14 +401,16 @@ mod tests {
         let (mut m, mut h, mut pa) = mem();
         let mut nic = Nic::new(NicConfig::default());
         let buf = pa.alloc(16384);
-        h.fill_region(buf, |b| b.iter_mut().enumerate().for_each(|(i, x)| *x = i as u8));
+        h.fill_region(buf, |b| {
+            b.iter_mut().enumerate().for_each(|(i, x)| *x = i as u8)
+        });
         let desc = data_desc(SgList::from_region(buf), Some(1448), 1000, 7);
         nic.tx_rings[0].push(desc);
         let bursts = nic.tx_drain(0, Nanos::ZERO, &mut m, &h);
         assert_eq!(bursts.len(), 1);
         let frames = &bursts[0].frames;
         assert_eq!(frames.len(), 12); // ceil(16384/1448)
-        // Sequence numbers advance by payload length.
+                                      // Sequence numbers advance by payload length.
         let seq_of = |f: &WireFrame| u32::from_be_bytes(f.headers[38..42].try_into().unwrap());
         assert_eq!(seq_of(&frames[0]), 1000);
         assert_eq!(seq_of(&frames[1]), 1000 + 1448);
@@ -350,7 +418,9 @@ mod tests {
         // Reassembled payload equals the buffer contents.
         let mut reassembled = Vec::new();
         for f in frames {
-            let PayloadBytes::Real(b) = &f.payload else { panic!("full fidelity") };
+            let PayloadBytes::Real(b) = &f.payload else {
+                panic!("full fidelity")
+            };
             reassembled.extend_from_slice(b);
         }
         assert_eq!(reassembled, h.read_region(buf));
@@ -359,7 +429,10 @@ mod tests {
     #[test]
     fn serialization_takes_line_rate_time() {
         let (mut m, h, mut pa) = mem();
-        let mut nic = Nic::new(NicConfig { fidelity: Fidelity::Modeled, ..NicConfig::default() });
+        let mut nic = Nic::new(NicConfig {
+            fidelity: Fidelity::Modeled,
+            ..NicConfig::default()
+        });
         let buf = pa.alloc(16384);
         let desc = data_desc(SgList::from_region(buf), Some(1448), 0, 1);
         nic.tx_rings[0].push(desc);
@@ -393,14 +466,20 @@ mod tests {
     #[test]
     fn ports_serialize_independently() {
         let (mut m, h, mut pa) = mem();
-        let mut nic = Nic::new(NicConfig { fidelity: Fidelity::Modeled, ..NicConfig::default() });
+        let mut nic = Nic::new(NicConfig {
+            fidelity: Fidelity::Modeled,
+            ..NicConfig::default()
+        });
         let b0 = pa.alloc(16384);
         let b1 = pa.alloc(16384);
         nic.tx_rings[0].push(data_desc(SgList::from_region(b0), Some(1448), 0, 1));
         nic.tx_rings[1].push(data_desc(SgList::from_region(b1), Some(1448), 0, 2));
         let d0 = nic.tx_drain(0, Nanos::ZERO, &mut m, &h)[0].departed;
         let d1 = nic.tx_drain(1, Nanos::ZERO, &mut m, &h)[0].departed;
-        assert_eq!(d0, d1, "different ports do not serialize against each other");
+        assert_eq!(
+            d0, d1,
+            "different ports do not serialize against each other"
+        );
     }
 
     #[test]
@@ -423,11 +502,14 @@ mod tests {
     #[test]
     fn tx_dma_counts_against_cache_model() {
         let (mut m, h, mut pa) = mem();
-        let mut nic = Nic::new(NicConfig { fidelity: Fidelity::Modeled, ..NicConfig::default() });
+        let mut nic = Nic::new(NicConfig {
+            fidelity: Fidelity::Modeled,
+            ..NicConfig::default()
+        });
         let buf = pa.alloc(16384);
         // Buffer NOT in LLC → NIC DMA reads from DRAM.
         nic.tx_rings[0].push(data_desc(SgList::from_region(buf), Some(1448), 0, 1));
         nic.tx_drain(0, Nanos::ZERO, &mut m, &h);
-        assert_eq!(m.counters.total_dram_rd, 16384);
+        assert_eq!(m.counters.totals().dram_read_bytes, 16384);
     }
 }

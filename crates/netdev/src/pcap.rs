@@ -40,7 +40,11 @@ impl PcapWriter {
         buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
         buf.extend_from_slice(&snaplen.to_le_bytes());
         buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
-        PcapWriter { buf, snaplen, frames: 0 }
+        PcapWriter {
+            buf,
+            snaplen,
+            frames: 0,
+        }
     }
 
     /// Record one frame at virtual time `at`. The payload portion is
@@ -109,7 +113,10 @@ mod tests {
         assert_eq!(&b[0..4], &PCAP_MAGIC_NS.to_le_bytes());
         assert_eq!(u16::from_le_bytes([b[4], b[5]]), 2);
         assert_eq!(u16::from_le_bytes([b[6], b[7]]), 4);
-        assert_eq!(u32::from_le_bytes([b[20], b[21], b[22], b[23]]), LINKTYPE_ETHERNET);
+        assert_eq!(
+            u32::from_le_bytes([b[20], b[21], b[22], b[23]]),
+            LINKTYPE_ETHERNET
+        );
         assert_eq!(b.len(), 24);
     }
 

@@ -144,7 +144,11 @@ pub struct RxRing {
 impl RxRing {
     #[must_use]
     pub fn new(slots: usize) -> Self {
-        RxRing { slots, queued: VecDeque::new(), drops: 0 }
+        RxRing {
+            slots,
+            queued: VecDeque::new(),
+            drops: 0,
+        }
     }
 
     pub(crate) fn nic_deliver(&mut self, f: RxFrame) {
@@ -232,10 +236,7 @@ mod tests {
         let mut r = RxRing::new(2);
         let mk = || RxFrame {
             at: Nanos::ZERO,
-            frame: crate::wire::WireFrame::single(
-                vec![0; 54],
-                crate::sg::PayloadBytes::Virtual(0),
-            ),
+            frame: crate::wire::WireFrame::single(vec![0; 54], crate::sg::PayloadBytes::Virtual(0)),
         };
         r.nic_deliver(mk());
         r.nic_deliver(mk());

@@ -190,8 +190,12 @@ mod tests {
         assert_eq!(front.len(), 1500);
         assert_eq!(sg.len(), 2596);
         // The split regions tile the original.
-        let SgChunk::Region(fr) = front.0[0] else { panic!() };
-        let SgChunk::Region(re) = sg.0[0] else { panic!() };
+        let SgChunk::Region(fr) = front.0[0] else {
+            panic!()
+        };
+        let SgChunk::Region(re) = sg.0[0] else {
+            panic!()
+        };
         assert_eq!(fr.addr.0, 8192);
         assert_eq!(re.addr.0, 8192 + 1500);
     }

@@ -27,7 +27,11 @@ impl WireFrame {
     /// A plain single-segment frame.
     #[must_use]
     pub fn single(headers: Vec<u8>, payload: PayloadBytes) -> Self {
-        WireFrame { headers, payload, aggregated: 1 }
+        WireFrame {
+            headers,
+            payload,
+            aggregated: 1,
+        }
     }
 
     /// Total bytes this frame occupies on the wire (incl. Ethernet
@@ -71,7 +75,10 @@ impl DelayMiddlebox {
                 }
             })
             .collect();
-        DelayMiddlebox { bands, salt: rng.next_u64() as u32 }
+        DelayMiddlebox {
+            bands,
+            salt: rng.next_u64() as u32,
+        }
     }
 
     /// The paper's configuration: 10–40 ms in 7 bands.
@@ -123,9 +130,13 @@ mod tests {
     #[test]
     fn delays_spread_across_bands() {
         let mb = DelayMiddlebox::paper(1);
-        let distinct: std::collections::HashSet<u64> =
-            (1000u16..1200).map(|p| mb.delay(flow(p)).as_nanos()).collect();
-        assert!(distinct.len() >= 5, "flows should spread over bands: {distinct:?}");
+        let distinct: std::collections::HashSet<u64> = (1000u16..1200)
+            .map(|p| mb.delay(flow(p)).as_nanos())
+            .collect();
+        assert!(
+            distinct.len() >= 5,
+            "flows should spread over bands: {distinct:?}"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub struct SparseBacking {
 impl SparseBacking {
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SparseBacking { base: SyntheticBacking::new(seed), written: HashMap::new() }
+        SparseBacking {
+            base: SyntheticBacking::new(seed),
+            written: HashMap::new(),
+        }
     }
 
     #[must_use]
@@ -84,7 +87,9 @@ impl BlockBacking for SparseBacking {
             let n = (LBA_SIZE as usize - in_lba).min(out.len() - done);
             match self.written.get(&(nsid, cur_lba)) {
                 Some(block) => out[done..done + n].copy_from_slice(&block[in_lba..in_lba + n]),
-                None => self.base.read(nsid, cur_lba, in_lba as u64, &mut out[done..done + n]),
+                None => self
+                    .base
+                    .read(nsid, cur_lba, in_lba as u64, &mut out[done..done + n]),
             }
             done += n;
             pos += n as u64;

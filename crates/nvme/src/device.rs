@@ -71,7 +71,9 @@ pub struct NvmeDevice {
 impl NvmeDevice {
     pub fn new(cfg: NvmeConfig, backing: Box<dyn BlockBacking>, seed: u64) -> Self {
         NvmeDevice {
-            qpairs: (0..cfg.num_qpairs).map(|q| QueuePair::new(q, cfg.queue_depth)).collect(),
+            qpairs: (0..cfg.num_qpairs)
+                .map(|q| QueuePair::new(q, cfg.queue_depth))
+                .collect(),
             firmware: Firmware::new(cfg.firmware, seed),
             backing,
             pending: Vec::new(),
@@ -247,18 +249,18 @@ mod tests {
 
     fn mem() -> (MemSystem, HostMem, PhysAlloc) {
         (
-            MemSystem::new(LlcConfig::xeon_e5_2667v3(), CostParams::default(), Nanos::from_millis(1)),
+            MemSystem::new(
+                LlcConfig::xeon_e5_2667v3(),
+                CostParams::default(),
+                Nanos::from_millis(1),
+            ),
             HostMem::new(),
             PhysAlloc::new(),
         )
     }
 
     fn dev() -> NvmeDevice {
-        NvmeDevice::new(
-            NvmeConfig::default(),
-            Box::new(SyntheticBacking::new(7)),
-            1,
-        )
+        NvmeDevice::new(NvmeConfig::default(), Box::new(SyntheticBacking::new(7)), 1)
     }
 
     fn read_cmd(cid: u16, slba: u64, bytes: u64, buf: PhysRegion) -> NvmeCommand {
@@ -270,7 +272,14 @@ mod tests {
             prp.push(buf.slice(off, n));
             off += n;
         }
-        NvmeCommand { opcode: Opcode::Read, cid, nsid: 1, slba, nlb: (bytes / LBA_SIZE) as u32, prp }
+        NvmeCommand {
+            opcode: Opcode::Read,
+            cid,
+            nsid: 1,
+            slba,
+            nlb: (bytes / LBA_SIZE) as u32,
+            prp,
+        }
     }
 
     fn run_to_completion(d: &mut NvmeDevice, mem: &mut MemSystem, host: &mut HostMem) -> usize {
@@ -334,11 +343,7 @@ mod tests {
     #[test]
     fn write_then_read_round_trip() {
         let (mut m, mut h, mut pa) = mem();
-        let mut d = NvmeDevice::new(
-            NvmeConfig::default(),
-            Box::new(SparseBacking::new(7)),
-            1,
-        );
+        let mut d = NvmeDevice::new(NvmeConfig::default(), Box::new(SparseBacking::new(7)), 1);
         let wbuf = pa.alloc(4096);
         let payload: Vec<u8> = (0..4096u32).map(|i| (i * 7 % 256) as u8).collect();
         h.write(wbuf.addr, &payload);
@@ -374,7 +379,10 @@ mod tests {
         // Immediately DMA-able to a NIC without touching DRAM.
         let t = Nanos::from_millis(1);
         let out = m.dma_read(t, Agent::NicDma, buf);
-        assert_eq!(out.dram_read_bytes, 0, "DDIO must keep fresh disk data in LLC");
+        assert_eq!(
+            out.dram_read_bytes, 0,
+            "DDIO must keep fresh disk data in LLC"
+        );
     }
 
     #[test]
@@ -404,11 +412,16 @@ mod tests {
         let n = 64;
         for i in 0..n {
             let buf = pa.alloc(16384);
-            assert!(d.qpair(0).sq_push(read_cmd(i, u64::from(i) * 32, 16384, buf)));
+            assert!(d
+                .qpair(0)
+                .sq_push(read_cmd(i, u64::from(i) * 32, 16384, buf)));
         }
         d.ring_sq_doorbell(Nanos::ZERO, 0);
         assert_eq!(run_to_completion(&mut d, &mut m, &mut h), usize::from(n));
-        assert_eq!(d.qpair(0).cq_consume(usize::from(n) + 1).len(), usize::from(n));
+        assert_eq!(
+            d.qpair(0).cq_consume(usize::from(n) + 1).len(),
+            usize::from(n)
+        );
         assert_eq!(d.completed_reads, u64::from(n));
         assert_eq!(d.read_bytes, u64::from(n) * 16384);
     }

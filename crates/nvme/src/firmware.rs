@@ -170,7 +170,14 @@ impl Firmware {
             self.channels[ch] = end;
             last_finish = last_finish.max(end);
         }
-        self.cmds.insert(seq, InFlightCmd { qid, cid: cmd.cid, sq_head_at_fetch: sq_head });
+        self.cmds.insert(
+            seq,
+            InFlightCmd {
+                qid,
+                cid: cmd.cid,
+                sq_head_at_fetch: sq_head,
+            },
+        );
         self.completions.push(Reverse((last_finish, seq)));
     }
 
@@ -222,8 +229,13 @@ mod tests {
     #[test]
     fn qd1_16k_latency_matches_p3700() {
         // Paper Fig 6: ~0.1 ms request latency at small windows.
-        let mut fw =
-            Firmware::new(FirmwareParams { jitter_sigma: 0.0, ..FirmwareParams::p3700() }, 1);
+        let mut fw = Firmware::new(
+            FirmwareParams {
+                jitter_sigma: 0.0,
+                ..FirmwareParams::p3700()
+            },
+            1,
+        );
         fw.submit(Nanos::ZERO, 1, 0, &read_cmd(1, 16384));
         let (done, t) = loop {
             let t = fw.poll_at().unwrap();
@@ -261,7 +273,10 @@ mod tests {
     fn large_command_is_striped_not_serial() {
         // A 128 KiB read must complete far faster than 32 serial
         // stripes would take.
-        let p = FirmwareParams { jitter_sigma: 0.0, ..FirmwareParams::p3700() };
+        let p = FirmwareParams {
+            jitter_sigma: 0.0,
+            ..FirmwareParams::p3700()
+        };
         let serial = p.stripe_time(4096, Opcode::Read).as_nanos() * 32;
         let mut fw = Firmware::new(p, 1);
         fw.submit(Nanos::ZERO, 1, 0, &read_cmd(1, 131072));
@@ -339,7 +354,13 @@ mod tests {
             last_gbps = gbps;
         }
         let max = results.last().unwrap().1;
-        assert!((18.0..30.0).contains(&max), "saturation {max} Gb/s: {results:?}");
-        assert!(results[0].1 < max * 0.2, "QD1 far below saturation: {results:?}");
+        assert!(
+            (18.0..30.0).contains(&max),
+            "saturation {max} Gb/s: {results:?}"
+        );
+        assert!(
+            results[0].1 < max * 0.2,
+            "QD1 far below saturation: {results:?}"
+        );
     }
 }

@@ -225,7 +225,11 @@ mod tests {
     fn cq_post_consume_fifo() {
         let mut qp = QueuePair::new(1, 8);
         for cid in [5u16, 3, 9] {
-            qp.cq_post(CompletionEntry { cid, status: NvmeStatus::Success, sq_head: 0 });
+            qp.cq_post(CompletionEntry {
+                cid,
+                status: NvmeStatus::Success,
+                sq_head: 0,
+            });
         }
         assert_eq!(qp.cq_pending(), 3);
         let got = qp.cq_consume(2);

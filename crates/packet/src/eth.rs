@@ -70,7 +70,11 @@ impl EthernetRepr {
         src.copy_from_slice(&frame[6..12]);
         let et = u16::from_be_bytes([frame[12], frame[13]]);
         Ok((
-            EthernetRepr { dst: MacAddr(dst), src: MacAddr(src), ethertype: et.into() },
+            EthernetRepr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: et.into(),
+            },
             ETH_HEADER_LEN,
         ))
     }

@@ -117,8 +117,8 @@ impl TcpRepr {
     /// 4-byte multiple).
     #[must_use]
     pub fn header_len(&self) -> usize {
-        let opt = if self.mss.is_some() { 4 } else { 0 }
-            + if self.wscale.is_some() { 3 } else { 0 };
+        let opt =
+            if self.mss.is_some() { 4 } else { 0 } + if self.wscale.is_some() { 3 } else { 0 };
         TCP_HEADER_LEN + (opt as usize).div_ceil(4) * 4
     }
 
@@ -144,8 +144,8 @@ impl TcpRepr {
         let mut i = TCP_HEADER_LEN;
         while i < data_off {
             match data[i] {
-                0 => break,          // EOL
-                1 => i += 1,         // NOP
+                0 => break,  // EOL
+                1 => i += 1, // NOP
                 2 if i + 4 <= data_off => {
                     mss = Some(u16::from_be_bytes([data[i + 2], data[i + 3]]));
                     i += 4;
@@ -300,7 +300,10 @@ mod tests {
         let mut whole = buf;
         whole.extend_from_slice(payload);
         whole[25] ^= 0x01;
-        assert_eq!(TcpRepr::parse(&whole, Some(ps)), Err(ParseError::BadChecksum));
+        assert_eq!(
+            TcpRepr::parse(&whole, Some(ps)),
+            Err(ParseError::BadChecksum)
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct Id<T> {
 impl<T> Id<T> {
     #[must_use]
     pub fn from_raw(raw: u32) -> Self {
-        Id { raw, _tag: PhantomData }
+        Id {
+            raw,
+            _tag: PhantomData,
+        }
     }
     #[must_use]
     pub fn raw(self) -> u32 {
@@ -83,7 +86,11 @@ impl<T> Default for Arena<T> {
 impl<T> Arena<T> {
     #[must_use]
     pub fn new() -> Self {
-        Arena { slots: Vec::new(), free: Vec::new(), live: 0 }
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
     pub fn insert(&mut self, value: T) -> Id<T> {
@@ -99,7 +106,9 @@ impl<T> Arena<T> {
     }
 
     pub fn remove(&mut self, id: Id<T>) -> T {
-        let v = self.slots[id.index()].take().expect("double free / stale id");
+        let v = self.slots[id.index()]
+            .take()
+            .expect("double free / stale id");
         self.free.push(id.raw());
         self.live -= 1;
         v

@@ -56,7 +56,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Nanos::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Nanos::ZERO,
+        }
     }
 
     /// Current virtual time: the timestamp of the most recently popped

@@ -50,7 +50,9 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        SimRng { s: [next(), next(), next(), next()] }
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Derive an independent child stream (e.g. one per flow) without
@@ -61,10 +63,7 @@ impl SimRng {
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -234,7 +233,12 @@ mod tests {
             counts[k as usize] += 1;
         }
         // Rank 0 must dominate rank 100 heavily under Zipf(0.9).
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
     }
 
     #[test]

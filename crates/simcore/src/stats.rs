@@ -146,7 +146,8 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             acc += b;
             if acc >= target.max(1) {
-                return self.lo + (i as f64 + 1.0) / self.buckets.len() as f64 * (self.hi - self.lo);
+                return self.lo
+                    + (i as f64 + 1.0) / self.buckets.len() as f64 * (self.hi - self.lo);
             }
         }
         self.hi
@@ -183,7 +184,10 @@ impl TimeBuckets {
     #[must_use]
     pub fn new(width: Nanos) -> Self {
         assert!(width > Nanos::ZERO);
-        TimeBuckets { width, buckets: Vec::new() }
+        TimeBuckets {
+            width,
+            buckets: Vec::new(),
+        }
     }
 
     pub fn add(&mut self, at: Nanos, amount: f64) {
@@ -279,6 +283,87 @@ mod tests {
     }
 
     #[test]
+    fn histogram_percentiles_known_distributions() {
+        // Uniform 0..1000: pXX ≈ XX% of the range.
+        let mut h = Histogram::new(0.0, 1000.0, 10_000);
+        for i in 0..10_000 {
+            h.add(i as f64 / 10.0);
+        }
+        assert!(
+            (h.quantile(0.50) - 500.0).abs() < 1.0,
+            "p50={}",
+            h.quantile(0.50)
+        );
+        assert!(
+            (h.quantile(0.99) - 990.0).abs() < 1.0,
+            "p99={}",
+            h.quantile(0.99)
+        );
+        assert!(
+            (h.quantile(0.999) - 999.0).abs() < 1.0,
+            "p999={}",
+            h.quantile(0.999)
+        );
+
+        // Bimodal: 99% at 10, 1% at 900 — p50 sits on the low mode,
+        // p999 on the high one.
+        let mut h = Histogram::new(0.0, 1000.0, 1000);
+        for i in 0..1000 {
+            h.add(if i < 990 { 10.0 } else { 900.0 });
+        }
+        assert!((h.quantile(0.50) - 10.0).abs() < 2.0);
+        assert!((h.quantile(0.98) - 10.0).abs() < 2.0);
+        assert!((h.quantile(0.999) - 900.0).abs() < 2.0);
+
+        // Point mass: every quantile is the single value.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for _ in 0..50 {
+            h.add(42.0);
+        }
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert!(
+                (h.quantile(q) - 43.0).abs() < 1.0,
+                "q={q} -> {}",
+                h.quantile(q)
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn histogram_out_of_range_quantile_edges() {
+        // Out-of-range samples clamp into the edge buckets, so
+        // quantiles stay within [lo, hi] while min/max keep the true
+        // extremes.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for _ in 0..500 {
+            h.add(-1e9);
+        }
+        for _ in 0..500 {
+            h.add(1e9);
+        }
+        assert!(h.quantile(0.25) <= 1.0 + 1e-9);
+        assert!((h.quantile(0.999) - 100.0).abs() < 1e-9);
+        assert_eq!(h.min(), -1e9);
+        assert_eq!(h.max(), 1e9);
+        // All quantiles bounded by the configured range.
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!((0.0..=100.0).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    #[test]
     fn histogram_clamps_out_of_range() {
         let mut h = Histogram::new(0.0, 10.0, 10);
         h.add(-5.0);
@@ -310,6 +395,9 @@ mod tests {
         let r = tb.rate_per_sec(Nanos::from_millis(20), Nanos::from_millis(100));
         assert!((r - 10_000.0).abs() < 1e-6, "r={r}");
         // Empty window.
-        assert_eq!(tb.rate_per_sec(Nanos::from_millis(90), Nanos::from_millis(90)), 0.0);
+        assert_eq!(
+            tb.rate_per_sec(Nanos::from_millis(90), Nanos::from_millis(90)),
+            0.0
+        );
     }
 }

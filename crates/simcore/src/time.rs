@@ -117,7 +117,9 @@ pub struct Bandwidth {
 impl Bandwidth {
     #[must_use]
     pub fn from_gbps(g: f64) -> Self {
-        Bandwidth { bits_per_sec: g * 1e9 }
+        Bandwidth {
+            bits_per_sec: g * 1e9,
+        }
     }
     #[must_use]
     pub fn from_bits_per_sec(b: f64) -> Self {
@@ -145,9 +147,13 @@ impl Bandwidth {
     #[must_use]
     pub fn from_bytes_over(bytes: u64, span: Nanos) -> Self {
         if span == Nanos::ZERO {
-            return Bandwidth { bits_per_sec: f64::INFINITY };
+            return Bandwidth {
+                bits_per_sec: f64::INFINITY,
+            };
         }
-        Bandwidth { bits_per_sec: bytes as f64 * 8.0 / span.as_secs_f64() }
+        Bandwidth {
+            bits_per_sec: bytes as f64 * 8.0 / span.as_secs_f64(),
+        }
     }
 }
 

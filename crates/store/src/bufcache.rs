@@ -71,7 +71,9 @@ impl BufferCache {
             pages: HashMap::new(),
             by_stamp: std::collections::BTreeMap::new(),
             next_stamp: 0,
-            free_frames: (0..capacity_pages).map(|_| phys.alloc(CHUNK_SIZE)).collect(),
+            free_frames: (0..capacity_pages)
+                .map(|_| phys.alloc(CHUNK_SIZE))
+                .collect(),
             stats: VmPressure::default(),
         }
     }
@@ -99,7 +101,12 @@ impl BufferCache {
     /// Look up the page holding `(file, page_index)`. A hit pins the
     /// page (removing it from the reclaimable set). Returns the page
     /// and the CPU cycles the lookup cost.
-    pub fn lookup(&mut self, file: FileId, page: u64, costs: &CostParams) -> (Option<CachePageRef>, u64) {
+    pub fn lookup(
+        &mut self,
+        file: FileId,
+        page: u64,
+        costs: &CostParams,
+    ) -> (Option<CachePageRef>, u64) {
         self.stats.lookups += 1;
         let key = (file, page);
         if let Some(p) = self.pages.get_mut(&key) {
@@ -108,7 +115,10 @@ impl BufferCache {
                 self.by_stamp.remove(&p.stamp);
             }
             p.pins += 1;
-            let r = CachePageRef { region: p.region, pinned: true };
+            let r = CachePageRef {
+                region: p.region,
+                pinned: true,
+            };
             (Some(r), costs.bufcache_page_cycles)
         } else {
             (None, costs.bufcache_page_cycles)
@@ -159,7 +169,14 @@ impl BufferCache {
         };
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        if let Some(old) = self.pages.insert(key, Page { region: frame, stamp, pins: 1 }) {
+        if let Some(old) = self.pages.insert(
+            key,
+            Page {
+                region: frame,
+                stamp,
+                pins: 1,
+            },
+        ) {
             // Racing insert of the same page: return the old frame.
             if old.pins == 0 {
                 self.by_stamp.remove(&old.stamp);
@@ -167,14 +184,24 @@ impl BufferCache {
             self.free_frames.push(old.region);
         }
         // Pinned on insert: joins the reclaimable index at unpin.
-        Some((CachePageRef { region: frame, pinned: true }, cycles))
+        Some((
+            CachePageRef {
+                region: frame,
+                pinned: true,
+            },
+            cycles,
+        ))
     }
 
     fn reclaim_one(&mut self, costs: &CostParams, cores: usize) -> u64 {
         let contention = 1.0 + costs.vm_contention_per_core * cores.saturating_sub(1) as f64;
         // The reclaimable index holds only unpinned pages: the LRU
         // victim is its first entry (callers check non-empty).
-        let (&stamp, &key) = self.by_stamp.iter().next().expect("caller checked reclaimable");
+        let (&stamp, &key) = self
+            .by_stamp
+            .iter()
+            .next()
+            .expect("caller checked reclaimable");
         let p = self.pages.remove(&key).expect("victim resident");
         debug_assert_eq!(p.pins, 0);
         self.by_stamp.remove(&stamp);
@@ -205,7 +232,10 @@ mod tests {
 
     fn cache(pages: u64) -> (BufferCache, CostParams) {
         let mut phys = PhysAlloc::new();
-        (BufferCache::new(pages * CHUNK_SIZE, &mut phys), CostParams::default())
+        (
+            BufferCache::new(pages * CHUNK_SIZE, &mut phys),
+            CostParams::default(),
+        )
     }
 
     #[test]
@@ -262,7 +292,10 @@ mod tests {
         c8.insert(FileId(0), 0, &costs, 8);
         c8.unpin(FileId(0), 0);
         let (_, cyc8) = c8.insert(FileId(1), 0, &costs, 8);
-        assert!(cyc8 > cyc1, "8-core reclaim must cost more ({cyc8} vs {cyc1})");
+        assert!(
+            cyc8 > cyc1,
+            "8-core reclaim must cost more ({cyc8} vs {cyc1})"
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl Catalog {
         let loc = self.locate(file, offset);
         let pre = offset % LBA_SIZE;
         let aligned = (pre + len).div_ceil(LBA_SIZE) * LBA_SIZE;
-        (loc, aligned.min((self.file_size - (offset - pre)).div_ceil(LBA_SIZE) * LBA_SIZE), pre)
+        (
+            loc,
+            aligned.min((self.file_size - (offset - pre)).div_ceil(LBA_SIZE) * LBA_SIZE),
+            pre,
+        )
     }
 
     /// Expected content of `file` at `offset` — verification oracle

@@ -150,7 +150,12 @@ mod tests {
             cc.on_ack(Nanos::from_millis(10), u64::from(MSS), false);
             acked += u64::from(MSS);
         }
-        assert!(cc.cwnd() >= before * 2 - u64::from(MSS), "{} vs {}", cc.cwnd(), before);
+        assert!(
+            cc.cwnd() >= before * 2 - u64::from(MSS),
+            "{} vs {}",
+            cc.cwnd(),
+            before
+        );
     }
 
     #[test]
@@ -175,7 +180,11 @@ mod tests {
             acked += u64::from(MSS);
         }
         assert!(cc.cwnd() >= w0 + u64::from(MSS));
-        assert!(cc.cwnd() <= w0 + 3 * u64::from(MSS), "{} vs {w0}", cc.cwnd());
+        assert!(
+            cc.cwnd() <= w0 + 3 * u64::from(MSS),
+            "{} vs {w0}",
+            cc.cwnd()
+        );
     }
 
     #[test]
@@ -237,6 +246,9 @@ mod tests {
             }
             sizes.push(cc.cwnd());
         }
-        assert!(sizes.windows(2).all(|w| w[1] >= w[0]), "monotone: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[1] >= w[0]),
+            "monotone: {sizes:?}"
+        );
     }
 }

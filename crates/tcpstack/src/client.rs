@@ -57,7 +57,12 @@ const CLIENT_WSCALE: u8 = 8;
 
 impl ClientConn {
     /// Create and return the SYN frame.
-    pub fn connect(local: Endpoint, remote: Endpoint, iss: SeqNumber, rcv_wnd: u32) -> (Self, ClientFrame) {
+    pub fn connect(
+        local: Endpoint,
+        remote: Endpoint,
+        iss: SeqNumber,
+        rcv_wnd: u32,
+    ) -> (Self, ClientFrame) {
         let mut c = ClientConn {
             state: ClientState::SynSent,
             local,
@@ -71,12 +76,7 @@ impl ClientConn {
             inbox: Vec::new(),
             dupacks_sent: 0,
         };
-        let syn = c.frame(
-            iss,
-            TcpFlags::SYN,
-            Vec::new(),
-            Some((1460, CLIENT_WSCALE)),
-        );
+        let syn = c.frame(iss, TcpFlags::SYN, Vec::new(), Some((1460, CLIENT_WSCALE)));
         (c, syn)
     }
 
@@ -239,8 +239,16 @@ mod tests {
 
     fn eps() -> (Endpoint, Endpoint) {
         (
-            Endpoint { mac: MacAddr::from_host_id(10), ip: Ipv4Addr::new(10, 1, 0, 1), port: 7000 },
-            Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 },
+            Endpoint {
+                mac: MacAddr::from_host_id(10),
+                ip: Ipv4Addr::new(10, 1, 0, 1),
+                port: 7000,
+            },
+            Endpoint {
+                mac: MacAddr::from_host_id(1),
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+                port: 80,
+            },
         )
     }
 
@@ -308,14 +316,20 @@ mod tests {
     fn gap_generates_dupack_then_heals() {
         let mut c = established();
         // Segment 2 arrives without segment 1.
-        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1100, TcpFlags::ACK, &[2; 100])]);
+        let acks = c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1100, TcpFlags::ACK, &[2; 100])],
+        );
         assert_eq!(acks.len(), 1);
         let (t, _) = TcpRepr::parse(&acks[0].headers[34..], None).unwrap();
         assert_eq!(t.ack, SeqNumber(1000), "dup ACK at the gap");
         assert_eq!(c.delivered, 0);
         assert_eq!(c.ooo_segments(), 1);
         // The hole fills: cumulative ACK jumps past both.
-        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
+        let acks = c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1000, TcpFlags::ACK, &[1; 100])],
+        );
         let (t, _) = TcpRepr::parse(&acks.last().unwrap().headers[34..], None).unwrap();
         assert_eq!(t.ack, SeqNumber(1200));
         assert_eq!(c.delivered, 200);
@@ -329,8 +343,14 @@ mod tests {
     #[test]
     fn stale_duplicate_reacked_not_delivered_twice() {
         let mut c = established();
-        c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
-        let acks = c.on_burst(Nanos::ZERO, vec![server_seg(1000, TcpFlags::ACK, &[1; 100])]);
+        c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1000, TcpFlags::ACK, &[1; 100])],
+        );
+        let acks = c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1000, TcpFlags::ACK, &[1; 100])],
+        );
         assert_eq!(acks.len(), 1, "re-ACK the duplicate");
         assert_eq!(c.delivered, 100, "not delivered twice");
     }

@@ -25,10 +25,12 @@
 
 pub mod cc;
 pub mod client;
+pub mod obs;
 pub mod rto;
 pub mod tcb;
 
 pub use cc::{CcAlgo, CcKind};
 pub use client::ClientConn;
+pub use obs::publish_tcb_metrics;
 pub use rto::RttEstimator;
 pub use tcb::{Endpoint, Tcb, TcbConfig, TcbEvent, TcbState, TcpOutput};

@@ -1,0 +1,34 @@
+//! Publish TCP control-block counters into a dcn-obs registry.
+//!
+//! Registry naming: `tcp.<signal>{core=N}`. A server calls this at
+//! sample/report points with the TCBs homed on each core; the
+//! per-core aggregation happens here so every stack (Atlas, kstack)
+//! exports the same signals the same way.
+
+use crate::Tcb;
+use dcn_obs::Registry;
+
+/// Aggregate the given TCBs' lifetime counters and publish them as
+/// per-core gauges: RTO firings, bytes retransmitted, bytes sent,
+/// and segments received.
+pub fn publish_tcb_metrics<'a>(
+    reg: &mut Registry,
+    core: usize,
+    tcbs: impl Iterator<Item = &'a Tcb>,
+) {
+    let (mut rto, mut retx, mut sent, mut segs) = (0u64, 0u64, 0u64, 0u64);
+    for t in tcbs {
+        rto += t.rto_fired;
+        retx += t.bytes_retransmitted;
+        sent += t.bytes_sent;
+        segs += t.segs_received;
+    }
+    let g = reg.gauge_core("tcp.rto_fired", core);
+    reg.set(g, rto as f64);
+    let g = reg.gauge_core("tcp.bytes_retransmitted", core);
+    reg.set(g, retx as f64);
+    let g = reg.gauge_core("tcp.bytes_sent", core);
+    reg.set(g, sent as f64);
+    let g = reg.gauge_core("tcp.segs_received", core);
+    reg.set(g, segs as f64);
+}

@@ -116,7 +116,11 @@ mod tests {
         r.sample(Nanos::from_millis(100));
         // Backoff cleared: back near the un-backed-off value (RTTVAR
         // decays slightly with each consistent sample).
-        assert!(r.rto() <= base && r.rto() >= Nanos(base.0 / 2), "{:?}", r.rto());
+        assert!(
+            r.rto() <= base && r.rto() >= Nanos(base.0 / 2),
+            "{:?}",
+            r.rto()
+        );
     }
 
     #[test]

@@ -147,6 +147,10 @@ pub struct Tcb {
     pub bytes_sent: u64,
     pub bytes_retransmitted: u64,
     pub segs_received: u64,
+    /// Retransmission timeouts that actually fired (cwnd collapse +
+    /// go-back-N) — previously uninstrumented; exported per-core via
+    /// the dcn-obs registry.
+    pub rto_fired: u64,
 }
 
 impl Tcb {
@@ -229,6 +233,7 @@ impl Tcb {
             bytes_sent: 0,
             bytes_retransmitted: 0,
             segs_received: 0,
+            rto_fired: 0,
         }
     }
 
@@ -332,7 +337,11 @@ impl Tcb {
             flags,
             window: self.window_field(),
             mss: if with_opts { Some(self.cfg.mss) } else { None },
-            wscale: if with_opts { Some(self.cfg.wscale) } else { None },
+            wscale: if with_opts {
+                Some(self.cfg.wscale)
+            } else {
+                None
+            },
         };
         let tcp_len = tcp.header_len();
         let ip = Ipv4Repr {
@@ -410,7 +419,11 @@ impl Tcb {
         if self.rto_deadline.is_none() {
             self.arm_rto(now);
         }
-        let tso = if len > u64::from(self.cfg.mss) { Some(self.cfg.mss) } else { None };
+        let tso = if len > u64::from(self.cfg.mss) {
+            Some(self.cfg.mss)
+        } else {
+            None
+        };
         self.build_output(seq, flags, payload, false, tso)
     }
 
@@ -452,7 +465,11 @@ impl Tcb {
             }
         }
         self.arm_rto(now);
-        let tso = if len > u64::from(self.cfg.mss) { Some(self.cfg.mss) } else { None };
+        let tso = if len > u64::from(self.cfg.mss) {
+            Some(self.cfg.mss)
+        } else {
+            None
+        };
         self.build_output(seq, TcpFlags::ACK | TcpFlags::PSH, payload, false, tso)
     }
 
@@ -466,19 +483,12 @@ impl Tcb {
 
     /// Process one received segment addressed to this connection.
     /// Returns any immediate control output (ACKs, handshake frames).
-    pub fn on_segment(
-        &mut self,
-        now: Nanos,
-        tcp: &TcpRepr,
-        payload: &[u8],
-    ) -> Vec<TcpOutput> {
+    pub fn on_segment(&mut self, now: Nanos, tcp: &TcpRepr, payload: &[u8]) -> Vec<TcpOutput> {
         self.segs_received += 1;
         let mut out = Vec::new();
         match self.state {
             TcbState::SynSent => {
-                if tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
-                    && tcp.ack == self.snd_nxt
-                {
+                if tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK) && tcp.ack == self.snd_nxt {
                     self.irs = tcp.seq;
                     self.rcv_nxt = tcp.seq.wrapping_add(1);
                     self.peer_wscale = tcp.wscale.unwrap_or(0);
@@ -557,8 +567,7 @@ impl Tcb {
                         self.recover = None;
                     } else if !self.retx_outstanding {
                         // Partial ACK: retransmit the next hole.
-                        let len = u64::from(self.cfg.mss)
-                            .min(self.snd_max.dist(ack) as u64);
+                        let len = u64::from(self.cfg.mss).min(self.snd_max.dist(ack) as u64);
                         self.events.push(TcbEvent::NeedRetransmit {
                             offset: self.stream_offset(ack),
                             len,
@@ -619,7 +628,9 @@ impl Tcb {
                 out.push(self.send_ack());
             }
         }
-        if tcp.flags.contains(TcpFlags::FIN) && tcp.seq.wrapping_add(payload.len() as u32) == self.rcv_nxt {
+        if tcp.flags.contains(TcpFlags::FIN)
+            && tcp.seq.wrapping_add(payload.len() as u32) == self.rcv_nxt
+        {
             self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
             self.events.push(TcbEvent::PeerFin);
             match self.state {
@@ -642,7 +653,9 @@ impl Tcb {
     /// Fire timers due at `now`. On RTO: collapse cwnd, rewind
     /// snd_nxt, and ask the owner for the first outstanding segment.
     pub fn on_timer(&mut self, now: Nanos) {
-        let Some(deadline) = self.rto_deadline else { return };
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
         if deadline > now {
             return;
         }
@@ -652,6 +665,7 @@ impl Tcb {
         }
         self.rtt.on_timeout();
         self.cc.on_timeout();
+        self.rto_fired += 1;
         self.recover = Some(self.snd_max);
         self.rtt_probe = None;
         self.arm_rto(now);
@@ -671,10 +685,18 @@ mod tests {
     use dcn_packet::Ipv4Addr;
 
     fn server_ep() -> Endpoint {
-        Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 }
+        Endpoint {
+            mac: MacAddr::from_host_id(1),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            port: 80,
+        }
     }
     fn client_ep() -> Endpoint {
-        Endpoint { mac: MacAddr::from_host_id(2), ip: Ipv4Addr::new(10, 0, 0, 2), port: 5555 }
+        Endpoint {
+            mac: MacAddr::from_host_id(2),
+            ip: Ipv4Addr::new(10, 0, 0, 2),
+            port: 5555,
+        }
     }
 
     fn syn() -> TcpRepr {
@@ -737,7 +759,10 @@ mod tests {
         tcb.on_segment(Nanos::from_millis(1), &a, &[]);
         let ev = tcb.take_events();
         assert!(ev.contains(&TcbEvent::Established));
-        assert!(ev.iter().find(|e| matches!(e, TcbEvent::WindowOpen(_))).is_some());
+        assert!(ev
+            .iter()
+            .find(|e| matches!(e, TcbEvent::WindowOpen(_)))
+            .is_some());
     }
 
     #[test]
@@ -751,7 +776,11 @@ mod tests {
         let mut tcb = establish();
         let usable = tcb.usable_window();
         assert_eq!(usable, 14480, "IW10 with 64KiB peer window");
-        let out = tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![7; 14480]), false);
+        let out = tcb.send_data(
+            Nanos::from_millis(2),
+            SgList::from_bytes(vec![7; 14480]),
+            false,
+        );
         assert_eq!(out.tso_mss, Some(1448));
         assert_eq!(tcb.usable_window(), 0);
         assert_eq!(tcb.inflight(), 14480);
@@ -780,7 +809,11 @@ mod tests {
     #[test]
     fn three_dupacks_trigger_fast_retransmit() {
         let mut tcb = establish();
-        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 14480]), false);
+        tcb.send_data(
+            Nanos::from_millis(2),
+            SgList::from_bytes(vec![1; 14480]),
+            false,
+        );
         tcb.take_events();
         let cwnd_before = tcb.cc.cwnd();
         let a = ack(&tcb, tcb.seq_at(0), 512);
@@ -804,7 +837,11 @@ mod tests {
     #[test]
     fn no_duplicate_retransmit_requests() {
         let mut tcb = establish();
-        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 14480]), false);
+        tcb.send_data(
+            Nanos::from_millis(2),
+            SgList::from_bytes(vec![1; 14480]),
+            false,
+        );
         tcb.take_events();
         let a = ack(&tcb, tcb.seq_at(0), 512);
         for _ in 0..6 {
@@ -821,15 +858,24 @@ mod tests {
     #[test]
     fn rto_fires_and_backs_off() {
         let mut tcb = establish();
-        tcb.send_data(Nanos::from_millis(2), SgList::from_bytes(vec![1; 1448]), false);
+        tcb.send_data(
+            Nanos::from_millis(2),
+            SgList::from_bytes(vec![1; 1448]),
+            false,
+        );
         tcb.take_events();
         let deadline = tcb.poll_at().expect("RTO armed");
         tcb.on_timer(deadline);
         let ev = tcb.take_events();
-        assert!(ev.iter().any(|e| matches!(e, TcbEvent::NeedRetransmit { offset: 0, .. })));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, TcbEvent::NeedRetransmit { offset: 0, .. })));
         assert_eq!(tcb.cc.cwnd(), 1448, "cwnd collapsed to 1 MSS");
         let next = tcb.poll_at().unwrap();
-        assert!(next - deadline >= Nanos::from_millis(400), "backoff doubled");
+        assert!(
+            next - deadline >= Nanos::from_millis(400),
+            "backoff doubled"
+        );
     }
 
     #[test]
@@ -867,7 +913,10 @@ mod tests {
         };
         let outs = tcb.on_segment(Nanos::from_millis(5), &seg, b"xxxx");
         assert_eq!(outs.len(), 1);
-        assert!(!tcb.take_events().iter().any(|e| matches!(e, TcbEvent::Data(_))));
+        assert!(!tcb
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, TcbEvent::Data(_))));
     }
 
     #[test]
@@ -911,7 +960,11 @@ mod tests {
     #[test]
     fn rtt_is_sampled_from_acks() {
         let mut tcb = establish();
-        tcb.send_data(Nanos::from_millis(10), SgList::from_bytes(vec![1; 1448]), false);
+        tcb.send_data(
+            Nanos::from_millis(10),
+            SgList::from_bytes(vec![1; 1448]),
+            false,
+        );
         let a = ack(&tcb, tcb.seq_at(1448), 512);
         tcb.on_segment(Nanos::from_millis(35), &a, &[]);
         let srtt = tcb.rtt.srtt().expect("sampled");

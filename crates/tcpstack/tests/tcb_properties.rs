@@ -1,18 +1,28 @@
-//! Property-based tests of the TCP control block: under arbitrary
+//! Randomized tests of the TCP control block: under arbitrary
 //! (well-formed) sequences of peer behaviour, the TCB's invariants
-//! hold and no arithmetic ever goes backwards.
+//! hold and no arithmetic ever goes backwards. Sequences are driven
+//! by a seeded [`SimRng`] so the explored input set is deterministic
+//! (the container builds offline, so this replaces an external
+//! property-testing framework).
 
 use dcn_netdev::SgList;
 use dcn_packet::{Ipv4Addr, MacAddr, SeqNumber, TcpFlags, TcpRepr};
-use dcn_simcore::Nanos;
+use dcn_simcore::{Nanos, SimRng};
 use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent, TcbState};
-use proptest::prelude::*;
 
 fn server_ep() -> Endpoint {
-    Endpoint { mac: MacAddr::from_host_id(1), ip: Ipv4Addr::new(10, 0, 0, 1), port: 80 }
+    Endpoint {
+        mac: MacAddr::from_host_id(1),
+        ip: Ipv4Addr::new(10, 0, 0, 1),
+        port: 80,
+    }
 }
 fn client_ep() -> Endpoint {
-    Endpoint { mac: MacAddr::from_host_id(2), ip: Ipv4Addr::new(10, 0, 0, 2), port: 5555 }
+    Endpoint {
+        mac: MacAddr::from_host_id(2),
+        ip: Ipv4Addr::new(10, 0, 0, 2),
+        port: 5555,
+    }
 }
 
 fn established() -> Tcb {
@@ -52,10 +62,9 @@ fn established() -> Tcb {
 /// One step of simulated peer behaviour.
 #[derive(Clone, Debug)]
 enum Step {
-    /// Owner sends `n` fresh bytes (clamped to the usable window +
-    /// overshoot allowance).
+    /// Owner sends `n` fresh bytes (clamped to the usable window).
     Send(u16),
-    /// Peer cumulatively ACKs `frac` of the outstanding data.
+    /// Peer cumulatively ACKs `frac`% of the outstanding data.
     AckFraction(u8),
     /// Peer repeats its last ACK (duplicate).
     DupAck,
@@ -65,21 +74,23 @@ enum Step {
     ServeRetransmit,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u16..20_000).prop_map(Step::Send),
-        (0u8..=100).prop_map(Step::AckFraction),
-        Just(Step::DupAck),
-        (1u8..100).prop_map(Step::Tick),
-        Just(Step::ServeRetransmit),
-    ]
+fn random_step(rng: &mut SimRng) -> Step {
+    match rng.gen_range(0, 5) {
+        0 => Step::Send(rng.gen_range(1, 20_000) as u16),
+        1 => Step::AckFraction(rng.gen_range(0, 101) as u8),
+        2 => Step::DupAck,
+        3 => Step::Tick(rng.gen_range(1, 100) as u8),
+        _ => Step::ServeRetransmit,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tcb_invariants_under_arbitrary_peer(steps in prop::collection::vec(step_strategy(), 1..80)) {
+#[test]
+fn tcb_invariants_under_arbitrary_peer() {
+    let mut rng = SimRng::new(0x7CB);
+    for case in 0..64 {
+        let steps: Vec<Step> = (0..rng.gen_range(1, 80))
+            .map(|_| random_step(&mut rng))
+            .collect();
         let mut tcb = established();
         let mut now = Nanos::from_millis(2);
         let mut highest_sent: u64 = 0; // stream offset of snd_max
@@ -100,7 +111,11 @@ proptest! {
                     let before = tcb.stream_offset_of_snd_nxt();
                     let _out = tcb.send_data(now, SgList::from_bytes(vec![7; n as usize]), false);
                     let after = tcb.stream_offset_of_snd_nxt();
-                    prop_assert_eq!(after, before + n, "snd_nxt advances by exactly n");
+                    assert_eq!(
+                        after,
+                        before + n,
+                        "case {case}: snd_nxt advances by exactly n"
+                    );
                     highest_sent = highest_sent.max(after);
                 }
                 Step::AckFraction(frac) => {
@@ -145,7 +160,11 @@ proptest! {
                     if let Some((off, len)) = pending_retx.pop() {
                         let len = len.min(highest_sent - off);
                         if len > 0 {
-                            tcb.send_retransmit(now, off, SgList::from_bytes(vec![7; len as usize]));
+                            tcb.send_retransmit(
+                                now,
+                                off,
+                                SgList::from_bytes(vec![7; len as usize]),
+                            );
                         } else {
                             tcb.retransmit_abandoned();
                         }
@@ -156,38 +175,50 @@ proptest! {
             for ev in tcb.take_events() {
                 match ev {
                     TcbEvent::AckedTo(off) => {
-                        prop_assert!(off <= highest_sent, "cannot ack unsent data");
-                        prop_assert_eq!(off, acked, "cumulative ack tracks peer");
+                        assert!(off <= highest_sent, "case {case}: cannot ack unsent data");
+                        assert_eq!(off, acked, "case {case}: cumulative ack tracks peer");
                     }
                     TcbEvent::NeedRetransmit { offset, len } => {
-                        prop_assert!(offset >= acked, "never retransmit acked data");
-                        prop_assert!(offset < highest_sent, "retransmit within sent data");
-                        prop_assert!(len > 0);
+                        assert!(offset >= acked, "case {case}: never retransmit acked data");
+                        assert!(
+                            offset < highest_sent,
+                            "case {case}: retransmit within sent data"
+                        );
+                        assert!(len > 0, "case {case}");
                         pending_retx.push((offset, len));
                     }
-                    TcbEvent::WindowOpen(n) => prop_assert!(n > 0),
+                    TcbEvent::WindowOpen(n) => assert!(n > 0, "case {case}"),
                     _ => {}
                 }
             }
             // Global invariants after every step.
-            prop_assert!(tcb.inflight() <= highest_sent - acked + 1_000_000);
-            prop_assert_eq!(tcb.state, TcbState::Established);
-            prop_assert!(tcb.cc.cwnd() >= 1448, "cwnd never below 1 MSS");
+            assert!(
+                tcb.inflight() <= highest_sent - acked + 1_000_000,
+                "case {case}"
+            );
+            assert_eq!(tcb.state, TcbState::Established, "case {case}");
+            assert!(tcb.cc.cwnd() >= 1448, "case {case}: cwnd never below 1 MSS");
             let off = tcb.stream_offset_of_snd_nxt();
-            prop_assert!(off >= acked, "snd_nxt never behind snd_una");
+            assert!(off >= acked, "case {case}: snd_nxt never behind snd_una");
         }
     }
+}
 
-    /// Sending exactly the permitted window never triggers the
-    /// overshoot guard, for any sequence of sends and full ACKs.
-    #[test]
-    fn window_accounting_is_exact(sizes in prop::collection::vec(1u32..100_000, 1..40)) {
+/// Sending exactly the permitted window never triggers the overshoot
+/// guard, for any sequence of sends and full ACKs.
+#[test]
+fn window_accounting_is_exact() {
+    let mut rng = SimRng::new(0xACC7);
+    for case in 0..64 {
+        let sizes: Vec<u64> = (0..rng.gen_range(1, 40))
+            .map(|_| rng.gen_range(1, 100_000))
+            .collect();
         let mut tcb = established();
         let mut now = Nanos::from_millis(2);
         let mut sent_total = 0u64;
         for s in sizes {
             let usable = tcb.usable_window();
-            let n = u64::from(s).min(usable);
+            let n = s.min(usable);
             if n > 0 {
                 tcb.send_data(now, SgList::from_bytes(vec![1; n as usize]), false);
                 sent_total += n;
@@ -206,7 +237,7 @@ proptest! {
             now += Nanos::from_millis(20);
             tcb.on_segment(now, &ack, &[]);
             tcb.take_events();
-            prop_assert_eq!(tcb.inflight(), 0);
+            assert_eq!(tcb.inflight(), 0, "case {case}");
         }
     }
 }

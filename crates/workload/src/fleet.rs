@@ -60,7 +60,10 @@ struct StreamVerifier {
 
 impl StreamVerifier {
     fn new() -> Self {
-        StreamVerifier { buf: Vec::new(), body: None }
+        StreamVerifier {
+            buf: Vec::new(),
+            body: None,
+        }
     }
 
     fn push(
@@ -75,7 +78,9 @@ impl StreamVerifier {
         loop {
             match self.body {
                 None => {
-                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else { return };
+                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else {
+                        return;
+                    };
                     self.buf.drain(..hl);
                     let file = outstanding.front().copied().expect("response w/o request");
                     self.body = Some((file, 0, enc));
@@ -227,13 +232,21 @@ impl ClientFleet {
             first_request_sent: false,
         });
         self.by_flow.insert(flow, idx);
-        ClientTx { flow, frames: vec![frame_of(syn.headers, syn.payload)] }
+        ClientTx {
+            flow,
+            frames: vec![frame_of(syn.headers, syn.payload)],
+        }
     }
 
     /// A burst of frames arrived at the clients (one flow per burst;
     /// `flow` is the server→client direction). Returns frames the
     /// client sends back (ACKs, the next request).
-    pub fn on_burst(&mut self, now: Nanos, flow: FlowId, frames: Vec<WireFrame>) -> Option<ClientTx> {
+    pub fn on_burst(
+        &mut self,
+        now: Nanos,
+        flow: FlowId,
+        frames: Vec<WireFrame>,
+    ) -> Option<ClientTx> {
         let &idx = self.by_flow.get(&flow.reversed())?;
         let client = &mut self.clients[idx];
         let parsed: Vec<_> = frames
@@ -277,7 +290,10 @@ impl ClientFleet {
         let client = &mut self.clients[idx];
         let mut to_send = completed;
         if !client.first_request_sent
-            && matches!(client.conn.state, dcn_tcpstack::client::ClientState::Established)
+            && matches!(
+                client.conn.state,
+                dcn_tcpstack::client::ClientState::Established
+            )
         {
             client.first_request_sent = true;
             to_send += 1;
@@ -285,7 +301,10 @@ impl ClientFleet {
         for _ in 0..to_send {
             out.push(self.next_request(idx));
         }
-        Some(ClientTx { flow: flow.reversed(), frames: out })
+        Some(ClientTx {
+            flow: flow.reversed(),
+            frames: out,
+        })
     }
 
     fn next_request(&mut self, idx: usize) -> WireFrame {
@@ -345,7 +364,10 @@ mod tests {
     #[test]
     fn clients_have_distinct_flows() {
         let mut fleet = ClientFleet::new(
-            FleetConfig { n_clients: 500, ..FleetConfig::default() },
+            FleetConfig {
+                n_clients: 500,
+                ..FleetConfig::default()
+            },
             catalog(),
             1,
         );
@@ -380,11 +402,10 @@ mod tests {
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();
-        let mut stream =
-            dcn_httpd::response::response_header(
-                dcn_httpd::response::ResponseInfo::Ok { body_len: 100 },
-                false,
-            );
+        let mut stream = dcn_httpd::response::response_header(
+            dcn_httpd::response::ResponseInfo::Ok { body_len: 100 },
+            false,
+        );
         stream.extend_from_slice(&[0xEE; 100]); // wrong content
         v.push(&stream, &mut outstanding, &cat, &cipher, &mut stats);
         assert_eq!(stats.failures, 1);
@@ -401,7 +422,9 @@ mod tests {
         let mut stats = VerifyStats::default();
         let file_size = cat.file_size();
         let mut stream = dcn_httpd::response::response_header(
-            dcn_httpd::response::ResponseInfo::Ok { body_len: file_size },
+            dcn_httpd::response::ResponseInfo::Ok {
+                body_len: file_size,
+            },
             false,
         );
         let mut body = vec![0u8; file_size as usize];

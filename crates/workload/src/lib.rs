@@ -17,4 +17,7 @@ pub mod fleet;
 pub mod runner;
 
 pub use fleet::{ClientFleet, FleetConfig};
-pub use runner::{run_scenario, RunMetrics, Scenario, ServerKind, VideoServer};
+pub use runner::{
+    run_scenario, run_scenario_observed, ObsOptions, ObsReport, RunMetrics, Scenario, ServerKind,
+    VideoServer,
+};

@@ -13,9 +13,11 @@ use dcn_atlas::{AtlasConfig, AtlasServer};
 use dcn_kstack::{KstackConfig, KstackServer};
 use dcn_mem::{Fidelity, MemSnapshot};
 use dcn_netdev::{DelayMiddlebox, SentBurst, WireFrame};
+use dcn_obs::export::{stage_summary, write_trace_jsonl, TimeSeries};
 use dcn_packet::FlowId;
 use dcn_simcore::{EventQueue, Nanos};
 use dcn_store::Catalog;
+use std::path::PathBuf;
 
 /// Switch forwarding latency (cut-through 40 GbE).
 const SWITCH_LATENCY: Nanos = Nanos(2_000);
@@ -43,6 +45,16 @@ pub trait VideoServer {
     /// Poll-source breakdown (wake-storm debugging).
     fn poll_breakdown(&self) -> String {
         String::new()
+    }
+    /// Publish sample-point gauges into the server's registry.
+    fn publish_obs(&mut self) {}
+    /// The server's unified metrics registry, if it has one.
+    fn registry(&self) -> Option<&dcn_obs::Registry> {
+        None
+    }
+    /// The chunk-lifecycle tracer (Atlas only).
+    fn tracer(&self) -> Option<&dcn_obs::Tracer> {
+        None
     }
 }
 
@@ -75,6 +87,15 @@ impl VideoServer for AtlasServer {
     fn poll_breakdown(&self) -> String {
         self.poll_breakdown()
     }
+    fn publish_obs(&mut self) {
+        AtlasServer::publish_obs(self);
+    }
+    fn registry(&self) -> Option<&dcn_obs::Registry> {
+        Some(&self.reg)
+    }
+    fn tracer(&self) -> Option<&dcn_obs::Tracer> {
+        Some(&self.tracer)
+    }
 }
 
 impl VideoServer for KstackServer {
@@ -95,6 +116,12 @@ impl VideoServer for KstackServer {
     }
     fn label(&self) -> String {
         self.variant_label()
+    }
+    fn publish_obs(&mut self) {
+        KstackServer::publish_obs(self);
+    }
+    fn registry(&self) -> Option<&dcn_obs::Registry> {
+        Some(&self.reg)
     }
 }
 
@@ -129,7 +156,10 @@ impl Scenario {
     pub fn smoke(server: ServerKind, n_clients: usize, seed: u64) -> Scenario {
         Scenario {
             server,
-            fleet: FleetConfig { n_clients, ..FleetConfig::default() },
+            fleet: FleetConfig {
+                n_clients,
+                ..FleetConfig::default()
+            },
             catalog: Catalog::new(50_000, 300 * 1024, 4, seed),
             warmup: Nanos::from_millis(250),
             duration: Nanos::from_millis(700),
@@ -137,6 +167,41 @@ impl Scenario {
             data_loss: 0.0,
         }
     }
+}
+
+/// Observability outputs for one run: where to dump the chunk trace
+/// (JSONL) and the metrics time-series (CSV). Both default to off, in
+/// which case the run is bit-identical to an unobserved one.
+#[derive(Clone, Debug, Default)]
+pub struct ObsOptions {
+    /// Write finished chunk traces as JSON-lines here. Also turns on
+    /// the Atlas chunk-lifecycle tracer.
+    pub trace_out: Option<PathBuf>,
+    /// Write a `t_ms,metric,value` CSV of registry samples here.
+    pub metrics_out: Option<PathBuf>,
+    /// Virtual-time sampling cadence for the CSV (default 10 ms).
+    pub sample_interval: Option<Nanos>,
+}
+
+impl ObsOptions {
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+}
+
+/// What the observed run produced beyond the metrics.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// Chunk traces written to `trace_out`.
+    pub traced_chunks: usize,
+    /// Per-stage p50/p99 latency table (empty if tracing was off).
+    pub stage_summary: String,
 }
 
 /// Everything the paper's panels need from one run.
@@ -170,14 +235,36 @@ enum Ev {
 
 /// Run one scenario to completion and report metrics.
 pub fn run_scenario(sc: &Scenario) -> RunMetrics {
+    run_scenario_observed(sc, &ObsOptions::disabled()).0
+}
+
+/// Run one scenario with observability outputs. With `obs` disabled
+/// this is exactly `run_scenario` (same seed ⇒ identical metrics);
+/// with `trace_out` set the Atlas chunk-lifecycle tracer is enabled
+/// and dumped as JSONL, and with `metrics_out` set the unified
+/// registry is sampled on a fixed virtual-time cadence into a CSV.
+pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, ObsReport) {
     let mut server: Box<dyn VideoServer> = match &sc.server {
-        ServerKind::Atlas(cfg) => Box::new(AtlasServer::new(cfg.clone(), sc.catalog.clone(), sc.seed)),
-        ServerKind::Kstack(cfg) => Box::new(KstackServer::new(cfg.clone(), sc.catalog.clone(), sc.seed)),
+        ServerKind::Atlas(cfg) => {
+            let mut cfg = cfg.clone();
+            if obs.trace_out.is_some() {
+                cfg.trace = true;
+            }
+            Box::new(AtlasServer::new(cfg, sc.catalog.clone(), sc.seed))
+        }
+        ServerKind::Kstack(cfg) => {
+            Box::new(KstackServer::new(cfg.clone(), sc.catalog.clone(), sc.seed))
+        }
     };
     let fidelity_full = matches!(
         &sc.server,
-        ServerKind::Atlas(AtlasConfig { fidelity: Fidelity::Full, .. })
-            | ServerKind::Kstack(KstackConfig { fidelity: Fidelity::Full, .. })
+        ServerKind::Atlas(AtlasConfig {
+            fidelity: Fidelity::Full,
+            ..
+        }) | ServerKind::Kstack(KstackConfig {
+            fidelity: Fidelity::Full,
+            ..
+        })
     );
     let mut fleet_cfg = sc.fleet;
     if !fidelity_full {
@@ -198,6 +285,11 @@ pub fn run_scenario(sc: &Scenario) -> RunMetrics {
     }
     q.schedule(Nanos::ZERO, Ev::ServerWake);
 
+    // Metrics CSV sampling (virtual-time cadence; off ⇒ zero work).
+    let sample_interval = obs.sample_interval.unwrap_or(Nanos::from_millis(10));
+    let mut series = obs.metrics_out.as_ref().map(|_| TimeSeries::new());
+    let mut next_sample = sample_interval;
+
     let mut next_wake = Nanos::MAX;
     let progress = std::env::var_os("DCN_PROGRESS").is_some();
     let mut n_events: u64 = 0;
@@ -214,12 +306,27 @@ pub fn run_scenario(sc: &Scenario) -> RunMetrics {
         if progress && n_events.is_multiple_of(1_000_000) {
             eprintln!(
                 "  ... {}M events (spawn {} srx {} crx {} wake {}), sim t={:?}, queue={}, poll: {}",
-                n_events / 1_000_000, counts[0], counts[1], counts[2], counts[3], now, q.len(),
+                n_events / 1_000_000,
+                counts[0],
+                counts[1],
+                counts[2],
+                counts[3],
+                now,
+                q.len(),
                 server.poll_breakdown()
             );
         }
         if now > sc.duration {
             break;
+        }
+        if let Some(ts) = series.as_mut() {
+            while next_sample <= now {
+                server.publish_obs();
+                if let Some(reg) = server.registry() {
+                    ts.sample(next_sample, reg);
+                }
+                next_sample += sample_interval;
+            }
         }
         match ev.event {
             Ev::Spawn(idx) => {
@@ -262,22 +369,55 @@ pub fn run_scenario(sc: &Scenario) -> RunMetrics {
         eprintln!("server debug: {}", server.debug_stats());
     }
     let end = sc.duration;
+    let mut report = ObsReport::default();
+    if let Some(ts) = series.as_mut() {
+        // One final sample at the end of the run, then dump.
+        server.publish_obs();
+        if let Some(reg) = server.registry() {
+            ts.sample(end, reg);
+        }
+    }
+    if let (Some(path), Some(ts)) = (obs.metrics_out.as_ref(), series.as_ref()) {
+        if let Err(e) = ts.write_csv(path) {
+            eprintln!(
+                "warning: failed to write metrics CSV {}: {e}",
+                path.display()
+            );
+        }
+    }
+    if let Some(path) = obs.trace_out.as_ref() {
+        if let Some(tr) = server.tracer() {
+            if let Err(e) = write_trace_jsonl(path, tr) {
+                eprintln!(
+                    "warning: failed to write trace JSONL {}: {e}",
+                    path.display()
+                );
+            }
+            report.traced_chunks = tr.finished().len();
+            report.stage_summary = stage_summary(tr);
+        }
+    }
     let snap = server.mem_snapshot(sc.warmup, end);
     let net_gbps = fleet.goodput.rate_per_sec(sc.warmup, end) * 8.0 / 1e9;
-    RunMetrics {
+    let metrics = RunMetrics {
         label: server.label(),
         net_gbps,
         cpu_pct: server.cpu_pct(sc.warmup, end),
         mem_read_gbps: snap.read_gbps(),
         mem_write_gbps: snap.write_gbps(),
-        read_net_ratio: if net_gbps > 0.0 { snap.read_gbps() / net_gbps } else { 0.0 },
+        read_net_ratio: if net_gbps > 0.0 {
+            snap.read_gbps() / net_gbps
+        } else {
+            0.0
+        },
         llc_miss_e8: snap.miss_reads_e8(),
         responses: fleet.responses_completed,
         total_body_bytes: fleet.total_body_bytes,
         verified_bytes: fleet.verify_stats.verified_bytes,
         verify_failures: fleet.verify_stats.failures,
         live_fraction: fleet.live_fraction(),
-    }
+    };
+    (metrics, report)
 }
 
 fn route_client_tx(q: &mut EventQueue<Ev>, mb: &DelayMiddlebox, now: Nanos, tx: ClientTx) {
@@ -308,7 +448,9 @@ fn route_bursts(
         if frames.is_empty() {
             continue;
         }
-        let Some((flow, _, _)) = parse_frame(&frames[0]) else { continue };
+        let Some((flow, _, _)) = parse_frame(&frames[0]) else {
+            continue;
+        };
         q.schedule(b.departed + SWITCH_LATENCY, Ev::ClientRx(flow, frames));
     }
 }

@@ -30,8 +30,8 @@ fn main() {
 
     // nvme_open(): attach to (disk 0, qpair 0) with 64 × 16 KiB of
     // pinned, IOMMU-mapped DMA buffer memory.
-    let mut q = NvmeQueue::nvme_open(&mut kernel, DiskId(0), 0, 64, 16 * 1024, &mut phys)
-        .expect("attach");
+    let mut q =
+        NvmeQueue::nvme_open(&mut kernel, DiskId(0), 0, 64, 16 * 1024, &mut phys).expect("attach");
     println!("attached: 64 x 16KiB diskmap buffers, IOMMU programmed");
 
     // Stage a batch of reads — no syscalls yet.
@@ -39,16 +39,29 @@ fn main() {
     for i in 0..8u64 {
         let buf = q.pool().alloc().expect("pool sized for this");
         q.nvme_read(
-            IoDesc { user: i, buf, nsid: 1, offset: i * 16384, len: 16384 },
+            IoDesc {
+                user: i,
+                buf,
+                nsid: 1,
+                offset: i * 16384,
+                len: 16384,
+            },
             &costs,
         );
         bufs.push(buf);
     }
-    println!("staged  : {} READ commands (0 syscalls so far)", q.staged_count());
+    println!(
+        "staged  : {} READ commands (0 syscalls so far)",
+        q.staged_count()
+    );
 
     // nvme_sqsync(): one doorbell syscall moves the whole batch.
-    q.nvme_sqsync(&mut kernel, Nanos::ZERO, &costs).expect("sqsync");
-    println!("sqsync  : batch submitted with {} syscall(s)", kernel.syscalls);
+    q.nvme_sqsync(&mut kernel, Nanos::ZERO, &costs)
+        .expect("sqsync");
+    println!(
+        "sqsync  : batch submitted with {} syscall(s)",
+        kernel.syscalls
+    );
 
     // Poll completions (out-of-order completion handled by libnvme).
     let mut done = Vec::new();

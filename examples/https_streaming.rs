@@ -17,12 +17,18 @@ use disk_crypt_net::workload::{run_scenario, Scenario, ServerKind};
 
 fn main() {
     println!("Disk|Crypt|Net: encrypted streaming through Atlas\n");
-    let cfg = AtlasConfig { encrypted: true, ..AtlasConfig::default() };
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
     let scenario = Scenario::smoke(ServerKind::Atlas(cfg), 12, 7);
     let m = run_scenario(&scenario);
 
     println!("  responses served      : {}", m.responses);
-    println!("  network goodput       : {:.2} Gb/s (wire bytes incl. record framing)", m.net_gbps);
+    println!(
+        "  network goodput       : {:.2} Gb/s (wire bytes incl. record framing)",
+        m.net_gbps
+    );
     println!("  GCM-verified plaintext: {} bytes", m.verified_bytes);
     println!("  tag/content failures  : {}", m.verify_failures);
     println!("  DRAM read : network   : {:.2}", m.read_net_ratio);

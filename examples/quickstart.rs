@@ -20,7 +20,10 @@ fn main() {
     println!("  server               : {}", m.label);
     println!("  responses served     : {}", m.responses);
     println!("  network goodput      : {:.2} Gb/s", m.net_gbps);
-    println!("  bytes verified       : {} (byte-exact against the content oracle)", m.verified_bytes);
+    println!(
+        "  bytes verified       : {} (byte-exact against the content oracle)",
+        m.verified_bytes
+    );
     println!("  verification failures: {}", m.verify_failures);
     println!("  DRAM read traffic    : {:.2} Gb/s", m.mem_read_gbps);
     println!("  DRAM write traffic   : {:.2} Gb/s", m.mem_write_gbps);

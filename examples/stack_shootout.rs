@@ -18,8 +18,14 @@ fn main() {
     );
     for (name, server) in [
         ("Atlas (4 cores)", ServerKind::Atlas(AtlasConfig::default())),
-        ("Netflix (8 cores)", ServerKind::Kstack(KstackConfig::netflix())),
-        ("Stock FreeBSD (8 cores)", ServerKind::Kstack(KstackConfig::stock())),
+        (
+            "Netflix (8 cores)",
+            ServerKind::Kstack(KstackConfig::netflix()),
+        ),
+        (
+            "Stock FreeBSD (8 cores)",
+            ServerKind::Kstack(KstackConfig::stock()),
+        ),
     ] {
         let sc = Scenario::smoke(server, 24, 99);
         let m = run_scenario(&sc);

@@ -23,6 +23,7 @@ pub use dcn_kstack as kstack;
 pub use dcn_mem as mem;
 pub use dcn_netdev as netdev;
 pub use dcn_nvme as nvme;
+pub use dcn_obs as obs;
 pub use dcn_packet as packet;
 pub use dcn_simcore as simcore;
 pub use dcn_store as store;

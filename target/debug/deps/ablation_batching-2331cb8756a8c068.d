@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-2331cb8756a8c068.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-2331cb8756a8c068: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-3e79db09004de452.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-3e79db09004de452: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-ff1a874b47d92add.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-ff1a874b47d92add: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-491cb6c4e64dfec6.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-491cb6c4e64dfec6: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

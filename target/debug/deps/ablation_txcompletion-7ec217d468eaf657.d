@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-7ec217d468eaf657.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-7ec217d468eaf657: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

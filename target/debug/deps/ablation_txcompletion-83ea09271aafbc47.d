@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-83ea09271aafbc47.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-83ea09271aafbc47: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-4c658c0e2dea1eb5.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-4c658c0e2dea1eb5: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-91424b970a1062be.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-91424b970a1062be: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

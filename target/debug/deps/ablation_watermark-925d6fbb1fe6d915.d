@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-925d6fbb1fe6d915.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-925d6fbb1fe6d915: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

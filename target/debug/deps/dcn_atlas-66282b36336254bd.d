@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_atlas-66282b36336254bd.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_atlas-66282b36336254bd.rlib: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_atlas-66282b36336254bd.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_atlas-a5f3de8d113f5877.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/dcn_atlas-a5f3de8d113f5877: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_atlas-db5c70ca0009011f.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/dcn_atlas-db5c70ca0009011f: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_atlas-f23e478782ddd67d.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/dcn_atlas-f23e478782ddd67d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_bench-39d9154969cfe0fd.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/dcn_bench-39d9154969cfe0fd: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_bench-3c830848d46ec46a.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-3c830848d46ec46a.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-3c830848d46ec46a.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

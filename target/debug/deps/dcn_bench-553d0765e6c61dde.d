@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_bench-553d0765e6c61dde.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/dcn_bench-553d0765e6c61dde: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_bench-5a4273877ec2d968.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/dcn_bench-5a4273877ec2d968: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

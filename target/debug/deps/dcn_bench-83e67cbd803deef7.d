@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_bench-83e67cbd803deef7.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-83e67cbd803deef7.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-83e67cbd803deef7.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

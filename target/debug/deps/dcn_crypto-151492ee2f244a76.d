@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcn_crypto-151492ee2f244a76.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/debug/deps/dcn_crypto-151492ee2f244a76: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:

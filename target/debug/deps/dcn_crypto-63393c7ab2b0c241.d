@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_crypto-63393c7ab2b0c241.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/debug/deps/libdcn_crypto-63393c7ab2b0c241.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/debug/deps/libdcn_crypto-63393c7ab2b0c241.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:

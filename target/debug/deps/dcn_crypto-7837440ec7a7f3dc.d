@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_crypto-7837440ec7a7f3dc.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/debug/deps/libdcn_crypto-7837440ec7a7f3dc.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/debug/deps/libdcn_crypto-7837440ec7a7f3dc.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_crypto-adb8e792629caf9d.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_crypto-adb8e792629caf9d.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

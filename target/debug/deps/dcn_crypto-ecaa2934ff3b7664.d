@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_crypto-ecaa2934ff3b7664.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_crypto-ecaa2934ff3b7664.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_diskmap-3321e4c38be83a09.d: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+/root/repo/target/debug/deps/libdcn_diskmap-3321e4c38be83a09.rlib: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+/root/repo/target/debug/deps/libdcn_diskmap-3321e4c38be83a09.rmeta: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+crates/diskmap/src/lib.rs:
+crates/diskmap/src/baseline.rs:
+crates/diskmap/src/bufpool.rs:
+crates/diskmap/src/iommu.rs:
+crates/diskmap/src/kernel.rs:
+crates/diskmap/src/libnvme.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcn_httpd-2fc55b6afb691fe0.d: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/dcn_httpd-2fc55b6afb691fe0: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+crates/httpd/src/lib.rs:
+crates/httpd/src/client.rs:
+crates/httpd/src/parser.rs:
+crates/httpd/src/response.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_httpd-a8f459b67dc637a2.d: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/libdcn_httpd-a8f459b67dc637a2.rlib: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/libdcn_httpd-a8f459b67dc637a2.rmeta: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+crates/httpd/src/lib.rs:
+crates/httpd/src/client.rs:
+crates/httpd/src/parser.rs:
+crates/httpd/src/response.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_httpd-c1d0ab30029519d0.d: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/libdcn_httpd-c1d0ab30029519d0.rlib: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/libdcn_httpd-c1d0ab30029519d0.rmeta: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+crates/httpd/src/lib.rs:
+crates/httpd/src/client.rs:
+crates/httpd/src/parser.rs:
+crates/httpd/src/response.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_kstack-1bb0d3da9c9a3744.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/dcn_kstack-1bb0d3da9c9a3744: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

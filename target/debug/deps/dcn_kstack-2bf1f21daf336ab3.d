@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_kstack-2bf1f21daf336ab3.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/dcn_kstack-2bf1f21daf336ab3: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_kstack-66e8de89bca18a1f.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_kstack-66e8de89bca18a1f.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_kstack-66e8de89bca18a1f.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_kstack-c9788fd93b39f9b3.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/dcn_kstack-c9788fd93b39f9b3: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcn_mem-0a906fcf1dd201db.d: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libdcn_mem-0a906fcf1dd201db.rlib: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libdcn_mem-0a906fcf1dd201db.rmeta: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cost.rs:
+crates/mem/src/counters.rs:
+crates/mem/src/cpu.rs:
+crates/mem/src/hostmem.rs:
+crates/mem/src/llc.rs:
+crates/mem/src/phys.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_mem-4c561e05decec845.d: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/dcn_mem-4c561e05decec845: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cost.rs:
+crates/mem/src/counters.rs:
+crates/mem/src/cpu.rs:
+crates/mem/src/hostmem.rs:
+crates/mem/src/llc.rs:
+crates/mem/src/phys.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcn_mem-5eeeb8567bc8105b.d: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_mem-5eeeb8567bc8105b.rmeta: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cost.rs:
+crates/mem/src/counters.rs:
+crates/mem/src/cpu.rs:
+crates/mem/src/hostmem.rs:
+crates/mem/src/llc.rs:
+crates/mem/src/phys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

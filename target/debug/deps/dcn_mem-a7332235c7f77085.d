@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcn_mem-a7332235c7f77085.d: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libdcn_mem-a7332235c7f77085.rlib: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/debug/deps/libdcn_mem-a7332235c7f77085.rmeta: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cost.rs:
+crates/mem/src/counters.rs:
+crates/mem/src/cpu.rs:
+crates/mem/src/hostmem.rs:
+crates/mem/src/llc.rs:
+crates/mem/src/phys.rs:

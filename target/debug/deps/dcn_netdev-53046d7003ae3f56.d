@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_netdev-53046d7003ae3f56.d: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_netdev-53046d7003ae3f56.rmeta: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs Cargo.toml
+
+crates/netdev/src/lib.rs:
+crates/netdev/src/nic.rs:
+crates/netdev/src/pcap.rs:
+crates/netdev/src/rings.rs:
+crates/netdev/src/sg.rs:
+crates/netdev/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

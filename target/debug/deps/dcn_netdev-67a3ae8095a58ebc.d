@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_netdev-67a3ae8095a58ebc.d: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+/root/repo/target/debug/deps/dcn_netdev-67a3ae8095a58ebc: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+crates/netdev/src/lib.rs:
+crates/netdev/src/nic.rs:
+crates/netdev/src/pcap.rs:
+crates/netdev/src/rings.rs:
+crates/netdev/src/sg.rs:
+crates/netdev/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_netdev-84c6ac91a2b51c33.d: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+/root/repo/target/debug/deps/libdcn_netdev-84c6ac91a2b51c33.rlib: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+/root/repo/target/debug/deps/libdcn_netdev-84c6ac91a2b51c33.rmeta: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+crates/netdev/src/lib.rs:
+crates/netdev/src/nic.rs:
+crates/netdev/src/pcap.rs:
+crates/netdev/src/rings.rs:
+crates/netdev/src/sg.rs:
+crates/netdev/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_nvme-8170f34cca3bc889.d: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/debug/deps/libdcn_nvme-8170f34cca3bc889.rlib: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/debug/deps/libdcn_nvme-8170f34cca3bc889.rmeta: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/backing.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/firmware.rs:
+crates/nvme/src/queue.rs:

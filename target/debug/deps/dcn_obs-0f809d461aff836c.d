@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcn_obs-0f809d461aff836c.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/dcn_obs-0f809d461aff836c: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_obs-15366cead347580b.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_obs-15366cead347580b.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

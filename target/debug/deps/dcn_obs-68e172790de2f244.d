@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_obs-68e172790de2f244.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdcn_obs-68e172790de2f244.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdcn_obs-68e172790de2f244.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:

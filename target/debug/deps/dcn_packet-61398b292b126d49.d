@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_packet-61398b292b126d49.d: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_packet-61398b292b126d49.rmeta: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/eth.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcn_packet-b71a8657fc586cfe.d: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+/root/repo/target/debug/deps/dcn_packet-b71a8657fc586cfe: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/eth.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_packet-ea7995db3a8fbe7d.d: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+/root/repo/target/debug/deps/libdcn_packet-ea7995db3a8fbe7d.rlib: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+/root/repo/target/debug/deps/libdcn_packet-ea7995db3a8fbe7d.rmeta: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/eth.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_simcore-910aa6c71e74964e.d: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libdcn_simcore-910aa6c71e74964e.rlib: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libdcn_simcore-910aa6c71e74964e.rmeta: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/ids.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_simcore-c4f064baf674bc8d.d: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_simcore-c4f064baf674bc8d.rmeta: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/ids.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_simcore-fc4b5131cbebd9ce.d: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/dcn_simcore-fc4b5131cbebd9ce: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/ids.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_store-6ce942d807c83d7e.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/libdcn_store-6ce942d807c83d7e.rlib: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/libdcn_store-6ce942d807c83d7e.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_store-a49255ff58b938ac.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/libdcn_store-a49255ff58b938ac.rlib: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/libdcn_store-a49255ff58b938ac.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_store-e63251b9fe147a0e.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/dcn_store-e63251b9fe147a0e: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

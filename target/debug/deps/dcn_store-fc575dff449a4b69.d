@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_store-fc575dff449a4b69.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/dcn_store-fc575dff449a4b69: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_tcpstack-4b6703a9393941ba.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/debug/deps/dcn_tcpstack-4b6703a9393941ba: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

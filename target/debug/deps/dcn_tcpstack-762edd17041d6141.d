@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_tcpstack-762edd17041d6141.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/debug/deps/dcn_tcpstack-762edd17041d6141: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/obs.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_tcpstack-d5158ce3fda5a87d.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/debug/deps/dcn_tcpstack-d5158ce3fda5a87d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/obs.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

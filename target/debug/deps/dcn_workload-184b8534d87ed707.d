@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_workload-184b8534d87ed707.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/dcn_workload-184b8534d87ed707: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

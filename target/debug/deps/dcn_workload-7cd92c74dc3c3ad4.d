@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_workload-7cd92c74dc3c3ad4.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/dcn_workload-7cd92c74dc3c3ad4: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_workload-bab7be42e0103c50.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/libdcn_workload-bab7be42e0103c50.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/libdcn_workload-bab7be42e0103c50.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_workload-e215619598ff293a.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/libdcn_workload-e215619598ff293a.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/libdcn_workload-e215619598ff293a.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disk_crypt_net-0215b0561f8ae8eb.d: src/lib.rs
+
+/root/repo/target/debug/deps/disk_crypt_net-0215b0561f8ae8eb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disk_crypt_net-2d7ab728d2aaca12.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-2d7ab728d2aaca12.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-2d7ab728d2aaca12.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disk_crypt_net-7cc7d357c102f180.d: src/lib.rs
+
+/root/repo/target/debug/deps/disk_crypt_net-7cc7d357c102f180: src/lib.rs
+
+src/lib.rs:

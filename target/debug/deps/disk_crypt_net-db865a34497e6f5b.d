@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disk_crypt_net-db865a34497e6f5b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-db865a34497e6f5b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-db865a34497e6f5b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disk_crypt_net-dceeac841ca3ef6c.d: src/lib.rs
+
+/root/repo/target/debug/deps/disk_crypt_net-dceeac841ca3ef6c: src/lib.rs
+
+src/lib.rs:

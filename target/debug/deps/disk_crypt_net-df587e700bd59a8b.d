@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disk_crypt_net-df587e700bd59a8b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-df587e700bd59a8b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-df587e700bd59a8b.rmeta: src/lib.rs
+
+src/lib.rs:

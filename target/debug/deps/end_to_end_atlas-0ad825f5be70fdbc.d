@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_atlas-0ad825f5be70fdbc.d: tests/end_to_end_atlas.rs
+
+/root/repo/target/debug/deps/end_to_end_atlas-0ad825f5be70fdbc: tests/end_to_end_atlas.rs
+
+tests/end_to_end_atlas.rs:

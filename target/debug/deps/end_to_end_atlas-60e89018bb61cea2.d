@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_atlas-60e89018bb61cea2.d: tests/end_to_end_atlas.rs
+
+/root/repo/target/debug/deps/end_to_end_atlas-60e89018bb61cea2: tests/end_to_end_atlas.rs
+
+tests/end_to_end_atlas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_atlas-fd126f0e29408399.d: tests/end_to_end_atlas.rs
+
+/root/repo/target/debug/deps/end_to_end_atlas-fd126f0e29408399: tests/end_to_end_atlas.rs
+
+tests/end_to_end_atlas.rs:

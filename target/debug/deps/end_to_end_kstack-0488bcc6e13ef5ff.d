@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_kstack-0488bcc6e13ef5ff.d: tests/end_to_end_kstack.rs
+
+/root/repo/target/debug/deps/end_to_end_kstack-0488bcc6e13ef5ff: tests/end_to_end_kstack.rs
+
+tests/end_to_end_kstack.rs:

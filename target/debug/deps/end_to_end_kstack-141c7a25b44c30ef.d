@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_kstack-141c7a25b44c30ef.d: tests/end_to_end_kstack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_kstack-141c7a25b44c30ef.rmeta: tests/end_to_end_kstack.rs Cargo.toml
+
+tests/end_to_end_kstack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_kstack-1bb20c56c98b5308.d: tests/end_to_end_kstack.rs
+
+/root/repo/target/debug/deps/end_to_end_kstack-1bb20c56c98b5308: tests/end_to_end_kstack.rs
+
+tests/end_to_end_kstack.rs:

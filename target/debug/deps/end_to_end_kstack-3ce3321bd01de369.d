@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_kstack-3ce3321bd01de369.d: tests/end_to_end_kstack.rs
+
+/root/repo/target/debug/deps/end_to_end_kstack-3ce3321bd01de369: tests/end_to_end_kstack.rs
+
+tests/end_to_end_kstack.rs:

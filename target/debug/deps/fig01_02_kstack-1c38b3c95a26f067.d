@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-1c38b3c95a26f067.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-1c38b3c95a26f067: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-c5b1fbe85cba14df.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-c5b1fbe85cba14df: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-de17d6f39fc1872f.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-de17d6f39fc1872f: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

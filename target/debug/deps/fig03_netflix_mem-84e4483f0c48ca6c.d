@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-84e4483f0c48ca6c.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-84e4483f0c48ca6c: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

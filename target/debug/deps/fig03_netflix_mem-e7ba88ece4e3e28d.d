@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-e7ba88ece4e3e28d.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-e7ba88ece4e3e28d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

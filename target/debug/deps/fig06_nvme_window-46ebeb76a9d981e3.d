@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-46ebeb76a9d981e3.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-46ebeb76a9d981e3: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-82dba4ddb40ad7a5.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-82dba4ddb40ad7a5: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

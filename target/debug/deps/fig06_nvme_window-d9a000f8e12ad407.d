@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-d9a000f8e12ad407.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-d9a000f8e12ad407: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

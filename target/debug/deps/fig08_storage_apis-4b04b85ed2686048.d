@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-4b04b85ed2686048.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-4b04b85ed2686048: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

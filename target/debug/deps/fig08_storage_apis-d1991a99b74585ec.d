@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-d1991a99b74585ec.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-d1991a99b74585ec: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-f7faf5ae8850f90c.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-f7faf5ae8850f90c: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-2b9b5dd3210d09cd.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-2b9b5dd3210d09cd: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-fb6411c5656019e9.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-fb6411c5656019e9: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

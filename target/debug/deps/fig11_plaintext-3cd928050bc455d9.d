@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-3cd928050bc455d9.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-3cd928050bc455d9: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-a0be8006ede9d844.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-a0be8006ede9d844: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-fb41b6a5ced2865a.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-fb41b6a5ced2865a: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

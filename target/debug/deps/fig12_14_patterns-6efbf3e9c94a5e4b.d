@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-6efbf3e9c94a5e4b.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-6efbf3e9c94a5e4b: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

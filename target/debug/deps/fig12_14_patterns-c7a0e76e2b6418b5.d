@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-c7a0e76e2b6418b5.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-c7a0e76e2b6418b5: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-eea92b7795e90967.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-eea92b7795e90967: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

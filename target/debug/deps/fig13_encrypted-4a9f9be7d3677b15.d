@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-4a9f9be7d3677b15.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-4a9f9be7d3677b15: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

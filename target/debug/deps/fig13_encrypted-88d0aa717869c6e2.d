@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-88d0aa717869c6e2.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-88d0aa717869c6e2: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-c2f4d1d205893b2f.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-c2f4d1d205893b2f: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

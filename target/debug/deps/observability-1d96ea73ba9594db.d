@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-1d96ea73ba9594db.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-1d96ea73ba9594db: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-97edeb483760a342.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-97edeb483760a342: tests/observability.rs
+
+tests/observability.rs:

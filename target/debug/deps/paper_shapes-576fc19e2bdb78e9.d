@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-576fc19e2bdb78e9.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-576fc19e2bdb78e9: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

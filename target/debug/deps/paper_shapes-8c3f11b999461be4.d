@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-8c3f11b999461be4.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-8c3f11b999461be4: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

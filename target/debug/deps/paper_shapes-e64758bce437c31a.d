@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-e64758bce437c31a.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-e64758bce437c31a: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

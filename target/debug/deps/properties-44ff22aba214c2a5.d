@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-44ff22aba214c2a5.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-44ff22aba214c2a5.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7b95bdee25c15989.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7b95bdee25c15989: tests/properties.rs
+
+tests/properties.rs:

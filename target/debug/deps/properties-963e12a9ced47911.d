@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-963e12a9ced47911.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-963e12a9ced47911: tests/properties.rs
+
+tests/properties.rs:

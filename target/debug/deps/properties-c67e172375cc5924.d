@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c67e172375cc5924.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c67e172375cc5924: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retransmission-09b373ef52eb3d36.d: tests/retransmission.rs
+
+/root/repo/target/debug/deps/retransmission-09b373ef52eb3d36: tests/retransmission.rs
+
+tests/retransmission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retransmission-5f86daf1b01ea27f.d: tests/retransmission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretransmission-5f86daf1b01ea27f.rmeta: tests/retransmission.rs Cargo.toml
+
+tests/retransmission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

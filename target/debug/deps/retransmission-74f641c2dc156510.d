@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retransmission-74f641c2dc156510.d: tests/retransmission.rs
+
+/root/repo/target/debug/deps/retransmission-74f641c2dc156510: tests/retransmission.rs
+
+tests/retransmission.rs:

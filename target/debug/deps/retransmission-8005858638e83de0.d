@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retransmission-8005858638e83de0.d: tests/retransmission.rs
+
+/root/repo/target/debug/deps/retransmission-8005858638e83de0: tests/retransmission.rs
+
+tests/retransmission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-8c2d22558da36c41.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-8c2d22558da36c41: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_summary-958ba49212416749.d: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_summary-958ba49212416749.rmeta: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+crates/bench/src/bin/table_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

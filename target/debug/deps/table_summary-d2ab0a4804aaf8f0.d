@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-d2ab0a4804aaf8f0.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-d2ab0a4804aaf8f0: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

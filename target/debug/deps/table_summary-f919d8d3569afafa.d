@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-f919d8d3569afafa.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-f919d8d3569afafa: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcb_properties-a2f7e70c85d70b8d.d: crates/tcpstack/tests/tcb_properties.rs
+
+/root/repo/target/debug/deps/tcb_properties-a2f7e70c85d70b8d: crates/tcpstack/tests/tcb_properties.rs
+
+crates/tcpstack/tests/tcb_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcb_properties-b03e00471005b12b.d: crates/tcpstack/tests/tcb_properties.rs
+
+/root/repo/target/debug/deps/tcb_properties-b03e00471005b12b: crates/tcpstack/tests/tcb_properties.rs
+
+crates/tcpstack/tests/tcb_properties.rs:

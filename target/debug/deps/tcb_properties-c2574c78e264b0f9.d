@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcb_properties-c2574c78e264b0f9.d: crates/tcpstack/tests/tcb_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcb_properties-c2574c78e264b0f9.rmeta: crates/tcpstack/tests/tcb_properties.rs Cargo.toml
+
+crates/tcpstack/tests/tcb_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

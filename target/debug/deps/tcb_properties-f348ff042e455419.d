@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcb_properties-f348ff042e455419.d: crates/tcpstack/tests/tcb_properties.rs
+
+/root/repo/target/debug/deps/tcb_properties-f348ff042e455419: crates/tcpstack/tests/tcb_properties.rs
+
+crates/tcpstack/tests/tcb_properties.rs:

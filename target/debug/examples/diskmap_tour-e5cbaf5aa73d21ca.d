@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diskmap_tour-e5cbaf5aa73d21ca.d: examples/diskmap_tour.rs
+
+/root/repo/target/debug/examples/diskmap_tour-e5cbaf5aa73d21ca: examples/diskmap_tour.rs
+
+examples/diskmap_tour.rs:

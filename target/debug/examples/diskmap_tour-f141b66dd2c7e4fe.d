@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diskmap_tour-f141b66dd2c7e4fe.d: examples/diskmap_tour.rs
+
+/root/repo/target/debug/examples/diskmap_tour-f141b66dd2c7e4fe: examples/diskmap_tour.rs
+
+examples/diskmap_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diskmap_tour-fa724ff5533dd36a.d: examples/diskmap_tour.rs
+
+/root/repo/target/debug/examples/diskmap_tour-fa724ff5533dd36a: examples/diskmap_tour.rs
+
+examples/diskmap_tour.rs:

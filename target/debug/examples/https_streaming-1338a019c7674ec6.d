@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/https_streaming-1338a019c7674ec6.d: examples/https_streaming.rs
+
+/root/repo/target/debug/examples/https_streaming-1338a019c7674ec6: examples/https_streaming.rs
+
+examples/https_streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/https_streaming-1e068adf3f9153b1.d: examples/https_streaming.rs
+
+/root/repo/target/debug/examples/https_streaming-1e068adf3f9153b1: examples/https_streaming.rs
+
+examples/https_streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/https_streaming-5e179c4dbbdc002d.d: examples/https_streaming.rs
+
+/root/repo/target/debug/examples/https_streaming-5e179c4dbbdc002d: examples/https_streaming.rs
+
+examples/https_streaming.rs:

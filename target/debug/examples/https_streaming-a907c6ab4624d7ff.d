@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/https_streaming-a907c6ab4624d7ff.d: examples/https_streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhttps_streaming-a907c6ab4624d7ff.rmeta: examples/https_streaming.rs Cargo.toml
+
+examples/https_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5eef86b11fffe654.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5eef86b11fffe654: examples/quickstart.rs
+
+examples/quickstart.rs:

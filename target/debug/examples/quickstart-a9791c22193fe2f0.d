@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a9791c22193fe2f0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a9791c22193fe2f0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d561b898e71be001.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d561b898e71be001: examples/quickstart.rs
+
+examples/quickstart.rs:

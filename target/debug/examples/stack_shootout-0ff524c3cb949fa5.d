@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stack_shootout-0ff524c3cb949fa5.d: examples/stack_shootout.rs
+
+/root/repo/target/debug/examples/stack_shootout-0ff524c3cb949fa5: examples/stack_shootout.rs
+
+examples/stack_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stack_shootout-249d186b5abaf742.d: examples/stack_shootout.rs
+
+/root/repo/target/debug/examples/stack_shootout-249d186b5abaf742: examples/stack_shootout.rs
+
+examples/stack_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stack_shootout-83170ab271ee98a7.d: examples/stack_shootout.rs
+
+/root/repo/target/debug/examples/stack_shootout-83170ab271ee98a7: examples/stack_shootout.rs
+
+examples/stack_shootout.rs:

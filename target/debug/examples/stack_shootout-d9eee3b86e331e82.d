@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stack_shootout-d9eee3b86e331e82.d: examples/stack_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstack_shootout-d9eee3b86e331e82.rmeta: examples/stack_shootout.rs Cargo.toml
+
+examples/stack_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_io_window-2fdc47ff92fe852a.d: examples/tune_io_window.rs
+
+/root/repo/target/debug/examples/tune_io_window-2fdc47ff92fe852a: examples/tune_io_window.rs
+
+examples/tune_io_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_io_window-89a7963578fc633a.d: examples/tune_io_window.rs
+
+/root/repo/target/debug/examples/tune_io_window-89a7963578fc633a: examples/tune_io_window.rs
+
+examples/tune_io_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_io_window-a07ad13abcdd6ade.d: examples/tune_io_window.rs
+
+/root/repo/target/debug/examples/tune_io_window-a07ad13abcdd6ade: examples/tune_io_window.rs
+
+examples/tune_io_window.rs:

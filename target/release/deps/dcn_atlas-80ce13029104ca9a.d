@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_atlas-80ce13029104ca9a.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-80ce13029104ca9a.rlib: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-80ce13029104ca9a.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

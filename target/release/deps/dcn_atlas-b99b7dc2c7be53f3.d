@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_atlas-b99b7dc2c7be53f3.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-b99b7dc2c7be53f3.rlib: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-b99b7dc2c7be53f3.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_atlas-ff1d37e61f27b2a6.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-ff1d37e61f27b2a6.rlib: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-ff1d37e61f27b2a6.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_bench-161b8a89bb1cae3b.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-161b8a89bb1cae3b.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-161b8a89bb1cae3b.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_bench-b613b03d355b107c.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-b613b03d355b107c.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-b613b03d355b107c.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_bench-bf32c6330b54caac.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-bf32c6330b54caac.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-bf32c6330b54caac.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_crypto-296c4ef3927bae84.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/release/deps/libdcn_crypto-296c4ef3927bae84.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/release/deps/libdcn_crypto-296c4ef3927bae84.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_crypto-b10a3dd29dc8e47c.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/release/deps/libdcn_crypto-b10a3dd29dc8e47c.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+/root/repo/target/release/deps/libdcn_crypto-b10a3dd29dc8e47c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/record.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/record.rs:

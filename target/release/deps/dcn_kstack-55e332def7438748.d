@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_kstack-55e332def7438748.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-55e332def7438748.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-55e332def7438748.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_kstack-cbed94afcb326a7a.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-cbed94afcb326a7a.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-cbed94afcb326a7a.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

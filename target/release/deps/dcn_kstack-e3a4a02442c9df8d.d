@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_kstack-e3a4a02442c9df8d.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-e3a4a02442c9df8d.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-e3a4a02442c9df8d.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

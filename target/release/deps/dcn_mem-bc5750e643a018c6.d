@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dcn_mem-bc5750e643a018c6.d: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/release/deps/libdcn_mem-bc5750e643a018c6.rlib: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+/root/repo/target/release/deps/libdcn_mem-bc5750e643a018c6.rmeta: crates/mem/src/lib.rs crates/mem/src/cost.rs crates/mem/src/counters.rs crates/mem/src/cpu.rs crates/mem/src/hostmem.rs crates/mem/src/llc.rs crates/mem/src/phys.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cost.rs:
+crates/mem/src/counters.rs:
+crates/mem/src/cpu.rs:
+crates/mem/src/hostmem.rs:
+crates/mem/src/llc.rs:
+crates/mem/src/phys.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_netdev-4c773ad12ae93537.d: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+/root/repo/target/release/deps/libdcn_netdev-4c773ad12ae93537.rlib: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+/root/repo/target/release/deps/libdcn_netdev-4c773ad12ae93537.rmeta: crates/netdev/src/lib.rs crates/netdev/src/nic.rs crates/netdev/src/pcap.rs crates/netdev/src/rings.rs crates/netdev/src/sg.rs crates/netdev/src/wire.rs
+
+crates/netdev/src/lib.rs:
+crates/netdev/src/nic.rs:
+crates/netdev/src/pcap.rs:
+crates/netdev/src/rings.rs:
+crates/netdev/src/sg.rs:
+crates/netdev/src/wire.rs:

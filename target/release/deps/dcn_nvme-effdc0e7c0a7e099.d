@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcn_nvme-effdc0e7c0a7e099.d: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/release/deps/libdcn_nvme-effdc0e7c0a7e099.rlib: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/release/deps/libdcn_nvme-effdc0e7c0a7e099.rmeta: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/backing.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/firmware.rs:
+crates/nvme/src/queue.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_obs-d7ded6374c40233b.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdcn_obs-d7ded6374c40233b.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdcn_obs-d7ded6374c40233b.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/trace.rs:

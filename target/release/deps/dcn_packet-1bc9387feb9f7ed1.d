@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_packet-1bc9387feb9f7ed1.d: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+/root/repo/target/release/deps/libdcn_packet-1bc9387feb9f7ed1.rlib: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+/root/repo/target/release/deps/libdcn_packet-1bc9387feb9f7ed1.rmeta: crates/packet/src/lib.rs crates/packet/src/eth.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/eth.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:

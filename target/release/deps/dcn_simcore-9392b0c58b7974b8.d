@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_simcore-9392b0c58b7974b8.d: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libdcn_simcore-9392b0c58b7974b8.rlib: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libdcn_simcore-9392b0c58b7974b8.rmeta: crates/simcore/src/lib.rs crates/simcore/src/ids.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/ids.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

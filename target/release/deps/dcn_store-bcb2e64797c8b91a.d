@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_store-bcb2e64797c8b91a.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-bcb2e64797c8b91a.rlib: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-bcb2e64797c8b91a.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

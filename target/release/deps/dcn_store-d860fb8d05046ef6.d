@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_store-d860fb8d05046ef6.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-d860fb8d05046ef6.rlib: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-d860fb8d05046ef6.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

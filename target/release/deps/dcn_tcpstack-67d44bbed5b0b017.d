@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcn_tcpstack-67d44bbed5b0b017.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-67d44bbed5b0b017.rlib: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-67d44bbed5b0b017.rmeta: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_tcpstack-923fe11ae4a8189e.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-923fe11ae4a8189e.rlib: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-923fe11ae4a8189e.rmeta: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/obs.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

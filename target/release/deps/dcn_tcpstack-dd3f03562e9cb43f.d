@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcn_tcpstack-dd3f03562e9cb43f.d: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-dd3f03562e9cb43f.rlib: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+/root/repo/target/release/deps/libdcn_tcpstack-dd3f03562e9cb43f.rmeta: crates/tcpstack/src/lib.rs crates/tcpstack/src/cc.rs crates/tcpstack/src/client.rs crates/tcpstack/src/obs.rs crates/tcpstack/src/rto.rs crates/tcpstack/src/tcb.rs
+
+crates/tcpstack/src/lib.rs:
+crates/tcpstack/src/cc.rs:
+crates/tcpstack/src/client.rs:
+crates/tcpstack/src/obs.rs:
+crates/tcpstack/src/rto.rs:
+crates/tcpstack/src/tcb.rs:

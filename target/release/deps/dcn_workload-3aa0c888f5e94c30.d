@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_workload-3aa0c888f5e94c30.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-3aa0c888f5e94c30.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-3aa0c888f5e94c30.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

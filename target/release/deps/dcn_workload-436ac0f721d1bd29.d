@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_workload-436ac0f721d1bd29.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-436ac0f721d1bd29.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-436ac0f721d1bd29.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

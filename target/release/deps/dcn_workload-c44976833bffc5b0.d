@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_workload-c44976833bffc5b0.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-c44976833bffc5b0.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-c44976833bffc5b0.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

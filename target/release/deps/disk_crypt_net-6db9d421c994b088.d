@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/disk_crypt_net-6db9d421c994b088.d: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-6db9d421c994b088.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-6db9d421c994b088.rmeta: src/lib.rs
+
+src/lib.rs:

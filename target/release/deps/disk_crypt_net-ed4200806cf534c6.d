@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/disk_crypt_net-ed4200806cf534c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-ed4200806cf534c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-ed4200806cf534c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/disk_crypt_net-f8f812f460107bc0.d: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-f8f812f460107bc0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-f8f812f460107bc0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_latency_cdf-a025147914efc065.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/release/deps/fig09_latency_cdf-a025147914efc065: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-db2bb6ec189388f0.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-db2bb6ec189388f0: tests/observability.rs
+
+tests/observability.rs:

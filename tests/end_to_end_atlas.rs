@@ -11,18 +11,29 @@ fn atlas_plaintext_serves_verified_content() {
     eprintln!("{m:?}");
     assert!(m.responses > 10, "responses={}", m.responses);
     assert_eq!(m.verify_failures, 0);
-    assert!(m.verified_bytes > 3_000_000, "verified={}", m.verified_bytes);
+    assert!(
+        m.verified_bytes > 3_000_000,
+        "verified={}",
+        m.verified_bytes
+    );
     assert!(m.live_fraction > 0.9, "live={}", m.live_fraction);
     assert!(m.net_gbps > 0.5, "net={}", m.net_gbps);
 }
 
 #[test]
 fn atlas_encrypted_serves_verified_content() {
-    let cfg = AtlasConfig { encrypted: true, ..AtlasConfig::default() };
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
     let sc = Scenario::smoke(ServerKind::Atlas(cfg), 16, 43);
     let m = run_scenario(&sc);
     eprintln!("{m:?}");
     assert!(m.responses > 10, "responses={}", m.responses);
     assert_eq!(m.verify_failures, 0, "GCM verification failed");
-    assert!(m.verified_bytes > 3_000_000, "verified={}", m.verified_bytes);
+    assert!(
+        m.verified_bytes > 3_000_000,
+        "verified={}",
+        m.verified_bytes
+    );
 }

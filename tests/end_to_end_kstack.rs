@@ -11,13 +11,20 @@ fn netflix_plaintext_serves_verified_content() {
     eprintln!("{m:?}");
     assert!(m.responses > 10, "responses={}", m.responses);
     assert_eq!(m.verify_failures, 0);
-    assert!(m.verified_bytes > 3_000_000, "verified={}", m.verified_bytes);
+    assert!(
+        m.verified_bytes > 3_000_000,
+        "verified={}",
+        m.verified_bytes
+    );
     assert!(m.live_fraction > 0.9);
 }
 
 #[test]
 fn netflix_encrypted_serves_verified_content() {
-    let cfg = KstackConfig { encrypted: true, ..KstackConfig::netflix() };
+    let cfg = KstackConfig {
+        encrypted: true,
+        ..KstackConfig::netflix()
+    };
     let sc = Scenario::smoke(ServerKind::Kstack(cfg), 16, 43);
     let m = run_scenario(&sc);
     eprintln!("{m:?}");

@@ -1,0 +1,165 @@
+//! Cross-stack observability, end to end: the chunk-lifecycle tracer
+//! must (a) see the paper's disk→LLC→wire path — chunks still
+//! LLC-resident when the CPU starts the in-place encrypt, (b) record
+//! loss-driven retransmit fetches as a distinct chunk kind, and
+//! (c) perturb nothing: the same seed with tracing on or off yields
+//! bit-identical run metrics.
+
+use disk_crypt_net::atlas::AtlasConfig;
+use disk_crypt_net::simcore::Nanos;
+use disk_crypt_net::workload::{
+    run_scenario, run_scenario_observed, ObsOptions, Scenario, ServerKind,
+};
+use std::path::PathBuf;
+
+fn trace_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dcn_obs_test_{name}.jsonl"))
+}
+
+fn trace_only(path: &std::path::Path) -> ObsOptions {
+    ObsOptions {
+        trace_out: Some(path.to_path_buf()),
+        ..ObsOptions::disabled()
+    }
+}
+
+#[test]
+fn encrypt_time_reads_are_llc_resident() {
+    // Full-fidelity TLS Atlas run: DDIO lands the disk DMA in the
+    // LLC and the ACK-clocked watermark keeps the working set small,
+    // so when encryption starts the chunk should still be there
+    // (§3.3 / Fig 12's "resident" class).
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let sc = Scenario::smoke(ServerKind::Atlas(cfg), 16, 43);
+    let path = trace_path("llc");
+    let (m, report) = run_scenario_observed(&sc, &trace_only(&path));
+    assert!(m.responses > 10, "responses={}", m.responses);
+    assert_eq!(m.verify_failures, 0);
+    assert!(
+        report.traced_chunks > 100,
+        "traced={}",
+        report.traced_chunks
+    );
+    assert!(report.stage_summary.contains("encrypt_end"));
+
+    let body = std::fs::read_to_string(&path).expect("trace written");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), report.traced_chunks);
+    let flagged = lines
+        .iter()
+        .filter(|l| l.contains("\"llc_at_encrypt\":true") || l.contains("\"llc_at_encrypt\":false"))
+        .count();
+    let resident = lines
+        .iter()
+        .filter(|l| l.contains("\"llc_at_encrypt\":true"))
+        .count();
+    assert!(flagged > 100, "flagged={flagged}");
+    let frac = resident as f64 / flagged as f64;
+    assert!(
+        frac >= 0.90,
+        "LLC-resident at encrypt: {resident}/{flagged} = {frac:.3}"
+    );
+    // Every trace line carries the full stage clock.
+    for key in [
+        "ack_arrival",
+        "nvme_submit",
+        "firmware_complete",
+        "buffer_recycle",
+    ] {
+        assert!(lines[0].contains(&format!("\"{key}\":")), "missing {key}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn retransmit_fetches_trace_as_distinct_kind() {
+    // Stateless retransmission (§3.2) goes back to disk; those
+    // fetches must be classified RetransmitFetch, not Fresh, and
+    // must legitimately skip the watermark stage.
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let mut sc = Scenario::smoke(ServerKind::Atlas(cfg), 8, 7);
+    sc.data_loss = 0.02;
+    sc.duration = Nanos::from_millis(1200);
+    sc.warmup = Nanos::from_millis(300);
+    let path = trace_path("retx");
+    let (m, report) = run_scenario_observed(&sc, &trace_only(&path));
+    assert!(m.responses > 5, "progress under loss: {}", m.responses);
+    assert_eq!(m.verify_failures, 0);
+    assert!(report.traced_chunks > 0);
+
+    let body = std::fs::read_to_string(&path).expect("trace written");
+    let fresh = body
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"fresh\""))
+        .count();
+    let retx: Vec<&str> = body
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"retransmit_fetch\""))
+        .collect();
+    assert!(fresh > 0, "no fresh chunks traced");
+    assert!(!retx.is_empty(), "2% loss must produce retransmit fetches");
+    for l in &retx {
+        assert!(
+            l.contains("\"watermark_trigger\":null"),
+            "retransmit fetches are loss-driven, not watermark-driven: {l}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    // The acceptance bar for "zero-overhead when disabled" has a
+    // stronger cousin: even when ENABLED the tracer only observes
+    // (non-mutating LLC probes, no extra memory traffic), so the
+    // metrics must be bit-identical with tracing on or off.
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let sc = Scenario::smoke(ServerKind::Atlas(cfg), 12, 99);
+    let base = run_scenario(&sc);
+    let path = trace_path("det");
+    let (traced, report) = run_scenario_observed(&sc, &trace_only(&path));
+    assert!(report.traced_chunks > 0);
+    assert_eq!(
+        format!("{base:?}"),
+        format!("{traced:?}"),
+        "tracing changed the simulation"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_csv_has_per_core_series() {
+    // The CSV export must carry per-core labelled registry series,
+    // including at least one previously uninstrumented signal (TCP
+    // RTO firings and the buffer-pool depth).
+    let cfg = AtlasConfig::default();
+    let sc = Scenario::smoke(ServerKind::Atlas(cfg), 8, 5);
+    let csv = std::env::temp_dir().join("dcn_obs_test_metrics.csv");
+    let obs = ObsOptions {
+        metrics_out: Some(csv.clone()),
+        ..ObsOptions::disabled()
+    };
+    let (m, _) = run_scenario_observed(&sc, &obs);
+    assert!(m.responses > 5);
+    let body = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(body.starts_with("t_ms,metric,value"));
+    for series in [
+        "atlas.responses{core=0}",
+        "tcp.rto_fired{core=0}",
+        "atlas.pool_free_bufs{core=0}",
+        "mem.dram_read_bytes",
+        "diskmap.syscalls",
+    ] {
+        assert!(body.contains(series), "missing series {series}");
+    }
+    let _ = std::fs::remove_file(&csv);
+}

@@ -13,7 +13,13 @@ use disk_crypt_net::workload::{run_scenario, FleetConfig, RunMetrics, Scenario, 
 fn run(server: ServerKind, n: usize, cacheable: bool, seed: u64) -> RunMetrics {
     let sc = Scenario {
         server,
-        fleet: FleetConfig { n_clients: n, cacheable, hot_files: 128, verify: false, ..FleetConfig::default() },
+        fleet: FleetConfig {
+            n_clients: n,
+            cacheable,
+            hot_files: 128,
+            verify: false,
+            ..FleetConfig::default()
+        },
         catalog: Catalog::paper(seed),
         warmup: Nanos::from_millis(350),
         duration: Nanos::from_millis(800),
@@ -24,15 +30,27 @@ fn run(server: ServerKind, n: usize, cacheable: bool, seed: u64) -> RunMetrics {
 }
 
 fn atlas(encrypted: bool) -> ServerKind {
-    ServerKind::Atlas(AtlasConfig { encrypted, fidelity: Fidelity::Modeled, ..AtlasConfig::default() })
+    ServerKind::Atlas(AtlasConfig {
+        encrypted,
+        fidelity: Fidelity::Modeled,
+        ..AtlasConfig::default()
+    })
 }
 
 fn netflix(encrypted: bool) -> ServerKind {
-    ServerKind::Kstack(KstackConfig { encrypted, fidelity: Fidelity::Modeled, ..KstackConfig::netflix() })
+    ServerKind::Kstack(KstackConfig {
+        encrypted,
+        fidelity: Fidelity::Modeled,
+        ..KstackConfig::netflix()
+    })
 }
 
 fn stock(encrypted: bool) -> ServerKind {
-    ServerKind::Kstack(KstackConfig { encrypted, fidelity: Fidelity::Modeled, ..KstackConfig::stock() })
+    ServerKind::Kstack(KstackConfig {
+        encrypted,
+        fidelity: Fidelity::Modeled,
+        ..KstackConfig::stock()
+    })
 }
 
 // ---------------------------------------------------------- Fig 6

@@ -1,80 +1,80 @@
-//! Property-based tests over the core data structures and protocol
-//! invariants (proptest).
+//! Randomized tests over the core data structures and protocol
+//! invariants. Cases are generated from a seeded [`SimRng`] so every
+//! run explores the same (large) input set deterministically — the
+//! container builds offline, so this replaces an external
+//! property-testing framework with the simulator's own PRNG.
 
 use disk_crypt_net::crypto::{AesGcm128, RecordCipher, RECORD_PAYLOAD_MAX};
-use disk_crypt_net::mem::{CostParams, HostMem, Llc, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE};
+use disk_crypt_net::mem::{
+    CostParams, HostMem, Llc, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE,
+};
 use disk_crypt_net::netdev::{SgChunk, SgList};
 use disk_crypt_net::packet::{Ipv4Addr, Ipv4Repr, SeqNumber, TcpFlags, TcpRepr};
-use disk_crypt_net::simcore::{prf_bytes, Histogram, Nanos};
-use proptest::prelude::*;
+use disk_crypt_net::simcore::{prf_bytes, Histogram, Nanos, SimRng};
 
-proptest! {
-    // ------------------------------------------------- scatter-gather
+const CASES: u64 = 128;
 
-    /// split_front at any point conserves both length and content.
-    #[test]
-    fn sg_split_conserves_bytes(
-        chunks in prop::collection::vec(
-            prop_oneof![
-                prop::collection::vec(any::<u8>(), 0..64).prop_map(SgChunkKind::Bytes),
-                (0u64..32, 1u64..4096).prop_map(|(page, len)| SgChunkKind::Region(page, len)),
-            ],
-            0..8,
-        ),
-        split_frac in 0.0f64..=1.0,
-    ) {
+fn rand_bytes(rng: &mut SimRng, lo: u64, hi: u64) -> Vec<u8> {
+    let n = rng.gen_range(lo, hi) as usize;
+    let mut v = vec![0u8; n];
+    prf_bytes(rng.next_u64(), 0, &mut v);
+    v
+}
+
+// ------------------------------------------------------ scatter-gather
+
+/// split_front at any point conserves both length and content.
+#[test]
+fn sg_split_conserves_bytes() {
+    let mut rng = SimRng::new(0x5611);
+    for case in 0..CASES {
         let mut host = HostMem::new();
         let mut sg = SgList::empty();
-        for (i, c) in chunks.iter().enumerate() {
-            match c {
-                SgChunkKind::Bytes(b) => sg.push_bytes(b.clone()),
-                SgChunkKind::Region(page, len) => {
-                    let region = PhysRegion::new(PhysAddr((1000 + 100 * i as u64 + page) * CHUNK_SIZE), *len);
-                    host.fill_region(region, |buf| {
-                        prf_bytes(i as u64, 0, buf);
-                    });
-                    sg.push_region(region);
-                }
+        let n_chunks = rng.gen_range(0, 8) as usize;
+        for i in 0..n_chunks {
+            if rng.chance(0.5) {
+                sg.push_bytes(rand_bytes(&mut rng, 0, 64));
+            } else {
+                let page = rng.gen_range(0, 32);
+                let len = rng.gen_range(1, 4096);
+                let region =
+                    PhysRegion::new(PhysAddr((1000 + 100 * i as u64 + page) * CHUNK_SIZE), len);
+                host.fill_region(region, |buf| prf_bytes(i as u64, 0, buf));
+                sg.push_region(region);
             }
         }
         let total = sg.len();
         let whole = sg.materialize(&host);
-        let at = (total as f64 * split_frac) as u64;
+        let at = (total as f64 * rng.next_f64()) as u64;
         let mut rest = sg;
         let front = rest.split_front(at);
-        prop_assert_eq!(front.len(), at);
-        prop_assert_eq!(rest.len(), total - at);
+        assert_eq!(front.len(), at, "case {case}");
+        assert_eq!(rest.len(), total - at, "case {case}");
         let mut rejoined = front.materialize(&host);
         rejoined.extend(rest.materialize(&host));
-        prop_assert_eq!(rejoined, whole);
+        assert_eq!(rejoined, whole, "case {case}");
     }
+}
 
-    // ----------------------------------------------------- wire formats
+// -------------------------------------------------------- wire formats
 
-    /// Any TcpRepr emits to bytes and parses back identically, with a
-    /// checksum that verifies over arbitrary payloads.
-    #[test]
-    fn tcp_header_roundtrip(
-        src in any::<u16>(),
-        dst in any::<u16>(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        flags in 0u8..32,
-        window in any::<u16>(),
-        mss in prop::option::of(536u16..9000),
-        wscale in prop::option::of(0u8..15),
-        payload in prop::collection::vec(any::<u8>(), 0..256),
-    ) {
+/// Any TcpRepr emits to bytes and parses back identically, with a
+/// checksum that verifies over arbitrary payloads.
+#[test]
+fn tcp_header_roundtrip() {
+    let mut rng = SimRng::new(0x7C9);
+    for case in 0..CASES {
         let repr = TcpRepr {
-            src_port: src,
-            dst_port: dst,
-            seq: SeqNumber(seq),
-            ack: SeqNumber(ack),
-            flags: TcpFlags(flags),
-            window,
-            mss,
-            wscale,
+            src_port: rng.next_u64() as u16,
+            dst_port: rng.next_u64() as u16,
+            seq: SeqNumber(rng.next_u64() as u32),
+            ack: SeqNumber(rng.next_u64() as u32),
+            flags: TcpFlags(rng.gen_range(0, 32) as u8),
+            window: rng.next_u64() as u16,
+            mss: rng.chance(0.5).then(|| rng.gen_range(536, 9000) as u16),
+            wscale: rng.chance(0.5).then(|| rng.gen_range(0, 15) as u8),
         };
+        let payload = rand_bytes(&mut rng, 0, 256);
         let ip = Ipv4Repr {
             src: Ipv4Addr::new(10, 0, 0, 1),
             dst: Ipv4Addr::new(10, 1, 2, 3),
@@ -87,17 +87,16 @@ proptest! {
         let mut whole = buf.clone();
         whole.extend_from_slice(&payload);
         let (parsed, off) = TcpRepr::parse(&whole, Some(ip.pseudo_header_sum())).unwrap();
-        prop_assert_eq!(parsed, repr);
-        prop_assert_eq!(off, repr.header_len());
+        assert_eq!(parsed, repr, "case {case}");
+        assert_eq!(off, repr.header_len(), "case {case}");
     }
+}
 
-    /// Flipping any single bit of a TCP segment breaks its checksum.
-    #[test]
-    fn tcp_checksum_detects_any_bitflip(
-        payload in prop::collection::vec(any::<u8>(), 1..128),
-        flip in any::<proptest::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+/// Flipping any single bit of a TCP segment breaks its checksum.
+#[test]
+fn tcp_checksum_detects_any_bitflip() {
+    let mut rng = SimRng::new(0xB17F);
+    for case in 0..CASES {
         let repr = TcpRepr {
             src_port: 80,
             dst_port: 9999,
@@ -108,15 +107,14 @@ proptest! {
             mss: None,
             wscale: None,
         };
+        let payload = rand_bytes(&mut rng, 1, 128);
         let ps = 0xBEEFu32;
         let mut whole = vec![0u8; repr.header_len()];
         repr.emit(&mut whole, ps, &payload);
         whole.extend_from_slice(&payload);
-        let idx = flip.index(whole.len());
+        let idx = rng.gen_range(0, whole.len() as u64) as usize;
+        let bit = rng.gen_range(0, 8) as u8;
         whole[idx] ^= 1 << bit;
-        // Either the parse fails outright (header structure) or the
-        // checksum rejects it; it must never parse cleanly as the
-        // SAME header with intact payload.
         // The corruption must never parse cleanly as the SAME header:
         // either the parse fails (checksum/structure) or the repr
         // changed (the flip hit a header field, breaking equality).
@@ -124,131 +122,182 @@ proptest! {
             TcpRepr::parse(&whole, Some(ps)),
             Ok((parsed, off)) if parsed == repr && off == repr.header_len()
         );
-        prop_assert!(!same_header_survived);
+        assert!(!same_header_survived, "case {case} idx {idx} bit {bit}");
     }
+}
 
-    // --------------------------------------------------------- crypto
+// -------------------------------------------------------------- crypto
 
-    /// Seal/open round-trips for arbitrary payloads, keys, nonces;
-    /// any tamper of ciphertext or tag is rejected.
-    #[test]
-    fn gcm_roundtrip_and_tamper(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 12]>(),
-        mut data in prop::collection::vec(any::<u8>(), 0..512),
-        aad in prop::collection::vec(any::<u8>(), 0..64),
-        tamper in any::<proptest::sample::Index>(),
-    ) {
+/// Seal/open round-trips for arbitrary payloads, keys, nonces; any
+/// tamper of ciphertext is rejected.
+#[test]
+fn gcm_roundtrip_and_tamper() {
+    let mut rng = SimRng::new(0x6C6);
+    for case in 0..CASES {
+        let mut key = [0u8; 16];
+        prf_bytes(rng.next_u64(), 0, &mut key);
+        let mut nonce = [0u8; 12];
+        prf_bytes(rng.next_u64(), 0, &mut nonce);
+        let aad = rand_bytes(&mut rng, 0, 64);
+        let mut data = rand_bytes(&mut rng, 0, 512);
         let gcm = AesGcm128::new(&key);
         let original = data.clone();
         let tag = gcm.seal_in_place(&nonce, &aad, &mut data);
         if !original.is_empty() {
-            prop_assert_ne!(&data, &original, "ciphertext differs from plaintext");
-            // Tamper one ciphertext byte: open must fail.
+            assert_ne!(
+                &data, &original,
+                "case {case}: ciphertext differs from plaintext"
+            );
             let mut tampered = data.clone();
-            let idx = tamper.index(tampered.len());
+            let idx = rng.gen_range(0, tampered.len() as u64) as usize;
             tampered[idx] ^= 0x01;
-            prop_assert!(!gcm.open_in_place(&nonce, &aad, &mut tampered, &tag));
+            assert!(
+                !gcm.open_in_place(&nonce, &aad, &mut tampered, &tag),
+                "case {case}: tamper must be rejected"
+            );
         }
-        prop_assert!(gcm.open_in_place(&nonce, &aad, &mut data, &tag));
-        prop_assert_eq!(data, original);
+        assert!(
+            gcm.open_in_place(&nonce, &aad, &mut data, &tag),
+            "case {case}"
+        );
+        assert_eq!(data, original, "case {case}");
     }
+}
 
-    /// Record re-encryption at the same stream offset is bit-identical
-    /// (the stateless-retransmission property §3.2 rests on).
-    #[test]
-    fn record_reencryption_deterministic(
-        key in any::<[u8; 16]>(),
-        salt in any::<u32>(),
-        record_idx in 0u64..1_000_000,
-        data in prop::collection::vec(any::<u8>(), 1..256),
-    ) {
+/// Record re-encryption at the same stream offset is bit-identical
+/// (the stateless-retransmission property §3.2 rests on).
+#[test]
+fn record_reencryption_deterministic() {
+    let mut rng = SimRng::new(0xD7);
+    for case in 0..CASES {
+        let mut key = [0u8; 16];
+        prf_bytes(rng.next_u64(), 0, &mut key);
+        let salt = rng.next_u64() as u32;
+        let record_idx = rng.gen_range(0, 1_000_000);
+        let data = rand_bytes(&mut rng, 1, 256);
         let rc = RecordCipher::new(&key, salt);
         let off = record_idx * RECORD_PAYLOAD_MAX as u64;
         let mut a = data.clone();
-        let mut b = data.clone();
+        let mut b = data;
         let ta = rc.seal_record(off, &mut a);
         let tb = rc.seal_record(off, &mut b);
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(ta, tb);
+        assert_eq!(a, b, "case {case}");
+        assert_eq!(ta, tb, "case {case}");
     }
+}
 
-    // ------------------------------------------------------------- PRF
+// ----------------------------------------------------------------- PRF
 
-    /// Content PRF is positional: any sub-range equals the same slice
-    /// of the whole stream.
-    #[test]
-    fn prf_subrange_consistency(seed in any::<u64>(), start in 0u64..500, len in 1usize..200) {
+/// Content PRF is positional: any sub-range equals the same slice of
+/// the whole stream.
+#[test]
+fn prf_subrange_consistency() {
+    let mut rng = SimRng::new(0x9F);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let start = rng.gen_range(0, 500);
+        let len = rng.gen_range(1, 200) as usize;
         let mut whole = vec![0u8; 700];
         prf_bytes(seed, 0, &mut whole);
         let mut part = vec![0u8; len];
         prf_bytes(seed, start, &mut part);
-        prop_assert_eq!(&whole[start as usize..start as usize + len], &part[..]);
-    }
-
-    // ------------------------------------------------------------- LLC
-
-    /// LLC residency never exceeds capacity, and the DDIO population
-    /// never exceeds its cap, under arbitrary op sequences.
-    #[test]
-    fn llc_capacity_invariants(ops in prop::collection::vec((0u8..5, 0u64..64), 1..300)) {
-        let mut llc = Llc::new(LlcConfig { capacity_chunks: 16, ddio_chunks: 4 });
-        for (op, chunk) in ops {
-            match op {
-                0 => { llc.insert_dma(chunk); }
-                1 => { llc.insert_cpu(chunk, false); }
-                2 => { llc.insert_cpu(chunk, true); }
-                3 => { llc.touch(chunk, false); }
-                _ => { llc.invalidate(chunk); }
-            }
-            prop_assert!(llc.resident() <= 16, "capacity exceeded");
-            prop_assert!(llc.dma_resident() <= 4, "DDIO cap exceeded");
-            prop_assert!(llc.dma_resident() <= llc.resident());
-        }
-    }
-
-    /// DRAM traffic conservation: bytes read via CPU misses equal the
-    /// counter total; discarding never writes back.
-    #[test]
-    fn mem_counters_track_misses(pages in prop::collection::vec(0u64..512, 1..100)) {
-        let mut mem = MemSystem::new(
-            LlcConfig { capacity_chunks: 32, ddio_chunks: 8 },
-            CostParams::default(),
-            Nanos::from_millis(1),
+        assert_eq!(
+            &whole[start as usize..start as usize + len],
+            &part[..],
+            "case {case}"
         );
-        let mut expect_rd = 0u64;
-        for p in pages {
-            let r = PhysRegion::new(PhysAddr(p * CHUNK_SIZE), CHUNK_SIZE);
-            let out = mem.cpu_read(Nanos::ZERO, r);
-            expect_rd += out.dram_read_bytes;
-        }
-        prop_assert_eq!(mem.counters.total_dram_rd, expect_rd);
     }
+}
 
-    // ------------------------------------------------------ statistics
+// ----------------------------------------------------------------- LLC
 
-    /// Histogram quantiles are monotone in q and bounded by the range.
-    #[test]
-    fn histogram_quantiles_monotone(samples in prop::collection::vec(0.0f64..100.0, 1..200)) {
-        let mut h = Histogram::new(0.0, 100.0, 64);
-        for s in &samples {
-            h.add(*s);
-        }
-        let mut last = f64::NEG_INFINITY;
-        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
-            let v = h.quantile(q);
-            prop_assert!(v >= last, "quantiles must be monotone");
-            prop_assert!((0.0..=100.0).contains(&v));
-            last = v;
+/// LLC residency never exceeds capacity, and the DDIO population never
+/// exceeds its cap, under arbitrary op sequences.
+#[test]
+fn llc_capacity_invariants() {
+    let mut rng = SimRng::new(0x11C);
+    for case in 0..CASES {
+        let mut llc = Llc::new(LlcConfig {
+            capacity_chunks: 16,
+            ddio_chunks: 4,
+        });
+        let ops = rng.gen_range(1, 300);
+        for _ in 0..ops {
+            let chunk = rng.gen_range(0, 64);
+            match rng.gen_range(0, 5) {
+                0 => {
+                    llc.insert_dma(chunk);
+                }
+                1 => {
+                    llc.insert_cpu(chunk, false);
+                }
+                2 => {
+                    llc.insert_cpu(chunk, true);
+                }
+                3 => {
+                    llc.touch(chunk, false);
+                }
+                _ => {
+                    llc.invalidate(chunk);
+                }
+            }
+            assert!(llc.resident() <= 16, "case {case}: capacity exceeded");
+            assert!(llc.dma_resident() <= 4, "case {case}: DDIO cap exceeded");
+            assert!(llc.dma_resident() <= llc.resident(), "case {case}");
         }
     }
 }
 
-/// Local helper enum for the SgList strategy.
-#[derive(Clone, Debug)]
-enum SgChunkKind {
-    Bytes(Vec<u8>),
-    Region(u64, u64),
+/// DRAM traffic conservation: bytes read via CPU misses equal the
+/// counter total; discarding never writes back.
+#[test]
+fn mem_counters_track_misses() {
+    let mut rng = SimRng::new(0x77);
+    for case in 0..CASES {
+        let mut mem = MemSystem::new(
+            LlcConfig {
+                capacity_chunks: 32,
+                ddio_chunks: 8,
+            },
+            CostParams::default(),
+            Nanos::from_millis(1),
+        );
+        let mut expect_rd = 0u64;
+        let n = rng.gen_range(1, 100);
+        for _ in 0..n {
+            let p = rng.gen_range(0, 512);
+            let r = PhysRegion::new(PhysAddr(p * CHUNK_SIZE), CHUNK_SIZE);
+            let out = mem.cpu_read(Nanos::ZERO, r);
+            expect_rd += out.dram_read_bytes;
+        }
+        assert_eq!(
+            mem.counters.totals().dram_read_bytes,
+            expect_rd,
+            "case {case}"
+        );
+    }
+}
+
+// ----------------------------------------------------------- statistics
+
+/// Histogram quantiles are monotone in q and bounded by the range.
+#[test]
+fn histogram_quantiles_monotone() {
+    let mut rng = SimRng::new(0x415);
+    for case in 0..CASES {
+        let mut h = Histogram::new(0.0, 100.0, 64);
+        let n = rng.gen_range(1, 200);
+        for _ in 0..n {
+            h.add(rng.next_f64() * 100.0);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "case {case}: quantiles must be monotone");
+            assert!((0.0..=100.0).contains(&v), "case {case}");
+            last = v;
+        }
+    }
 }
 
 #[test]

@@ -22,7 +22,10 @@ fn atlas_plaintext_survives_loss_by_refetching_from_disk() {
     let m = run_scenario(&lossy(ServerKind::Atlas(AtlasConfig::default()), 7));
     eprintln!("{m:?}");
     assert!(m.responses > 5, "progress under loss: {}", m.responses);
-    assert_eq!(m.verify_failures, 0, "retransmitted bytes must be identical");
+    assert_eq!(
+        m.verify_failures, 0,
+        "retransmitted bytes must be identical"
+    );
     assert!(m.verified_bytes > 1_000_000);
 }
 
@@ -31,7 +34,10 @@ fn atlas_encrypted_retransmissions_reencrypt_identically() {
     // The sharp edge: the GCM keystream of a re-fetched record must
     // match what the client derived from the first transmission's
     // offset. Any nonce-derivation slip fails the tag check.
-    let cfg = AtlasConfig { encrypted: true, ..AtlasConfig::default() };
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
     let m = run_scenario(&lossy(ServerKind::Atlas(cfg), 8));
     eprintln!("{m:?}");
     assert!(m.responses > 5, "progress under loss: {}", m.responses);
