@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> fault-injection matrix (seeded loss / device-error / replay tests)"
+cargo test -q --release --test faults --test retransmission --test observability
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -165,6 +165,12 @@ pub struct AtlasConn {
     /// Retransmit ranges waiting for a disk fetch.
     pub retx_inflight: u32,
     pub fetches_inflight: u32,
+    /// Consecutive disk-fetch failures (reset on any success); the
+    /// degradation policy aborts the connection past a bound.
+    pub fetch_failures: u32,
+    /// Torn down by the error-recovery policy: no further service,
+    /// late disk completions just return their buffers.
+    pub aborted: bool,
     /// Statistics.
     pub responses_completed: u64,
 }
@@ -184,6 +190,8 @@ impl AtlasConn {
             cipher,
             retx_inflight: 0,
             fetches_inflight: 0,
+            fetch_failures: 0,
+            aborted: false,
             responses_completed: 0,
         }
     }

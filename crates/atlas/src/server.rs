@@ -44,6 +44,19 @@ pub struct AtlasConfig {
     /// run is bit-identical either way (residency queries use the
     /// non-mutating LLC probe).
     pub trace: bool,
+    /// Recovery policy: how many times a failed *fresh* disk read is
+    /// retried (with exponential backoff) before the connection is
+    /// degraded. Failed retransmit fetches don't consume this budget
+    /// per-fetch — the RTO re-drives them — but count toward
+    /// `max_conn_failures`.
+    pub max_fetch_retries: u32,
+    /// Recovery policy: consecutive fetch failures (any kind, reset
+    /// by any success) after which the connection is aborted — the
+    /// graceful per-connection degradation bound.
+    pub max_conn_failures: u32,
+    /// Base delay before re-issuing a failed fetch (doubles per
+    /// attempt).
+    pub fetch_retry_backoff: Nanos,
 }
 
 impl Default for AtlasConfig {
@@ -69,6 +82,9 @@ impl Default for AtlasConfig {
                 port: 80,
             },
             trace: false,
+            max_fetch_retries: 3,
+            max_conn_failures: 8,
+            fetch_retry_backoff: Nanos::from_micros(50),
         }
     }
 }
@@ -91,16 +107,26 @@ pub struct AtlasMetrics {
 /// `Vec` index add, no hashing or allocation.
 struct AtlasIds {
     conns: CounterId,
+    conns_aborted: CounterId,
     responses: Vec<CounterId>,
     http_payload_bytes: Vec<CounterId>,
     disk_read_bytes: Vec<CounterId>,
     retransmit_fetches: Vec<CounterId>,
+    /// Successful record reads completed (every served record, fresh
+    /// or retransmit, is exactly one of these — the satellite tests'
+    /// "fresh disk fetch" witness).
+    disk_reads: Vec<CounterId>,
+    /// Failed reads observed (any status != Ok).
+    fetch_errors: Vec<CounterId>,
+    /// Failed fresh reads re-issued by the backoff policy.
+    fetch_retries: Vec<CounterId>,
 }
 
 impl AtlasIds {
     fn register(reg: &mut Registry, cores: usize) -> Self {
         AtlasIds {
             conns: reg.counter("atlas.conns"),
+            conns_aborted: reg.counter("atlas.conns_aborted"),
             responses: (0..cores)
                 .map(|c| reg.counter_core("atlas.responses", c))
                 .collect(),
@@ -113,6 +139,15 @@ impl AtlasIds {
             retransmit_fetches: (0..cores)
                 .map(|c| reg.counter_core("atlas.retransmit_fetches", c))
                 .collect(),
+            disk_reads: (0..cores)
+                .map(|c| reg.counter_core("atlas.disk_reads", c))
+                .collect(),
+            fetch_errors: (0..cores)
+                .map(|c| reg.counter_core("atlas.fetch_errors", c))
+                .collect(),
+            fetch_retries: (0..cores)
+                .map(|c| reg.counter_core("atlas.fetch_retries", c))
+                .collect(),
         }
     }
 }
@@ -120,6 +155,14 @@ impl AtlasIds {
 struct ConnSlot {
     conn: AtlasConn,
     core: usize,
+    flow: FlowId,
+}
+
+/// A failed fresh fetch waiting for its backoff deadline.
+struct RetryEntry {
+    slot_idx: usize,
+    fetch: InflightFetch,
+    attempt: u32,
 }
 
 /// One per-core stack instance's storage handles.
@@ -144,8 +187,15 @@ pub struct AtlasServer {
     timer_of: Vec<Option<Nanos>>,
     /// user-token → fetch bookkeeping. Token encodes (slot, seq of
     /// fetch); details live here.
-    fetches: HashMap<u64, (usize, InflightFetch, BufId, usize)>, // slot, fetch, buf, disk
+    fetches: HashMap<u64, (usize, InflightFetch, BufId, usize, u32)>, // slot, fetch, buf, disk, attempt
     next_token: u64,
+    /// Failed fresh fetches awaiting their backoff deadline, keyed
+    /// (deadline, serial).
+    retries: std::collections::BTreeMap<(Nanos, u64), RetryEntry>,
+    next_retry: u64,
+    /// When to re-`sqsync` commands a QueueFull left staged (SQ
+    /// backpressure recovery). `None` = nothing staged anywhere.
+    resync_at: Option<Nanos>,
     /// RX slot DMA targets (one small region per ring, reused — RX
     /// traffic is pure ACKs).
     rx_slots: Vec<PhysRegion>,
@@ -231,6 +281,9 @@ impl AtlasServer {
             timer_of: Vec::new(),
             fetches: HashMap::new(),
             next_token: 1,
+            retries: std::collections::BTreeMap::new(),
+            next_retry: 0,
+            resync_at: None,
             rx_slots,
             rng: SimRng::new(seed ^ 0xA71A5),
             reg,
@@ -277,6 +330,9 @@ impl AtlasServer {
         self.nic.publish_metrics(&mut self.reg);
         self.kernel.publish_metrics(&mut self.reg);
         self.mem.counters.publish_metrics(&mut self.reg);
+        let leaked = self.leaked_buffers();
+        let g = self.reg.gauge("atlas.leaked_bufs");
+        self.reg.set(g, leaked as f64);
     }
 
     fn core_of_flow(&self, flow: FlowId) -> usize {
@@ -383,6 +439,7 @@ impl AtlasServer {
         self.slots.push(ConnSlot {
             conn: AtlasConn::new(tcb, cipher),
             core,
+            flow,
         });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
@@ -596,6 +653,7 @@ impl AtlasServer {
                 file,
                 file_off,
                 plain,
+                0,
             );
             if !issued {
                 // Buffer pool exhausted (TX completions will recycle
@@ -611,7 +669,9 @@ impl AtlasServer {
     }
 
     /// Stage + submit one disk read. Returns false when the buffer
-    /// pool is exhausted (caller decides how to back off).
+    /// pool is exhausted (caller decides how to back off). `attempt`
+    /// is 0 for first issues; the retry policy re-enters with 1..=N.
+    #[allow(clippy::too_many_arguments)]
     fn issue_fetch(
         &mut self,
         now: Nanos,
@@ -620,6 +680,7 @@ impl AtlasServer {
         file: dcn_store::FileId,
         file_off: u64,
         plain_len: u64,
+        attempt: u32,
     ) -> bool {
         let core = self.slots[slot_idx].core;
         let (loc, aligned_len, _pre) = self.catalog.read_span(file, file_off, plain_len);
@@ -643,8 +704,16 @@ impl AtlasServer {
         let cycles = q
             .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
             .expect("sqsync");
+        if q.staged_count() > 0 {
+            // The SQ refused (part of) the batch — QueueFull
+            // backpressure, real or injected. The commands stay
+            // staged; schedule a resubmission pass.
+            let at = now + RESYNC_DELAY;
+            self.resync_at = Some(self.resync_at.map_or(at, |t| t.min(at)));
+        }
         let submitted_at = self.cores.run_on(core, now, cycles);
-        self.fetches.insert(token, (slot_idx, fetch, buf, loc.disk));
+        self.fetches
+            .insert(token, (slot_idx, fetch, buf, loc.disk, attempt));
         if fetch.retx.is_some() {
             self.reg.inc(self.ids.retransmit_fetches[core]);
         }
@@ -713,6 +782,7 @@ impl AtlasServer {
             file,
             file_off,
             plain,
+            0,
         );
         if !issued {
             // No buffer for the retransmit right now: tell the TCB so
@@ -731,13 +801,22 @@ impl AtlasServer {
     pub fn poll_at(&self) -> Option<Nanos> {
         let t = self.kernel.poll_at();
         let timer = self.timers.iter().next().map(|(d, _)| *d);
-        earliest(earliest(t, timer), self.nic.poll_at())
+        let retry = self.retries.keys().next().map(|&(d, _)| d);
+        earliest(
+            earliest(earliest(t, timer), self.nic.poll_at()),
+            earliest(retry, self.resync_at),
+        )
     }
 
     /// Advance to `now`: harvest disk completions (steps 3–5) and
     /// fire TCP timers. Returns bursts that left the NIC.
     pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
         self.kernel.advance(now, &mut self.mem, &mut self.host);
+        if self.resync_at.is_some_and(|t| t <= now) {
+            self.resync_at = None;
+            self.resync_staged(now);
+        }
+        self.fire_retries(now);
         let mut touched = BTreeSet::new();
         // Poll completions on every (core, disk) queue.
         for core in 0..self.cfg.cores {
@@ -779,24 +858,40 @@ impl AtlasServer {
     /// §3 step 4: read completion → (encrypt in place) → packetize →
     /// transmit.
     fn complete_fetch(&mut self, now: Nanos, io: dcn_diskmap::CompletedIo) {
-        let Some((slot_idx, fetch, buf, disk)) = self.fetches.remove(&io.user) else {
+        let Some((slot_idx, fetch, buf, disk, attempt)) = self.fetches.remove(&io.user) else {
             return;
         };
         self.tracer
             .stamp(io.user, Stage::FirmwareComplete, io.completed_at);
         let core = self.slots[slot_idx].core;
         let costs = self.cfg.costs;
-        if io.status != dcn_diskmap::IoStatus::Ok {
-            // §2.1.1 semantics: a failed video read is irrecoverable
-            // for the connection; drop it.
+        if self.slots[slot_idx].conn.aborted {
+            // Late completion for a torn-down connection: the only
+            // obligation left is returning the buffer to its pool.
             self.core_disks[core].queues[disk].pool().free(buf);
             self.tracer.discard(io.user);
             return;
         }
+        if io.status != dcn_diskmap::IoStatus::Ok {
+            self.fetch_failed(now, io.user, slot_idx, fetch, buf, disk, attempt);
+            return;
+        }
         let slot = &mut self.slots[slot_idx];
+        slot.conn.fetch_failures = 0;
         let Some(layout) = slot.conn.layout_by_id(fetch.layout_id) else {
             // The response was fully acked and pruned while this
-            // (retransmit) fetch was in flight: drop it.
+            // (retransmit) fetch was in flight: drop it, and undo the
+            // in-flight accounting so the idle-fallback logic doesn't
+            // see a phantom fetch forever.
+            match fetch.retx {
+                Some(_) => {
+                    slot.conn.retx_inflight = slot.conn.retx_inflight.saturating_sub(1);
+                    slot.conn.tcb.retransmit_abandoned();
+                }
+                None => {
+                    slot.conn.fetches_inflight = slot.conn.fetches_inflight.saturating_sub(1);
+                }
+            }
             self.core_disks[core].queues[disk].pool().free(buf);
             self.tracer.discard(io.user);
             return;
@@ -865,6 +960,7 @@ impl AtlasServer {
         match fetch.retx {
             None => {
                 slot.conn.fetches_inflight -= 1;
+                self.reg.inc(self.ids.disk_reads[core]);
                 self.reg.add(self.ids.http_payload_bytes[core], sg.len());
                 self.reg.add(self.ids.disk_read_bytes[core], io.len);
                 let last = fetch.record + 1 == layout.n_records()
@@ -883,6 +979,7 @@ impl AtlasServer {
             }
             Some((off, len)) => {
                 slot.conn.retx_inflight -= 1;
+                self.reg.inc(self.ids.disk_reads[core]);
                 // Slice exactly the requested wire range out of the
                 // regenerated record; retransmissions bypass the
                 // ordered queue (their stream position is explicit).
@@ -900,6 +997,174 @@ impl AtlasServer {
         // window may allow more.
         self.pump(done_at, slot_idx);
         self.sync_timer(slot_idx);
+    }
+
+    /// Recovery policy for a read that completed with an error. The
+    /// buffer is returned immediately (the DMA never happened; its
+    /// content is garbage). Fresh fetches retry with exponential
+    /// backoff up to `max_fetch_retries`; retransmit fetches are
+    /// abandoned to the RTO, which re-drives them — the mechanism
+    /// that survives a second failure. Past `max_conn_failures`
+    /// consecutive errors the connection is degraded away.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_failed(
+        &mut self,
+        now: Nanos,
+        user: u64,
+        slot_idx: usize,
+        fetch: InflightFetch,
+        buf: BufId,
+        disk: usize,
+        attempt: u32,
+    ) {
+        let core = self.slots[slot_idx].core;
+        self.core_disks[core].queues[disk].pool().free(buf);
+        self.tracer.discard(user);
+        self.reg.inc(self.ids.fetch_errors[core]);
+        let max_conn = self.cfg.max_conn_failures;
+        let slot = &mut self.slots[slot_idx];
+        slot.conn.fetch_failures += 1;
+        let failures = slot.conn.fetch_failures;
+        match fetch.retx {
+            Some(_) => {
+                slot.conn.retx_inflight -= 1;
+                slot.conn.tcb.retransmit_abandoned();
+                if failures > max_conn {
+                    self.abort_conn(now, slot_idx);
+                } else {
+                    // The RTO timer is armed (unacked data exists by
+                    // definition of a retransmission); it will ask
+                    // again.
+                    self.sync_timer(slot_idx);
+                }
+            }
+            None => {
+                if attempt >= self.cfg.max_fetch_retries || failures > max_conn {
+                    self.abort_conn(now, slot_idx);
+                } else {
+                    self.reg.inc(self.ids.fetch_retries[core]);
+                    let backoff = Nanos::from_nanos(
+                        self.cfg.fetch_retry_backoff.as_nanos() << attempt.min(16),
+                    );
+                    let serial = self.next_retry;
+                    self.next_retry += 1;
+                    // fetches_inflight / reserved / next_record keep
+                    // counting this record — it is still logically in
+                    // flight until the retry resolves it.
+                    self.retries.insert(
+                        (now + backoff, serial),
+                        RetryEntry {
+                            slot_idx,
+                            fetch,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-issue failed fresh fetches whose backoff deadline passed.
+    fn fire_retries(&mut self, now: Nanos) {
+        while let Some((&(deadline, serial), _)) = self.retries.first_key_value() {
+            if deadline > now {
+                break;
+            }
+            let entry = self.retries.remove(&(deadline, serial)).expect("peeked");
+            let slot = &mut self.slots[entry.slot_idx];
+            if slot.conn.aborted {
+                continue; // teardown already reconciled the counters
+            }
+            let Some(layout) = slot.conn.layout_by_id(entry.fetch.layout_id) else {
+                // Unreachable for fresh fetches in practice (an unsent
+                // record's layout can't be pruned); reconcile anyway.
+                slot.conn.fetches_inflight = slot.conn.fetches_inflight.saturating_sub(1);
+                continue;
+            };
+            let file = layout.file;
+            let plain = layout.record_plain_len(entry.fetch.record);
+            let file_off = layout.record_file_off(entry.fetch.record);
+            self.trace_rx_at = now;
+            let issued = self.issue_fetch(
+                now,
+                entry.slot_idx,
+                entry.fetch,
+                file,
+                file_off,
+                plain,
+                entry.attempt,
+            );
+            if !issued {
+                // Pool exhausted: try again one backoff later without
+                // consuming an attempt.
+                let serial = self.next_retry;
+                self.next_retry += 1;
+                self.retries.insert(
+                    (now + self.cfg.fetch_retry_backoff, serial),
+                    RetryEntry {
+                        attempt: entry.attempt,
+                        ..entry
+                    },
+                );
+            }
+        }
+    }
+
+    /// Resubmit staged-but-unadmitted NVMe commands after SQ
+    /// backpressure (QueueFull, real or injected).
+    fn resync_staged(&mut self, now: Nanos) {
+        let mut still_staged = false;
+        for core in 0..self.cfg.cores {
+            for disk in 0..self.catalog.n_disks() {
+                let q = &mut self.core_disks[core].queues[disk];
+                if q.staged_count() == 0 {
+                    continue;
+                }
+                let cycles = q
+                    .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
+                    .expect("sqsync");
+                self.cores.run_on(core, now, cycles);
+                if q.staged_count() > 0 {
+                    still_staged = true;
+                }
+            }
+        }
+        if still_staged {
+            let at = now + RESYNC_DELAY;
+            self.resync_at = Some(self.resync_at.map_or(at, |t| t.min(at)));
+        }
+    }
+
+    /// Graceful per-connection degradation: tear one connection down
+    /// while keeping the server's buffer economy intact. Every DMA
+    /// buffer the connection holds goes back to its LIFO pool — the
+    /// parked records here, in-flight fetches when they complete, and
+    /// frames already on the NIC TX path via normal completion
+    /// collection.
+    fn abort_conn(&mut self, now: Nanos, slot_idx: usize) {
+        let slot = &mut self.slots[slot_idx];
+        if slot.conn.aborted {
+            return;
+        }
+        slot.conn.aborted = true;
+        let flow = slot.flow;
+        let ready = std::mem::take(&mut slot.conn.ready_tx);
+        slot.conn.reserved = 0;
+        slot.conn.layouts.clear();
+        slot.conn.pending_requests.clear();
+        for item in ready.into_values() {
+            if item.token != 0 {
+                self.tracer.finish_tx(item.token, now);
+                let (c, d, b) = untx_token(item.token);
+                self.core_disks[c].queues[d].pool().free(b);
+            }
+        }
+        if let Some(d) = self.timer_of[slot_idx] {
+            self.timers.remove(&(d, slot_idx));
+            self.timer_of[slot_idx] = None;
+        }
+        self.conns.remove(&flow);
+        self.reg.inc(self.ids.conns_aborted);
     }
 
     /// §3 step 5: NIC TX completions recycle buffers (LIFO).
@@ -939,6 +1204,46 @@ impl AtlasServer {
             .flat_map(|cd| cd.queues.iter())
             .map(|q| q.pool_ref().available())
             .sum()
+    }
+
+    /// Buffer-pool audit: DMA buffers not free and not accounted for
+    /// by any legitimate holder (in-flight fetch, parked record, NIC
+    /// TX pipeline, or a scheduled retry — which holds no buffer).
+    /// Nonzero means a leak; the fault tests assert 0 after quiesce.
+    #[must_use]
+    pub fn leaked_buffers(&self) -> i64 {
+        let capacity: i64 = self
+            .core_disks
+            .iter()
+            .flat_map(|cd| cd.queues.iter())
+            .map(|q| i64::from(q.pool_ref().capacity()))
+            .sum();
+        let free = i64::from(self.free_buffers());
+        let inflight = self.fetches.len() as i64;
+        let parked: i64 = self
+            .slots
+            .iter()
+            .map(|s| s.conn.ready_tx.values().filter(|r| r.token != 0).count() as i64)
+            .sum();
+        let in_nic: i64 = self
+            .nic
+            .tx_rings
+            .iter()
+            .map(|r| r.unreclaimed_tokens() as i64)
+            .sum();
+        capacity - free - inflight - parked - in_nic
+    }
+
+    /// Arm the seeded fault injectors (device-level read errors and
+    /// latency spikes per disk, SQ admission rejects in the kernel).
+    /// Link and client faults live in the workload harness, not here.
+    pub fn inject_faults(&mut self, f: &dcn_faults::FaultConfig, seed: u64) {
+        for d in 0..self.catalog.n_disks() {
+            self.kernel
+                .disk(dcn_diskmap::DiskId(d))
+                .set_faults(f.nvme, seed ^ ((d as u64 + 1) << 32));
+        }
+        self.kernel.set_sq_faults(f.nvme.sq_reject_p, seed);
     }
 
     /// Allocate an RX-slot-sized region (used by harnesses that build
@@ -987,6 +1292,11 @@ impl AtlasServer {
         )
     }
 }
+
+/// How long to wait before resubmitting staged NVMe commands after SQ
+/// backpressure. Short relative to a stripe service time: a real
+/// driver would retry on the next doorbell opportunity.
+const RESYNC_DELAY: Nanos = Nanos::from_micros(5);
 
 fn tx_token(core: usize, disk: usize, buf: BufId) -> u64 {
     1 | (core as u64) << 1 | (disk as u64) << 9 | u64::from(buf.0) << 17

@@ -45,6 +45,7 @@ fn main() {
                 duration: scale.duration(),
                 seed: 31,
                 data_loss: 0.0,
+                faults: Default::default(),
             };
             let m = run_scenario(&sc);
             vec![

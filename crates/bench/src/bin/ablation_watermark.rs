@@ -38,6 +38,7 @@ fn main() {
                 duration: scale.duration(),
                 seed: 11,
                 data_loss: 0.0,
+                faults: Default::default(),
             };
             let m = run_scenario(&sc);
             vec![

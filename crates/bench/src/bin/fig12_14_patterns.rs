@@ -41,6 +41,7 @@ fn main() {
                 duration: scale.duration(),
                 seed: 7,
                 data_loss: 0.0,
+                faults: Default::default(),
             };
             // Run via the server directly so the raw counters are
             // reachable afterwards.

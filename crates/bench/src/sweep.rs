@@ -120,6 +120,7 @@ pub fn sweep(variants: &[Variant], scale: Scale) -> Vec<Curve> {
                             duration,
                             seed: 1000 + seed,
                             data_loss: 0.0,
+                            faults: Default::default(),
                         };
                         let m = run_scenario(&sc);
                         agg.add(&m);

@@ -58,6 +58,8 @@ pub struct DiskmapKernel {
     /// Syscall count (the paper's batching argument, §3.1.4, is about
     /// amortizing exactly these).
     pub syscalls: u64,
+    /// Seeded submission-queue reject injection (`None` = never).
+    sq_faults: Option<dcn_faults::SqFaultInjector>,
 }
 
 impl DiskmapKernel {
@@ -67,7 +69,22 @@ impl DiskmapKernel {
             disks,
             attachments: Vec::new(),
             syscalls: 0,
+            sq_faults: None,
         }
+    }
+
+    /// Arm seeded SQ-reject injection: each non-empty `sqsync` is
+    /// refused with probability `reject_p` (reported `QueueFull`,
+    /// commands left staged).
+    pub fn set_sq_faults(&mut self, reject_p: f64, seed: u64) {
+        let inj = dcn_faults::SqFaultInjector::new(reject_p, seed);
+        self.sq_faults = if inj.is_active() { Some(inj) } else { None };
+    }
+
+    /// Number of injected SQ rejects fired so far.
+    #[must_use]
+    pub fn sq_rejects(&self) -> u64 {
+        self.sq_faults.as_ref().map_or(0, |i| i.rejects)
     }
 
     #[must_use]
@@ -84,6 +101,16 @@ impl DiskmapKernel {
         reg.set(g, self.disks.len() as f64);
         let g = reg.gauge("diskmap.attachments");
         reg.set(g, self.attachments.len() as f64);
+        let g = reg.gauge("faults.sq_rejects");
+        reg.set(g, self.sq_rejects() as f64);
+        let (errors, spikes) = self.disks.iter().fold((0, 0), |(e, s), d| {
+            d.fault_injector()
+                .map_or((e, s), |i| (e + i.read_errors, s + i.latency_spikes))
+        });
+        let g = reg.gauge("faults.nvme_read_errors");
+        reg.set(g, errors as f64);
+        let g = reg.gauge("faults.nvme_latency_spikes");
+        reg.set(g, spikes as f64);
     }
 
     pub fn disk(&mut self, id: DiskId) -> &mut NvmeDevice {
@@ -129,8 +156,10 @@ impl DiskmapKernel {
 
     /// The doorbell syscall: validate `cmds` against the attachment's
     /// IOMMU domain, push them into the device SQ, and ring the SQ
-    /// tail doorbell. All-or-nothing per call. Returns the number of
-    /// commands admitted.
+    /// tail doorbell. Admission is a prefix: on a full SQ (real or
+    /// fault-injected) the admitted commands are removed from `cmds`,
+    /// the rest are **left in place** for the caller to resubmit, and
+    /// the call reports `QueueFull`.
     pub fn sqsync(
         &mut self,
         token: usize,
@@ -146,18 +175,32 @@ impl DiskmapKernel {
                 }
             }
         }
+        // Fault injection: the device momentarily refuses admission,
+        // exactly as if the SQ were full. Nothing is lost — the whole
+        // batch stays staged in `cmds`.
+        if let Some(inj) = &mut self.sq_faults {
+            if !cmds.is_empty() && inj.reject() {
+                return Err(DiskmapError::QueueFull);
+            }
+        }
         let dev = &mut self.disks[att.disk.0];
         let qp = dev.qpair(att.qid);
         let mut admitted = 0;
-        for cmd in cmds.drain(..) {
-            if !qp.sq_push(cmd) {
-                // SQ full: stop; caller retries the rest later.
-                dev.ring_sq_doorbell(now, att.qid);
-                return Err(DiskmapError::QueueFull);
+        for cmd in cmds.iter() {
+            if !qp.sq_push(cmd.clone()) {
+                break;
             }
             admitted += 1;
         }
-        dev.ring_sq_doorbell(now, att.qid);
+        if admitted > 0 {
+            dev.ring_sq_doorbell(now, att.qid);
+        }
+        if admitted < cmds.len() {
+            // SQ full mid-batch: keep the unadmitted tail staged.
+            cmds.drain(..admitted);
+            return Err(DiskmapError::QueueFull);
+        }
+        cmds.clear();
         Ok(admitted)
     }
 
@@ -314,6 +357,82 @@ mod tests {
             .collect();
         k.sqsync(tok, Nanos::ZERO, &mut cmds).unwrap();
         assert_eq!(k.syscalls, 1);
+    }
+
+    #[test]
+    fn full_sq_admits_prefix_and_preserves_tail() {
+        let (mut m, mut h, mut pa) = mem();
+        // Tiny SQ so a batch overflows it: depth 8 admits 7.
+        let disks = vec![NvmeDevice::new(
+            NvmeConfig {
+                queue_depth: 8,
+                ..NvmeConfig::default()
+            },
+            Box::new(SyntheticBacking::new(7)),
+            100,
+        )];
+        let mut k = DiskmapKernel::new(disks);
+        let (mut pool, tok) = k.attach(DiskId(0), 0, 16, 16384, &mut pa, true).unwrap();
+        let mut cmds: Vec<NvmeCommand> = (0..12u16)
+            .map(|i| {
+                let b = pool.alloc().unwrap();
+                read_into(pool.region(b), i, u64::from(i) * 32, 16384)
+            })
+            .collect();
+        assert!(matches!(
+            k.sqsync(tok, Nanos::ZERO, &mut cmds),
+            Err(DiskmapError::QueueFull)
+        ));
+        let admitted_first = 12 - cmds.len();
+        assert!(admitted_first > 0, "a prefix must be admitted");
+        assert!(!cmds.is_empty(), "the tail must survive for resubmission");
+        // The unadmitted tail keeps its identity (no silent loss).
+        assert_eq!(cmds[0].cid, admitted_first as u16);
+        // Drain the device, resubmit the tail: every command
+        // eventually completes exactly once.
+        let mut completed = Vec::new();
+        loop {
+            while let Some(t) = k.poll_at() {
+                k.advance(t, &mut m, &mut h);
+            }
+            completed.extend(k.consume(tok, 16).unwrap());
+            if cmds.is_empty() {
+                break;
+            }
+            let _ = k.sqsync(tok, Nanos::from_millis(1), &mut cmds);
+        }
+        while k.poll_at().is_some() {
+            let t = k.poll_at().unwrap();
+            k.advance(t, &mut m, &mut h);
+        }
+        completed.extend(k.consume(tok, 16).unwrap());
+        let mut cids: Vec<u16> = completed.iter().map(|e| e.cid).collect();
+        cids.sort_unstable();
+        assert_eq!(cids, (0..12u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_sq_rejects_keep_commands_staged() {
+        let (mut m, mut h, mut pa) = mem();
+        let mut k = kernel(1);
+        let (mut pool, tok) = k.attach(DiskId(0), 0, 8, 16384, &mut pa, true).unwrap();
+        k.set_sq_faults(1.0, 42);
+        let b = pool.alloc().unwrap();
+        let mut cmds = vec![read_into(pool.region(b), 1, 0, 16384)];
+        assert!(matches!(
+            k.sqsync(tok, Nanos::ZERO, &mut cmds),
+            Err(DiskmapError::QueueFull)
+        ));
+        assert_eq!(cmds.len(), 1, "rejected batch stays staged");
+        assert_eq!(k.sq_rejects(), 1);
+        // Disarm and resubmit: the same command goes through.
+        k.set_sq_faults(0.0, 42);
+        k.sqsync(tok, Nanos::from_micros(1), &mut cmds).unwrap();
+        assert!(cmds.is_empty());
+        while let Some(t) = k.poll_at() {
+            k.advance(t, &mut m, &mut h);
+        }
+        assert_eq!(k.consume(tok, 16).unwrap().len(), 1);
     }
 
     #[test]

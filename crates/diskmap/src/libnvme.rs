@@ -223,7 +223,17 @@ impl NvmeQueue {
                 },
             );
         }
-        kernel.sqsync(self.token, now, &mut self.staged)?;
+        match kernel.sqsync(self.token, now, &mut self.staged) {
+            Ok(_) => {}
+            // Backpressure (real SQ exhaustion or an injected reject)
+            // is not an error to the library: the kernel admitted a
+            // prefix and left the rest staged; the caller re-syncs
+            // later. Pending bookkeeping above is keyed by CID and
+            // already registered, so a retried sqsync never
+            // double-registers (staged_descs is empty by then).
+            Err(DiskmapError::QueueFull) => {}
+            Err(e) => return Err(e),
+        }
         let cycles = costs.syscall_cycles + self.accrued_cycles;
         self.accrued_cycles = 0;
         Ok(cycles)

@@ -1,0 +1,127 @@
+//! NVMe-side fault decisions: media errors on reads and firmware
+//! latency spikes. Consulted by the device model at command submit
+//! time so the whole failure (suppressed DMA + error completion) is
+//! fixed the moment the doorbell rings — later reordering inside the
+//! firmware model cannot change the schedule.
+
+use dcn_simcore::SimRng;
+
+#[derive(Debug)]
+pub struct NvmeFaultInjector {
+    cfg: crate::NvmeFaults,
+    rng: SimRng,
+    pub read_errors: u64,
+    pub latency_spikes: u64,
+}
+
+impl NvmeFaultInjector {
+    pub fn new(cfg: crate::NvmeFaults, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: crate::rng_for(seed, crate::salt::NVME_DEV),
+            read_errors: 0,
+            latency_spikes: 0,
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.cfg.read_error_p > 0.0 || self.cfg.latency_spike_p > 0.0
+    }
+
+    /// Should this read command fail with a media error?
+    pub fn read_error(&mut self) -> bool {
+        if self.cfg.read_error_p > 0.0 && self.rng.chance(self.cfg.read_error_p) {
+            self.read_errors += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Service-time multiplier for this command (1.0 = no spike).
+    pub fn latency_mult(&mut self) -> f64 {
+        if self.cfg.latency_spike_p > 0.0 && self.rng.chance(self.cfg.latency_spike_p) {
+            self.latency_spikes += 1;
+            return self.cfg.latency_spike_mult.max(1.0);
+        }
+        1.0
+    }
+}
+
+/// Submission-queue reject decisions for the diskmap `sqsync` path.
+#[derive(Debug)]
+pub struct SqFaultInjector {
+    reject_p: f64,
+    rng: SimRng,
+    pub rejects: u64,
+}
+
+impl SqFaultInjector {
+    pub fn new(reject_p: f64, seed: u64) -> Self {
+        Self {
+            reject_p,
+            rng: crate::rng_for(seed, crate::salt::SQ),
+            rejects: 0,
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.reject_p > 0.0
+    }
+
+    /// Should this sqsync call be refused admission?
+    pub fn reject(&mut self) -> bool {
+        if self.reject_p > 0.0 && self.rng.chance(self.reject_p) {
+            self.rejects += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvmeFaults;
+
+    #[test]
+    fn error_rate_converges_and_is_seeded() {
+        let cfg = NvmeFaults {
+            read_error_p: 0.01,
+            latency_spike_p: 0.002,
+            ..NvmeFaults::default()
+        };
+        let mut a = NvmeFaultInjector::new(cfg, 9);
+        let mut b = NvmeFaultInjector::new(cfg, 9);
+        let n = 100_000;
+        let va: Vec<bool> = (0..n).map(|_| a.read_error()).collect();
+        let vb: Vec<bool> = (0..n).map(|_| b.read_error()).collect();
+        assert_eq!(va, vb, "same seed, same schedule");
+        let rate = a.read_errors as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate={rate}");
+        for _ in 0..n {
+            a.latency_mult();
+        }
+        assert!(a.latency_spikes > 0);
+    }
+
+    #[test]
+    fn inactive_injector_draws_nothing() {
+        let mut inj = NvmeFaultInjector::new(NvmeFaults::default(), 1);
+        assert!(!inj.is_active());
+        for _ in 0..100 {
+            assert!(!inj.read_error());
+            assert_eq!(inj.latency_mult(), 1.0);
+        }
+        assert_eq!(inj.read_errors + inj.latency_spikes, 0);
+    }
+
+    #[test]
+    fn sq_rejects_are_seeded() {
+        let mut a = SqFaultInjector::new(0.05, 3);
+        let mut b = SqFaultInjector::new(0.05, 3);
+        let va: Vec<bool> = (0..10_000).map(|_| a.reject()).collect();
+        let vb: Vec<bool> = (0..10_000).map(|_| b.reject()).collect();
+        assert_eq!(va, vb);
+        assert!(a.rejects > 300 && a.rejects < 800, "rejects={}", a.rejects);
+    }
+}

@@ -10,7 +10,8 @@ use dcn_mem::{
 };
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
 use dcn_nvme::{
-    FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, Opcode, SyntheticBacking, LBA_SIZE,
+    FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, NvmeStatus, Opcode, SyntheticBacking,
+    LBA_SIZE,
 };
 use dcn_obs::{CounterId, Registry};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
@@ -102,7 +103,14 @@ struct Fill {
     len: u64,
     pages: Vec<(u64, PhysRegion)>, // (page index, frame)
     issued_at: Nanos,
+    /// How many times this fill has been (re)issued; device read
+    /// errors retry up to [`MAX_FILL_ATTEMPTS`].
+    attempts: u32,
 }
+
+/// Bounded retry for fills that complete with a device error — the
+/// kernel-stack analogue of the buffered-I/O EIO retry path.
+const MAX_FILL_ATTEMPTS: u32 = 4;
 
 struct ConnSlot {
     conn: KConn,
@@ -114,6 +122,7 @@ struct ConnSlot {
 struct KstackIds {
     responses: Vec<CounterId>,
     disk_read_bytes: Vec<CounterId>,
+    fill_retries: Vec<CounterId>,
 }
 
 impl KstackIds {
@@ -124,6 +133,9 @@ impl KstackIds {
                 .collect(),
             disk_read_bytes: (0..cores)
                 .map(|c| reg.counter_core("kstack.disk_read_bytes", c))
+                .collect(),
+            fill_retries: (0..cores)
+                .map(|c| reg.counter_core("kstack.fill_retries", c))
                 .collect(),
         }
     }
@@ -253,6 +265,14 @@ impl KstackServer {
         self.mem.counters.publish_metrics(&mut self.reg);
         let g = self.reg.gauge("kstack.bufcache_hit_ratio");
         self.reg.set(g, self.bufcache.hit_ratio());
+        let (errs, spikes) = self.disks.iter().fold((0u64, 0u64), |(e, s), d| {
+            d.fault_injector()
+                .map_or((e, s), |f| (e + f.read_errors, s + f.latency_spikes))
+        });
+        let g = self.reg.gauge("faults.nvme_read_errors");
+        self.reg.set(g, errs as f64);
+        let g = self.reg.gauge("faults.nvme_latency_spikes");
+        self.reg.set(g, spikes as f64);
     }
 
     #[must_use]
@@ -583,10 +603,92 @@ impl KstackServer {
                 len,
                 pages,
                 issued_at: now,
+                attempts: 1,
             },
         );
         let core = self.slots[slot_idx].core;
         self.reg.add(self.ids.disk_read_bytes[core], aligned);
+    }
+
+    /// A fill came back with a device error: re-issue the same read
+    /// into the same cache frames, up to [`MAX_FILL_ATTEMPTS`] total
+    /// attempts; past that the fill is abandoned (the connection
+    /// degrades — its stream stalls at the missing range).
+    fn retry_fill(&mut self, now: Nanos, cid: u16) {
+        let Some(fill) = self.fills.remove(&cid) else {
+            return;
+        };
+        let slot_idx = fill.conn_slot;
+        let core = self.slots[slot_idx].core;
+        self.cores.run_on(
+            core,
+            now + Nanos::from_nanos(self.cfg.costs.interrupt_latency_ns),
+            self.cfg.costs.interrupt_cycles,
+        );
+        if self.cfg.variant == StackVariant::Stock {
+            // The synchronous worker was blocked for the failed
+            // attempt too; charge that interval before re-blocking
+            // (or unblocking, if we give up).
+            let blocked_ns = (now.saturating_sub(fill.issued_at)).as_nanos();
+            self.cores.run_on(
+                core,
+                fill.issued_at,
+                self.cfg.costs.ns_to_cycles(blocked_ns),
+            );
+        }
+        if fill.attempts >= MAX_FILL_ATTEMPTS {
+            let slot = &mut self.slots[slot_idx];
+            slot.conn.fills_inflight -= 1;
+            if self.cfg.variant == StackVariant::Stock {
+                self.sync_busy[core] = false;
+            }
+            self.sync_timer(slot_idx);
+            return;
+        }
+        self.reg.inc(self.ids.fill_retries[core]);
+        let loc = self.catalog.locate(fill.file, fill.file_off);
+        let aligned = fill.len.div_ceil(LBA_SIZE) * LBA_SIZE;
+        let new_cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        let mut prp: Vec<PhysRegion> = Vec::new();
+        let mut remaining = aligned;
+        for (_, frame) in &fill.pages {
+            let n = remaining.min(CHUNK_SIZE);
+            prp.push(frame.slice(0, n));
+            remaining -= n;
+            if remaining == 0 {
+                break;
+            }
+        }
+        let dev = &mut self.disks[loc.disk];
+        let pushed = dev.qpair(0).sq_push(NvmeCommand {
+            opcode: Opcode::Read,
+            cid: new_cid,
+            nsid: loc.nsid,
+            slba: loc.dev_offset / LBA_SIZE,
+            nlb: (aligned / LBA_SIZE) as u32,
+            prp,
+        });
+        assert!(pushed, "kernel NVMe queue overflow");
+        dev.ring_sq_doorbell(now, 0);
+        self.reg.add(self.ids.disk_read_bytes[core], aligned);
+        self.fills.insert(
+            new_cid,
+            Fill {
+                issued_at: now,
+                attempts: fill.attempts + 1,
+                ..fill
+            },
+        );
+    }
+
+    /// Arm the seeded device fault injectors. The in-kernel stack has
+    /// no diskmap SQ, so `sq_reject_p` does not apply here; link and
+    /// client faults live in the workload harness.
+    pub fn inject_faults(&mut self, f: &dcn_faults::FaultConfig, seed: u64) {
+        for (d, dev) in self.disks.iter_mut().enumerate() {
+            dev.set_faults(f.nvme, seed ^ ((d as u64 + 1) << 32));
+        }
     }
 
     /// Disk fill completed: enqueue the body bytes (and for stock,
@@ -853,15 +955,19 @@ impl KstackServer {
         for disk in &mut self.disks {
             disk.advance(now, &mut self.mem, &mut self.host);
             for e in disk.qpair(0).cq_consume(64) {
-                done_cids.push(e.cid);
+                done_cids.push((e.cid, e.status));
             }
         }
         let mut touched = BTreeSet::new();
-        for cid in done_cids {
+        for (cid, status) in done_cids {
             if let Some(f) = self.fills.get(&cid) {
                 touched.insert(self.slots[f.conn_slot].core);
             }
-            self.complete_fill(now, cid);
+            if status == NvmeStatus::Success {
+                self.complete_fill(now, cid);
+            } else {
+                self.retry_fill(now, cid);
+            }
         }
         // TCP timers.
         let due: Vec<usize> = self

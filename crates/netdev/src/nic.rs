@@ -13,7 +13,45 @@ use crate::rings::{RxFrame, RxRing, TxRing};
 use crate::sg::{PayloadBytes, SgList};
 use crate::wire::WireFrame;
 use dcn_mem::{Agent, Fidelity, HostMem, MemSystem};
+use dcn_packet::{Ipv4Repr, TcpRepr, ETH_HEADER_LEN};
 use dcn_simcore::{Bandwidth, Nanos};
+
+/// The L3/L4 identity of one wire frame, as the switch/fault layer
+/// sees it: enough to classify retransmissions and tell data frames
+/// from pure control frames, without materializing the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFrameInfo {
+    /// Direction-sensitive flow key (all four tuple fields folded).
+    pub flow_key: u64,
+    /// TCP sequence number of the first payload byte.
+    pub seq: u32,
+    /// TCP payload bytes (inline or scatter-gather).
+    pub payload_len: u32,
+}
+
+/// Peek at a frame's TCP header (no checksum verification, no payload
+/// copy). Returns `None` for anything that doesn't parse as
+/// Ethernet + IPv4 + TCP.
+#[must_use]
+pub fn tcp_frame_info(frame: &WireFrame) -> Option<TcpFrameInfo> {
+    let h = &frame.headers;
+    if h.len() < ETH_HEADER_LEN {
+        return None;
+    }
+    let extra = frame.payload.len() as usize;
+    let (ip, ip_off) = Ipv4Repr::parse_with_extra(&h[ETH_HEADER_LEN..], extra).ok()?;
+    let (tcp, tcp_off) = TcpRepr::parse(&h[ETH_HEADER_LEN + ip_off..], None).ok()?;
+    let inline = h.len() - (ETH_HEADER_LEN + ip_off + tcp_off);
+    let flow_key = (u64::from(ip.src.0) << 32)
+        ^ u64::from(ip.dst.0)
+        ^ (u64::from(tcp.src_port) << 48)
+        ^ (u64::from(tcp.dst_port) << 16);
+    Some(TcpFrameInfo {
+        flow_key,
+        seq: tcp.seq.0,
+        payload_len: (inline as u64 + frame.payload.len()) as u32,
+    })
+}
 
 pub use dcn_mem::Fidelity as NicFidelity;
 

@@ -124,6 +124,17 @@ impl TxRing {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+
+    /// Nonzero completion tokens the stack has not yet collected via
+    /// `txsync_collect`: still queued for transmit, transmitted but
+    /// unreported (lazy batching), or reported but uncollected. The
+    /// buffer-pool leak audit counts these as legitimately held.
+    #[must_use]
+    pub fn unreclaimed_tokens(&self) -> u64 {
+        (self.pending.iter().filter(|d| d.completion != 0).count()
+            + self.done_unreported.iter().filter(|t| **t != 0).count()
+            + self.reported.iter().filter(|t| **t != 0).count()) as u64
+    }
 }
 
 /// A received frame as seen by the host after `rxsync`.

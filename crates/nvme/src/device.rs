@@ -11,6 +11,7 @@ use crate::backing::BlockBacking;
 use crate::firmware::{Firmware, FirmwareParams};
 use crate::queue::{CompletionEntry, NvmeCommand, NvmeStatus, Opcode, QueuePair};
 use crate::LBA_SIZE;
+use dcn_faults::NvmeFaultInjector;
 use dcn_mem::{Agent, HostMem, MemSystem};
 use dcn_simcore::Nanos;
 
@@ -57,8 +58,14 @@ pub struct NvmeDevice {
     firmware: Firmware,
     backing: Box<dyn BlockBacking>,
     /// Commands accepted but not yet completed, needed to perform the
-    /// DMA at completion time: (qid, cid) → command.
-    pending: Vec<(u16, NvmeCommand)>,
+    /// DMA at completion time: (qid, cid) → command, plus whether the
+    /// fault layer doomed this command to a media error (decided at
+    /// doorbell time so firmware reordering can't change the
+    /// schedule).
+    pending: Vec<(u16, NvmeCommand, bool)>,
+    /// Seeded fault decisions (media errors, latency spikes). `None`
+    /// in every scenario that doesn't inject faults.
+    faults: Option<NvmeFaultInjector>,
     last_irq: Nanos,
     irq_pending_at: Option<Nanos>,
     /// Lifetime stats.
@@ -77,6 +84,7 @@ impl NvmeDevice {
             firmware: Firmware::new(cfg.firmware, seed),
             backing,
             pending: Vec::new(),
+            faults: None,
             cfg,
             last_irq: Nanos::ZERO,
             irq_pending_at: None,
@@ -90,6 +98,19 @@ impl NvmeDevice {
     #[must_use]
     pub fn config(&self) -> &NvmeConfig {
         &self.cfg
+    }
+
+    /// Arm seeded fault injection on this device. Inactive configs
+    /// are dropped so the happy path never consults the rng.
+    pub fn set_faults(&mut self, cfg: dcn_faults::NvmeFaults, seed: u64) {
+        let inj = NvmeFaultInjector::new(cfg, seed);
+        self.faults = if inj.is_active() { Some(inj) } else { None };
+    }
+
+    /// Fault counters (media errors fired, latency spikes), if armed.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&NvmeFaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Host access to a queue pair (the driver owns these
@@ -117,8 +138,15 @@ impl NvmeDevice {
                 });
                 continue;
             }
-            self.firmware.submit(now, qid, sq_head, &cmd);
-            self.pending.push((qid, cmd));
+            let (fail, mult) = match &mut self.faults {
+                Some(inj) => {
+                    let fail = cmd.opcode == Opcode::Read && inj.read_error();
+                    (fail, inj.latency_mult())
+                }
+                None => (false, 1.0),
+            };
+            self.firmware.submit_scaled(now, qid, sq_head, &cmd, mult);
+            self.pending.push((qid, cmd, fail));
         }
     }
 
@@ -160,9 +188,27 @@ impl NvmeDevice {
             let idx = self
                 .pending
                 .iter()
-                .position(|(q, c)| *q == qid && c.cid == cid)
+                .position(|(q, c, _)| *q == qid && c.cid == cid)
                 .expect("completion for unknown command");
-            let (_, cmd) = self.pending.swap_remove(idx);
+            let (_, cmd, failed) = self.pending.swap_remove(idx);
+            if failed {
+                // Media error: no data transfer happened; the host
+                // buffer is untouched and must be treated as garbage.
+                self.qpairs[usize::from(qid)].cq_post(CompletionEntry {
+                    cid,
+                    status: NvmeStatus::MediaError,
+                    sq_head,
+                });
+                if now.saturating_sub(self.last_irq) >= self.cfg.irq_coalesce {
+                    self.last_irq = now;
+                    let at = now + self.cfg.irq_latency;
+                    self.irq_pending_at = Some(match self.irq_pending_at {
+                        Some(t) => t.min(at),
+                        None => at,
+                    });
+                }
+                continue;
+            }
             self.dma(now, &cmd, mem, host);
             match cmd.opcode {
                 Opcode::Read => {
@@ -403,6 +449,105 @@ mod tests {
         assert!(!d.take_interrupt(t), "not before latency elapses");
         assert!(d.take_interrupt(irq_at));
         assert!(!d.take_interrupt(irq_at), "taken once");
+    }
+
+    #[test]
+    fn injected_media_errors_suppress_dma_and_post_error_status() {
+        let (mut m, mut h, mut pa) = mem();
+        let mut d = dev();
+        d.set_faults(
+            dcn_faults::NvmeFaults {
+                read_error_p: 0.2,
+                ..dcn_faults::NvmeFaults::default()
+            },
+            77,
+        );
+        let n = 128u16;
+        let bufs: Vec<PhysRegion> = (0..n).map(|_| pa.alloc(4096)).collect();
+        for (i, buf) in bufs.iter().enumerate() {
+            assert!(d
+                .qpair(0)
+                .sq_push(read_cmd(i as u16, i as u64 * 8, 4096, *buf)));
+        }
+        d.ring_sq_doorbell(Nanos::ZERO, 0);
+        run_to_completion(&mut d, &mut m, &mut h);
+        let entries = d.qpair(0).cq_consume(usize::from(n) + 1);
+        assert_eq!(entries.len(), usize::from(n));
+        let errors = entries
+            .iter()
+            .filter(|e| e.status == NvmeStatus::MediaError)
+            .count();
+        assert!(errors > 5 && errors < 60, "errors={errors}");
+        assert_eq!(
+            errors as u64,
+            d.fault_injector().unwrap().read_errors,
+            "counter tracks fired errors"
+        );
+        // Failed reads transferred nothing; successful ones match the
+        // backing store byte-for-byte.
+        let mut by_cid: Vec<NvmeStatus> = vec![NvmeStatus::Success; usize::from(n)];
+        for e in &entries {
+            by_cid[usize::from(e.cid)] = e.status;
+        }
+        for (i, buf) in bufs.iter().enumerate() {
+            let got = h.read_region(*buf);
+            let mut want = vec![0u8; 4096];
+            SyntheticBacking::new(7).expected(1, i as u64 * 8 * LBA_SIZE, &mut want);
+            match by_cid[i] {
+                NvmeStatus::Success => assert_eq!(got, want, "cid {i}"),
+                NvmeStatus::MediaError => {
+                    assert_eq!(got, vec![0u8; 4096], "cid {i}: DMA must be suppressed")
+                }
+                s => panic!("unexpected status {s:?}"),
+            }
+        }
+        // Stats only count successful transfers.
+        assert_eq!(d.completed_reads, (usize::from(n) - errors) as u64);
+    }
+
+    #[test]
+    fn latency_spikes_stretch_individual_commands() {
+        let (mut m, mut h, mut pa) = mem();
+        let spiky = |p: f64, seed: u64| {
+            let mut d = NvmeDevice::new(
+                NvmeConfig {
+                    firmware: FirmwareParams {
+                        jitter_sigma: 0.0,
+                        ..FirmwareParams::p3700()
+                    },
+                    ..NvmeConfig::default()
+                },
+                Box::new(SyntheticBacking::new(7)),
+                1,
+            );
+            d.set_faults(
+                dcn_faults::NvmeFaults {
+                    latency_spike_p: p,
+                    latency_spike_mult: 50.0,
+                    ..dcn_faults::NvmeFaults::default()
+                },
+                seed,
+            );
+            d
+        };
+        // Baseline: QD1 16 KiB completion time without spikes.
+        let mut d0 = spiky(0.0, 1);
+        let b = pa.alloc(16384);
+        d0.qpair(0).sq_push(read_cmd(1, 0, 16384, b));
+        d0.ring_sq_doorbell(Nanos::ZERO, 0);
+        let base = d0.poll_at().unwrap();
+        // With spike_p = 1.0 every command is stretched.
+        let mut d1 = spiky(1.0, 1);
+        let b1 = pa.alloc(16384);
+        d1.qpair(0).sq_push(read_cmd(1, 0, 16384, b1));
+        d1.ring_sq_doorbell(Nanos::ZERO, 0);
+        let spiked = d1.poll_at().unwrap();
+        assert!(
+            spiked.as_nanos() > base.as_nanos() * 10,
+            "spiked {spiked:?} vs base {base:?}"
+        );
+        run_to_completion(&mut d1, &mut m, &mut h);
+        assert_eq!(d1.fault_injector().unwrap().latency_spikes, 1);
     }
 
     #[test]

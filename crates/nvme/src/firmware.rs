@@ -146,6 +146,21 @@ impl Firmware {
     /// Accept a command at `now`: schedule its stripes and record the
     /// completion time.
     pub fn submit(&mut self, now: Nanos, qid: u16, sq_head: u16, cmd: &NvmeCommand) {
+        self.submit_scaled(now, qid, sq_head, cmd, 1.0);
+    }
+
+    /// [`Firmware::submit`] with every stripe's service time stretched
+    /// by `mult` — how the fault layer models internal firmware pauses
+    /// (GC, thermal throttling) on individual commands. `mult = 1.0`
+    /// is byte-identical to `submit`, including the jitter rng draws.
+    pub fn submit_scaled(
+        &mut self,
+        now: Nanos,
+        qid: u16,
+        sq_head: u16,
+        cmd: &NvmeCommand,
+        mult: f64,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let len = cmd.data_len().max(1);
@@ -159,11 +174,14 @@ impl Firmware {
             let bytes = remaining.min(self.params.stripe_bytes);
             remaining -= bytes;
             let mean = self.params.stripe_time(bytes, cmd.opcode);
-            let service = if self.params.jitter_sigma > 0.0 {
+            let mut service = if self.params.jitter_sigma > 0.0 {
                 mean.mul_f64(self.rng.log_normal(1.0, self.params.jitter_sigma))
             } else {
                 mean
             };
+            if mult != 1.0 {
+                service = service.mul_f64(mult);
+            }
             let ch = ((base_ch + j) % nch) as usize;
             let start = self.channels[ch].max(arrival);
             let end = start + service;

@@ -20,6 +20,10 @@ pub enum NvmeStatus {
     LbaOutOfRange,
     /// Malformed command (zero-length data pointer, bad opcode...).
     InvalidField,
+    /// Unrecoverable media read error (NVMe 1.2 §4.6.1 status 0x281):
+    /// the command's data transfer did not happen. Injected by the
+    /// fault layer; the host must treat the buffer as undefined.
+    MediaError,
 }
 
 /// One submission-queue entry. Real SQEs carry PRP1/PRP2 with

@@ -152,6 +152,26 @@ impl Registry {
             .sum()
     }
 
+    /// Look a gauge up by exact name (views / tests / exporters).
+    pub fn find_gauge(&self, name: &str) -> Option<f64> {
+        self.gauge_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.gauges[i])
+    }
+
+    /// Sum of every gauge whose name starts with `prefix` —
+    /// aggregates a per-core gauge family the way [`Self::sum_prefixed`]
+    /// does for counters.
+    pub fn sum_prefixed_gauge(&self, prefix: &str) -> f64 {
+        self.gauge_names
+            .iter()
+            .zip(&self.gauges)
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counter_names
             .iter()

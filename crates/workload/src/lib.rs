@@ -18,6 +18,6 @@ pub mod runner;
 
 pub use fleet::{ClientFleet, FleetConfig};
 pub use runner::{
-    run_scenario, run_scenario_observed, ObsOptions, ObsReport, RunMetrics, Scenario, ServerKind,
-    VideoServer,
+    run_scenario, run_scenario_observed, FaultMetrics, ObsOptions, ObsReport, RunMetrics, Scenario,
+    ServerKind, VideoServer,
 };

@@ -10,13 +10,15 @@
 use crate::fleet::{ClientFleet, ClientTx, FleetConfig};
 use dcn_atlas::server::parse_frame;
 use dcn_atlas::{AtlasConfig, AtlasServer};
+use dcn_faults::{salt, FaultConfig, FrameFate, FrameInfo, LinkFaults, LossModel};
 use dcn_kstack::{KstackConfig, KstackServer};
 use dcn_mem::{Fidelity, MemSnapshot};
-use dcn_netdev::{DelayMiddlebox, SentBurst, WireFrame};
+use dcn_netdev::{tcp_frame_info, DelayMiddlebox, SentBurst, WireFrame};
 use dcn_obs::export::{stage_summary, write_trace_jsonl, TimeSeries};
 use dcn_packet::FlowId;
 use dcn_simcore::{EventQueue, Nanos};
 use dcn_store::Catalog;
+use std::collections::HashMap;
 use std::path::PathBuf;
 
 /// Switch forwarding latency (cut-through 40 GbE).
@@ -55,6 +57,21 @@ pub trait VideoServer {
     /// The chunk-lifecycle tracer (Atlas only).
     fn tracer(&self) -> Option<&dcn_obs::Tracer> {
         None
+    }
+    /// Mutable registry access (the harness publishes link/client
+    /// fault counters into the server's unified registry so the
+    /// metrics CSV carries them).
+    fn registry_mut(&mut self) -> Option<&mut dcn_obs::Registry> {
+        None
+    }
+    /// Arm the server-side seeded fault injectors (NVMe device and
+    /// submission-queue faults). Link and client faults are applied
+    /// by the harness itself.
+    fn inject_faults(&mut self, _f: &FaultConfig, _seed: u64) {}
+    /// Buffer-pool leak audit (Atlas only): DMA buffers neither free
+    /// nor legitimately held. 0 for servers without a DMA pool.
+    fn leaked_buffers(&self) -> i64 {
+        0
     }
 }
 
@@ -96,6 +113,15 @@ impl VideoServer for AtlasServer {
     fn tracer(&self) -> Option<&dcn_obs::Tracer> {
         Some(&self.tracer)
     }
+    fn registry_mut(&mut self) -> Option<&mut dcn_obs::Registry> {
+        Some(&mut self.reg)
+    }
+    fn inject_faults(&mut self, f: &FaultConfig, seed: u64) {
+        AtlasServer::inject_faults(self, f, seed);
+    }
+    fn leaked_buffers(&self) -> i64 {
+        AtlasServer::leaked_buffers(self)
+    }
 }
 
 impl VideoServer for KstackServer {
@@ -123,6 +149,12 @@ impl VideoServer for KstackServer {
     fn registry(&self) -> Option<&dcn_obs::Registry> {
         Some(&self.reg)
     }
+    fn registry_mut(&mut self) -> Option<&mut dcn_obs::Registry> {
+        Some(&mut self.reg)
+    }
+    fn inject_faults(&mut self, f: &FaultConfig, seed: u64) {
+        KstackServer::inject_faults(self, f, seed);
+    }
 }
 
 /// Which server to run.
@@ -145,8 +177,15 @@ pub struct Scenario {
     pub duration: Nanos,
     pub seed: u64,
     /// Probability of dropping each server→client frame (fault
-    /// injection; 0.0 for the paper's lossless testbed).
+    /// injection; 0.0 for the paper's lossless testbed). Legacy knob:
+    /// equivalent to `faults.net.loss = LossModel::Uniform(p)`, and
+    /// only consulted when `faults.net.loss` is `LossModel::None`.
     pub data_loss: f64,
+    /// Seeded fault injection: NVMe device faults and SQ backpressure
+    /// (armed inside the server), link loss/duplication/corruption
+    /// and client stalls (applied by this harness). All schedules are
+    /// pure functions of `seed` — same seed, same faults.
+    pub faults: FaultConfig,
 }
 
 impl Scenario {
@@ -165,6 +204,7 @@ impl Scenario {
             duration: Nanos::from_millis(700),
             seed,
             data_loss: 0.0,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -204,6 +244,35 @@ pub struct ObsReport {
     pub stage_summary: String,
 }
 
+/// Fault firings and recovery actions observed over one run,
+/// assembled from the harness-side injectors and the server's
+/// unified registry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultMetrics {
+    /// Server→client data frames dropped by the loss model.
+    pub net_dropped: u64,
+    /// …delivered twice.
+    pub net_duplicated: u64,
+    /// …corrupted in flight (detected by FCS, so dropped).
+    pub net_corrupt_dropped: u64,
+    /// Subset of `net_dropped` that hit a retransmission.
+    pub net_retx_dropped: u64,
+    /// Client-side delivery stalls injected.
+    pub client_stalls: u64,
+    /// NVMe reads completed with an unrecoverable media error.
+    pub nvme_read_errors: u64,
+    /// NVMe commands hit by a firmware latency spike.
+    pub nvme_latency_spikes: u64,
+    /// Diskmap SQ admissions rejected (injected backpressure).
+    pub sq_rejects: u64,
+    /// Disk fetches re-issued after a device error (both stacks).
+    pub fetch_retries: u64,
+    /// Connections torn down by the degradation policy.
+    pub conns_aborted: u64,
+    /// Server TCP retransmission timeouts fired.
+    pub rto_fired: u64,
+}
+
 /// Everything the paper's panels need from one run.
 #[derive(Clone, Debug)]
 pub struct RunMetrics {
@@ -219,6 +288,17 @@ pub struct RunMetrics {
     pub verified_bytes: u64,
     pub verify_failures: u64,
     pub live_fraction: f64,
+    /// Disk read commands completed successfully (Atlas counts these;
+    /// 0 for the kernel stack, which counts bytes only).
+    pub disk_reads: u64,
+    /// Bytes read from disk (both stacks).
+    pub disk_read_bytes: u64,
+    /// Loss-driven re-fetches from disk (Atlas; the paper's "storage
+    /// is the retransmission buffer" path).
+    pub retransmit_fetches: u64,
+    /// DMA buffers unaccounted for at run end (must be 0).
+    pub leaked_buffers: i64,
+    pub faults: FaultMetrics,
 }
 
 enum Ev {
@@ -272,7 +352,17 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     }
     let mut fleet = ClientFleet::new(fleet_cfg, sc.catalog.clone(), sc.seed);
     let middlebox = DelayMiddlebox::paper(sc.seed);
-    let mut loss_rng = dcn_simcore::SimRng::new(sc.seed ^ 0x1055);
+    // Effective fault configuration: the legacy `data_loss` knob maps
+    // onto the uniform loss model when no explicit model is set.
+    let mut fcfg = sc.faults;
+    if matches!(fcfg.net.loss, LossModel::None) && sc.data_loss > 0.0 {
+        fcfg.net.loss = LossModel::Uniform(sc.data_loss);
+    }
+    server.inject_faults(&fcfg, sc.seed);
+    let mut link = LinkFaults::new(fcfg.net, sc.seed);
+    let mut stall_rng = dcn_faults::rng_for(sc.seed, salt::CLIENT);
+    let mut stalled_until: HashMap<FlowId, Nanos> = HashMap::new();
+    let mut client_stalls: u64 = 0;
     let mut q: EventQueue<Ev> = EventQueue::new();
 
     // Ramp clients over the first 150 ms (or the warm-up, whichever
@@ -322,6 +412,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         if let Some(ts) = series.as_mut() {
             while next_sample <= now {
                 server.publish_obs();
+                publish_fault_gauges(server.as_mut(), &link, client_stalls);
                 if let Some(reg) = server.registry() {
                     ts.sample(next_sample, reg);
                 }
@@ -335,9 +426,26 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
             }
             Ev::ServerRx(frames) => {
                 let bursts = server.on_wire_rx(now, frames);
-                route_bursts(&mut q, now, bursts, sc.data_loss, &mut loss_rng);
+                route_bursts(&mut q, now, bursts, &mut link);
             }
             Ev::ClientRx(flow, frames) => {
+                if fcfg.client.is_active() {
+                    // Injected client stall: the whole flow's delivery
+                    // pauses; everything arriving meanwhile is
+                    // deferred (in order) to the stall's end.
+                    let until = stalled_until.get(&flow).copied();
+                    if let Some(until) = until.filter(|&u| u > now) {
+                        q.schedule(until, Ev::ClientRx(flow, frames));
+                        continue;
+                    }
+                    if stall_rng.chance(fcfg.client.stall_p) {
+                        client_stalls += 1;
+                        let until = now + fcfg.client.stall;
+                        stalled_until.insert(flow, until);
+                        q.schedule(until, Ev::ClientRx(flow, frames));
+                        continue;
+                    }
+                }
                 if let Some(tx) = fleet.on_burst(now, flow, frames) {
                     route_client_tx(&mut q, &middlebox, now, tx);
                 }
@@ -352,7 +460,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
                     next_wake = Nanos::MAX;
                 }
                 let bursts = server.advance(now);
-                route_bursts(&mut q, now, bursts, sc.data_loss, &mut loss_rng);
+                route_bursts(&mut q, now, bursts, &mut link);
             }
         }
         // Keep exactly one pending wake at the server's next deadline.
@@ -370,9 +478,12 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     }
     let end = sc.duration;
     let mut report = ObsReport::default();
+    // Final publish: gauges (including fault counters) reflect
+    // end-of-run state both for the last CSV sample and for the
+    // registry reads below.
+    server.publish_obs();
+    publish_fault_gauges(server.as_mut(), &link, client_stalls);
     if let Some(ts) = series.as_mut() {
-        // One final sample at the end of the run, then dump.
-        server.publish_obs();
         if let Some(reg) = server.registry() {
             ts.sample(end, reg);
         }
@@ -399,6 +510,26 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     }
     let snap = server.mem_snapshot(sc.warmup, end);
     let net_gbps = fleet.goodput.rate_per_sec(sc.warmup, end) * 8.0 / 1e9;
+    let empty_reg = dcn_obs::Registry::new();
+    let reg = server.registry().unwrap_or(&empty_reg);
+    let faults = FaultMetrics {
+        net_dropped: link.dropped,
+        net_duplicated: link.duplicated,
+        net_corrupt_dropped: link.corrupt_dropped,
+        net_retx_dropped: link.retx_dropped,
+        client_stalls,
+        nvme_read_errors: reg.find_gauge("faults.nvme_read_errors").unwrap_or(0.0) as u64,
+        nvme_latency_spikes: reg.find_gauge("faults.nvme_latency_spikes").unwrap_or(0.0) as u64,
+        sq_rejects: reg.find_gauge("faults.sq_rejects").unwrap_or(0.0) as u64,
+        fetch_retries: reg.sum_prefixed("atlas.fetch_retries")
+            + reg.sum_prefixed("kstack.fill_retries"),
+        conns_aborted: reg.find_counter("atlas.conns_aborted").unwrap_or(0),
+        rto_fired: reg.sum_prefixed_gauge("tcp.rto_fired") as u64,
+    };
+    let disk_reads = reg.sum_prefixed("atlas.disk_reads");
+    let disk_read_bytes =
+        reg.sum_prefixed("atlas.disk_read_bytes") + reg.sum_prefixed("kstack.disk_read_bytes");
+    let retransmit_fetches = reg.sum_prefixed("atlas.retransmit_fetches");
     let metrics = RunMetrics {
         label: server.label(),
         net_gbps,
@@ -416,8 +547,32 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         verified_bytes: fleet.verify_stats.verified_bytes,
         verify_failures: fleet.verify_stats.failures,
         live_fraction: fleet.live_fraction(),
+        disk_reads,
+        disk_read_bytes,
+        retransmit_fetches,
+        leaked_buffers: server.leaked_buffers(),
+        faults,
     };
     (metrics, report)
+}
+
+/// Mirror the harness-side fault counters (link faults, client
+/// stalls) into the server's unified registry so the metrics CSV and
+/// any exporter see one coherent `faults.*` family.
+fn publish_fault_gauges(server: &mut dyn VideoServer, link: &LinkFaults, client_stalls: u64) {
+    let Some(reg) = server.registry_mut() else {
+        return;
+    };
+    for (name, v) in [
+        ("faults.net_dropped", link.dropped),
+        ("faults.net_duplicated", link.duplicated),
+        ("faults.net_corrupt_dropped", link.corrupt_dropped),
+        ("faults.net_retx_dropped", link.retx_dropped),
+        ("faults.client_stalls", client_stalls),
+    ] {
+        let g = reg.gauge(name);
+        reg.set(g, v as f64);
+    }
 }
 
 fn route_client_tx(q: &mut EventQueue<Ev>, mb: &DelayMiddlebox, now: Nanos, tx: ClientTx) {
@@ -433,15 +588,37 @@ fn route_bursts(
     q: &mut EventQueue<Ev>,
     _now: Nanos,
     bursts: Vec<SentBurst>,
-    loss: f64,
-    rng: &mut dcn_simcore::SimRng,
+    link: &mut LinkFaults,
 ) {
+    let active = link.is_active();
     for b in bursts {
         // All frames of one burst belong to one flow (one TX
         // descriptor). Server → switch → client: LAN latency only.
-        // Fault injection drops individual frames of the burst.
-        let frames: Vec<_> = if loss > 0.0 {
-            b.frames.into_iter().filter(|_| !rng.chance(loss)).collect()
+        // The link fault model acts on individual data frames;
+        // control frames (SYN-ACKs, bare ACKs) always get through —
+        // `data_loss` has always meant *data* loss.
+        let frames: Vec<WireFrame> = if active {
+            let mut out = Vec::with_capacity(b.frames.len());
+            for f in b.frames {
+                let info = tcp_frame_info(&f).filter(|i| i.payload_len > 0);
+                let Some(i) = info else {
+                    out.push(f);
+                    continue;
+                };
+                match link.classify(FrameInfo {
+                    flow_key: i.flow_key,
+                    seq: i.seq,
+                    payload_len: i.payload_len,
+                }) {
+                    FrameFate::Deliver => out.push(f),
+                    FrameFate::Drop | FrameFate::CorruptDrop => {}
+                    FrameFate::Duplicate => {
+                        out.push(f.clone());
+                        out.push(f);
+                    }
+                }
+            }
+            out
         } else {
             b.frames
         };

@@ -18,6 +18,7 @@
 pub use dcn_atlas as atlas;
 pub use dcn_crypto as crypto;
 pub use dcn_diskmap as diskmap;
+pub use dcn_faults as faults;
 pub use dcn_httpd as httpd;
 pub use dcn_kstack as kstack;
 pub use dcn_mem as mem;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-42858bc66d914573.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-42858bc66d914573: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

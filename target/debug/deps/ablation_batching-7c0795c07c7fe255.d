@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-7c0795c07c7fe255.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-7c0795c07c7fe255: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-bbd5e6be35b1da4a.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-bbd5e6be35b1da4a: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-f8fe9787e6374188.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-f8fe9787e6374188: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

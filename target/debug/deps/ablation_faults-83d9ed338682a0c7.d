@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-83d9ed338682a0c7.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-83d9ed338682a0c7: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-ab5c0776014d8074.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-ab5c0776014d8074: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

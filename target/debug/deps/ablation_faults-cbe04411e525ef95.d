@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_faults-cbe04411e525ef95.d: crates/bench/src/bin/ablation_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_faults-cbe04411e525ef95.rmeta: crates/bench/src/bin/ablation_faults.rs Cargo.toml
+
+crates/bench/src/bin/ablation_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-1d9ff0bd790d84af.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-1d9ff0bd790d84af: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

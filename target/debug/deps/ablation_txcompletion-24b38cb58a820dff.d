@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-24b38cb58a820dff.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-24b38cb58a820dff: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

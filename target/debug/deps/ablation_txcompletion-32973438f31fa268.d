@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-32973438f31fa268.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-32973438f31fa268: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

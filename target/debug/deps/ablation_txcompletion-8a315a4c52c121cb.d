@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_txcompletion-8a315a4c52c121cb.d: crates/bench/src/bin/ablation_txcompletion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_txcompletion-8a315a4c52c121cb.rmeta: crates/bench/src/bin/ablation_txcompletion.rs Cargo.toml
+
+crates/bench/src/bin/ablation_txcompletion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_txcompletion-cb0cd23390ed1af9.d: crates/bench/src/bin/ablation_txcompletion.rs
+
+/root/repo/target/debug/deps/ablation_txcompletion-cb0cd23390ed1af9: crates/bench/src/bin/ablation_txcompletion.rs
+
+crates/bench/src/bin/ablation_txcompletion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-1f87faab587c28e4.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-1f87faab587c28e4: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_watermark-5aeea475c1dfa469.d: crates/bench/src/bin/ablation_watermark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_watermark-5aeea475c1dfa469.rmeta: crates/bench/src/bin/ablation_watermark.rs Cargo.toml
+
+crates/bench/src/bin/ablation_watermark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

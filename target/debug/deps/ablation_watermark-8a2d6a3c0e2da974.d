@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_watermark-8a2d6a3c0e2da974.d: crates/bench/src/bin/ablation_watermark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_watermark-8a2d6a3c0e2da974.rmeta: crates/bench/src/bin/ablation_watermark.rs Cargo.toml
+
+crates/bench/src/bin/ablation_watermark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-c881c918ec505b81.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-c881c918ec505b81: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-dd02b2a6dd710a22.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-dd02b2a6dd710a22: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_watermark-f19e8e164a37fe22.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/debug/deps/ablation_watermark-f19e8e164a37fe22: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_atlas-8a8309c971a3b989.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/debug/deps/dcn_atlas-8a8309c971a3b989: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

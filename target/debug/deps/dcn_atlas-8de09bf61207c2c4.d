@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_atlas-8de09bf61207c2c4.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_atlas-8de09bf61207c2c4.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs Cargo.toml
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_bench-b64357f8b0eee3e5.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-b64357f8b0eee3e5.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libdcn_bench-b64357f8b0eee3e5.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

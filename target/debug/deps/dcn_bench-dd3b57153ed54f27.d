@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_bench-dd3b57153ed54f27.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_bench-dd3b57153ed54f27.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

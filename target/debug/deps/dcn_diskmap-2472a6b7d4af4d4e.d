@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_diskmap-2472a6b7d4af4d4e.d: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_diskmap-2472a6b7d4af4d4e.rmeta: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs Cargo.toml
+
+crates/diskmap/src/lib.rs:
+crates/diskmap/src/baseline.rs:
+crates/diskmap/src/bufpool.rs:
+crates/diskmap/src/iommu.rs:
+crates/diskmap/src/kernel.rs:
+crates/diskmap/src/libnvme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcn_diskmap-3af320d975b11cab.d: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+/root/repo/target/debug/deps/dcn_diskmap-3af320d975b11cab: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+crates/diskmap/src/lib.rs:
+crates/diskmap/src/baseline.rs:
+crates/diskmap/src/bufpool.rs:
+crates/diskmap/src/iommu.rs:
+crates/diskmap/src/kernel.rs:
+crates/diskmap/src/libnvme.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcn_diskmap-8d624c96850f4237.d: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+/root/repo/target/debug/deps/libdcn_diskmap-8d624c96850f4237.rlib: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+/root/repo/target/debug/deps/libdcn_diskmap-8d624c96850f4237.rmeta: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs
+
+crates/diskmap/src/lib.rs:
+crates/diskmap/src/baseline.rs:
+crates/diskmap/src/bufpool.rs:
+crates/diskmap/src/iommu.rs:
+crates/diskmap/src/kernel.rs:
+crates/diskmap/src/libnvme.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcn_diskmap-c1e97dd04c2bc873.d: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_diskmap-c1e97dd04c2bc873.rmeta: crates/diskmap/src/lib.rs crates/diskmap/src/baseline.rs crates/diskmap/src/bufpool.rs crates/diskmap/src/iommu.rs crates/diskmap/src/kernel.rs crates/diskmap/src/libnvme.rs Cargo.toml
+
+crates/diskmap/src/lib.rs:
+crates/diskmap/src/baseline.rs:
+crates/diskmap/src/bufpool.rs:
+crates/diskmap/src/iommu.rs:
+crates/diskmap/src/kernel.rs:
+crates/diskmap/src/libnvme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

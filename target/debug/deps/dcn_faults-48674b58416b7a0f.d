@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_faults-48674b58416b7a0f.d: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+/root/repo/target/debug/deps/dcn_faults-48674b58416b7a0f: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/link.rs:
+crates/faults/src/nvme.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_faults-bc8faa133caceb3e.d: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+/root/repo/target/debug/deps/libdcn_faults-bc8faa133caceb3e.rlib: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+/root/repo/target/debug/deps/libdcn_faults-bc8faa133caceb3e.rmeta: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/link.rs:
+crates/faults/src/nvme.rs:

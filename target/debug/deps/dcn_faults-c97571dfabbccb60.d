@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_faults-c97571dfabbccb60.d: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_faults-c97571dfabbccb60.rmeta: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/link.rs:
+crates/faults/src/nvme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

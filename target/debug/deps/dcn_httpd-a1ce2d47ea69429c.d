@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcn_httpd-a1ce2d47ea69429c.d: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/debug/deps/dcn_httpd-a1ce2d47ea69429c: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+crates/httpd/src/lib.rs:
+crates/httpd/src/client.rs:
+crates/httpd/src/parser.rs:
+crates/httpd/src/response.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_kstack-269a87219c17cd39.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_kstack-269a87219c17cd39.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs Cargo.toml
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_kstack-53f8fea5599b37ba.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/dcn_kstack-53f8fea5599b37ba: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_kstack-af4679746aadebfc.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_kstack-af4679746aadebfc.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/debug/deps/libdcn_kstack-af4679746aadebfc.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcn_nvme-98b3f9b3475c3570.d: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/debug/deps/dcn_nvme-98b3f9b3475c3570: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/backing.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/firmware.rs:
+crates/nvme/src/queue.rs:

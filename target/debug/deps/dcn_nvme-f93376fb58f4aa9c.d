@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_nvme-f93376fb58f4aa9c.d: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/debug/deps/libdcn_nvme-f93376fb58f4aa9c.rlib: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/debug/deps/libdcn_nvme-f93376fb58f4aa9c.rmeta: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/backing.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/firmware.rs:
+crates/nvme/src/queue.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_store-72cd81ace50ec4aa.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/debug/deps/dcn_store-72cd81ace50ec4aa: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_store-b00132ea7abdc52c.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_store-b00132ea7abdc52c.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

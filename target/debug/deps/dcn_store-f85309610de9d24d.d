@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_store-f85309610de9d24d.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_store-f85309610de9d24d.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_workload-be2458ef20bdb693.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_workload-be2458ef20bdb693.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcn_workload-d033f48e33596622.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/debug/deps/dcn_workload-d033f48e33596622: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

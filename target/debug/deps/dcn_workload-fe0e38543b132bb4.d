@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcn_workload-fe0e38543b132bb4.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcn_workload-fe0e38543b132bb4.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

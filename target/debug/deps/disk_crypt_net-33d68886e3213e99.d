@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disk_crypt_net-33d68886e3213e99.d: src/lib.rs
+
+/root/repo/target/debug/deps/disk_crypt_net-33d68886e3213e99: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disk_crypt_net-925961c028fb0bec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-925961c028fb0bec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-925961c028fb0bec.rmeta: src/lib.rs
+
+src/lib.rs:

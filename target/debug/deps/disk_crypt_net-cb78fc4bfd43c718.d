@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disk_crypt_net-cb78fc4bfd43c718.d: src/lib.rs
+
+/root/repo/target/debug/deps/disk_crypt_net-cb78fc4bfd43c718: src/lib.rs
+
+src/lib.rs:

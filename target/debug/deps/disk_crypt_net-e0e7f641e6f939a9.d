@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/disk_crypt_net-e0e7f641e6f939a9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-e0e7f641e6f939a9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdisk_crypt_net-e0e7f641e6f939a9.rmeta: src/lib.rs
+
+src/lib.rs:

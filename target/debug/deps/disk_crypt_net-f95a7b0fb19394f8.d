@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disk_crypt_net-f95a7b0fb19394f8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisk_crypt_net-f95a7b0fb19394f8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

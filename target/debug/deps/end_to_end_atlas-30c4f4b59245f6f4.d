@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_atlas-30c4f4b59245f6f4.d: tests/end_to_end_atlas.rs
+
+/root/repo/target/debug/deps/end_to_end_atlas-30c4f4b59245f6f4: tests/end_to_end_atlas.rs
+
+tests/end_to_end_atlas.rs:

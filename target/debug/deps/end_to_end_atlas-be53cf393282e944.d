@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_atlas-be53cf393282e944.d: tests/end_to_end_atlas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_atlas-be53cf393282e944.rmeta: tests/end_to_end_atlas.rs Cargo.toml
+
+tests/end_to_end_atlas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

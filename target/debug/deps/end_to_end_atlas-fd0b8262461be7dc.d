@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_atlas-fd0b8262461be7dc.d: tests/end_to_end_atlas.rs
+
+/root/repo/target/debug/deps/end_to_end_atlas-fd0b8262461be7dc: tests/end_to_end_atlas.rs
+
+tests/end_to_end_atlas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_kstack-919a6325a7df40ea.d: tests/end_to_end_kstack.rs
+
+/root/repo/target/debug/deps/end_to_end_kstack-919a6325a7df40ea: tests/end_to_end_kstack.rs
+
+tests/end_to_end_kstack.rs:

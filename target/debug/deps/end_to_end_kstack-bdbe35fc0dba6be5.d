@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_kstack-bdbe35fc0dba6be5.d: tests/end_to_end_kstack.rs
+
+/root/repo/target/debug/deps/end_to_end_kstack-bdbe35fc0dba6be5: tests/end_to_end_kstack.rs
+
+tests/end_to_end_kstack.rs:

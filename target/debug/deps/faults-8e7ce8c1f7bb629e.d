@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-8e7ce8c1f7bb629e.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-8e7ce8c1f7bb629e: tests/faults.rs
+
+tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-7fab5c91f74926d7.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-7fab5c91f74926d7: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

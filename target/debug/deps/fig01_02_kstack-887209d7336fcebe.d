@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_02_kstack-887209d7336fcebe.d: crates/bench/src/bin/fig01_02_kstack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_02_kstack-887209d7336fcebe.rmeta: crates/bench/src/bin/fig01_02_kstack.rs Cargo.toml
+
+crates/bench/src/bin/fig01_02_kstack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

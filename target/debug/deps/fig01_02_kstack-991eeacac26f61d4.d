@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-991eeacac26f61d4.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-991eeacac26f61d4: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-bd86e777b19d3482.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-bd86e777b19d3482: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

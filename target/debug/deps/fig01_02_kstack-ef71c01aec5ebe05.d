@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_02_kstack-ef71c01aec5ebe05.d: crates/bench/src/bin/fig01_02_kstack.rs
+
+/root/repo/target/debug/deps/fig01_02_kstack-ef71c01aec5ebe05: crates/bench/src/bin/fig01_02_kstack.rs
+
+crates/bench/src/bin/fig01_02_kstack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-0c62bf79c2ee17ad.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-0c62bf79c2ee17ad: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

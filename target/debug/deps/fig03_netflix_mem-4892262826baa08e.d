@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-4892262826baa08e.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-4892262826baa08e: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

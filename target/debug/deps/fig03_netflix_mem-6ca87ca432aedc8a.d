@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-6ca87ca432aedc8a.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-6ca87ca432aedc8a: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

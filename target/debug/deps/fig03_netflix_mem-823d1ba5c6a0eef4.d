@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-823d1ba5c6a0eef4.d: crates/bench/src/bin/fig03_netflix_mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_netflix_mem-823d1ba5c6a0eef4.rmeta: crates/bench/src/bin/fig03_netflix_mem.rs Cargo.toml
+
+crates/bench/src/bin/fig03_netflix_mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

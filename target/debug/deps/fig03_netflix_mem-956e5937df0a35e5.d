@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_netflix_mem-956e5937df0a35e5.d: crates/bench/src/bin/fig03_netflix_mem.rs
+
+/root/repo/target/debug/deps/fig03_netflix_mem-956e5937df0a35e5: crates/bench/src/bin/fig03_netflix_mem.rs
+
+crates/bench/src/bin/fig03_netflix_mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_nvme_window-0308b9c22f4848a0.d: crates/bench/src/bin/fig06_nvme_window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_nvme_window-0308b9c22f4848a0.rmeta: crates/bench/src/bin/fig06_nvme_window.rs Cargo.toml
+
+crates/bench/src/bin/fig06_nvme_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-5c82d744ad9ae51b.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-5c82d744ad9ae51b: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_nvme_window-76479716128e1f67.d: crates/bench/src/bin/fig06_nvme_window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_nvme_window-76479716128e1f67.rmeta: crates/bench/src/bin/fig06_nvme_window.rs Cargo.toml
+
+crates/bench/src/bin/fig06_nvme_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

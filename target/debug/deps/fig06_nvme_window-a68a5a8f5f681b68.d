@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-a68a5a8f5f681b68.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-a68a5a8f5f681b68: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

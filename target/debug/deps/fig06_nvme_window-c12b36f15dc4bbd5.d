@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-c12b36f15dc4bbd5.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-c12b36f15dc4bbd5: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_nvme_window-eaf5177f819b08c2.d: crates/bench/src/bin/fig06_nvme_window.rs
+
+/root/repo/target/debug/deps/fig06_nvme_window-eaf5177f819b08c2: crates/bench/src/bin/fig06_nvme_window.rs
+
+crates/bench/src/bin/fig06_nvme_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-39902f5d964030a9.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-39902f5d964030a9: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-5bf72098c3bb0a33.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-5bf72098c3bb0a33: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

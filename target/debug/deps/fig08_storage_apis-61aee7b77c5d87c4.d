@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_storage_apis-61aee7b77c5d87c4.d: crates/bench/src/bin/fig08_storage_apis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_storage_apis-61aee7b77c5d87c4.rmeta: crates/bench/src/bin/fig08_storage_apis.rs Cargo.toml
+
+crates/bench/src/bin/fig08_storage_apis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-7129280f9f7b5c91.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-7129280f9f7b5c91: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_storage_apis-df9d1c0478c7e3a6.d: crates/bench/src/bin/fig08_storage_apis.rs
+
+/root/repo/target/debug/deps/fig08_storage_apis-df9d1c0478c7e3a6: crates/bench/src/bin/fig08_storage_apis.rs
+
+crates/bench/src/bin/fig08_storage_apis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-484bea8e529e9104.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-484bea8e529e9104: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-baa2e90de4972d26.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-baa2e90de4972d26: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-c9a837357e29aa99.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-c9a837357e29aa99: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-d29bc6b11f3936d1.d: crates/bench/src/bin/fig09_latency_cdf.rs
+
+/root/repo/target/debug/deps/fig09_latency_cdf-d29bc6b11f3936d1: crates/bench/src/bin/fig09_latency_cdf.rs
+
+crates/bench/src/bin/fig09_latency_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_latency_cdf-ee1cab9145035ca7.d: crates/bench/src/bin/fig09_latency_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_latency_cdf-ee1cab9145035ca7.rmeta: crates/bench/src/bin/fig09_latency_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig09_latency_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

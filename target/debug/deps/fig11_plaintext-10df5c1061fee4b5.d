@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-10df5c1061fee4b5.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-10df5c1061fee4b5: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_plaintext-167ebf707eca7d87.d: crates/bench/src/bin/fig11_plaintext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_plaintext-167ebf707eca7d87.rmeta: crates/bench/src/bin/fig11_plaintext.rs Cargo.toml
+
+crates/bench/src/bin/fig11_plaintext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

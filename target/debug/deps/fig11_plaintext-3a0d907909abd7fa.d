@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_plaintext-3a0d907909abd7fa.d: crates/bench/src/bin/fig11_plaintext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_plaintext-3a0d907909abd7fa.rmeta: crates/bench/src/bin/fig11_plaintext.rs Cargo.toml
+
+crates/bench/src/bin/fig11_plaintext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-500adbf1d73b6479.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-500adbf1d73b6479: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-aa1b35dd541914a1.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-aa1b35dd541914a1: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

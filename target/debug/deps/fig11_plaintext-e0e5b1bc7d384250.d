@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_plaintext-e0e5b1bc7d384250.d: crates/bench/src/bin/fig11_plaintext.rs
+
+/root/repo/target/debug/deps/fig11_plaintext-e0e5b1bc7d384250: crates/bench/src/bin/fig11_plaintext.rs
+
+crates/bench/src/bin/fig11_plaintext.rs:

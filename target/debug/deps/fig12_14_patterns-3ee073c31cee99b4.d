@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_14_patterns-3ee073c31cee99b4.d: crates/bench/src/bin/fig12_14_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_14_patterns-3ee073c31cee99b4.rmeta: crates/bench/src/bin/fig12_14_patterns.rs Cargo.toml
+
+crates/bench/src/bin/fig12_14_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-4209e033de44d6f8.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-4209e033de44d6f8: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

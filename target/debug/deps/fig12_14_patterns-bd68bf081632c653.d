@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-bd68bf081632c653.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-bd68bf081632c653: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

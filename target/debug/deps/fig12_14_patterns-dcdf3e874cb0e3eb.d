@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-dcdf3e874cb0e3eb.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-dcdf3e874cb0e3eb: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_14_patterns-f96374a6f55ac525.d: crates/bench/src/bin/fig12_14_patterns.rs
+
+/root/repo/target/debug/deps/fig12_14_patterns-f96374a6f55ac525: crates/bench/src/bin/fig12_14_patterns.rs
+
+crates/bench/src/bin/fig12_14_patterns.rs:

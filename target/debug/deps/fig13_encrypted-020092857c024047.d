@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_encrypted-020092857c024047.d: crates/bench/src/bin/fig13_encrypted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_encrypted-020092857c024047.rmeta: crates/bench/src/bin/fig13_encrypted.rs Cargo.toml
+
+crates/bench/src/bin/fig13_encrypted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

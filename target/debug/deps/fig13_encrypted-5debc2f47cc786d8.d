@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-5debc2f47cc786d8.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-5debc2f47cc786d8: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

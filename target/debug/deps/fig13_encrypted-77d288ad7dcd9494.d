@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-77d288ad7dcd9494.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-77d288ad7dcd9494: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

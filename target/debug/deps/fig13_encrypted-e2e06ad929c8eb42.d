@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-e2e06ad929c8eb42.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-e2e06ad929c8eb42: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_encrypted-f3337807712cd8c3.d: crates/bench/src/bin/fig13_encrypted.rs
+
+/root/repo/target/debug/deps/fig13_encrypted-f3337807712cd8c3: crates/bench/src/bin/fig13_encrypted.rs
+
+crates/bench/src/bin/fig13_encrypted.rs:

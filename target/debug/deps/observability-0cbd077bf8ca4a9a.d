@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-0cbd077bf8ca4a9a.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-0cbd077bf8ca4a9a: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-28f1e9a8308e2a26.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-28f1e9a8308e2a26: tests/observability.rs
+
+tests/observability.rs:

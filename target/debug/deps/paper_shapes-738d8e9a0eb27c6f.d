@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-738d8e9a0eb27c6f.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-738d8e9a0eb27c6f: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

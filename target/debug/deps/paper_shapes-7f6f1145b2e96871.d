@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-7f6f1145b2e96871.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-7f6f1145b2e96871: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-023dd2c75006faea.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-023dd2c75006faea: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9886d84e6bacc45e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9886d84e6bacc45e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retransmission-3b4cd80d37f126ee.d: tests/retransmission.rs
+
+/root/repo/target/debug/deps/retransmission-3b4cd80d37f126ee: tests/retransmission.rs
+
+tests/retransmission.rs:

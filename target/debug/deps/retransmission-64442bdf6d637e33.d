@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retransmission-64442bdf6d637e33.d: tests/retransmission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretransmission-64442bdf6d637e33.rmeta: tests/retransmission.rs Cargo.toml
+
+tests/retransmission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

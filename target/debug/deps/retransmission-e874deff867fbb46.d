@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retransmission-e874deff867fbb46.d: tests/retransmission.rs
+
+/root/repo/target/debug/deps/retransmission-e874deff867fbb46: tests/retransmission.rs
+
+tests/retransmission.rs:

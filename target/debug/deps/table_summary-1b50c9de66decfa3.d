@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-1b50c9de66decfa3.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-1b50c9de66decfa3: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_summary-2a270b0b251a0d88.d: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_summary-2a270b0b251a0d88.rmeta: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+crates/bench/src/bin/table_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-948cb76f47dcdbd6.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-948cb76f47dcdbd6: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-95520dd7dde67693.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-95520dd7dde67693: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

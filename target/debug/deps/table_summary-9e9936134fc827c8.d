@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_summary-9e9936134fc827c8.d: crates/bench/src/bin/table_summary.rs
+
+/root/repo/target/debug/deps/table_summary-9e9936134fc827c8: crates/bench/src/bin/table_summary.rs
+
+crates/bench/src/bin/table_summary.rs:

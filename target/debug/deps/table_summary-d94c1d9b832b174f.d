@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_summary-d94c1d9b832b174f.d: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_summary-d94c1d9b832b174f.rmeta: crates/bench/src/bin/table_summary.rs Cargo.toml
+
+crates/bench/src/bin/table_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_probe-0542e73e43a834a4.d: tests/zz_probe.rs
+
+/root/repo/target/debug/deps/zz_probe-0542e73e43a834a4: tests/zz_probe.rs
+
+tests/zz_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diskmap_tour-0e064153235d0d1b.d: examples/diskmap_tour.rs
+
+/root/repo/target/debug/examples/diskmap_tour-0e064153235d0d1b: examples/diskmap_tour.rs
+
+examples/diskmap_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diskmap_tour-429cabd6954d3343.d: examples/diskmap_tour.rs
+
+/root/repo/target/debug/examples/diskmap_tour-429cabd6954d3343: examples/diskmap_tour.rs
+
+examples/diskmap_tour.rs:

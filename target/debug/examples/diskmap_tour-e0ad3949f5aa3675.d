@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diskmap_tour-e0ad3949f5aa3675.d: examples/diskmap_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiskmap_tour-e0ad3949f5aa3675.rmeta: examples/diskmap_tour.rs Cargo.toml
+
+examples/diskmap_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

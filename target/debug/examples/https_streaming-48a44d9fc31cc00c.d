@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/https_streaming-48a44d9fc31cc00c.d: examples/https_streaming.rs
+
+/root/repo/target/debug/examples/https_streaming-48a44d9fc31cc00c: examples/https_streaming.rs
+
+examples/https_streaming.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/https_streaming-64f91c5d27968518.d: examples/https_streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhttps_streaming-64f91c5d27968518.rmeta: examples/https_streaming.rs Cargo.toml
+
+examples/https_streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/https_streaming-d091c3d64f221290.d: examples/https_streaming.rs
+
+/root/repo/target/debug/examples/https_streaming-d091c3d64f221290: examples/https_streaming.rs
+
+examples/https_streaming.rs:

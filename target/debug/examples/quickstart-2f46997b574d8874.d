@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2f46997b574d8874.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2f46997b574d8874: examples/quickstart.rs
+
+examples/quickstart.rs:

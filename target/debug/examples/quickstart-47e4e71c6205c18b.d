@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-47e4e71c6205c18b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-47e4e71c6205c18b: examples/quickstart.rs
+
+examples/quickstart.rs:

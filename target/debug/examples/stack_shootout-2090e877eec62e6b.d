@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stack_shootout-2090e877eec62e6b.d: examples/stack_shootout.rs
+
+/root/repo/target/debug/examples/stack_shootout-2090e877eec62e6b: examples/stack_shootout.rs
+
+examples/stack_shootout.rs:

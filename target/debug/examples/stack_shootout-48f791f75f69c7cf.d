@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stack_shootout-48f791f75f69c7cf.d: examples/stack_shootout.rs
+
+/root/repo/target/debug/examples/stack_shootout-48f791f75f69c7cf: examples/stack_shootout.rs
+
+examples/stack_shootout.rs:

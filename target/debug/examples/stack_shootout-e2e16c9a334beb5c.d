@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stack_shootout-e2e16c9a334beb5c.d: examples/stack_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstack_shootout-e2e16c9a334beb5c.rmeta: examples/stack_shootout.rs Cargo.toml
+
+examples/stack_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_io_window-39348252d397b789.d: examples/tune_io_window.rs
+
+/root/repo/target/debug/examples/tune_io_window-39348252d397b789: examples/tune_io_window.rs
+
+examples/tune_io_window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tune_io_window-5a1113967c38aa6d.d: examples/tune_io_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtune_io_window-5a1113967c38aa6d.rmeta: examples/tune_io_window.rs Cargo.toml
+
+examples/tune_io_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

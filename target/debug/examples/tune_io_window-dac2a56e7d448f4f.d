@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_io_window-dac2a56e7d448f4f.d: examples/tune_io_window.rs
+
+/root/repo/target/debug/examples/tune_io_window-dac2a56e7d448f4f: examples/tune_io_window.rs
+
+examples/tune_io_window.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdcn_packet.rlib: /root/repo/crates/packet/src/eth.rs /root/repo/crates/packet/src/ipv4.rs /root/repo/crates/packet/src/lib.rs /root/repo/crates/packet/src/tcp.rs

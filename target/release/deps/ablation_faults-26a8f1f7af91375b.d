@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_faults-26a8f1f7af91375b.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/release/deps/ablation_faults-26a8f1f7af91375b: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

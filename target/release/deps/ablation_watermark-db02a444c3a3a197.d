@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_watermark-db02a444c3a3a197.d: crates/bench/src/bin/ablation_watermark.rs
+
+/root/repo/target/release/deps/ablation_watermark-db02a444c3a3a197: crates/bench/src/bin/ablation_watermark.rs
+
+crates/bench/src/bin/ablation_watermark.rs:

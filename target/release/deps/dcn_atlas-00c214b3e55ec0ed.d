@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_atlas-00c214b3e55ec0ed.d: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-00c214b3e55ec0ed.rlib: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+/root/repo/target/release/deps/libdcn_atlas-00c214b3e55ec0ed.rmeta: crates/atlas/src/lib.rs crates/atlas/src/conn.rs crates/atlas/src/server.rs
+
+crates/atlas/src/lib.rs:
+crates/atlas/src/conn.rs:
+crates/atlas/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_bench-b4848035b2d3258c.d: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-b4848035b2d3258c.rlib: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libdcn_bench-b4848035b2d3258c.rmeta: crates/bench/src/lib.rs crates/bench/src/storage.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/storage.rs:
+crates/bench/src/sweep.rs:

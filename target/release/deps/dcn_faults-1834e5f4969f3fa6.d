@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_faults-1834e5f4969f3fa6.d: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+/root/repo/target/release/deps/libdcn_faults-1834e5f4969f3fa6.rlib: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+/root/repo/target/release/deps/libdcn_faults-1834e5f4969f3fa6.rmeta: crates/faults/src/lib.rs crates/faults/src/link.rs crates/faults/src/nvme.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/link.rs:
+crates/faults/src/nvme.rs:

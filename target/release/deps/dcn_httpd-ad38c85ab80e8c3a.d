@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcn_httpd-ad38c85ab80e8c3a.d: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/release/deps/libdcn_httpd-ad38c85ab80e8c3a.rlib: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+/root/repo/target/release/deps/libdcn_httpd-ad38c85ab80e8c3a.rmeta: crates/httpd/src/lib.rs crates/httpd/src/client.rs crates/httpd/src/parser.rs crates/httpd/src/response.rs
+
+crates/httpd/src/lib.rs:
+crates/httpd/src/client.rs:
+crates/httpd/src/parser.rs:
+crates/httpd/src/response.rs:

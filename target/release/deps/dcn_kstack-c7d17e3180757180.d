@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_kstack-c7d17e3180757180.d: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-c7d17e3180757180.rlib: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+/root/repo/target/release/deps/libdcn_kstack-c7d17e3180757180.rmeta: crates/kstack/src/lib.rs crates/kstack/src/conn.rs crates/kstack/src/server.rs
+
+crates/kstack/src/lib.rs:
+crates/kstack/src/conn.rs:
+crates/kstack/src/server.rs:

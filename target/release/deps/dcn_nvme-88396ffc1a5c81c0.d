@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcn_nvme-88396ffc1a5c81c0.d: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/release/deps/libdcn_nvme-88396ffc1a5c81c0.rlib: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+/root/repo/target/release/deps/libdcn_nvme-88396ffc1a5c81c0.rmeta: crates/nvme/src/lib.rs crates/nvme/src/backing.rs crates/nvme/src/device.rs crates/nvme/src/firmware.rs crates/nvme/src/queue.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/backing.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/firmware.rs:
+crates/nvme/src/queue.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_store-f06c787629e2a726.d: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-f06c787629e2a726.rlib: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+/root/repo/target/release/deps/libdcn_store-f06c787629e2a726.rmeta: crates/store/src/lib.rs crates/store/src/bufcache.rs crates/store/src/catalog.rs
+
+crates/store/src/lib.rs:
+crates/store/src/bufcache.rs:
+crates/store/src/catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcn_workload-635b5e1acb995b75.d: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-635b5e1acb995b75.rlib: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+/root/repo/target/release/deps/libdcn_workload-635b5e1acb995b75.rmeta: crates/workload/src/lib.rs crates/workload/src/fleet.rs crates/workload/src/runner.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/fleet.rs:
+crates/workload/src/runner.rs:

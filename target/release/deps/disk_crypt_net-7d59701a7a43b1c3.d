@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/disk_crypt_net-7d59701a7a43b1c3.d: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-7d59701a7a43b1c3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdisk_crypt_net-7d59701a7a43b1c3.rmeta: src/lib.rs
+
+src/lib.rs:

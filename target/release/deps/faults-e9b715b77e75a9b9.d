@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-e9b715b77e75a9b9.d: tests/faults.rs
+
+/root/repo/target/release/deps/faults-e9b715b77e75a9b9: tests/faults.rs
+
+tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-f1b0df62e88a9531.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-f1b0df62e88a9531: tests/observability.rs
+
+tests/observability.rs:

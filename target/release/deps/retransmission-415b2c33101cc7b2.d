@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/retransmission-415b2c33101cc7b2.d: tests/retransmission.rs
+
+/root/repo/target/release/deps/retransmission-415b2c33101cc7b2: tests/retransmission.rs
+
+tests/retransmission.rs:

@@ -137,6 +137,48 @@ fn tracing_does_not_perturb_the_run() {
 }
 
 #[test]
+fn fault_schedule_replays_bit_identically_under_observation() {
+    // Seeded fault injection composed with the tracer: two runs of the
+    // same scenario — same seed, nonzero fault schedule (bursty loss +
+    // NVMe read errors) — must emit byte-identical JSONL traces and
+    // metrics CSVs. Any hidden nondeterminism in the fault streams,
+    // the recovery paths, or the observer itself shows up as a diff.
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let mut sc = Scenario::smoke(ServerKind::Atlas(cfg), 12, 83);
+    sc.faults = disk_crypt_net::faults::FaultConfig::bursty_with_disk_errors();
+    let mut outputs = Vec::new();
+    for run in ["a", "b"] {
+        let trace = trace_path(&format!("replay_{run}"));
+        let csv = std::env::temp_dir().join(format!("dcn_obs_test_replay_{run}.csv"));
+        let obs = ObsOptions {
+            trace_out: Some(trace.clone()),
+            metrics_out: Some(csv.clone()),
+            ..ObsOptions::disabled()
+        };
+        let (m, report) = run_scenario_observed(&sc, &obs);
+        assert!(m.responses > 0, "progress under faults");
+        assert_eq!(m.verify_failures, 0);
+        assert_eq!(m.leaked_buffers, 0);
+        assert!(m.faults.net_dropped > 0, "fault schedule must be nonzero");
+        assert!(m.faults.nvme_read_errors > 0);
+        assert!(report.traced_chunks > 0);
+        let trace_body = std::fs::read_to_string(&trace).expect("trace written");
+        let csv_body = std::fs::read_to_string(&csv).expect("csv written");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&csv);
+        outputs.push((format!("{m:?}"), trace_body, csv_body));
+    }
+    let (m_a, trace_a, csv_a) = &outputs[0];
+    let (m_b, trace_b, csv_b) = &outputs[1];
+    assert_eq!(m_a, m_b, "run metrics must replay identically");
+    assert_eq!(trace_a, trace_b, "chunk trace must replay byte-identically");
+    assert_eq!(csv_a, csv_b, "metrics CSV must replay byte-identically");
+}
+
+#[test]
 fn metrics_csv_has_per_core_series() {
     // The CSV export must carry per-core labelled registry series,
     // including at least one previously uninstrumented signal (TCP

@@ -25,6 +25,7 @@ fn run(server: ServerKind, n: usize, cacheable: bool, seed: u64) -> RunMetrics {
         duration: Nanos::from_millis(800),
         seed,
         data_loss: 0.0,
+        faults: Default::default(),
     };
     run_scenario(&sc)
 }

@@ -4,7 +4,7 @@
 //! container builds offline, so this replaces an external
 //! property-testing framework with the simulator's own PRNG.
 
-use disk_crypt_net::crypto::{AesGcm128, RecordCipher, RECORD_PAYLOAD_MAX};
+use disk_crypt_net::crypto::{derive_nonce, AesGcm128, RecordCipher, RECORD_PAYLOAD_MAX};
 use disk_crypt_net::mem::{
     CostParams, HostMem, Llc, LlcConfig, MemSystem, PhysAddr, PhysRegion, CHUNK_SIZE,
 };
@@ -183,6 +183,48 @@ fn record_reencryption_deterministic() {
         let tb = rc.seal_record(off, &mut b);
         assert_eq!(a, b, "case {case}");
         assert_eq!(ta, tb, "case {case}");
+    }
+}
+
+/// Nonce discipline of the stateless-retransmission design: every
+/// record of a connection gets a distinct GCM nonce (offset-derived,
+/// so no counter state can slip), any byte offset WITHIN a record
+/// maps to that record's nonce, and a re-fetch retransmission at the
+/// same stream offset reuses the identical nonce — reusing a nonce
+/// across different plaintexts would break GCM, while deriving a
+/// fresh one on retransmit would desync the client's keystream.
+#[test]
+fn gcm_nonces_unique_across_records_identical_on_refetch() {
+    let mut rng = SimRng::new(0x4E4F);
+    for case in 0..CASES {
+        let salt = rng.next_u64() as u32;
+        let n_records = rng.gen_range(2, 400);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n_records {
+            let off = i * RECORD_PAYLOAD_MAX as u64;
+            let nonce = derive_nonce(salt, off);
+            assert!(
+                seen.insert(nonce),
+                "case {case}: record {i} repeats an earlier nonce"
+            );
+            // Any offset inside the record derives the same nonce.
+            let within = off + rng.gen_range(0, RECORD_PAYLOAD_MAX as u64);
+            assert_eq!(derive_nonce(salt, within), nonce, "case {case}");
+        }
+        // Original transmission vs re-fetch retransmission: same
+        // stream offset, same key → identical nonce, ciphertext, tag.
+        let mut key = [0u8; 16];
+        prf_bytes(rng.next_u64(), 0, &mut key);
+        let rc = RecordCipher::new(&key, salt);
+        let record = rng.gen_range(0, n_records);
+        let off = record * RECORD_PAYLOAD_MAX as u64;
+        let plain = rand_bytes(&mut rng, 1, 512);
+        let mut original = plain.clone();
+        let mut refetch = plain;
+        let tag_orig = rc.seal_record(off, &mut original);
+        let tag_retx = rc.seal_record(off, &mut refetch);
+        assert_eq!(original, refetch, "case {case}: ciphertext must match");
+        assert_eq!(tag_orig, tag_retx, "case {case}: tag must match");
     }
 }
 

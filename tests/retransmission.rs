@@ -5,6 +5,7 @@
 //! every client must still receive byte-perfect content.
 
 use disk_crypt_net::atlas::AtlasConfig;
+use disk_crypt_net::faults::LossModel;
 use disk_crypt_net::kstack::KstackConfig;
 use disk_crypt_net::simcore::Nanos;
 use disk_crypt_net::workload::{run_scenario, Scenario, ServerKind};
@@ -52,4 +53,81 @@ fn kstack_retransmits_from_socket_buffers() {
     eprintln!("{m:?}");
     assert!(m.responses > 5, "progress under loss: {}", m.responses);
     assert_eq!(m.verify_failures, 0);
+}
+
+#[test]
+fn every_retransmission_is_a_fresh_disk_fetch() {
+    // Atlas keeps zero payload bytes server-side — no socket buffer,
+    // no record cache (the TCB stores layouts, not data). So every
+    // retransmitted range MUST show up as an additional disk read:
+    // successful reads ≥ (records needed for the bytes delivered) +
+    // (retransmit fetches issued). A stack that served retransmits
+    // from any payload cache would fail this inequality.
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let m = run_scenario(&lossy(ServerKind::Atlas(cfg), 13));
+    eprintln!("{m:?}");
+    assert!(m.faults.net_dropped > 0, "loss was injected");
+    assert!(m.retransmit_fetches > 0, "losses forced re-fetches");
+    let fresh_records_lower_bound = m.total_body_bytes / 16384;
+    assert!(
+        m.disk_reads >= fresh_records_lower_bound + m.retransmit_fetches,
+        "disk reads ({}) must cover fresh records (≥{}) plus every \
+         retransmit fetch ({}) — no payload cache may absorb them",
+        m.disk_reads,
+        fresh_records_lower_bound,
+        m.retransmit_fetches,
+    );
+    assert_eq!(m.verify_failures, 0);
+}
+
+#[test]
+fn bursty_tail_loss_forces_rto_driven_refetch() {
+    // Gilbert–Elliott loss takes out whole windows, so dup-ACK-driven
+    // fast retransmit often has nothing behind it to generate dup
+    // ACKs — the retransmission timer must fire, and its re-fetch
+    // comes from disk like any other.
+    let mut sc = Scenario::smoke(ServerKind::Atlas(AtlasConfig::default()), 8, 17);
+    sc.duration = Nanos::from_millis(1200);
+    sc.warmup = Nanos::from_millis(300);
+    sc.faults.net.loss = LossModel::gilbert_elliott_for(0.03);
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert!(m.responses > 5, "progress under bursty loss");
+    assert!(m.faults.rto_fired > 0, "bursts must exhaust fast recovery");
+    assert!(m.retransmit_fetches > 0);
+    assert_eq!(m.verify_failures, 0);
+    assert_eq!(m.leaked_buffers, 0);
+}
+
+#[test]
+fn losing_the_retransmission_itself_still_recovers() {
+    // Targeted two-stage fault on a single connection: drop one data
+    // frame mid-response, then drop the first retransmission of it as
+    // well. Recovery needs a SECOND disk re-fetch (RTO-driven after
+    // the first retransmit vanishes) — the paper's stateless design
+    // must survive repeated loss of the same range.
+    let mut sc = Scenario::smoke(ServerKind::Atlas(AtlasConfig::default()), 1, 29);
+    sc.duration = Nanos::from_millis(1500);
+    sc.warmup = Nanos::from_millis(300);
+    sc.faults.net.drop_nth_data_frame = Some(50);
+    sc.faults.net.retx_drop = 1;
+    let m = run_scenario(&sc);
+    eprintln!("{m:?}");
+    assert_eq!(m.faults.net_dropped, 2, "the frame and its retransmit");
+    assert_eq!(m.faults.net_retx_dropped, 1);
+    assert!(
+        m.retransmit_fetches >= 2,
+        "second recovery needs a second fetch: {}",
+        m.retransmit_fetches
+    );
+    assert!(
+        m.faults.rto_fired >= 1,
+        "only the RTO re-drives a lost retransmit"
+    );
+    assert!(m.responses > 0, "the stream still completes");
+    assert_eq!(m.verify_failures, 0, "recovered bytes are byte-perfect");
+    assert_eq!(m.leaked_buffers, 0);
 }
