@@ -3,6 +3,12 @@
 # Run from the repo root; exits non-zero on the first failure.
 set -euo pipefail
 
+echo "==> repo hygiene: no build artifacts tracked in git"
+if git ls-files | grep -q '^target/'; then
+    echo "error: target/ build artifacts are tracked in git (git rm -r --cached target)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -14,6 +20,9 @@ cargo build --release
 
 echo "==> fault-injection matrix (seeded loss / device-error / replay tests)"
 cargo test -q --release --test faults --test retransmission --test observability
+
+echo "==> cluster smoke (multi-server scale-out / failover)"
+cargo test -q --release --test cluster
 
 echo "==> cargo test"
 cargo test -q --workspace

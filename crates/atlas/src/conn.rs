@@ -39,7 +39,11 @@ pub struct ResponseLayout {
     /// The header block (regenerable, kept because it is tiny).
     pub header: Vec<u8>,
     pub file: FileId,
-    /// Plaintext body length (the file/chunk size).
+    /// Plaintext file offset where the body starts (non-zero for
+    /// range-resumed responses; always record-aligned so disk fetches
+    /// stay LBA-aligned).
+    pub file_off: u64,
+    /// Plaintext body length (file/chunk size minus `file_off`).
     pub body_len: u64,
     pub encrypted: bool,
 }
@@ -102,7 +106,7 @@ impl ResponseLayout {
     /// File offset of record `i`'s plaintext.
     #[must_use]
     pub fn record_file_off(&self, i: u64) -> u64 {
-        i * RECORD_PLAIN
+        self.file_off + i * RECORD_PLAIN
     }
 
     /// Locate a body stream offset. Returns None for header bytes or
@@ -251,6 +255,7 @@ mod tests {
             start: 1000,
             header: vec![0u8; 100],
             file: FileId(3),
+            file_off: 0,
             body_len: body,
             encrypted,
         }
@@ -293,6 +298,21 @@ mod tests {
         assert!(l.locate_body(1100).is_some());
         assert!(l.locate_body(l.end()).is_none());
         assert!(l.locate_body(l.end() - 1).is_some());
+    }
+
+    #[test]
+    fn resumed_layout_offsets_records_into_the_file() {
+        let l = ResponseLayout {
+            file_off: 5 * RECORD_PLAIN,
+            body_len: 300 * 1024 - 5 * RECORD_PLAIN,
+            ..layout(0, true)
+        };
+        // Record framing is response-relative…
+        assert_eq!(l.record_stream_off(1), l.body_start() + RECORD_WIRE);
+        // …but disk reads are file-relative.
+        assert_eq!(l.record_file_off(0), 5 * RECORD_PLAIN);
+        assert_eq!(l.record_file_off(2), 7 * RECORD_PLAIN);
+        assert_eq!(l.n_records(), 19 - 5);
     }
 
     #[test]

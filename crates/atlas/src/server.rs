@@ -483,9 +483,19 @@ impl AtlasServer {
         loop {
             match slot.conn.parser.next_request() {
                 Ok(Some(req)) => {
+                    // Range resumes are floored to a record boundary:
+                    // records are the unit of both disk fetches and
+                    // GCM framing, and reconnecting clients only ever
+                    // ask for record-aligned offsets anyway.
+                    let start = req.range_start.unwrap_or(0) / crate::conn::RECORD_PLAIN
+                        * crate::conn::RECORD_PLAIN;
                     let info = match parse_chunk_path(&req.path) {
-                        Some(f) if f.0 < n_files => ResponseInfo::Ok {
+                        Some(f) if f.0 < n_files && start == 0 => ResponseInfo::Ok {
                             body_len: file_size,
+                        },
+                        Some(f) if f.0 < n_files && start < file_size => ResponseInfo::Partial {
+                            body_len: file_size - start,
+                            offset: start,
                         },
                         _ => ResponseInfo::NotFound,
                     };
@@ -510,8 +520,13 @@ impl AtlasServer {
                 .last()
                 .map(|l| l.end())
                 .unwrap_or_else(|| slot.conn.tcb.stream_offset_of_snd_nxt());
-            match (info, file) {
-                (ResponseInfo::Ok { body_len }, Some(file)) => {
+            let served = match info {
+                ResponseInfo::Ok { body_len } => Some((body_len, 0)),
+                ResponseInfo::Partial { body_len, offset } => Some((body_len, offset)),
+                ResponseInfo::NotFound => None,
+            };
+            match (served, file) {
+                (Some((body_len, file_off)), Some(file)) => {
                     let id = slot.conn.next_layout_id;
                     slot.conn.next_layout_id += 1;
                     let was_idle = slot.conn.active_layout().is_none();
@@ -520,6 +535,7 @@ impl AtlasServer {
                         start: cursor,
                         header: header.clone(),
                         file,
+                        file_off,
                         body_len,
                         encrypted,
                     });
@@ -967,7 +983,7 @@ impl AtlasServer {
                     && fetch.layout_id + 1 == slot.conn.next_layout_id;
                 // Park at the record's stream offset; drain sends
                 // everything in order.
-                slot.conn.ready_tx.insert(
+                let prev = slot.conn.ready_tx.insert(
                     layout.record_stream_off(fetch.record),
                     crate::conn::ReadyTx {
                         sg,
@@ -975,22 +991,38 @@ impl AtlasServer {
                         completes_response: last,
                     },
                 );
+                debug_assert!(
+                    prev.is_none(),
+                    "duplicate fetch parked at one stream offset (would leak a buffer)"
+                );
                 self.drain_tx(done_at, slot_idx);
             }
             Some((off, len)) => {
                 slot.conn.retx_inflight -= 1;
                 self.reg.inc(self.ids.disk_reads[core]);
-                // Slice exactly the requested wire range out of the
-                // regenerated record; retransmissions bypass the
-                // ordered queue (their stream position is explicit).
-                let mut rest = sg;
-                let _ = rest.split_front(off);
-                let mut want = rest;
-                let piece = want.split_front(len.min(want.len()));
-                let stream_off = layout.record_stream_off(fetch.record) + off;
-                let out = slot.conn.tcb.send_retransmit(done_at, stream_off, piece);
-                self.nic.tx_rings[core].push(out.into_tx(token));
-                self.tracer.stamp_tx(token, Stage::TsoPacketize, done_at);
+                if self.nic.tx_rings[core].space() == 0 {
+                    // TX ring full: a push would be rejected and the
+                    // descriptor — with its DMA buffer — dropped on
+                    // the floor. Same policy as a failed retransmit
+                    // read: recycle the buffer and abandon to the
+                    // RTO, which re-drives the range.
+                    slot.conn.tcb.retransmit_abandoned();
+                    self.core_disks[core].queues[disk].pool().free(buf);
+                    self.tracer.discard(io.user);
+                } else {
+                    // Slice exactly the requested wire range out of
+                    // the regenerated record; retransmissions bypass
+                    // the ordered queue (their stream position is
+                    // explicit).
+                    let mut rest = sg;
+                    let _ = rest.split_front(off);
+                    let mut want = rest;
+                    let piece = want.split_front(len.min(want.len()));
+                    let stream_off = layout.record_stream_off(fetch.record) + off;
+                    let out = slot.conn.tcb.send_retransmit(done_at, stream_off, piece);
+                    self.nic.tx_rings[core].push(out.into_tx(token));
+                    self.tracer.stamp_tx(token, Stage::TsoPacketize, done_at);
+                }
             }
         }
         // Keep pumping: completing a fetch freed a buffer slot and the

@@ -1,0 +1,172 @@
+//! Cluster ablation — aggregate goodput vs server count, crypto, and
+//! a one-server kill.
+//!
+//! Sweeps 1→8 Atlas servers behind the consistent-hash dispatcher
+//! under a fixed oversubscribed client population, crossed with
+//! {plaintext, TLS} × {healthy, one-server-kill}. The healthy rows
+//! show scale-out (per-server capacity is the bottleneck, so goodput
+//! grows ~linearly until demand is met); the kill rows show the
+//! failure path: goodput before the kill, goodput after the control
+//! loop re-routed everything to the survivors, and the resume work
+//! (clients re-pointed, streams resumed mid-body via range requests).
+//!
+//! `--trace-out` / `--metrics-out` additionally run one small
+//! full-fidelity TLS cluster with a kill and dump per-server chunk
+//! traces and `s{i}.`-prefixed metrics CSV.
+
+use dcn_atlas::AtlasConfig;
+use dcn_bench::{obs_from_args, print_table, Scale};
+use dcn_cluster::{run_cluster, run_cluster_observed, ClusterConfig};
+use dcn_faults::{ClusterFaults, ServerFault};
+use dcn_mem::Fidelity;
+use dcn_simcore::{Bandwidth, Nanos};
+use dcn_store::Catalog;
+use dcn_workload::FleetConfig;
+
+fn config(
+    n_servers: usize,
+    n_clients: usize,
+    encrypted: bool,
+    kill: bool,
+    duration: Nanos,
+    seed: u64,
+) -> ClusterConfig {
+    let mut sc = ClusterConfig::smoke(n_servers, n_clients, seed);
+    let mut atlas = AtlasConfig {
+        encrypted,
+        fidelity: Fidelity::Modeled,
+        ..AtlasConfig::default()
+    };
+    // Edge-pod shape: each server has a 2×5 GbE NIC and the clients
+    // sit a few ms away, so one server's NIC — not client round
+    // trips — is the bottleneck and scale-out is measurable.
+    atlas.nic.port_rate = Bandwidth::from_gbps(5.0);
+    sc.atlas = atlas;
+    sc.client_delay = (Nanos::from_millis(2), Nanos::from_millis(8));
+    // 0% BC: uniform over the catalog (the paper's hardest case), so
+    // scaling comes from sharding, not caching.
+    sc.fleet = FleetConfig {
+        n_clients,
+        cacheable: false,
+        verify: false,
+        ..FleetConfig::default()
+    };
+    sc.catalog = Catalog::paper(seed);
+    // Balance matters once per-server NICs are the bottleneck: with
+    // few vnodes the hash ring gives servers uneven file shares, and
+    // closed-loop clients queue on the hot server while a cold one
+    // idles.
+    sc.vnodes = 512;
+    sc.warmup = Nanos::from_millis(400);
+    sc.duration = duration;
+    if kill {
+        // Mid-measurement-window, so both the pre-kill and the
+        // recovered steady state are observable.
+        let at = sc.warmup + (duration - sc.warmup).mul_f64(0.4);
+        sc.faults.cluster = ClusterFaults {
+            kill: Some(ServerFault { server: 0, at }),
+            drain: None,
+        };
+    }
+    sc
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n_clients, server_counts): (usize, Vec<usize>) = match scale {
+        Scale::Quick => (400, vec![1, 4]),
+        Scale::Default => (600, vec![1, 2, 4, 8]),
+        Scale::Paper => (1200, vec![1, 2, 4, 8]),
+    };
+    let duration = scale.duration();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &n in &server_counts {
+        for encrypted in [false, true] {
+            for kill in [false, true] {
+                if kill && n == 1 {
+                    continue; // killing the only server isn't recovery
+                }
+                let sc = config(n, n_clients, encrypted, kill, duration, 23);
+                let m = run_cluster(&sc);
+                let (pre, post) = m.recovery.map_or((f64::NAN, f64::NAN), |r| {
+                    (r.pre_kill_gbps, r.post_recovery_gbps)
+                });
+                let leaked: i64 = m
+                    .per_server
+                    .iter()
+                    .filter(|s| s.alive)
+                    .map(|s| s.leaked_buffers)
+                    .sum();
+                rows.push(vec![
+                    n.to_string(),
+                    if encrypted { "TLS" } else { "plain" }.to_string(),
+                    if kill { "kill s0" } else { "healthy" }.to_string(),
+                    format!("{:.1}", m.net_gbps),
+                    if kill {
+                        format!("{pre:.1}")
+                    } else {
+                        "-".into()
+                    },
+                    if kill {
+                        format!("{post:.1}")
+                    } else {
+                        "-".into()
+                    },
+                    m.responses.to_string(),
+                    m.failovers.to_string(),
+                    m.resumed_responses.to_string(),
+                    m.fallback_routes.to_string(),
+                    m.overflow_routes.to_string(),
+                    leaked.to_string(),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!(
+            "Ablation: cluster scale-out, 0% BC, {n_clients} clients (goodput in Gbps; kill 40% into the window, detect +30 ms)"
+        ),
+        &[
+            "servers", "crypto", "fault", "net_gbps", "pre_kill", "post_rec", "responses",
+            "failover", "resumed", "fallback", "overflow", "leaked",
+        ],
+        &rows,
+    );
+
+    // Observability run: full fidelity, TLS, 3 servers, one kill —
+    // verification on, per-server metrics CSV and merged chunk trace.
+    let obs = obs_from_args();
+    if obs.active() {
+        let mut sc = ClusterConfig::smoke(3, 24, 42);
+        sc.atlas = AtlasConfig {
+            encrypted: true,
+            ..AtlasConfig::default()
+        };
+        sc.fleet.cacheable = true;
+        sc.duration = Nanos::from_millis(1200);
+        sc.faults.cluster = ClusterFaults {
+            kill: Some(ServerFault {
+                server: 1,
+                at: Nanos::from_millis(600),
+            }),
+            drain: None,
+        };
+        let (m, report) = run_cluster_observed(&sc, &obs);
+        println!("\n=== Observability: traced cluster run (full fidelity, TLS, kill s1) ===");
+        println!(
+            "responses={} net={:.2} Gbps failovers={} resumed={} verify_failures={}",
+            m.responses, m.net_gbps, m.failovers, m.resumed_responses, m.verify_failures
+        );
+        if let Some(p) = &obs.trace_out {
+            println!(
+                "chunk trace: {} chunks -> {}",
+                report.traced_chunks,
+                p.display()
+            );
+            print!("{}", report.stage_summary);
+        }
+        if let Some(p) = &obs.metrics_out {
+            println!("metrics CSV -> {}", p.display());
+        }
+    }
+}

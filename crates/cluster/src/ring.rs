@@ -1,0 +1,153 @@
+//! Consistent-hash ring: `FileId` → owning server(s).
+//!
+//! Classic Karger-style ring with virtual nodes: every server
+//! contributes `vnodes` points at `mix(server ⊕ salt·vnode)`; a file
+//! hashes to a point and walks clockwise to the first vnode, whose
+//! server owns it. Replicas are the next *distinct* servers along the
+//! ring, so the replica set of a hot file is stable under unrelated
+//! membership changes — the property that makes failover cheap: when
+//! one server dies, only the files it owned move, and they move to
+//! servers that (for the hot set) already carry a replica.
+
+use dcn_store::FileId;
+
+/// SplitMix64 finalizer — the same mixer `dcn-simcore`'s PRF family
+/// builds on; good avalanche, no allocation, no external deps.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The ring. Immutable after construction — liveness is the
+/// dispatcher's concern, placement is the ring's.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// (point, server), sorted by point.
+    points: Vec<(u64, u32)>,
+    n_servers: usize,
+}
+
+impl HashRing {
+    /// `vnodes` virtual nodes per server (≥1; 64 gives a ±few-percent
+    /// balanced split for small clusters).
+    #[must_use]
+    pub fn new(n_servers: usize, vnodes: usize) -> Self {
+        assert!(n_servers > 0, "ring needs at least one server");
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(n_servers * vnodes);
+        for s in 0..n_servers as u32 {
+            for v in 0..vnodes as u64 {
+                points.push((
+                    mix64(u64::from(s) ^ v.wrapping_mul(0xA5A5_0001_C0FE_E000)),
+                    s,
+                ));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, n_servers }
+    }
+
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    fn start_index(&self, file: FileId) -> usize {
+        let h = mix64(file.0 ^ 0xD15C_C89F_7A11_0C0D);
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&h)) {
+            Ok(i) | Err(i) => i % self.points.len(),
+        }
+    }
+
+    /// The first `k` *distinct* servers clockwise from the file's
+    /// point: `owners(f, 1)[0]` is the primary, the rest are replicas
+    /// in preference order. `k` is clamped to the cluster size.
+    #[must_use]
+    pub fn owners(&self, file: FileId, k: usize) -> Vec<u32> {
+        let k = k.clamp(1, self.n_servers);
+        let mut out = Vec::with_capacity(k);
+        let start = self.start_index(file);
+        for off in 0..self.points.len() {
+            let s = self.points[(start + off) % self.points.len()].1;
+            if !out.contains(&s) {
+                out.push(s);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary owner.
+    #[must_use]
+    pub fn primary(&self, file: FileId) -> u32 {
+        self.owners(file, 1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_distinct_and_clamped() {
+        let ring = HashRing::new(4, 64);
+        for f in 0..200 {
+            let o = ring.owners(FileId(f), 3);
+            assert_eq!(o.len(), 3);
+            let mut d = o.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 3, "distinct owners for file {f}");
+            // k beyond cluster size clamps.
+            assert_eq!(ring.owners(FileId(f), 10).len(), 4);
+        }
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0u64; 4];
+        for f in 0..40_000 {
+            counts[ring.primary(FileId(f)) as usize] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // Virtual nodes keep the split within ~2x even for a tiny
+        // cluster; in practice it is much tighter.
+        assert!(
+            max < 2 * min,
+            "imbalanced primaries: {counts:?} (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn replica_sets_are_stable_across_cluster_growth() {
+        // Growing the cluster must not reshuffle everything: most
+        // files keep their primary when a server is added (the
+        // consistent-hashing property; naive `hash % n` moves ~all).
+        let small = HashRing::new(4, 64);
+        let big = HashRing::new(5, 64);
+        let total = 20_000u64;
+        let moved = (0..total)
+            .filter(|&f| small.primary(FileId(f)) != big.primary(FileId(f)))
+            .count() as f64;
+        let frac = moved / total as f64;
+        assert!(
+            frac < 0.40,
+            "adding one server moved {:.0}% of primaries",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn single_server_ring_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        for f in 0..50 {
+            assert_eq!(ring.owners(FileId(f), 2), vec![0]);
+        }
+    }
+}

@@ -66,16 +66,24 @@ impl NvmeFaults {
 }
 
 /// Server→client link faults, applied per TCP data frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetFaults {
     /// Loss process for data frames.
     pub loss: LossModel,
     /// Probability a delivered data frame is delivered twice.
     pub dup_p: f64,
-    /// Probability a data frame is corrupted in flight. The NIC's FCS
-    /// detects it, so the observable effect is a (separately counted)
-    /// drop — corrupted bytes are never delivered upward.
+    /// Probability a data frame is corrupted in flight. With
+    /// `fcs_check` on (the default) the NIC's FCS detects it, so the
+    /// observable effect is a (separately counted) drop — corrupted
+    /// bytes are never delivered upward. With `fcs_check` off the
+    /// mangled frame is delivered, and catching it becomes the
+    /// application-layer verifier's job.
     pub corrupt_p: f64,
+    /// Model the receiving NIC's frame-check-sequence validation.
+    /// Bypassing it (false) turns corruption events into
+    /// `FrameFate::CorruptDeliver` — the end-to-end test that proves
+    /// the fleet's `StreamVerifier` really checks content.
+    pub fcs_check: bool,
     /// Deterministic targeted fault: drop exactly the Nth data frame
     /// of every flow (1-based), once per flow. Forces tail loss / RTO
     /// without relying on random schedules.
@@ -84,6 +92,19 @@ pub struct NetFaults {
     /// classified as retransmissions (re-sent sequence ranges). Tests
     /// "loss of the retransmission itself".
     pub retx_drop: u32,
+}
+
+impl Default for NetFaults {
+    fn default() -> Self {
+        Self {
+            loss: LossModel::None,
+            dup_p: 0.0,
+            corrupt_p: 0.0,
+            fcs_check: true,
+            drop_nth_data_frame: None,
+            retx_drop: 0,
+        }
+    }
 }
 
 impl NetFaults {
@@ -120,6 +141,37 @@ impl ClientFaults {
     }
 }
 
+/// A whole-server scenario event: which server, and when (virtual
+/// time from run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerFault {
+    pub server: u32,
+    pub at: Nanos,
+}
+
+/// Whole-server fault hooks for the cluster layer (`dcn-cluster`).
+/// Unlike the per-frame/per-command knobs above these are
+/// deterministic scheduled events, not probabilities: a scale-out
+/// scenario kills or drains *one specific box* at a known virtual
+/// time and measures the fleet's recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterFaults {
+    /// Hard fail-stop: the server stops transmitting, receiving, and
+    /// polling at `at`. In-flight responses are severed mid-stream;
+    /// clients must reconnect to a replica and resume by range.
+    pub kill: Option<ServerFault>,
+    /// Administrative drain: the dispatcher stops routing *new*
+    /// requests to the server at `at`; in-flight responses finish
+    /// normally.
+    pub drain: Option<ServerFault>,
+}
+
+impl ClusterFaults {
+    pub fn is_active(&self) -> bool {
+        self.kill.is_some() || self.drain.is_some()
+    }
+}
+
 /// The full fault schedule for one scenario. `Default` is entirely
 /// inactive — every existing scenario runs unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -127,11 +179,16 @@ pub struct FaultConfig {
     pub nvme: NvmeFaults,
     pub net: NetFaults,
     pub client: ClientFaults,
+    /// Whole-server events; ignored by single-server runners.
+    pub cluster: ClusterFaults,
 }
 
 impl FaultConfig {
     pub fn is_active(&self) -> bool {
-        self.nvme.is_active() || self.net.is_active() || self.client.is_active()
+        self.nvme.is_active()
+            || self.net.is_active()
+            || self.client.is_active()
+            || self.cluster.is_active()
     }
 
     /// The acceptance scenario from the issue: 1% bursty loss plus
@@ -147,6 +204,7 @@ impl FaultConfig {
                 ..NetFaults::default()
             },
             client: ClientFaults::default(),
+            cluster: ClusterFaults::default(),
         }
     }
 }
@@ -185,5 +243,22 @@ mod tests {
         assert!(f.is_active());
         assert!(f.nvme.is_active());
         assert!(f.net.is_active());
+        assert!(!f.cluster.is_active());
+    }
+
+    #[test]
+    fn cluster_faults_activate_config() {
+        let f = FaultConfig {
+            cluster: ClusterFaults {
+                kill: Some(ServerFault {
+                    server: 1,
+                    at: Nanos::from_millis(300),
+                }),
+                drain: None,
+            },
+            ..FaultConfig::default()
+        };
+        assert!(f.is_active());
+        assert!(f.cluster.is_active());
     }
 }

@@ -89,6 +89,11 @@ pub enum FrameFate {
     /// observably a drop — but counted separately and asserted never
     /// to reach a client as bytes.
     CorruptDrop,
+    /// Corrupted in flight *and* FCS checking is bypassed
+    /// (`NetFaults::fcs_check == false`): the harness flips a payload
+    /// byte and delivers the frame. The application-layer verifier
+    /// must catch it.
+    CorruptDeliver,
 }
 
 /// The identity of one TCP data frame, as extracted from its wire
@@ -128,6 +133,8 @@ pub struct LinkFaults {
     pub dropped: u64,
     pub duplicated: u64,
     pub corrupt_dropped: u64,
+    /// Corrupted frames delivered because FCS checking was bypassed.
+    pub corrupt_delivered: u64,
     /// Subset of `dropped` that hit a frame classified as a
     /// retransmission.
     pub retx_dropped: u64,
@@ -145,6 +152,7 @@ impl LinkFaults {
             dropped: 0,
             duplicated: 0,
             corrupt_dropped: 0,
+            corrupt_delivered: 0,
             retx_dropped: 0,
             data_frames_seen: 0,
         }
@@ -227,8 +235,12 @@ impl LinkFaults {
             return FrameFate::Drop;
         }
         if self.cfg.corrupt_p > 0.0 && self.rng.chance(self.cfg.corrupt_p) {
-            self.corrupt_dropped += 1;
-            return FrameFate::CorruptDrop;
+            if self.cfg.fcs_check {
+                self.corrupt_dropped += 1;
+                return FrameFate::CorruptDrop;
+            }
+            self.corrupt_delivered += 1;
+            return FrameFate::CorruptDeliver;
         }
         if self.cfg.dup_p > 0.0 && self.rng.chance(self.cfg.dup_p) {
             self.duplicated += 1;
@@ -355,6 +367,31 @@ mod tests {
             }
         }
         assert_eq!(lf.dropped, 2);
+    }
+
+    #[test]
+    fn fcs_bypass_delivers_corrupted_frames() {
+        let cfg = NetFaults {
+            corrupt_p: 1.0,
+            fcs_check: false,
+            ..NetFaults::default()
+        };
+        let mut lf = LinkFaults::new(cfg, 6);
+        assert_eq!(lf.classify(frame(1, 0, 1448)), FrameFate::CorruptDeliver);
+        assert_eq!(lf.corrupt_delivered, 1);
+        assert_eq!(lf.corrupt_dropped, 0);
+
+        // With FCS on, the same knob is an (observed) drop.
+        let mut lf = LinkFaults::new(
+            NetFaults {
+                corrupt_p: 1.0,
+                ..NetFaults::default()
+            },
+            6,
+        );
+        assert_eq!(lf.classify(frame(1, 0, 1448)), FrameFate::CorruptDrop);
+        assert_eq!(lf.corrupt_dropped, 1);
+        assert_eq!(lf.corrupt_delivered, 0);
     }
 
     #[test]

@@ -6,9 +6,24 @@
 //! driver consumes the response byte stream (headers + body),
 //! verifies progress, and decides when to fire the next request.
 
-use crate::response::scan_response_header;
+use crate::response::{scan_response_header, RECORD_PLAIN, RECORD_WIRE};
 use dcn_simcore::{SimRng, Zipf};
 use dcn_store::FileId;
+
+/// Where to pick up a response after its server died mid-stream: the
+/// file being fetched and the record-aligned plaintext offset already
+/// delivered in order. The reconnecting client sends
+/// `Range: bytes=offset-` (relative to the *file*, so a resume of a
+/// resume composes by adding bases).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumePlan {
+    pub file: FileId,
+    /// Plaintext offset relative to the start of the aborted
+    /// *response* (the caller adds any earlier resume base). Always a
+    /// multiple of the record size, for both encrypted and plaintext
+    /// bodies, so re-encrypted replica responses re-frame cleanly.
+    pub offset: u64,
+}
 
 /// Per-connection request state machine.
 pub struct RequestDriver {
@@ -23,12 +38,21 @@ pub struct RequestDriver {
     /// Bytes of the current response still expected (None = waiting
     /// for header).
     body_remaining: Option<u64>,
+    /// Wire Content-Length of the in-progress response (None until
+    /// its header has been parsed). `body_total - body_remaining` is
+    /// the in-order wire progress used to compute resume offsets.
+    body_total: Option<u64>,
+    /// File of the most recent request (cleared on completion) —
+    /// what a reconnect would re-request.
+    current_file: Option<FileId>,
     header_buf: Vec<u8>,
     pub requests_issued: u64,
     pub responses_done: u64,
     pub body_bytes: u64,
     /// Encrypted-body flag of the in-progress response.
     pub current_encrypted: bool,
+    /// Responses abandoned mid-stream by `disconnect` (server died).
+    pub responses_abandoned: u64,
 }
 
 impl RequestDriver {
@@ -43,11 +67,14 @@ impl RequestDriver {
             hot_set: None,
             rng,
             body_remaining: None,
+            body_total: None,
+            current_file: None,
             header_buf: Vec::new(),
             requests_issued: 0,
             responses_done: 0,
             body_bytes: 0,
             current_encrypted: false,
+            responses_abandoned: 0,
         }
     }
 
@@ -72,13 +99,52 @@ impl RequestDriver {
     /// Pick the next file to request.
     pub fn next_file(&mut self) -> FileId {
         self.requests_issued += 1;
-        if let Some(hot) = self.hot_set {
-            return FileId(self.rng.gen_range(0, hot));
+        let f = if let Some(hot) = self.hot_set {
+            FileId(self.rng.gen_range(0, hot))
+        } else if let Some(z) = &self.zipf {
+            FileId(z.sample(&mut self.rng))
+        } else {
+            FileId(self.rng.gen_range(0, self.catalog_files))
+        };
+        self.current_file = Some(f);
+        f
+    }
+
+    /// File of the in-flight request, if any.
+    #[must_use]
+    pub fn current_file(&self) -> Option<FileId> {
+        self.current_file
+    }
+
+    /// The connection carrying the in-flight response died: drop the
+    /// partially parsed response and report where a reconnect should
+    /// resume. Returns None when no request was outstanding. The
+    /// request stays "issued but not done", so `awaiting_response`
+    /// keeps gating until the resumed response completes.
+    pub fn disconnect(&mut self) -> Option<ResumePlan> {
+        let file = self.current_file?;
+        let wire_got = match (self.body_total, self.body_remaining) {
+            (Some(total), Some(rem)) => total - rem,
+            // Header not (fully) received: restart from scratch.
+            _ => 0,
+        };
+        // Only whole in-order records are safely consumable by the
+        // client; resume at the last record boundary. Plaintext bodies
+        // use the same granularity because the server floors range
+        // starts to record boundaries (keeps encrypted re-framing
+        // aligned with disk reads).
+        let offset = if self.current_encrypted {
+            (wire_got / RECORD_WIRE) * RECORD_PLAIN
+        } else {
+            (wire_got / RECORD_PLAIN) * RECORD_PLAIN
+        };
+        if self.body_remaining.is_some() || !self.header_buf.is_empty() {
+            self.responses_abandoned += 1;
         }
-        if let Some(z) = &self.zipf {
-            return FileId(z.sample(&mut self.rng));
-        }
-        FileId(self.rng.gen_range(0, self.catalog_files))
+        self.body_remaining = None;
+        self.body_total = None;
+        self.header_buf.clear();
+        Some(ResumePlan { file, offset })
     }
 
     /// Is a response currently outstanding?
@@ -103,6 +169,8 @@ impl RequestDriver {
                     let left = rem - n;
                     if left == 0 {
                         self.body_remaining = None;
+                        self.body_total = None;
+                        self.current_file = None;
                         self.responses_done += 1;
                         completed += 1;
                     } else {
@@ -119,10 +187,12 @@ impl RequestDriver {
                         let tail = self.header_buf.split_off(hl);
                         self.header_buf.clear();
                         if cl == 0 {
+                            self.current_file = None;
                             self.responses_done += 1;
                             completed += 1;
                         } else {
                             self.body_remaining = Some(cl);
+                            self.body_total = Some(cl);
                         }
                         if !tail.is_empty() {
                             completed += self.on_bytes(&tail);
@@ -177,6 +247,78 @@ mod tests {
         for _ in 0..1000 {
             assert!(d.next_file().0 < 50);
         }
+    }
+
+    #[test]
+    fn disconnect_mid_body_resumes_at_record_boundary() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(1));
+        let f = d.next_file();
+        // Encrypted 300 KiB body; deliver header + 2.5 wire records.
+        let mut stream = response_header(
+            ResponseInfo::Ok {
+                body_len: 300 * 1024,
+            },
+            true,
+        );
+        let hl = stream.len();
+        stream.extend_from_slice(&vec![0u8; (2 * RECORD_WIRE + RECORD_WIRE / 2) as usize]);
+        assert_eq!(d.on_bytes(&stream), 0);
+        let plan = d.disconnect().unwrap();
+        assert_eq!(plan.file, f);
+        assert_eq!(plan.offset, 2 * RECORD_PLAIN);
+        assert_eq!(d.responses_abandoned, 1);
+        assert!(d.awaiting_response(), "request still outstanding");
+        // The resumed (partial) response then completes normally.
+        let mut resumed = response_header(
+            ResponseInfo::Partial {
+                body_len: 300 * 1024 - plan.offset,
+                offset: plan.offset,
+            },
+            true,
+        );
+        let wire = crate::response::encrypted_body_len(300 * 1024 - plan.offset);
+        resumed.extend_from_slice(&vec![0u8; wire as usize]);
+        assert_eq!(d.on_bytes(&resumed), 1);
+        assert!(!d.awaiting_response());
+        let _ = hl;
+    }
+
+    #[test]
+    fn disconnect_before_header_restarts_from_zero() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(3));
+        let f = d.next_file();
+        d.on_bytes(b"HTTP/1.1 200 OK\r\nConte"); // torn header
+        let plan = d.disconnect().unwrap();
+        assert_eq!(plan, ResumePlan { file: f, offset: 0 });
+        assert_eq!(d.responses_abandoned, 1);
+    }
+
+    #[test]
+    fn disconnect_with_nothing_outstanding_is_none() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(3));
+        assert!(d.disconnect().is_none());
+        let _f = d.next_file();
+        let h = response_header(ResponseInfo::Ok { body_len: 5 }, false);
+        d.on_bytes(&h);
+        d.on_bytes(&[0u8; 5]);
+        assert!(d.disconnect().is_none(), "completed response, idle conn");
+        assert_eq!(d.responses_abandoned, 0);
+    }
+
+    #[test]
+    fn plaintext_disconnect_floors_to_record_size() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(4));
+        let _f = d.next_file();
+        let mut stream = response_header(
+            ResponseInfo::Ok {
+                body_len: 300 * 1024,
+            },
+            false,
+        );
+        stream.extend_from_slice(&vec![0u8; 50_000]);
+        d.on_bytes(&stream);
+        let plan = d.disconnect().unwrap();
+        assert_eq!(plan.offset, (50_000 / RECORD_PLAIN) * RECORD_PLAIN);
     }
 
     #[test]

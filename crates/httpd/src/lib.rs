@@ -16,7 +16,7 @@ pub mod client;
 pub mod parser;
 pub mod response;
 
-pub use client::RequestDriver;
+pub use client::{RequestDriver, ResumePlan};
 pub use parser::{HttpError, HttpRequest, RequestParser};
 pub use response::{response_header, ResponseInfo};
 

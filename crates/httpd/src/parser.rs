@@ -7,6 +7,11 @@ pub struct HttpRequest {
     /// `Connection: close` requested (default for HTTP/1.1 is
     /// keep-alive).
     pub close: bool,
+    /// Open-ended range request (`Range: bytes=N-`): resume the body
+    /// at plaintext offset N. Used by clients reconnecting to a
+    /// replica after their server died mid-stream. Other range forms
+    /// are ignored (full response served).
+    pub range_start: Option<u64>,
 }
 
 /// Parse failures (connection-fatal, as in nginx).
@@ -65,16 +70,20 @@ impl RequestParser {
             return Err(HttpError::BadRequestLine);
         }
         let mut close = false;
+        let mut range_start = None;
         for line in lines {
             if let Some((k, v)) = line.split_once(':') {
                 if k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close") {
                     close = true;
+                } else if k.eq_ignore_ascii_case("range") {
+                    range_start = parse_range_start(v.trim());
                 }
             }
         }
         let req = HttpRequest {
             path: path.to_string(),
             close,
+            range_start,
         };
         self.buf.drain(..end + 4);
         Ok(Some(req))
@@ -85,11 +94,29 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// `bytes=N-` → Some(N); any other range form is unsupported.
+fn parse_range_start(v: &str) -> Option<u64> {
+    let spec = v.strip_prefix("bytes=")?;
+    let start = spec.strip_suffix('-')?;
+    start.parse().ok()
+}
+
 /// Build a GET request (what the client fleet sends).
 #[must_use]
 pub fn build_get(path: &str, host: &str) -> Vec<u8> {
     format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: dcn-weighttp/0.1\r\n\r\n")
         .into_bytes()
+}
+
+/// Build a resuming GET: `Range: bytes=start-` asks the server to
+/// serve the body from plaintext offset `start` to the end.
+#[must_use]
+pub fn build_get_range(path: &str, host: &str, start: u64) -> Vec<u8> {
+    format!(
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: dcn-weighttp/0.1\r\n\
+         Range: bytes={start}-\r\n\r\n"
+    )
+    .into_bytes()
 }
 
 #[cfg(test)]
@@ -125,6 +152,31 @@ mod tests {
         assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/1");
         assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/2");
         assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn range_request_round_trips() {
+        let mut p = RequestParser::new();
+        p.push(&build_get_range("/chunk/9", "h", 163_840));
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.path, "/chunk/9");
+        assert_eq!(r.range_start, Some(163_840));
+    }
+
+    #[test]
+    fn plain_get_has_no_range() {
+        let mut p = RequestParser::new();
+        p.push(&build_get("/chunk/9", "h"));
+        assert_eq!(p.next_request().unwrap().unwrap().range_start, None);
+    }
+
+    #[test]
+    fn unsupported_range_forms_ignored() {
+        for v in ["bytes=0-99", "bytes=-500", "records=3-"] {
+            let mut p = RequestParser::new();
+            p.push(format!("GET /x HTTP/1.1\r\nRange: {v}\r\n\r\n").as_bytes());
+            assert_eq!(p.next_request().unwrap().unwrap().range_start, None);
+        }
     }
 
     #[test]

@@ -12,6 +12,13 @@ pub enum ResponseInfo {
     Ok {
         body_len: u64,
     },
+    /// Range resume: serve `body_len` body bytes starting at plaintext
+    /// file offset `offset` (206). Record framing restarts at the
+    /// response body, so the wire length formula matches `Ok`.
+    Partial {
+        body_len: u64,
+        offset: u64,
+    },
     NotFound,
 }
 
@@ -35,18 +42,41 @@ pub fn response_header(info: ResponseInfo, encrypted: bool) -> Vec<u8> {
             )
             .into_bytes()
         }
+        ResponseInfo::Partial { body_len, offset } => {
+            let wire_len = if encrypted {
+                crate::response::encrypted_body_len(body_len)
+            } else {
+                body_len
+            };
+            // Content-Range carries plaintext offsets; Content-Length
+            // stays the wire body length so the client scanner works
+            // identically for full and partial responses.
+            let last = offset + body_len.saturating_sub(1);
+            format!(
+                "HTTP/1.1 206 Partial Content\r\nServer: atlas/0.1\r\nContent-Type: video/mp4\r\n\
+                 Content-Range: bytes {offset}-{last}/*\r\n\
+                 Content-Length: {wire_len}\r\nX-Body-Encrypted: {}\r\n\r\n",
+                if encrypted { "1" } else { "0" }
+            )
+            .into_bytes()
+        }
         ResponseInfo::NotFound => b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec(),
     }
 }
+
+/// Plaintext bytes per TLS-style record (dcn_crypto::RECORD_PAYLOAD_MAX).
+pub const RECORD_PLAIN: u64 = 16 * 1024;
+/// Wire bytes per full record (payload + header + GCM tag).
+pub const RECORD_WIRE: u64 = RECORD_PLAIN + RECORD_OVERHEAD;
+/// Record framing overhead: 5-byte header + 16-byte GCM tag.
+pub const RECORD_OVERHEAD: u64 = 5 + 16;
 
 /// Wire length of an encrypted body: one TLS-style record per
 /// RECORD_PAYLOAD_MAX plaintext bytes, each adding header + tag.
 #[must_use]
 pub fn encrypted_body_len(plain_len: u64) -> u64 {
-    const RECORD: u64 = 16 * 1024; // dcn_crypto::RECORD_PAYLOAD_MAX
-    const OVERHEAD: u64 = 5 + 16; // header + GCM tag
-    let records = plain_len.div_ceil(RECORD).max(1);
-    plain_len + records * OVERHEAD
+    let records = plain_len.div_ceil(RECORD_PLAIN).max(1);
+    plain_len + records * RECORD_OVERHEAD
 }
 
 /// Minimal response-header scanner for the client side: returns
@@ -104,6 +134,23 @@ mod tests {
     fn scanner_waits_for_full_header() {
         let h = response_header(ResponseInfo::Ok { body_len: 10 }, false);
         assert!(scan_response_header(&h[..h.len() - 3]).is_none());
+    }
+
+    #[test]
+    fn partial_header_scans_like_full() {
+        let h = response_header(
+            ResponseInfo::Partial {
+                body_len: 100 * 1024,
+                offset: 200 * 1024,
+            },
+            true,
+        );
+        let (hl, cl, enc) = scan_response_header(&h).unwrap();
+        assert_eq!(hl, h.len());
+        // 100 KiB = 6.25 → 7 records.
+        assert_eq!(cl, 100 * 1024 + 7 * 21);
+        assert!(enc);
+        assert!(std::str::from_utf8(&h).unwrap().contains("206 Partial"));
     }
 
     #[test]

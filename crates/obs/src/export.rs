@@ -133,6 +133,26 @@ impl TimeSeries {
         }
     }
 
+    /// Snapshot every counter and gauge in `reg` with `prefix`
+    /// prepended to each metric name (e.g. `s2.`): the cluster runner
+    /// interleaves N per-server registries into one CSV this way.
+    pub fn sample_labeled(&mut self, now: Nanos, reg: &Registry, prefix: &str) {
+        for (name, v) in reg.counters() {
+            self.rows
+                .push((now.as_nanos(), format!("{prefix}{name}"), v as f64));
+        }
+        for (name, v) in reg.gauges() {
+            self.rows
+                .push((now.as_nanos(), format!("{prefix}{name}"), v));
+        }
+    }
+
+    /// Append one ad-hoc row (cluster-level aggregates that live in
+    /// no single server's registry).
+    pub fn push_value(&mut self, now: Nanos, metric: &str, value: f64) {
+        self.rows.push((now.as_nanos(), metric.to_string(), value));
+    }
+
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -185,5 +205,17 @@ mod tests {
         assert!(!ts.is_empty());
         assert_eq!(ts.rows.len(), 1);
         assert_eq!(ts.rows[0], (5_000_000, "x.count".to_string(), 1.0));
+    }
+
+    #[test]
+    fn labeled_samples_carry_server_prefix() {
+        let mut reg = Registry::new();
+        let c = reg.counter("atlas.responses");
+        reg.inc(c);
+        let mut ts = TimeSeries::new();
+        ts.sample_labeled(Nanos::from_millis(1), &reg, "s3.");
+        ts.push_value(Nanos::from_millis(1), "cluster.responses", 1.0);
+        assert_eq!(ts.rows[0].1, "s3.atlas.responses");
+        assert_eq!(ts.rows[1].1, "cluster.responses");
     }
 }

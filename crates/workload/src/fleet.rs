@@ -1,13 +1,13 @@
 //! The client fleet: protocol + application + verification.
 
+use crate::verify::{Expected, StreamVerifier, VerifyStats};
 use dcn_atlas::server::parse_frame;
-use dcn_crypto::{RecordCipher, GCM_TAG_LEN, RECORD_HEADER_LEN, RECORD_PAYLOAD_MAX};
-use dcn_httpd::response::scan_response_header;
+use dcn_crypto::RecordCipher;
 use dcn_httpd::{chunk_path, parser::build_get, RequestDriver};
 use dcn_netdev::WireFrame;
 use dcn_packet::{FlowId, Ipv4Addr, MacAddr, SeqNumber};
 use dcn_simcore::{Nanos, SimRng, TimeBuckets};
-use dcn_store::{Catalog, FileId};
+use dcn_store::Catalog;
 use dcn_tcpstack::{ClientConn, Endpoint};
 use std::collections::{HashMap, VecDeque};
 
@@ -39,111 +39,13 @@ impl Default for FleetConfig {
     }
 }
 
-/// Outcome counters of stream verification.
-#[derive(Clone, Copy, Default, Debug)]
-pub struct VerifyStats {
-    pub verified_bytes: u64,
-    pub failures: u64,
-}
-
-/// Incremental verifier: re-parses the response stream (headers,
-/// record framing), decrypts records with the session cipher, and
-/// compares plaintext against the catalog oracle. Wholly independent
-/// of the RequestDriver's accounting, so the two cross-check each
-/// other.
-struct StreamVerifier {
-    buf: Vec<u8>,
-    /// Current response body state: (file, plaintext offset,
-    /// encrypted?).
-    body: Option<(FileId, u64, bool)>,
-}
-
-impl StreamVerifier {
-    fn new() -> Self {
-        StreamVerifier {
-            buf: Vec::new(),
-            body: None,
-        }
-    }
-
-    fn push(
-        &mut self,
-        data: &[u8],
-        outstanding: &mut VecDeque<FileId>,
-        catalog: &Catalog,
-        cipher: &RecordCipher,
-        stats: &mut VerifyStats,
-    ) {
-        self.buf.extend_from_slice(data);
-        loop {
-            match self.body {
-                None => {
-                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else {
-                        return;
-                    };
-                    self.buf.drain(..hl);
-                    let file = outstanding.front().copied().expect("response w/o request");
-                    self.body = Some((file, 0, enc));
-                }
-                Some((file, plain_off, encrypted)) => {
-                    let file_size = catalog.file_size();
-                    if plain_off >= file_size {
-                        self.body = None;
-                        outstanding.pop_front();
-                        continue;
-                    }
-                    if encrypted {
-                        let rec_plain =
-                            (file_size - plain_off).min(RECORD_PAYLOAD_MAX as u64) as usize;
-                        let rec_wire = RECORD_HEADER_LEN + rec_plain + GCM_TAG_LEN;
-                        if self.buf.len() < rec_wire {
-                            return;
-                        }
-                        let record: Vec<u8> = self.buf.drain(..rec_wire).collect();
-                        let mut ct =
-                            record[RECORD_HEADER_LEN..RECORD_HEADER_LEN + rec_plain].to_vec();
-                        let tag: [u8; GCM_TAG_LEN] =
-                            record[rec_wire - GCM_TAG_LEN..].try_into().expect("tag");
-                        if cipher.open_record(plain_off, &mut ct, &tag) {
-                            let mut want = vec![0u8; ct.len()];
-                            catalog.expected(file, plain_off, &mut want);
-                            if ct == want {
-                                stats.verified_bytes += ct.len() as u64;
-                            } else {
-                                stats.failures += 1;
-                            }
-                        } else {
-                            stats.failures += 1;
-                        }
-                        self.body = Some((file, plain_off + rec_plain as u64, encrypted));
-                    } else {
-                        if self.buf.is_empty() {
-                            return;
-                        }
-                        let n = (file_size - plain_off).min(self.buf.len() as u64) as usize;
-                        let got: Vec<u8> = self.buf.drain(..n).collect();
-                        let mut want = vec![0u8; n];
-                        catalog.expected(file, plain_off, &mut want);
-                        if got == want {
-                            stats.verified_bytes += n as u64;
-                        } else {
-                            stats.failures += 1;
-                        }
-                        self.body = Some((file, plain_off + n as u64, encrypted));
-                    }
-                }
-            }
-        }
-    }
-}
-
 struct Client {
     conn: ClientConn,
     driver: RequestDriver,
     cipher: RecordCipher,
     verifier: StreamVerifier,
     /// Requested files, front = response currently arriving.
-    outstanding: VecDeque<FileId>,
+    outstanding: VecDeque<Expected>,
     done_at_least_one: bool,
     first_request_sent: bool,
 }
@@ -312,7 +214,7 @@ impl ClientFleet {
         let client = &mut self.clients[idx];
         let file = client.driver.next_file();
         if verify {
-            client.outstanding.push_back(file);
+            client.outstanding.push_back((file, 0));
         }
         let req = build_get(&chunk_path(file), "cdn.test");
         let f = client.conn.send(req);
@@ -345,6 +247,7 @@ fn frame_of(headers: Vec<u8>, payload: Vec<u8>) -> WireFrame {
 mod tests {
     use super::*;
     use dcn_netdev::PayloadBytes;
+    use dcn_store::FileId;
 
     fn catalog() -> Catalog {
         Catalog::new(1000, 300 * 1024, 4, 7)
@@ -397,8 +300,8 @@ mod tests {
         // Feed a hand-built response whose body does NOT match the
         // catalog oracle: the verifier must flag it.
         let cat = catalog();
-        let mut outstanding: VecDeque<FileId> = VecDeque::new();
-        outstanding.push_back(FileId(3));
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back((FileId(3), 0));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();
@@ -415,8 +318,8 @@ mod tests {
     #[test]
     fn verifier_accepts_oracle_plaintext() {
         let cat = catalog();
-        let mut outstanding: VecDeque<FileId> = VecDeque::new();
-        outstanding.push_back(FileId(3));
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back((FileId(3), 0));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();

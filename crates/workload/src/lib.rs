@@ -14,10 +14,14 @@
 //! corrupts, reorders, or mis-encrypts anything fails the run.
 
 pub mod fleet;
+pub mod multi;
 pub mod runner;
+pub mod verify;
 
 pub use fleet::{ClientFleet, FleetConfig};
+pub use multi::{BurstOut, FailoverPlan, MultiFleet, RequestNeed};
 pub use runner::{
     run_scenario, run_scenario_observed, FaultMetrics, ObsOptions, ObsReport, RunMetrics, Scenario,
     ServerKind, VideoServer,
 };
+pub use verify::{StreamVerifier, VerifyStats};

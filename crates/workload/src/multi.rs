@@ -1,0 +1,443 @@
+//! A client fleet that targets **multiple server endpoints** — the
+//! workload side of the cluster layer (`dcn-cluster`).
+//!
+//! Each client runs one request at a time, but keeps a persistent
+//! connection per server it has talked to (opened lazily the first
+//! time the dispatcher routes it there — the way a real player keeps
+//! a socket per CDN edge it gets directed to). Routing itself lives
+//! in `dcn-cluster`; this fleet only needs to know *which* endpoint a
+//! given request goes to, via [`MultiFleet::request`].
+//!
+//! When a server dies mid-stream, [`MultiFleet::fail_server`] severs
+//! its connections and reports, per affected client, where the
+//! interrupted transfer can resume (`Range: bytes=N-` on a replica).
+//! Stream verification carries across the reconnect: resumed
+//! responses are checked against the catalog oracle at their absolute
+//! file offsets.
+
+use crate::verify::{Expected, StreamVerifier, VerifyStats};
+use dcn_atlas::server::parse_frame;
+use dcn_crypto::RecordCipher;
+use dcn_httpd::{
+    chunk_path,
+    parser::{build_get, build_get_range},
+    RequestDriver,
+};
+use dcn_netdev::WireFrame;
+use dcn_packet::{FlowId, Ipv4Addr, MacAddr, SeqNumber};
+use dcn_simcore::{Nanos, SimRng, TimeBuckets};
+use dcn_store::{Catalog, FileId};
+use dcn_tcpstack::{client::ClientState, ClientConn, Endpoint};
+use std::collections::{HashMap, VecDeque};
+
+use crate::fleet::{ClientTx, FleetConfig};
+
+/// "Client `client` wants `file`, starting at plaintext offset
+/// `base`" — handed to the dispatcher, which picks the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestNeed {
+    pub client: usize,
+    pub file: FileId,
+    /// Resume base (0 for fresh requests).
+    pub base: u64,
+}
+
+/// A client whose in-flight transfer was severed by a server failure,
+/// ready to reconnect elsewhere.
+pub type FailoverPlan = RequestNeed;
+
+/// One connection to one server.
+struct ConnState {
+    conn: ClientConn,
+    cipher: RecordCipher,
+    verifier: StreamVerifier,
+    outstanding: VecDeque<Expected>,
+    /// Request waiting for the handshake to complete.
+    pending: Option<(FileId, u64)>,
+}
+
+struct MClient {
+    driver: RequestDriver,
+    rng: SimRng,
+    /// Open connection per server (index-aligned with endpoints).
+    conns: Vec<Option<ConnState>>,
+    /// (server, file, base) of the in-flight request, if any.
+    current: Option<(usize, FileId, u64)>,
+    /// Next local port — bumped per connection so a reconnect never
+    /// reuses a flow id.
+    next_port: u16,
+    done_at_least_one: bool,
+}
+
+/// What `on_burst` produced: reply frames plus how many responses
+/// completed (the sim issues that many follow-up requests for
+/// `client`).
+pub struct BurstOut {
+    pub tx: ClientTx,
+    pub client: usize,
+    pub completed: u64,
+}
+
+/// The multi-endpoint fleet.
+pub struct MultiFleet {
+    cfg: FleetConfig,
+    catalog: Catalog,
+    endpoints: Vec<Endpoint>,
+    clients: Vec<MClient>,
+    /// Keyed by the client→server flow.
+    by_flow: HashMap<FlowId, (usize, usize)>,
+    pub goodput: TimeBuckets,
+    pub total_body_bytes: u64,
+    pub responses_completed: u64,
+    pub verify_stats: VerifyStats,
+    /// Clients re-pointed at a replica by `fail_server`.
+    pub failovers: u64,
+    /// Failovers that resumed mid-body (base > 0) rather than
+    /// restarting the chunk.
+    pub resumed_responses: u64,
+    /// Plaintext bytes the range resumes did *not* re-download.
+    pub resumed_bytes_saved: u64,
+}
+
+impl MultiFleet {
+    #[must_use]
+    pub fn new(cfg: FleetConfig, catalog: Catalog, endpoints: Vec<Endpoint>) -> Self {
+        assert!(!endpoints.is_empty(), "need at least one server");
+        MultiFleet {
+            cfg,
+            catalog,
+            endpoints,
+            clients: Vec::new(),
+            by_flow: HashMap::new(),
+            goodput: TimeBuckets::new(Nanos::from_millis(1)),
+            total_body_bytes: 0,
+            responses_completed: 0,
+            verify_stats: VerifyStats::default(),
+            failovers: 0,
+            resumed_responses: 0,
+            resumed_bytes_saved: 0,
+        }
+    }
+
+    #[must_use]
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    #[must_use]
+    pub fn n_servers(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Create client `idx` (no traffic yet — follow with `next_need`
+    /// → dispatch → `request`).
+    pub fn spawn(&mut self, idx: usize, seed: u64) {
+        assert_eq!(idx, self.clients.len(), "spawn in order");
+        let mut rng = SimRng::new(seed ^ (idx as u64) << 20);
+        let driver = if self.cfg.cacheable {
+            RequestDriver::cacheable(self.catalog.n_files(), self.cfg.hot_files, rng.fork(1))
+        } else {
+            RequestDriver::uncachable(self.catalog.n_files(), rng.fork(1))
+        };
+        self.clients.push(MClient {
+            driver,
+            rng,
+            conns: (0..self.endpoints.len()).map(|_| None).collect(),
+            current: None,
+            next_port: 10_000,
+            done_at_least_one: false,
+        });
+    }
+
+    /// Draw the next file for `client` from its workload
+    /// distribution.
+    pub fn next_need(&mut self, client: usize) -> RequestNeed {
+        RequestNeed {
+            client,
+            file: self.clients[client].driver.next_file(),
+            base: 0,
+        }
+    }
+
+    fn local_endpoint(idx: usize, port: u16) -> Endpoint {
+        Endpoint {
+            mac: MacAddr::from_host_id(1000 + idx as u32),
+            ip: Ipv4Addr::new(10, 1, (idx / 250) as u8, (idx % 250) as u8 + 1),
+            port,
+        }
+    }
+
+    /// Send `need` to `server` (the dispatcher's pick). Opens a
+    /// connection lazily; the request rides once the handshake is
+    /// done. Returns frames to inject into the network.
+    pub fn request(&mut self, need: RequestNeed, server: usize) -> ClientTx {
+        let verify = self.cfg.verify;
+        let idx = need.client;
+        let client = &mut self.clients[idx];
+        client.current = Some((server, need.file, need.base));
+        if let Some(cs) = client.conns[server].as_mut() {
+            if matches!(cs.conn.state, ClientState::Established) {
+                if verify {
+                    cs.outstanding.push_back((need.file, need.base));
+                }
+                let f = cs.conn.send(get_bytes(need));
+                return ClientTx {
+                    flow: cs.conn.flow(),
+                    frames: vec![frame_of(f.headers, f.payload)],
+                };
+            }
+            cs.pending = Some((need.file, need.base));
+            return ClientTx {
+                flow: cs.conn.flow(),
+                frames: Vec::new(),
+            };
+        }
+        // Fresh connection to this server.
+        let local = Self::local_endpoint(idx, client.next_port);
+        client.next_port = client.next_port.wrapping_add(1).max(10_000);
+        let iss = SeqNumber(client.rng.next_u64() as u32);
+        let (conn, syn) = ClientConn::connect(local, self.endpoints[server], iss, 4 << 20);
+        let flow = conn.flow();
+        // Per-session key derived from the flow, same as the server's
+        // §4.2 TLS emulation (handshake out of scope).
+        let mut key = [0u8; 16];
+        dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
+        let cipher = RecordCipher::new(&key, flow.rss_hash());
+        client.conns[server] = Some(ConnState {
+            conn,
+            cipher,
+            verifier: StreamVerifier::new(),
+            outstanding: VecDeque::new(),
+            pending: Some((need.file, need.base)),
+        });
+        self.by_flow.insert(flow, (idx, server));
+        ClientTx {
+            flow,
+            frames: vec![frame_of(syn.headers, syn.payload)],
+        }
+    }
+
+    /// A burst of frames arrived from a server (`flow` is the
+    /// server→client direction).
+    pub fn on_burst(
+        &mut self,
+        now: Nanos,
+        flow: FlowId,
+        frames: Vec<WireFrame>,
+    ) -> Option<BurstOut> {
+        let &(idx, server) = self.by_flow.get(&flow.reversed())?;
+        let client = &mut self.clients[idx];
+        let cs = client.conns[server].as_mut()?;
+        let parsed: Vec<_> = frames
+            .iter()
+            .filter_map(|f| {
+                let (_, tcp, payload) = parse_frame(f)?;
+                Some((tcp, payload))
+            })
+            .collect();
+        let acks = cs.conn.on_burst(now, parsed);
+        let mut out: Vec<WireFrame> = acks
+            .into_iter()
+            .map(|f| frame_of(f.headers, f.payload))
+            .collect();
+
+        let delivered = cs.conn.take_inbox();
+        let mut completed = 0;
+        if !delivered.is_empty() {
+            let body_before = client.driver.body_bytes;
+            completed = client.driver.on_bytes(&delivered);
+            let body_new = client.driver.body_bytes - body_before;
+            self.goodput.add(now, body_new as f64);
+            self.total_body_bytes += body_new;
+            self.responses_completed += completed;
+            if self.cfg.verify {
+                cs.verifier.push(
+                    &delivered,
+                    &mut cs.outstanding,
+                    &self.catalog,
+                    &cs.cipher,
+                    &mut self.verify_stats,
+                );
+            }
+            if completed > 0 {
+                client.done_at_least_one = true;
+                client.current = None;
+            }
+        }
+        // Handshake completed → release the parked request.
+        if matches!(cs.conn.state, ClientState::Established) {
+            if let Some((file, base)) = cs.pending.take() {
+                if self.cfg.verify {
+                    cs.outstanding.push_back((file, base));
+                }
+                let need = RequestNeed {
+                    client: idx,
+                    file,
+                    base,
+                };
+                let f = cs.conn.send(get_bytes(need));
+                out.push(frame_of(f.headers, f.payload));
+            }
+        }
+        Some(BurstOut {
+            tx: ClientTx {
+                flow: flow.reversed(),
+                frames: out,
+            },
+            client: idx,
+            completed,
+        })
+    }
+
+    /// Server `server` is gone (fail-stop): sever its connections and
+    /// report which clients need re-dispatching — each with the file
+    /// offset its interrupted transfer can resume from.
+    pub fn fail_server(&mut self, server: usize) -> Vec<FailoverPlan> {
+        let mut plans = Vec::new();
+        for (idx, client) in self.clients.iter_mut().enumerate() {
+            let Some(cs) = client.conns[server].take() else {
+                continue;
+            };
+            self.by_flow.remove(&cs.conn.flow());
+            let Some((cur_server, cur_file, cur_base)) = client.current else {
+                continue; // idle connection, nothing in flight
+            };
+            if cur_server != server {
+                continue; // in-flight request targets another server
+            }
+            // The driver knows the in-order wire progress of the
+            // aborted response and floors it to a record boundary.
+            let resumed = client.driver.disconnect().map_or(0, |p| p.offset);
+            let base = cur_base + resumed;
+            client.current = None;
+            self.failovers += 1;
+            if base > 0 {
+                self.resumed_responses += 1;
+                self.resumed_bytes_saved += base;
+            }
+            plans.push(RequestNeed {
+                client: idx,
+                file: cur_file,
+                base,
+            });
+        }
+        plans
+    }
+
+    /// Fraction of clients that completed at least one response.
+    #[must_use]
+    pub fn live_fraction(&self) -> f64 {
+        if self.clients.is_empty() {
+            return 0.0;
+        }
+        self.clients.iter().filter(|c| c.done_at_least_one).count() as f64
+            / self.clients.len() as f64
+    }
+
+    /// Total dup-ACKs across every live connection.
+    #[must_use]
+    pub fn dupacks(&self) -> u64 {
+        self.clients
+            .iter()
+            .flat_map(|c| c.conns.iter().flatten())
+            .map(|cs| cs.conn.dupacks_sent)
+            .sum()
+    }
+}
+
+fn get_bytes(need: RequestNeed) -> Vec<u8> {
+    let path = chunk_path(need.file);
+    if need.base > 0 {
+        build_get_range(&path, "cdn.test", need.base)
+    } else {
+        build_get(&path, "cdn.test")
+    }
+}
+
+fn frame_of(headers: Vec<u8>, payload: Vec<u8>) -> WireFrame {
+    WireFrame::single(headers, dcn_netdev::PayloadBytes::Real(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoints(n: usize) -> Vec<Endpoint> {
+        (0..n)
+            .map(|i| Endpoint {
+                mac: MacAddr::from_host_id(i as u32 + 1),
+                ip: Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                port: 80,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lazy_connections_one_per_server() {
+        let cat = Catalog::new(1000, 300 * 1024, 4, 7);
+        let mut fleet = MultiFleet::new(FleetConfig::default(), cat, endpoints(3));
+        fleet.spawn(0, 9);
+        let need = fleet.next_need(0);
+        let tx = fleet.request(need, 2);
+        assert_eq!(tx.frames.len(), 1, "SYN to server 2");
+        assert_eq!(tx.flow.dst_ip, Ipv4Addr::new(10, 0, 0, 3));
+        // A second request to the same (unestablished) server parks.
+        let tx2 = fleet.request(
+            RequestNeed {
+                client: 0,
+                file: FileId(1),
+                base: 0,
+            },
+            2,
+        );
+        assert!(tx2.frames.is_empty());
+    }
+
+    #[test]
+    fn reconnects_use_fresh_flows() {
+        let cat = Catalog::new(1000, 300 * 1024, 4, 7);
+        let mut fleet = MultiFleet::new(FleetConfig::default(), cat, endpoints(2));
+        fleet.spawn(0, 9);
+        let t1 = fleet.request(
+            RequestNeed {
+                client: 0,
+                file: FileId(1),
+                base: 0,
+            },
+            0,
+        );
+        let plans = fleet.fail_server(0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(
+            plans[0],
+            RequestNeed {
+                client: 0,
+                file: FileId(1),
+                base: 0
+            }
+        );
+        let t2 = fleet.request(plans[0], 1);
+        assert_ne!(t1.flow, t2.flow);
+        assert_eq!(fleet.failovers, 1);
+        assert_eq!(fleet.resumed_responses, 0, "no body bytes yet → restart");
+    }
+
+    #[test]
+    fn fail_server_skips_idle_and_other_targets() {
+        let cat = Catalog::new(1000, 300 * 1024, 4, 7);
+        let mut fleet = MultiFleet::new(FleetConfig::default(), cat, endpoints(2));
+        fleet.spawn(0, 9);
+        // In-flight request targets server 1; server 0 has no conn.
+        fleet.request(
+            RequestNeed {
+                client: 0,
+                file: FileId(4),
+                base: 0,
+            },
+            1,
+        );
+        assert!(fleet.fail_server(0).is_empty());
+        // Killing server 1 yields the plan.
+        assert_eq!(fleet.fail_server(1).len(), 1);
+    }
+}

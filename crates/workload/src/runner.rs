@@ -255,6 +255,8 @@ pub struct FaultMetrics {
     pub net_duplicated: u64,
     /// …corrupted in flight (detected by FCS, so dropped).
     pub net_corrupt_dropped: u64,
+    /// …corrupted in flight and delivered anyway (FCS bypassed).
+    pub net_corrupt_delivered: u64,
     /// Subset of `net_dropped` that hit a retransmission.
     pub net_retx_dropped: u64,
     /// Client-side delivery stalls injected.
@@ -516,6 +518,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         net_dropped: link.dropped,
         net_duplicated: link.duplicated,
         net_corrupt_dropped: link.corrupt_dropped,
+        net_corrupt_delivered: link.corrupt_delivered,
         net_retx_dropped: link.retx_dropped,
         client_stalls,
         nvme_read_errors: reg.find_gauge("faults.nvme_read_errors").unwrap_or(0.0) as u64,
@@ -567,12 +570,27 @@ fn publish_fault_gauges(server: &mut dyn VideoServer, link: &LinkFaults, client_
         ("faults.net_dropped", link.dropped),
         ("faults.net_duplicated", link.duplicated),
         ("faults.net_corrupt_dropped", link.corrupt_dropped),
+        ("faults.net_corrupt_delivered", link.corrupt_delivered),
         ("faults.net_retx_dropped", link.retx_dropped),
         ("faults.client_stalls", client_stalls),
     ] {
         let g = reg.gauge(name);
         reg.set(g, v as f64);
     }
+}
+
+/// Flip one payload byte of a frame whose corruption the (bypassed)
+/// FCS failed to catch. Only materialized payloads can be mangled; at
+/// modeled fidelity the bytes don't exist, so the frame passes
+/// through (content verification is off there anyway).
+pub fn corrupt_frame(mut f: WireFrame) -> WireFrame {
+    if let dcn_netdev::PayloadBytes::Real(b) = &mut f.payload {
+        if !b.is_empty() {
+            let mid = b.len() / 2;
+            b[mid] ^= 0x01;
+        }
+    }
+    f
 }
 
 fn route_client_tx(q: &mut EventQueue<Ev>, mb: &DelayMiddlebox, now: Nanos, tx: ClientTx) {
@@ -616,6 +634,7 @@ fn route_bursts(
                         out.push(f.clone());
                         out.push(f);
                     }
+                    FrameFate::CorruptDeliver => out.push(corrupt_frame(f)),
                 }
             }
             out

@@ -1,0 +1,193 @@
+//! Stream verification: the client-side oracle check.
+//!
+//! The verifier re-parses the response byte stream (headers, record
+//! framing), decrypts records with the session cipher, and compares
+//! plaintext against the catalog oracle. It is wholly independent of
+//! the `RequestDriver`'s accounting, so the two cross-check each
+//! other — a flipped byte the driver happily counts as goodput shows
+//! up here as a verification failure.
+//!
+//! Responses may be *resumed*: a client that reconnected to a replica
+//! after its server died asks for `Range: bytes=base-`, so the
+//! response body starts at plaintext file offset `base`. Record
+//! framing (and GCM nonces) restart at the response, but oracle
+//! comparison uses the absolute file offset `base + resp_off`.
+
+use dcn_crypto::{RecordCipher, GCM_TAG_LEN, RECORD_HEADER_LEN, RECORD_PAYLOAD_MAX};
+use dcn_httpd::response::scan_response_header;
+use dcn_store::{Catalog, FileId};
+use std::collections::VecDeque;
+
+/// Outcome counters of stream verification.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct VerifyStats {
+    pub verified_bytes: u64,
+    pub failures: u64,
+}
+
+/// One expected response: the file and the plaintext file offset its
+/// body starts at (0 for full responses, the resume base for ranged
+/// ones).
+pub type Expected = (FileId, u64);
+
+/// Incremental per-connection verifier.
+pub struct StreamVerifier {
+    buf: Vec<u8>,
+    /// Current response state: (file, base file offset,
+    /// response-relative plaintext offset, encrypted?).
+    body: Option<(FileId, u64, u64, bool)>,
+}
+
+impl Default for StreamVerifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamVerifier {
+    #[must_use]
+    pub fn new() -> Self {
+        StreamVerifier {
+            buf: Vec::new(),
+            body: None,
+        }
+    }
+
+    pub fn push(
+        &mut self,
+        data: &[u8],
+        outstanding: &mut VecDeque<Expected>,
+        catalog: &Catalog,
+        cipher: &RecordCipher,
+        stats: &mut VerifyStats,
+    ) {
+        self.buf.extend_from_slice(data);
+        loop {
+            match self.body {
+                None => {
+                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else {
+                        return;
+                    };
+                    self.buf.drain(..hl);
+                    let (file, base) = outstanding.front().copied().expect("response w/o request");
+                    self.body = Some((file, base, 0, enc));
+                }
+                Some((file, base, resp_off, encrypted)) => {
+                    let file_size = catalog.file_size();
+                    let abs_off = base + resp_off;
+                    if abs_off >= file_size {
+                        self.body = None;
+                        outstanding.pop_front();
+                        continue;
+                    }
+                    if encrypted {
+                        let rec_plain =
+                            (file_size - abs_off).min(RECORD_PAYLOAD_MAX as u64) as usize;
+                        let rec_wire = RECORD_HEADER_LEN + rec_plain + GCM_TAG_LEN;
+                        if self.buf.len() < rec_wire {
+                            return;
+                        }
+                        let record: Vec<u8> = self.buf.drain(..rec_wire).collect();
+                        let mut ct =
+                            record[RECORD_HEADER_LEN..RECORD_HEADER_LEN + rec_plain].to_vec();
+                        let tag: [u8; GCM_TAG_LEN] =
+                            record[rec_wire - GCM_TAG_LEN..].try_into().expect("tag");
+                        // GCM nonces are response-relative (the
+                        // serving replica framed from scratch); the
+                        // oracle offset is file-absolute.
+                        if cipher.open_record(resp_off, &mut ct, &tag) {
+                            let mut want = vec![0u8; ct.len()];
+                            catalog.expected(file, abs_off, &mut want);
+                            if ct == want {
+                                stats.verified_bytes += ct.len() as u64;
+                            } else {
+                                stats.failures += 1;
+                            }
+                        } else {
+                            stats.failures += 1;
+                        }
+                        self.body = Some((file, base, resp_off + rec_plain as u64, encrypted));
+                    } else {
+                        if self.buf.is_empty() {
+                            return;
+                        }
+                        let n = (file_size - abs_off).min(self.buf.len() as u64) as usize;
+                        let got: Vec<u8> = self.buf.drain(..n).collect();
+                        let mut want = vec![0u8; n];
+                        catalog.expected(file, abs_off, &mut want);
+                        if got == want {
+                            stats.verified_bytes += n as u64;
+                        } else {
+                            stats.failures += 1;
+                        }
+                        self.body = Some((file, base, resp_off + n as u64, encrypted));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_httpd::response::{response_header, ResponseInfo};
+
+    fn catalog() -> Catalog {
+        Catalog::new(1000, 300 * 1024, 4, 7)
+    }
+
+    #[test]
+    fn resumed_response_verifies_against_absolute_offsets() {
+        let cat = catalog();
+        let base = 4 * RECORD_PAYLOAD_MAX as u64;
+        let file_size = cat.file_size();
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back((FileId(11), base));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::new();
+        let mut stats = VerifyStats::default();
+        let mut stream = response_header(
+            ResponseInfo::Partial {
+                body_len: file_size - base,
+                offset: base,
+            },
+            false,
+        );
+        let mut body = vec![0u8; (file_size - base) as usize];
+        cat.expected(FileId(11), base, &mut body);
+        stream.extend_from_slice(&body);
+        for chunk in stream.chunks(997) {
+            v.push(chunk, &mut outstanding, &cat, &cipher, &mut stats);
+        }
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.verified_bytes, file_size - base);
+        assert!(outstanding.is_empty());
+    }
+
+    #[test]
+    fn resumed_response_with_wrong_content_fails() {
+        let cat = catalog();
+        let base = 2 * RECORD_PAYLOAD_MAX as u64;
+        let file_size = cat.file_size();
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back((FileId(5), base));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::new();
+        let mut stats = VerifyStats::default();
+        let mut stream = response_header(
+            ResponseInfo::Partial {
+                body_len: file_size - base,
+                offset: base,
+            },
+            false,
+        );
+        // Content for offset 0 delivered at resume offset `base`:
+        // oracle mismatch.
+        let mut body = vec![0u8; (file_size - base) as usize];
+        cat.expected(FileId(5), 0, &mut body);
+        stream.extend_from_slice(&body);
+        v.push(&stream, &mut outstanding, &cat, &cipher, &mut stats);
+        assert!(stats.failures > 0);
+    }
+}

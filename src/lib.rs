@@ -14,8 +14,11 @@
 //! * [`kstack`] — the conventional-stack baselines (stock
 //!   nginx/FreeBSD and the Netflix-optimized variant).
 //! * [`workload`] — scenario runner that reproduces every figure.
+//! * [`cluster`] — N Atlas servers behind a content-aware dispatcher
+//!   (consistent hashing, hot-set replication, failover).
 
 pub use dcn_atlas as atlas;
+pub use dcn_cluster as cluster;
 pub use dcn_crypto as crypto;
 pub use dcn_diskmap as diskmap;
 pub use dcn_faults as faults;

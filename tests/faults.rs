@@ -182,6 +182,34 @@ fn duplication_and_corruption_are_absorbed() {
 }
 
 #[test]
+fn bypassed_fcs_delivers_corruption_and_the_verifier_catches_it() {
+    // Negative control for the whole verification apparatus: disable
+    // the NIC's FCS so corrupt frames are DELIVERED instead of
+    // dropped, and demand the StreamVerifier actually flags the
+    // flipped bytes. If this test ever passes with zero failures the
+    // oracle has gone blind and every "verify_failures == 0"
+    // assertion in this file is vacuous.
+    let mut faults = FaultConfig::default();
+    faults.net.corrupt_p = 0.02;
+    faults.net.fcs_check = false;
+    let m = run_with(atlas(false), faults, 67);
+    eprintln!("{m:?}");
+    assert!(
+        m.faults.net_corrupt_delivered > 0,
+        "bypassed FCS must deliver corrupt frames"
+    );
+    assert_eq!(m.faults.net_corrupt_dropped, 0, "nothing drops at the FCS");
+    assert!(
+        m.verify_failures > 0,
+        "verifier must flag delivered corruption: {m:?}"
+    );
+    // Detection is not immunity: the run still makes progress and the
+    // server-side accounting stays clean.
+    assert!(m.responses > 0);
+    assert_eq!(m.leaked_buffers, 0);
+}
+
+#[test]
 fn same_seed_same_faults_same_run() {
     // The whole point of seeded injection: an identical config
     // replays to identical metrics, fault counters included.

@@ -350,3 +350,70 @@ fn sg_chunks_are_well_formed() {
     let sg = SgList(vec![SgChunk::Bytes(vec![1, 2, 3])]);
     assert_eq!(sg.materialize(&host), vec![1, 2, 3]);
 }
+
+// ------------------------------------------------------------- catalog
+
+/// Catalog placement invariants, over random catalog shapes: every
+/// extent is LBA-aligned, extents on one disk never overlap, every
+/// extent fits inside the NVMe namespace, and the round-robin stripe
+/// spreads files evenly (per-disk counts differ by at most one).
+#[test]
+fn catalog_placement_invariants() {
+    use disk_crypt_net::nvme::{NvmeConfig, LBA_SIZE};
+    use disk_crypt_net::store::{Catalog, FileId};
+
+    let ns_bytes = NvmeConfig::default().ns_lbas * LBA_SIZE;
+    let mut rng = SimRng::new(0xCA7A);
+    for case in 0..CASES {
+        let n_files = rng.gen_range(1, 5_000);
+        let file_size = rng.gen_range(1, 2 * 1024 * 1024);
+        let n_disks = rng.gen_range(1, 9) as usize;
+        let c = Catalog::new(n_files, file_size, n_disks, rng.next_u64());
+        let extent_bytes = file_size.div_ceil(LBA_SIZE) * LBA_SIZE;
+
+        // Per-disk extents as (start, end) on the namespace, plus the
+        // stripe census.
+        let mut per_disk: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_disks];
+        for f in 0..n_files {
+            let loc = c.locate(FileId(f), 0);
+            assert!(loc.disk < n_disks, "case {case}");
+            assert_eq!(
+                loc.dev_offset % LBA_SIZE,
+                0,
+                "case {case}: unaligned extent"
+            );
+            assert!(
+                loc.dev_offset + extent_bytes <= ns_bytes,
+                "case {case}: file {f} spills past the namespace"
+            );
+            // Every byte of the file lands inside that extent, on the
+            // same disk (spot-check a random interior offset).
+            let off = rng.gen_range(0, file_size);
+            let mid = c.locate(FileId(f), off);
+            assert_eq!(mid.disk, loc.disk, "case {case}");
+            assert!(
+                mid.dev_offset >= loc.dev_offset
+                    && mid.dev_offset + LBA_SIZE <= loc.dev_offset + extent_bytes,
+                "case {case}: offset {off} escapes the extent"
+            );
+            per_disk[loc.disk].push((loc.dev_offset, loc.dev_offset + extent_bytes));
+        }
+
+        // No overlap between extents sharing a disk.
+        for (disk, extents) in per_disk.iter_mut().enumerate() {
+            extents.sort_unstable();
+            for w in extents.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "case {case}: overlapping extents on disk {disk}: {w:?}"
+                );
+            }
+        }
+
+        // Round-robin balance: max and min per-disk file counts are
+        // at most one apart.
+        let counts: Vec<usize> = per_disk.iter().map(Vec::len).collect();
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(hi - lo <= 1, "case {case}: uneven stripe {counts:?}");
+    }
+}
