@@ -24,6 +24,9 @@ cargo test -q --release --test faults --test retransmission --test observability
 echo "==> cluster smoke (multi-server scale-out / failover)"
 cargo test -q --release --test cluster
 
+echo "==> overload smoke (2x admission flood: zero leaks, zero verify failures, shedding engaged)"
+cargo test -q --release --test overload two_x_overload_smoke
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -177,6 +177,24 @@ pub struct AtlasConn {
     pub aborted: bool,
     /// Statistics.
     pub responses_completed: u64,
+    /// When the connection was accepted (header-read deadline base).
+    pub established_at: dcn_simcore::Nanos,
+    /// Last forward progress: a request parsed or new bytes acked.
+    /// Idle-keepalive reaping keys on this.
+    pub last_progress: dcn_simcore::Nanos,
+    /// Has at least one complete request head ever arrived? Until it
+    /// does, the connection is on the slowloris clock.
+    pub got_request: bool,
+    /// Highest cumulatively acked stream offset seen (drain-rate
+    /// measurement input).
+    pub acked_stream_off: u64,
+    /// Drain-rate window: acked offset at the window start…
+    pub drain_mark: u64,
+    /// …and when the window started. Reset whenever the connection
+    /// stops holding DMA buffers.
+    pub drain_mark_at: dcn_simcore::Nanos,
+    /// Acked offset at the last overload sweep (abort-slowest ranking).
+    pub sweep_acked: u64,
 }
 
 impl AtlasConn {
@@ -197,7 +215,34 @@ impl AtlasConn {
             fetch_failures: 0,
             aborted: false,
             responses_completed: 0,
+            established_at: dcn_simcore::Nanos::ZERO,
+            last_progress: dcn_simcore::Nanos::ZERO,
+            got_request: false,
+            acked_stream_off: 0,
+            drain_mark: 0,
+            drain_mark_at: dcn_simcore::Nanos::ZERO,
+            sweep_acked: 0,
         }
+    }
+
+    /// Is the connection pinning DMA buffers right now (in-flight
+    /// fetches, retransmit fetches, or completed records parked for
+    /// their stream turn)?
+    #[must_use]
+    pub fn holds_buffers(&self) -> bool {
+        self.fetches_inflight > 0
+            || self.retx_inflight > 0
+            || self.ready_tx.values().any(|r| r.token != 0)
+    }
+
+    /// No response in flight in any form — the keepalive-idle state.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.layouts.is_empty()
+            && self.ready_tx.is_empty()
+            && self.fetches_inflight == 0
+            && self.retx_inflight == 0
+            && self.pending_requests.is_empty()
     }
 
     /// The response currently being transmitted (if any records

@@ -32,7 +32,9 @@
 //! buffers anywhere.
 
 pub mod conn;
+pub mod overload;
 pub mod server;
 
 pub use conn::{AtlasConn, ResponseLayout};
+pub use overload::{AdmissionConfig, LadderLevel, OverloadState, ResourceSnapshot};
 pub use server::{AtlasConfig, AtlasMetrics, AtlasServer};

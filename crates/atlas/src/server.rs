@@ -3,6 +3,7 @@
 //! loop process-to-completion.
 
 use crate::conn::{AtlasConn, InflightFetch, ResponseLayout, RECORD_PLAIN};
+use crate::overload::{AdmissionConfig, LadderLevel, OverloadState, ResourceSnapshot};
 use dcn_crypto::RecordCipher;
 use dcn_diskmap::{BufId, DiskId, DiskmapKernel, IoDesc, NvmeQueue};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
@@ -15,7 +16,7 @@ use dcn_obs::{ChunkKind, CounterId, Registry, Stage, Tracer};
 use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::Catalog;
-use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent};
+use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
 use std::collections::{BTreeSet, HashMap};
 
 /// Atlas deployment configuration.
@@ -57,6 +58,10 @@ pub struct AtlasConfig {
     /// Base delay before re-issuing a failed fetch (doubles per
     /// attempt).
     pub fetch_retry_backoff: Nanos,
+    /// Overload policy: admission watermarks, slow-client deadlines,
+    /// and the degradation ladder (defaults never engage in ordinary
+    /// runs).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for AtlasConfig {
@@ -85,6 +90,7 @@ impl Default for AtlasConfig {
             max_fetch_retries: 3,
             max_conn_failures: 8,
             fetch_retry_backoff: Nanos::from_micros(50),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -120,6 +126,19 @@ struct AtlasIds {
     fetch_errors: Vec<CounterId>,
     /// Failed fresh reads re-issued by the backoff policy.
     fetch_retries: Vec<CounterId>,
+    /// Overload ladder actions: SYNs refused with RST.
+    shed_new: Vec<CounterId>,
+    /// …idle / never-sent-a-request connections reaped.
+    reaped_idle: Vec<CounterId>,
+    /// …slow-draining buffer-holders aborted.
+    aborted_slow: Vec<CounterId>,
+    /// Requests answered 503 + Retry-After while shedding.
+    retry_503: Vec<CounterId>,
+    /// Oversized / malformed request heads answered 431 and aborted.
+    bad_requests: Vec<CounterId>,
+    /// Connections parked on the buffer-pool waiter list because an
+    /// alloc came up empty.
+    empty_waits: Vec<CounterId>,
 }
 
 impl AtlasIds {
@@ -147,6 +166,24 @@ impl AtlasIds {
                 .collect(),
             fetch_retries: (0..cores)
                 .map(|c| reg.counter_core("atlas.fetch_retries", c))
+                .collect(),
+            shed_new: (0..cores)
+                .map(|c| reg.counter_core("atlas.overload.shed_new", c))
+                .collect(),
+            reaped_idle: (0..cores)
+                .map(|c| reg.counter_core("atlas.overload.reaped_idle", c))
+                .collect(),
+            aborted_slow: (0..cores)
+                .map(|c| reg.counter_core("atlas.overload.aborted_slow", c))
+                .collect(),
+            retry_503: (0..cores)
+                .map(|c| reg.counter_core("atlas.overload.retry_503", c))
+                .collect(),
+            bad_requests: (0..cores)
+                .map(|c| reg.counter_core("atlas.overload.bad_requests", c))
+                .collect(),
+            empty_waits: (0..cores)
+                .map(|c| reg.counter_core("atlas.bufpool.empty_waits", c))
                 .collect(),
         }
     }
@@ -211,6 +248,16 @@ pub struct AtlasServer {
     /// for any fetch that pass issues.
     trace_rx_at: Nanos,
     phys: PhysAlloc,
+    /// Per-core hysteretic overload state (admission latch + ladder).
+    overload: Vec<OverloadState>,
+    /// Live (accepted, not aborted) connections per core — the
+    /// admission cap input, maintained incrementally.
+    live_conns: Vec<usize>,
+    /// Connections parked waiting for a DMA buffer, per core; woken
+    /// (re-pumped) after TX reclaim and disk completions free buffers.
+    buf_waiters: Vec<BTreeSet<usize>>,
+    /// Next overload sweep (slow-client deadlines + ladder tick).
+    next_sweep: Nanos,
 }
 
 impl AtlasServer {
@@ -290,6 +337,10 @@ impl AtlasServer {
             tracer,
             ids,
             trace_rx_at: Nanos::ZERO,
+            overload: (0..cfg.cores).map(|_| OverloadState::default()).collect(),
+            live_conns: vec![0; cfg.cores],
+            buf_waiters: vec![BTreeSet::new(); cfg.cores],
+            next_sweep: cfg.admission.sweep_interval,
             cfg,
             phys,
         }
@@ -320,6 +371,10 @@ impl AtlasServer {
                 .sum();
             let g = self.reg.gauge_core("atlas.pool_free_bufs", core);
             self.reg.set(g, f64::from(free));
+            let g = self.reg.gauge_core("atlas.overload.level", core);
+            self.reg.set(g, self.overload[core].level() as u8 as f64);
+            let g = self.reg.gauge_core("atlas.live_conns", core);
+            self.reg.set(g, self.live_conns[core] as f64);
             let tcbs = self
                 .slots
                 .iter()
@@ -337,6 +392,43 @@ impl AtlasServer {
 
     fn core_of_flow(&self, flow: FlowId) -> usize {
         (flow.rss_hash() as usize) % self.cfg.cores
+    }
+
+    /// One core's resource observation for the admission policy:
+    /// live connections, worst (minimum) DMA-pool free fraction and
+    /// worst (maximum) NVMe SQ occupancy across its per-disk queues.
+    fn resource_snapshot(&self, core: usize) -> ResourceSnapshot {
+        let sq_depth = f64::from(NvmeConfig::default().queue_depth);
+        let mut pool_free_frac = 1.0f64;
+        let mut sq_occupancy = 0.0f64;
+        for q in &self.core_disks[core].queues {
+            let cap = f64::from(q.pool_ref().capacity()).max(1.0);
+            pool_free_frac = pool_free_frac.min(f64::from(q.pool_ref().available()) / cap);
+            sq_occupancy = sq_occupancy.max(q.inflight() as f64 / sq_depth);
+        }
+        ResourceSnapshot {
+            conns: self.live_conns[core],
+            pool_free_frac,
+            sq_occupancy,
+        }
+    }
+
+    /// Is any core currently shedding load (resource latch held or
+    /// walking the degradation ladder) or at its connection cap? The
+    /// cluster dispatcher treats a shedding server like `Draining`.
+    #[must_use]
+    pub fn is_shedding(&self) -> bool {
+        self.overload.iter().any(OverloadState::is_shedding)
+            || self
+                .live_conns
+                .iter()
+                .any(|&n| n >= self.cfg.admission.max_conns_per_core)
+    }
+
+    /// Current degradation-ladder rung for one core.
+    #[must_use]
+    pub fn overload_level(&self, core: usize) -> LadderLevel {
+        self.overload[core].level()
     }
 
     // ------------------------------------------------------------ input
@@ -360,6 +452,7 @@ impl AtlasServer {
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.trace_bursts(&bursts);
         self.reclaim_tx(now);
+        self.wake_buf_waiters(now);
         bursts
     }
 
@@ -419,6 +512,17 @@ impl AtlasServer {
             ip: flow.src_ip,
             port: flow.src_port,
         };
+        // Admission control: consult the per-core policy (connection
+        // cap, pool low-watermark, SQ high-watermark) before spending
+        // anything on this connection. Refused SYNs get an RST — the
+        // cheapest possible "go away", no TCB, no DMA buffer.
+        let snap = self.resource_snapshot(core);
+        if !self.overload[core].admit(&self.cfg.admission, snap) {
+            let rst = rst_for_syn(self.cfg.server_endpoint, remote, syn);
+            self.nic.tx_rings[core].push(rst.into_tx(0));
+            self.reg.inc(self.ids.shed_new[core]);
+            return;
+        }
         let iss = SeqNumber(self.rng.next_u64() as u32);
         let (tcb, synack) = Tcb::accept(
             self.cfg.tcb,
@@ -436,13 +540,14 @@ impl AtlasServer {
             RecordCipher::new(&key, flow.rss_hash())
         });
         let slot_idx = self.slots.len();
-        self.slots.push(ConnSlot {
-            conn: AtlasConn::new(tcb, cipher),
-            core,
-            flow,
-        });
+        let mut conn = AtlasConn::new(tcb, cipher);
+        conn.established_at = now;
+        conn.last_progress = now;
+        conn.drain_mark_at = now;
+        self.slots.push(ConnSlot { conn, core, flow });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
+        self.live_conns[core] += 1;
         self.nic.tx_rings[core].push(synack.into_tx(0));
         self.sync_timer(slot_idx);
         self.reg.inc(self.ids.conns);
@@ -457,7 +562,12 @@ impl AtlasServer {
                 TcbEvent::Data(bytes) => self.on_request_bytes(now, slot_idx, &bytes),
                 TcbEvent::WindowOpen(_) => {}
                 TcbEvent::AckedTo(off) => {
-                    self.slots[slot_idx].conn.prune_acked(off);
+                    let conn = &mut self.slots[slot_idx].conn;
+                    conn.prune_acked(off);
+                    if off > conn.acked_stream_off {
+                        conn.acked_stream_off = off;
+                        conn.last_progress = now;
+                    }
                 }
                 TcbEvent::NeedRetransmit { offset, len } => {
                     self.on_retransmit_needed(now, slot_idx, offset, len);
@@ -477,12 +587,26 @@ impl AtlasServer {
         let file_size = self.catalog.file_size();
         let n_files = self.catalog.n_files();
         let encrypted = self.cfg.encrypted;
+        // While this core is shedding, requests on already-established
+        // keepalive connections are answered 503 + Retry-After instead
+        // of being admitted into the fetch pipeline.
+        let shedding = self.overload[core].is_shedding();
+        let retry_after_ms = (self.cfg.admission.retry_after.as_nanos() / 1_000_000).max(1);
         let slot = &mut self.slots[slot_idx];
         slot.conn.parser.push(bytes);
         let mut new_responses = Vec::new();
+        let mut fatal_parse = false;
         loop {
             match slot.conn.parser.next_request() {
                 Ok(Some(req)) => {
+                    slot.conn.got_request = true;
+                    slot.conn.last_progress = now;
+                    if shedding {
+                        new_responses
+                            .push((ResponseInfo::ServiceUnavailable { retry_after_ms }, None));
+                        self.reg.inc(self.ids.retry_503[core]);
+                        continue;
+                    }
                     // Range resumes are floored to a record boundary:
                     // records are the unit of both disk fetches and
                     // GCM framing, and reconnecting clients only ever
@@ -502,7 +626,16 @@ impl AtlasServer {
                     new_responses.push((info, parse_chunk_path(&req.path)));
                 }
                 Ok(None) => break,
-                Err(_) => break, // fatal parse error: ignore rest
+                Err(_) => {
+                    // Fatal parse error (oversized request line or
+                    // header block, garbage framing): answer 431 and
+                    // tear the connection down — an unparseable stream
+                    // has no request boundary to resynchronize on.
+                    new_responses.push((ResponseInfo::HeaderTooLarge, None));
+                    self.reg.inc(self.ids.bad_requests[core]);
+                    fatal_parse = true;
+                    break;
+                }
             }
         }
         for (info, file) in new_responses {
@@ -523,7 +656,9 @@ impl AtlasServer {
             let served = match info {
                 ResponseInfo::Ok { body_len } => Some((body_len, 0)),
                 ResponseInfo::Partial { body_len, offset } => Some((body_len, offset)),
-                ResponseInfo::NotFound => None,
+                ResponseInfo::NotFound
+                | ResponseInfo::ServiceUnavailable { .. }
+                | ResponseInfo::HeaderTooLarge => None,
             };
             match (served, file) {
                 (Some((body_len, file_off)), Some(file)) => {
@@ -572,6 +707,11 @@ impl AtlasServer {
                     self.drain_tx(done, slot_idx);
                 }
             }
+        }
+        if fatal_parse {
+            // The 431 just parked drains above if the stream is
+            // caught up; either way the connection is done.
+            self.abort_conn(now, slot_idx);
         }
     }
 
@@ -673,11 +813,17 @@ impl AtlasServer {
             );
             if !issued {
                 // Buffer pool exhausted (TX completions will recycle
-                // buffers shortly): undo and stop pumping this round.
+                // buffers shortly): undo, park on the waiter list —
+                // the reclaim path re-pumps parked connections the
+                // moment a buffer frees — and stop this round.
+                let core = self.slots[slot_idx].core;
                 let slot = &mut self.slots[slot_idx];
                 slot.conn.next_record -= 1;
                 slot.conn.reserved -= wire;
                 slot.conn.fetches_inflight -= 1;
+                if self.buf_waiters[core].insert(slot_idx) {
+                    self.reg.inc(self.ids.empty_waits[core]);
+                }
                 break;
             }
             let _ = costs;
@@ -701,6 +847,18 @@ impl AtlasServer {
         let core = self.slots[slot_idx].core;
         let (loc, aligned_len, _pre) = self.catalog.read_span(file, file_off, plain_len);
         let q = &mut self.core_disks[core].queues[loc.disk];
+        // Retransmit-fetch priority: hold the last few buffers back
+        // from fresh fetches so a connection in RTO recovery is never
+        // starved behind newly admitted traffic. (Clamped so tiny
+        // test pools aren't wedged by the reserve itself.)
+        let reserve = self
+            .cfg
+            .admission
+            .retx_reserve_bufs
+            .min(q.pool_ref().capacity() / 4);
+        if fetch.retx.is_none() && q.pool_ref().available() <= reserve {
+            return false;
+        }
         let Some(buf) = q.pool().alloc() else {
             return false;
         };
@@ -818,9 +976,12 @@ impl AtlasServer {
         let t = self.kernel.poll_at();
         let timer = self.timers.iter().next().map(|(d, _)| *d);
         let retry = self.retries.keys().next().map(|&(d, _)| d);
+        // The overload sweep only needs to run while connections
+        // exist; an empty server stays fully quiescent.
+        let sweep = (self.live_conns.iter().sum::<usize>() > 0).then_some(self.next_sweep);
         earliest(
             earliest(earliest(t, timer), self.nic.poll_at()),
-            earliest(retry, self.resync_at),
+            earliest(earliest(retry, self.resync_at), sweep),
         )
     }
 
@@ -833,6 +994,10 @@ impl AtlasServer {
             self.resync_staged(now);
         }
         self.fire_retries(now);
+        if now >= self.next_sweep {
+            self.overload_sweep(now);
+            self.next_sweep = now + self.cfg.admission.sweep_interval;
+        }
         let mut touched = BTreeSet::new();
         // Poll completions on every (core, disk) queue.
         for core in 0..self.cfg.cores {
@@ -868,6 +1033,7 @@ impl AtlasServer {
         let _ = touched;
         self.trace_bursts(&bursts);
         self.reclaim_tx(now);
+        self.wake_buf_waiters(now);
         bursts
     }
 
@@ -1167,6 +1333,106 @@ impl AtlasServer {
         }
     }
 
+    /// Periodic overload sweep: update the hysteretic latch, walk the
+    /// degradation ladder, and enforce the slow-client deadlines —
+    /// header-read timeout, idle keepalive reaping, and the
+    /// minimum-drain-rate check for connections pinning DMA buffers.
+    fn overload_sweep(&mut self, now: Nanos) {
+        let acfg = self.cfg.admission;
+        for core in 0..self.cfg.cores {
+            let snap = self.resource_snapshot(core);
+            self.overload[core].observe(&acfg, snap);
+            let level = self.overload[core].on_sweep(&acfg);
+            // Under pressure idle conns are reaped much sooner: a
+            // few sweeps of silence instead of the full keepalive
+            // allowance (kept above a WAN RTT so a healthy client
+            // between requests isn't collateral damage).
+            let idle_cut = if level >= LadderLevel::ReapIdle {
+                acfg.idle_timeout
+                    .min(Nanos::from_nanos(acfg.sweep_interval.as_nanos() * 4))
+            } else {
+                acfg.idle_timeout
+            };
+            let min_drain_per_window = acfg.min_drain_bytes_per_sec as u128
+                * acfg.drain_window.as_nanos() as u128
+                / 1_000_000_000;
+            let slot_ids: Vec<usize> = (0..self.slots.len())
+                .filter(|&i| self.slots[i].core == core && !self.slots[i].conn.aborted)
+                .filter(|&i| self.conns.contains_key(&self.slots[i].flow))
+                .collect();
+            let mut slowest: Option<(u64, usize)> = None;
+            for slot_idx in slot_ids {
+                let conn = &mut self.slots[slot_idx].conn;
+                // Slowloris defense: handshake done, no complete
+                // request head within the deadline.
+                if !conn.got_request && now - conn.established_at > acfg.header_timeout {
+                    self.abort_conn(now, slot_idx);
+                    self.reg.inc(self.ids.reaped_idle[core]);
+                    continue;
+                }
+                // Idle keepalive reaping.
+                if conn.got_request && conn.is_idle() && now - conn.last_progress > idle_cut {
+                    self.abort_conn(now, slot_idx);
+                    self.reg.inc(self.ids.reaped_idle[core]);
+                    continue;
+                }
+                // Minimum-drain-rate check: a reader that holds DMA
+                // buffers must ack at least `min_drain_bytes_per_sec`
+                // over the window, or it loses the buffers.
+                let holding = conn.holds_buffers();
+                if !holding {
+                    conn.drain_mark = conn.acked_stream_off;
+                    conn.drain_mark_at = now;
+                } else if min_drain_per_window > 0 && now - conn.drain_mark_at >= acfg.drain_window
+                {
+                    let drained = u128::from(conn.acked_stream_off - conn.drain_mark);
+                    if drained < min_drain_per_window {
+                        self.abort_conn(now, slot_idx);
+                        self.reg.inc(self.ids.aborted_slow[core]);
+                        continue;
+                    }
+                    conn.drain_mark = conn.acked_stream_off;
+                    conn.drain_mark_at = now;
+                }
+                // Abort-slowest candidate ranking: least ack progress
+                // since the previous sweep among buffer holders.
+                let progressed = conn.acked_stream_off - conn.sweep_acked;
+                conn.sweep_acked = conn.acked_stream_off;
+                if holding && slowest.is_none_or(|(p, _)| progressed < p) {
+                    slowest = Some((progressed, slot_idx));
+                }
+            }
+            if level == LadderLevel::AbortSlowest {
+                if let Some((_, victim)) = slowest {
+                    self.abort_conn(now, victim);
+                    self.reg.inc(self.ids.aborted_slow[core]);
+                }
+            }
+        }
+    }
+
+    /// Re-pump connections parked for a DMA buffer. Called after TX
+    /// reclaim / disk completions have returned buffers to the pools.
+    fn wake_buf_waiters(&mut self, now: Nanos) {
+        for core in 0..self.cfg.cores {
+            if self.buf_waiters[core].is_empty() {
+                continue;
+            }
+            let waiters: Vec<usize> = std::mem::take(&mut self.buf_waiters[core])
+                .into_iter()
+                .collect();
+            for slot_idx in waiters {
+                if self.slots[slot_idx].conn.aborted {
+                    continue;
+                }
+                // pump() re-parks the slot if the pool is still dry.
+                self.pump(now, slot_idx);
+                self.drain_tx(now, slot_idx);
+                self.sync_timer(slot_idx);
+            }
+        }
+    }
+
     /// Graceful per-connection degradation: tear one connection down
     /// while keeping the server's buffer economy intact. Every DMA
     /// buffer the connection holds goes back to its LIFO pool — the
@@ -1180,6 +1446,14 @@ impl AtlasServer {
         }
         slot.conn.aborted = true;
         let flow = slot.flow;
+        let core = slot.core;
+        // Tell the peer: one RST (best-effort — a full TX ring just
+        // drops it and the client's RTO discovers the teardown).
+        let rst = slot.conn.tcb.send_rst();
+        if self.nic.tx_rings[core].space() > 0 {
+            self.nic.tx_rings[core].push(rst.into_tx(0));
+        }
+        let slot = &mut self.slots[slot_idx];
         let ready = std::mem::take(&mut slot.conn.ready_tx);
         slot.conn.reserved = 0;
         slot.conn.layouts.clear();
@@ -1195,7 +1469,9 @@ impl AtlasServer {
             self.timers.remove(&(d, slot_idx));
             self.timer_of[slot_idx] = None;
         }
+        self.buf_waiters[core].remove(&slot_idx);
         self.conns.remove(&flow);
+        self.live_conns[core] = self.live_conns[core].saturating_sub(1);
         self.reg.inc(self.ids.conns_aborted);
     }
 

@@ -255,6 +255,12 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
 
     let mut alive = vec![true; sc.n_servers];
     let mut next_wake = vec![Nanos::MAX; sc.n_servers];
+    // Admission-control feedback: servers holding their overload
+    // latch are marked Draining so the dispatcher routes around them;
+    // `shed_marked` remembers which Draining states are ours to undo
+    // (operator drains and kill-detection stay authoritative).
+    let mut shed_marked = vec![false; sc.n_servers];
+    let mut operator_drained = vec![false; sc.n_servers];
 
     let sample_interval = obs.sample_interval.unwrap_or(Nanos::from_millis(10));
     let mut series = obs.metrics_out.as_ref().map(|_| TimeSeries::new());
@@ -354,6 +360,7 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
                 alive[s] = false;
             }
             Ev::Drain(s) => {
+                operator_drained[s] = true;
                 dispatcher.set_health(s, Health::Draining);
             }
             Ev::Detect(s) => {
@@ -381,6 +388,22 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
                     q.schedule(at, Ev::ServerWake(s));
                     next_wake[s] = at;
                 }
+            }
+            // A server shedding load is treated like a draining one:
+            // no new requests route to it until its latch clears.
+            // Operator drains and detected failures are never undone
+            // from here.
+            let shedding = servers[s].is_shedding();
+            if shedding != shed_marked[s] && alive[s] && !operator_drained[s] {
+                shed_marked[s] = shedding;
+                dispatcher.set_health(
+                    s,
+                    if shedding {
+                        Health::Draining
+                    } else {
+                        Health::Healthy
+                    },
+                );
             }
         }
     }

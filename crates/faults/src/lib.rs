@@ -117,13 +117,26 @@ impl NetFaults {
     }
 }
 
-/// Per-connection client stalls: a client that stops reading /
-/// acking for `stall` of virtual time with probability `stall_p`
-/// per received burst.
+/// Client (mis)behaviour: stalls, slowloris readers, and aggressive
+/// connection-open schedules. Decided here, applied by the client
+/// fleet / workload runner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientFaults {
+    /// Per-burst probability that a client stops reading / acking for
+    /// `stall` of virtual time (frames are delayed, never lost; the
+    /// server's RTO covers the gap).
     pub stall_p: f64,
     pub stall: Nanos,
+    /// Slowloris attackers: the first N spawned clients complete the
+    /// TCP handshake, dribble a *truncated* request head, and then go
+    /// silent forever — holding a connection slot (and, on a naive
+    /// server, DMA buffers) without ever completing a request. The
+    /// server's header-read timeout is the defense under test.
+    pub slowloris_conns: u32,
+    /// Open-rate attack: spawn every client at t=0 instead of ramping
+    /// over the warmup — a thundering-herd SYN flood that exercises
+    /// the admission path's burst behaviour.
+    pub aggressive_open: bool,
 }
 
 impl Default for ClientFaults {
@@ -131,13 +144,15 @@ impl Default for ClientFaults {
         Self {
             stall_p: 0.0,
             stall: Nanos::from_micros(500),
+            slowloris_conns: 0,
+            aggressive_open: false,
         }
     }
 }
 
 impl ClientFaults {
     pub fn is_active(&self) -> bool {
-        self.stall_p > 0.0
+        self.stall_p > 0.0 || self.slowloris_conns > 0 || self.aggressive_open
     }
 }
 
@@ -244,6 +259,27 @@ mod tests {
         assert!(f.nvme.is_active());
         assert!(f.net.is_active());
         assert!(!f.cluster.is_active());
+    }
+
+    #[test]
+    fn client_misbehaviour_activates_config() {
+        let f = FaultConfig {
+            client: ClientFaults {
+                slowloris_conns: 4,
+                ..ClientFaults::default()
+            },
+            ..FaultConfig::default()
+        };
+        assert!(f.is_active());
+        assert!(f.client.is_active());
+        let g = FaultConfig {
+            client: ClientFaults {
+                aggressive_open: true,
+                ..ClientFaults::default()
+            },
+            ..FaultConfig::default()
+        };
+        assert!(g.client.is_active());
     }
 
     #[test]

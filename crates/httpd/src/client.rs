@@ -6,7 +6,7 @@
 //! driver consumes the response byte stream (headers + body),
 //! verifies progress, and decides when to fire the next request.
 
-use crate::response::{scan_response_header, RECORD_PLAIN, RECORD_WIRE};
+use crate::response::{scan_response_head, RECORD_PLAIN, RECORD_WIRE};
 use dcn_simcore::{SimRng, Zipf};
 use dcn_store::FileId;
 
@@ -53,6 +53,12 @@ pub struct RequestDriver {
     pub current_encrypted: bool,
     /// Responses abandoned mid-stream by `disconnect` (server died).
     pub responses_abandoned: u64,
+    /// 503 load-shed responses received (each leaves the request
+    /// outstanding; the caller retries after `take_retry_after`).
+    pub rejections_503: u64,
+    /// Pending server-requested backoff from the latest 503, in
+    /// virtual milliseconds. Consumed by `take_retry_after`.
+    retry_after_pending: Option<u64>,
 }
 
 impl RequestDriver {
@@ -75,6 +81,8 @@ impl RequestDriver {
             body_bytes: 0,
             current_encrypted: false,
             responses_abandoned: 0,
+            rejections_503: 0,
+            retry_after_pending: None,
         }
     }
 
@@ -147,6 +155,12 @@ impl RequestDriver {
         Some(ResumePlan { file, offset })
     }
 
+    /// A 503 arrived: take the server-requested backoff (ms). The
+    /// caller should re-send a GET for `current_file()` after waiting.
+    pub fn take_retry_after(&mut self) -> Option<u64> {
+        self.retry_after_pending.take()
+    }
+
     /// Is a response currently outstanding?
     #[must_use]
     pub fn awaiting_response(&self) -> bool {
@@ -180,13 +194,20 @@ impl RequestDriver {
                 None => {
                     self.header_buf.extend_from_slice(data);
                     data = &[];
-                    if let Some((hl, cl, enc)) = scan_response_header(&self.header_buf) {
-                        self.current_encrypted = enc;
+                    if let Some(head) = scan_response_head(&self.header_buf) {
+                        self.current_encrypted = head.encrypted;
                         // Any bytes past the header are body bytes:
                         // recurse over the tail.
-                        let tail = self.header_buf.split_off(hl);
+                        let tail = self.header_buf.split_off(head.header_len);
                         self.header_buf.clear();
-                        if cl == 0 {
+                        let cl = head.content_length;
+                        if head.status == 503 {
+                            // Load shed: the request stays outstanding
+                            // (`current_file` keeps the file to retry)
+                            // and we honour the server's backoff.
+                            self.rejections_503 += 1;
+                            self.retry_after_pending = Some(head.retry_after_ms.unwrap_or(1000));
+                        } else if cl == 0 {
                             self.current_file = None;
                             self.responses_done += 1;
                             completed += 1;
@@ -319,6 +340,27 @@ mod tests {
         d.on_bytes(&stream);
         let plan = d.disconnect().unwrap();
         assert_eq!(plan.offset, (50_000 / RECORD_PLAIN) * RECORD_PLAIN);
+    }
+
+    #[test]
+    fn rejected_503_keeps_request_outstanding_for_retry() {
+        let mut d = RequestDriver::uncachable(100, SimRng::new(9));
+        let f = d.next_file();
+        let h = response_header(
+            ResponseInfo::ServiceUnavailable { retry_after_ms: 75 },
+            false,
+        );
+        assert_eq!(d.on_bytes(&h), 0, "a shed request does not complete");
+        assert_eq!(d.rejections_503, 1);
+        assert_eq!(d.take_retry_after(), Some(75));
+        assert_eq!(d.take_retry_after(), None, "backoff consumed once");
+        assert_eq!(d.current_file(), Some(f), "same file retried");
+        assert!(d.awaiting_response());
+        // The retried request is eventually served normally.
+        let mut ok = response_header(ResponseInfo::Ok { body_len: 10 }, false);
+        ok.extend_from_slice(&[0u8; 10]);
+        assert_eq!(d.on_bytes(&ok), 1);
+        assert!(!d.awaiting_response());
     }
 
     #[test]

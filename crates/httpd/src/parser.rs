@@ -20,9 +20,15 @@ pub enum HttpError {
     BadRequestLine,
     UnsupportedMethod,
     HeaderTooLarge,
+    RequestLineTooLong,
 }
 
-const MAX_HEADER: usize = 8 * 1024;
+/// Hard cap on a request head (request line + all headers). Anything
+/// larger is rejected with a 431-style abort before it can pin server
+/// memory — the parser never buffers past this.
+pub const MAX_HEADER: usize = 8 * 1024;
+/// Cap on the request line alone (nginx: large_client_header_buffers).
+pub const MAX_REQUEST_LINE: usize = 2 * 1024;
 
 /// Accumulates bytes until full request heads are available.
 /// Pipelined requests are surfaced one per call.
@@ -53,9 +59,23 @@ impl RequestParser {
             if self.buf.len() > MAX_HEADER {
                 return Err(HttpError::HeaderTooLarge);
             }
+            // No complete head yet, but an unterminated first line can
+            // already be over the cap — reject early instead of
+            // buffering a slowly trickled oversized request line.
+            if find_crlf(&self.buf).is_none() && self.buf.len() > MAX_REQUEST_LINE {
+                return Err(HttpError::RequestLineTooLong);
+            }
             return Ok(None);
         };
+        if end > MAX_HEADER {
+            // A complete head can still be oversized when it arrives
+            // in one push (the no-terminator check above never saw it).
+            return Err(HttpError::HeaderTooLarge);
+        }
         let head = &self.buf[..end];
+        if find_crlf(head).unwrap_or(head.len()) > MAX_REQUEST_LINE {
+            return Err(HttpError::RequestLineTooLong);
+        }
         let text = std::str::from_utf8(head).map_err(|_| HttpError::BadRequestLine)?;
         let mut lines = text.split("\r\n");
         let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
@@ -92,6 +112,10 @@ impl RequestParser {
 
 fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 /// `bytes=N-` → Some(N); any other range form is unsupported.
@@ -205,5 +229,122 @@ mod tests {
         let mut p = RequestParser::new();
         p.push(&vec![b'a'; 9000]);
         assert_eq!(p.next_request(), Err(HttpError::HeaderTooLarge));
+    }
+
+    #[test]
+    fn oversized_complete_head_in_one_push_rejected() {
+        // Terminated head over the cap, delivered whole: the
+        // no-terminator path never fires, the explicit end-check must.
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        while req.len() <= MAX_HEADER {
+            req.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        req.extend_from_slice(b"\r\n");
+        let mut p = RequestParser::new();
+        p.push(&req);
+        assert_eq!(p.next_request(), Err(HttpError::HeaderTooLarge));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected_before_terminator() {
+        let mut p = RequestParser::new();
+        let mut line = b"GET /".to_vec();
+        line.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 100));
+        p.push(&line); // no CRLF yet
+        assert_eq!(p.next_request(), Err(HttpError::RequestLineTooLong));
+    }
+
+    #[test]
+    fn oversized_request_line_with_valid_headers_rejected() {
+        let mut p = RequestParser::new();
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'b', MAX_REQUEST_LINE));
+        req.extend_from_slice(b" HTTP/1.1\r\nHost: h\r\n\r\n");
+        p.push(&req);
+        assert_eq!(p.next_request(), Err(HttpError::RequestLineTooLong));
+    }
+
+    #[test]
+    fn request_line_just_under_cap_parses() {
+        let path_len = MAX_REQUEST_LINE - "GET  HTTP/1.1".len() - 1;
+        let path: String = std::iter::repeat_n('p', path_len).collect();
+        let mut p = RequestParser::new();
+        p.push(format!("GET /{} HTTP/1.1\r\n\r\n", &path[1..]).as_bytes());
+        assert!(p.next_request().unwrap().is_some());
+    }
+
+    // ---- malformed-request property tests: whatever arrives, the ----
+    // ---- parser returns Ok/Err without panicking or unbounded buf ----
+
+    #[test]
+    fn prop_truncated_requests_never_panic() {
+        let req = build_get_range("/chunk/123456", "host.example", 98_304);
+        for cut in 0..req.len() {
+            let mut p = RequestParser::new();
+            p.push(&req[..cut]);
+            let _ = p.next_request();
+            p.push(&req[cut..]);
+            assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/123456");
+        }
+    }
+
+    #[test]
+    fn prop_random_garbage_never_panics() {
+        let mut rng = dcn_simcore::SimRng::new(0x6A5F);
+        for trial in 0..200 {
+            let mut p = RequestParser::new();
+            let n = rng.gen_range(1, 12_000) as usize;
+            let mut junk = vec![0u8; n];
+            for b in &mut junk {
+                *b = rng.next_u64() as u8;
+            }
+            // Interleave garbage in random-sized pushes.
+            let mut off = 0;
+            while off < junk.len() {
+                let step = rng.gen_range(1, 700) as usize;
+                let end = (off + step).min(junk.len());
+                p.push(&junk[off..end]);
+                let _ = p.next_request(); // must not panic
+                off = end;
+            }
+            // Buffer stays bounded: either an error was surfaced or
+            // we're still under the cap waiting for a terminator.
+            assert!(
+                p.buffered() <= MAX_HEADER + 12_000,
+                "trial {trial}: unbounded buffering"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_garbage_interleaved_with_valid_requests() {
+        let mut rng = dcn_simcore::SimRng::new(0xBEEF);
+        for _ in 0..100 {
+            let mut p = RequestParser::new();
+            let mut junk = vec![0u8; rng.gen_range(1, 64) as usize];
+            for b in &mut junk {
+                *b = rng.next_u64() as u8;
+            }
+            // Valid request, then garbage fused onto the stream: the
+            // valid one parses, the garbage errors or waits — no panic.
+            p.push(&build_get("/chunk/1", "h"));
+            p.push(&junk);
+            assert_eq!(p.next_request().unwrap().unwrap().path, "/chunk/1");
+            let _ = p.next_request();
+        }
+    }
+
+    #[test]
+    fn prop_byte_at_a_time_arrival() {
+        let req = build_get("/chunk/77", "h");
+        let mut p = RequestParser::new();
+        for &b in &req {
+            p.push(&[b]);
+            if let Ok(Some(r)) = p.next_request() {
+                assert_eq!(r.path, "/chunk/77");
+                return;
+            }
+        }
+        panic!("request never parsed");
     }
 }

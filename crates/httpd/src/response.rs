@@ -20,6 +20,17 @@ pub enum ResponseInfo {
         offset: u64,
     },
     NotFound,
+    /// Load shed: the server is over its admission watermarks and
+    /// refuses the request. `Retry-After` tells a well-behaved client
+    /// when to knock again (milliseconds surfaced via
+    /// `X-Retry-After-Ms`; the standard header carries whole seconds,
+    /// rounded up).
+    ServiceUnavailable {
+        retry_after_ms: u64,
+    },
+    /// 431-style reject for oversized request lines / header blocks;
+    /// the connection is torn down after this is sent.
+    HeaderTooLarge,
 }
 
 /// Build the response header block.
@@ -61,6 +72,16 @@ pub fn response_header(info: ResponseInfo, encrypted: bool) -> Vec<u8> {
             .into_bytes()
         }
         ResponseInfo::NotFound => b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec(),
+        ResponseInfo::ServiceUnavailable { retry_after_ms } => format!(
+            "HTTP/1.1 503 Service Unavailable\r\nServer: atlas/0.1\r\n\
+             Retry-After: {}\r\nX-Retry-After-Ms: {retry_after_ms}\r\n\
+             Content-Length: 0\r\n\r\n",
+            retry_after_ms.div_ceil(1000).max(1)
+        )
+        .into_bytes(),
+        ResponseInfo::HeaderTooLarge => b"HTTP/1.1 431 Request Header Fields Too Large\r\n\
+              Connection: close\r\nContent-Length: 0\r\n\r\n"
+            .to_vec(),
     }
 }
 
@@ -79,25 +100,58 @@ pub fn encrypted_body_len(plain_len: u64) -> u64 {
     plain_len + records * RECORD_OVERHEAD
 }
 
+/// Fully parsed response head (client side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseHead {
+    pub header_len: usize,
+    pub content_length: u64,
+    pub encrypted: bool,
+    /// HTTP status code from the status line (200, 206, 503, ...).
+    pub status: u16,
+    /// Server-requested backoff (503 only), in virtual milliseconds.
+    pub retry_after_ms: Option<u64>,
+}
+
 /// Minimal response-header scanner for the client side: returns
 /// (header_len, content_length, encrypted) once the full header block
 /// is buffered.
 #[must_use]
 pub fn scan_response_header(buf: &[u8]) -> Option<(usize, u64, bool)> {
+    scan_response_head(buf).map(|h| (h.header_len, h.content_length, h.encrypted))
+}
+
+/// Scanner variant that also surfaces the status code and any
+/// Retry-After backoff, for clients that react to load shedding.
+#[must_use]
+pub fn scan_response_head(buf: &[u8]) -> Option<ResponseHead> {
     let end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
     let text = std::str::from_utf8(&buf[..end]).ok()?;
+    let mut lines = text.split("\r\n");
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
     let mut content_length = None;
     let mut encrypted = false;
-    for line in text.split("\r\n").skip(1) {
+    let mut retry_after_ms = None;
+    let mut retry_after_s = None;
+    for line in lines {
         if let Some((k, v)) = line.split_once(':') {
             if k.eq_ignore_ascii_case("content-length") {
                 content_length = v.trim().parse().ok();
             } else if k.eq_ignore_ascii_case("x-body-encrypted") {
                 encrypted = v.trim() == "1";
+            } else if k.eq_ignore_ascii_case("x-retry-after-ms") {
+                retry_after_ms = v.trim().parse().ok();
+            } else if k.eq_ignore_ascii_case("retry-after") {
+                retry_after_s = v.trim().parse::<u64>().ok();
             }
         }
     }
-    Some((end, content_length?, encrypted))
+    Some(ResponseHead {
+        header_len: end,
+        content_length: content_length?,
+        encrypted,
+        status,
+        retry_after_ms: retry_after_ms.or(retry_after_s.map(|s| s * 1000)),
+    })
 }
 
 #[cfg(test)]
@@ -158,5 +212,45 @@ mod tests {
         let h = response_header(ResponseInfo::NotFound, false);
         let (_, cl, _) = scan_response_header(&h).unwrap();
         assert_eq!(cl, 0);
+    }
+
+    #[test]
+    fn service_unavailable_round_trips_retry_after() {
+        let h = response_header(
+            ResponseInfo::ServiceUnavailable {
+                retry_after_ms: 250,
+            },
+            true,
+        );
+        let head = scan_response_head(&h).unwrap();
+        assert_eq!(head.status, 503);
+        assert_eq!(head.content_length, 0);
+        assert_eq!(head.retry_after_ms, Some(250));
+        // The standard header carries whole seconds, rounded up.
+        assert!(std::str::from_utf8(&h)
+            .unwrap()
+            .contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn header_too_large_is_zero_length_431() {
+        let h = response_header(ResponseInfo::HeaderTooLarge, false);
+        let head = scan_response_head(&h).unwrap();
+        assert_eq!(head.status, 431);
+        assert_eq!(head.content_length, 0);
+    }
+
+    #[test]
+    fn scanner_surfaces_status_for_ok_responses() {
+        let h = response_header(ResponseInfo::Ok { body_len: 10 }, false);
+        let head = scan_response_head(&h).unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.retry_after_ms, None);
+    }
+
+    #[test]
+    fn retry_after_seconds_fallback_when_ms_header_absent() {
+        let h = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(scan_response_head(h).unwrap().retry_after_ms, Some(2000));
     }
 }

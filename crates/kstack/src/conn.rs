@@ -68,6 +68,9 @@ pub struct KConn {
     pub fills_inflight: u32,
     pub cipher: Option<dcn_crypto::RecordCipher>,
     pub responses_completed: u64,
+    /// The request stream hit a fatal parse error (oversized or
+    /// malformed head): a 431 was queued, nothing further is parsed.
+    pub bad_request: bool,
 }
 
 impl KConn {
@@ -84,6 +87,7 @@ impl KConn {
             fills_inflight: 0,
             cipher,
             responses_completed: 0,
+            bad_request: false,
         }
     }
 

@@ -3,6 +3,7 @@
 
 use crate::conn::{KConn, StagedResponse};
 use dcn_atlas::server::parse_frame;
+use dcn_atlas::{AdmissionConfig, OverloadState, ResourceSnapshot};
 use dcn_crypto::{RecordCipher, RECORD_PAYLOAD_MAX};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
 use dcn_mem::{
@@ -17,7 +18,7 @@ use dcn_obs::{CounterId, Registry};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::{BufferCache, Catalog, FileId};
-use dcn_tcpstack::{Endpoint, Tcb, TcbConfig, TcbEvent};
+use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
 use std::collections::{BTreeSet, HashMap};
 
 /// Which baseline.
@@ -56,6 +57,14 @@ pub struct KstackConfig {
     pub costs: CostParams,
     pub fidelity: Fidelity,
     pub server_endpoint: Endpoint,
+    /// Overload policy: the same hysteretic admission watermarks the
+    /// Atlas stack uses (connection cap + RST at SYN, 503 +
+    /// Retry-After while the VM-pressure latch holds). The kernel
+    /// stack's scarce resource is buffer-cache frames, not DMA
+    /// buffers, so `pool_low_*` watches the cache's allocatable
+    /// fraction; the slow-client sweeps are Atlas-only (socket
+    /// buffers, not DMA buffers, absorb slow readers here).
+    pub admission: AdmissionConfig,
 }
 
 impl KstackConfig {
@@ -83,6 +92,7 @@ impl KstackConfig {
                 ip: dcn_packet::Ipv4Addr::new(10, 0, 0, 1),
                 port: 80,
             },
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -123,6 +133,12 @@ struct KstackIds {
     responses: Vec<CounterId>,
     disk_read_bytes: Vec<CounterId>,
     fill_retries: Vec<CounterId>,
+    /// SYNs refused with RST by the admission policy.
+    shed_new: Vec<CounterId>,
+    /// Requests answered 503 + Retry-After while shedding.
+    retry_503: Vec<CounterId>,
+    /// Staging passes parked on buffer-cache VM pressure.
+    empty_waits: Vec<CounterId>,
 }
 
 impl KstackIds {
@@ -136,6 +152,15 @@ impl KstackIds {
                 .collect(),
             fill_retries: (0..cores)
                 .map(|c| reg.counter_core("kstack.fill_retries", c))
+                .collect(),
+            shed_new: (0..cores)
+                .map(|c| reg.counter_core("kstack.overload.shed_new", c))
+                .collect(),
+            retry_503: (0..cores)
+                .map(|c| reg.counter_core("kstack.overload.retry_503", c))
+                .collect(),
+            empty_waits: (0..cores)
+                .map(|c| reg.counter_core("kstack.bufcache.empty_waits", c))
                 .collect(),
         }
     }
@@ -166,6 +191,13 @@ pub struct KstackServer {
     stage_waiting: Vec<std::collections::BTreeSet<usize>>,
     next_cid: u16,
     rx_slots: Vec<PhysRegion>,
+    /// Per-core hysteretic overload state (admission latch).
+    overload: Vec<OverloadState>,
+    /// Live connections per core (admission-cap input).
+    live_conns: Vec<usize>,
+    /// Connections whose staging hit buffer-cache VM pressure, parked
+    /// until ACKs unpin pages.
+    alloc_waiting: Vec<std::collections::BTreeSet<usize>>,
     rng: SimRng,
     /// Unified metrics registry (`kstack.*{core=N}`); counters are
     /// bumped on the hot path through pre-registered handles.
@@ -228,6 +260,9 @@ impl KstackServer {
             stage_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
             next_cid: 0,
             rx_slots,
+            overload: (0..cfg.cores).map(|_| OverloadState::default()).collect(),
+            live_conns: vec![0; cfg.cores],
+            alloc_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
             rng: SimRng::new(seed ^ 0x6B57),
             reg,
             ids,
@@ -291,6 +326,34 @@ impl KstackServer {
         (flow.rss_hash() as usize) % self.cfg.cores
     }
 
+    /// One core's resource observation: live connections, the buffer
+    /// cache's allocatable-frame fraction (the kernel stack's scarce
+    /// pool), and this core's share of in-flight disk fills against
+    /// the kernel queue depth.
+    fn resource_snapshot(&self, core: usize) -> ResourceSnapshot {
+        let depth = f64::from(NvmeConfig::default().queue_depth);
+        let fills = self
+            .fills
+            .values()
+            .filter(|f| self.slots[f.conn_slot].core == core)
+            .count();
+        ResourceSnapshot {
+            conns: self.live_conns[core],
+            pool_free_frac: self.bufcache.allocatable_frac(),
+            sq_occupancy: fills as f64 / depth,
+        }
+    }
+
+    /// Is any core shedding (latch held) or at its connection cap?
+    #[must_use]
+    pub fn is_shedding(&self) -> bool {
+        self.overload.iter().any(OverloadState::is_shedding)
+            || self
+                .live_conns
+                .iter()
+                .any(|&n| n >= self.cfg.admission.max_conns_per_core)
+    }
+
     // -------------------------------------------------------------- RX
 
     pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
@@ -349,6 +412,15 @@ impl KstackServer {
             ip: flow.src_ip,
             port: flow.src_port,
         };
+        // Admission control (same policy shape as Atlas): refuse the
+        // SYN with an RST when past the cap or the VM-pressure latch.
+        let snap = self.resource_snapshot(core);
+        if !self.overload[core].admit(&self.cfg.admission, snap) {
+            let rst = rst_for_syn(self.cfg.server_endpoint, remote, syn);
+            self.nic.tx_rings[core].push(rst.into_tx(0));
+            self.reg.inc(self.ids.shed_new[core]);
+            return;
+        }
         let iss = SeqNumber(self.rng.next_u64() as u32);
         let (tcb, synack) = Tcb::accept(
             self.cfg.tcb,
@@ -370,6 +442,7 @@ impl KstackServer {
         });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
+        self.live_conns[core] += 1;
         self.nic.tx_rings[core].push(synack.into_tx(0));
         self.sync_timer(slot_idx);
     }
@@ -383,10 +456,14 @@ impl KstackServer {
                 TcbEvent::Data(bytes) => self.on_request_bytes(now, slot_idx, &bytes),
                 TcbEvent::AckedTo(off) => {
                     let (pages, regions, _) = self.slots[slot_idx].conn.release_acked(off);
+                    let unpinned = !pages.is_empty();
                     for (f, p) in pages {
                         self.bufcache.unpin(f, p);
                     }
                     self.ct_pool.extend(regions);
+                    if unpinned {
+                        self.wake_alloc_waiters(now);
+                    }
                 }
                 TcbEvent::NeedRetransmit { offset, len } => {
                     // Socket-buffer semantics: the data is still here.
@@ -411,13 +488,40 @@ impl KstackServer {
         let file_size = self.catalog.file_size();
         let encrypted = self.cfg.encrypted;
         let costs = self.cfg.costs;
+        // Refresh the hysteretic latch against current resources so
+        // keepalive requests on long-lived connections see the same
+        // watermark state new SYNs do.
+        let snap = self.resource_snapshot(core);
+        self.overload[core].observe(&self.cfg.admission, snap);
+        let shedding = self.overload[core].is_shedding();
+        let retry_after_ms = (self.cfg.admission.retry_after.as_nanos() / 1_000_000).max(1);
         let slot = &mut self.slots[slot_idx];
-        slot.conn.parser.push(bytes);
-        let mut started = Vec::new();
-        while let Ok(Some(req)) = slot.conn.parser.next_request() {
-            started.push(parse_chunk_path(&req.path).filter(|f| f.0 < n_files));
+        if slot.conn.bad_request {
+            // Parser wedged on a fatal error; a 431 is already queued
+            // and anything further on this stream is ignored.
+            return;
         }
-        for file in started {
+        slot.conn.parser.push(bytes);
+        enum Disposition {
+            File(Option<FileId>),
+            Unavailable,
+            Malformed,
+        }
+        let mut started = Vec::new();
+        loop {
+            match slot.conn.parser.next_request() {
+                Ok(Some(_)) if shedding => started.push(Disposition::Unavailable),
+                Ok(Some(req)) => started.push(Disposition::File(
+                    parse_chunk_path(&req.path).filter(|f| f.0 < n_files),
+                )),
+                Ok(None) => break,
+                Err(_) => {
+                    started.push(Disposition::Malformed);
+                    break;
+                }
+            }
+        }
+        for disp in started {
             // nginx userspace work + the sendfile syscall.
             let done = self.cores.run_on(
                 core,
@@ -425,8 +529,8 @@ impl KstackServer {
                 costs.nginx_request_cycles + costs.sendfile_call_cycles,
             );
             let slot = &mut self.slots[slot_idx];
-            match file {
-                Some(file) => {
+            match disp {
+                Disposition::File(Some(file)) => {
                     let header = response_header(
                         ResponseInfo::Ok {
                             body_len: file_size,
@@ -443,13 +547,51 @@ impl KstackServer {
                         body_stream_off,
                     });
                 }
-                None => {
+                Disposition::File(None) => {
                     let header = response_header(ResponseInfo::NotFound, encrypted);
                     slot.conn
                         .enqueue(SgList::from_bytes(header), Vec::new(), None);
                 }
+                Disposition::Unavailable => {
+                    // Shedding: answer 503 + Retry-After instead of
+                    // staging the body; the connection stays up.
+                    let header = response_header(
+                        ResponseInfo::ServiceUnavailable { retry_after_ms },
+                        encrypted,
+                    );
+                    slot.conn
+                        .enqueue(SgList::from_bytes(header), Vec::new(), None);
+                    self.reg.inc(self.ids.retry_503[core]);
+                }
+                Disposition::Malformed => {
+                    // One 431, then the stream is dead to the parser.
+                    // No teardown: the conventional stack keeps the
+                    // socket; it just never parses this stream again.
+                    let header = response_header(ResponseInfo::HeaderTooLarge, encrypted);
+                    slot.conn
+                        .enqueue(SgList::from_bytes(header), Vec::new(), None);
+                    slot.conn.bad_request = true;
+                }
             }
             let _ = done;
+        }
+    }
+
+    /// Retry staging for connections parked on buffer-cache VM
+    /// pressure: ACKs just unpinned pages, so frames may be
+    /// allocatable again. Each parked connection gets one attempt and
+    /// re-parks itself if still pressured.
+    fn wake_alloc_waiters(&mut self, now: Nanos) {
+        for core in 0..self.cfg.cores {
+            if self.alloc_waiting[core].is_empty() {
+                continue;
+            }
+            let waiting = std::mem::take(&mut self.alloc_waiting[core]);
+            for slot_idx in waiting {
+                self.stage(now, slot_idx);
+                self.pump_tx(now, slot_idx);
+                self.sync_timer(slot_idx);
+            }
         }
     }
 
@@ -541,6 +683,10 @@ impl KstackServer {
                     self.bufcache.unpin(st.file, *p);
                 }
                 self.cores.run_on(core, now, alloc_cycles);
+                // Park: retried when ACKs unpin socket-buffer pages.
+                if self.alloc_waiting[core].insert(slot_idx) {
+                    self.reg.inc(self.ids.empty_waits[core]);
+                }
                 break;
             }
             let t_alloc = self

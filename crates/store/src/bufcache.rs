@@ -88,6 +88,15 @@ impl BufferCache {
         self.capacity_pages
     }
 
+    /// Fraction of frames an allocation could claim right now: free
+    /// frames plus resident-but-unpinned (reclaimable) pages. 0.0
+    /// means every page is pinned by socket buffers — the VM-pressure
+    /// wedge the admission policy watches for.
+    #[must_use]
+    pub fn allocatable_frac(&self) -> f64 {
+        (self.free_frames.len() + self.by_stamp.len()) as f64 / self.capacity_pages as f64
+    }
+
     /// Cache hit ratio so far.
     #[must_use]
     pub fn hit_ratio(&self) -> f64 {

@@ -51,6 +51,9 @@ pub struct ClientConn {
     inbox: Vec<u8>,
     /// Duplicate ACKs generated (diagnostics).
     pub dupacks_sent: u64,
+    /// The server reset this connection (admission shed or slow-client
+    /// abort). The owner decides whether to reconnect.
+    pub reset_received: bool,
 }
 
 const CLIENT_WSCALE: u8 = 8;
@@ -75,6 +78,7 @@ impl ClientConn {
             delivered: 0,
             inbox: Vec::new(),
             dupacks_sent: 0,
+            reset_received: false,
         };
         let syn = c.frame(iss, TcpFlags::SYN, Vec::new(), Some((1460, CLIENT_WSCALE)));
         (c, syn)
@@ -163,6 +167,12 @@ impl ClientConn {
         for (tcp, payload) in frames {
             match self.state {
                 ClientState::SynSent => {
+                    if tcp.flags.contains(TcpFlags::RST) && tcp.ack == self.iss.wrapping_add(1) {
+                        // Connection refused (admission control).
+                        self.state = ClientState::Closed;
+                        self.reset_received = true;
+                        continue;
+                    }
                     if tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
                         && tcp.ack == self.iss.wrapping_add(1)
                     {
@@ -172,6 +182,11 @@ impl ClientConn {
                     }
                 }
                 ClientState::Established | ClientState::Closed => {
+                    if tcp.flags.contains(TcpFlags::RST) {
+                        self.state = ClientState::Closed;
+                        self.reset_received = true;
+                        continue;
+                    }
                     if payload.is_empty() && !tcp.flags.contains(TcpFlags::FIN) {
                         continue; // pure ACK from server
                     }
@@ -363,6 +378,44 @@ mod tests {
         let (t1, _) = TcpRepr::parse(&f1.headers[34..], None).unwrap();
         let (t2, _) = TcpRepr::parse(&f2.headers[34..], None).unwrap();
         assert_eq!(t2.seq.dist(t1.seq) as usize, f1.payload.len());
+    }
+
+    #[test]
+    fn syn_answered_by_rst_refuses_connection() {
+        let (local, remote) = eps();
+        let (mut c, syn) = ClientConn::connect(local, remote, SeqNumber(500), 4 << 20);
+        // Server admission control refuses with the canonical RST.
+        let (syn_tcp, _) = TcpRepr::parse(&syn.headers[34..], None).unwrap();
+        let rst = crate::tcb::rst_for_syn(remote, local, &syn_tcp);
+        let (rst_tcp, _) = TcpRepr::parse(&rst.headers[34..], None).unwrap();
+        assert!(rst_tcp.flags.contains(TcpFlags::RST));
+        let acks = c.on_burst(Nanos::ZERO, [(rst_tcp, Vec::new())]);
+        assert!(acks.is_empty(), "no reply to an RST");
+        assert_eq!(c.state, ClientState::Closed);
+        assert!(c.reset_received);
+    }
+
+    #[test]
+    fn rst_with_wrong_ack_ignored_in_syn_sent() {
+        let (local, remote) = eps();
+        let (mut c, _syn) = ClientConn::connect(local, remote, SeqNumber(500), 4 << 20);
+        let mut seg = server_seg(0, TcpFlags::RST | TcpFlags::ACK, &[]);
+        seg.0.ack = SeqNumber(999); // not iss+1: stale/spoofed
+        c.on_burst(Nanos::ZERO, [seg]);
+        assert_eq!(c.state, ClientState::SynSent);
+        assert!(!c.reset_received);
+    }
+
+    #[test]
+    fn rst_closes_established_connection() {
+        let mut c = established();
+        let acks = c.on_burst(
+            Nanos::ZERO,
+            vec![server_seg(1000, TcpFlags::RST | TcpFlags::ACK, &[])],
+        );
+        assert!(acks.is_empty());
+        assert_eq!(c.state, ClientState::Closed);
+        assert!(c.reset_received);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use cc::{CcAlgo, CcKind};
 pub use client::ClientConn;
 pub use obs::publish_tcb_metrics;
 pub use rto::RttEstimator;
-pub use tcb::{Endpoint, Tcb, TcbConfig, TcbEvent, TcbState, TcpOutput};
+pub use tcb::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent, TcbState, TcpOutput};

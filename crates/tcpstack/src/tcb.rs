@@ -24,6 +24,51 @@ pub struct Endpoint {
     pub port: u16,
 }
 
+/// Refuse a SYN without instantiating a TCB: the RST a listener sends
+/// when admission control sheds the connection. Per RFC 793 the RST
+/// acks `syn.seq + 1` with sequence 0, so the initiator can match it
+/// to its SYN.
+#[must_use]
+pub fn rst_for_syn(local: Endpoint, remote: Endpoint, syn: &TcpRepr) -> TcpOutput {
+    let tcp = TcpRepr {
+        src_port: local.port,
+        dst_port: remote.port,
+        seq: SeqNumber(0),
+        ack: syn.seq.wrapping_add(1),
+        flags: TcpFlags::RST | TcpFlags::ACK,
+        window: 0,
+        mss: None,
+        wscale: None,
+    };
+    let tcp_len = tcp.header_len();
+    let ip = Ipv4Repr {
+        src: local.ip,
+        dst: remote.ip,
+        protocol: IpProtocol::Tcp,
+        payload_len: tcp_len as u16,
+        ttl: 64,
+    };
+    let eth = EthernetRepr {
+        dst: remote.mac,
+        src: local.mac,
+        ethertype: EtherType::Ipv4,
+    };
+    let mut headers = vec![0u8; ETH_HEADER_LEN + IPV4_HEADER_LEN + tcp_len];
+    eth.emit(&mut headers[..ETH_HEADER_LEN]);
+    ip.emit(&mut headers[ETH_HEADER_LEN..ETH_HEADER_LEN + IPV4_HEADER_LEN]);
+    tcp.emit(
+        &mut headers[ETH_HEADER_LEN + IPV4_HEADER_LEN..],
+        ip.pseudo_header_sum(),
+        &[],
+    );
+    TcpOutput {
+        headers,
+        payload: SgList::empty(),
+        tso_mss: None,
+        tcp_seq_off: ETH_HEADER_LEN + IPV4_HEADER_LEN + 4,
+    }
+}
+
 /// Connection state (RFC 793 subset; no TIME_WAIT on the server —
 /// the paper's server lets clients carry that cost).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -377,6 +422,21 @@ impl Tcb {
     fn window_field(&self) -> u16 {
         let w = u64::from(self.cfg.rcv_wnd) >> self.cfg.wscale;
         w.min(0xFFFF) as u16
+    }
+
+    /// Abort the connection: emit an RST and drop to `Closed`. Used by
+    /// the server's slow-client defense — the peer learns immediately
+    /// that its connection is gone rather than timing out.
+    pub fn send_rst(&mut self) -> TcpOutput {
+        self.state = TcbState::Closed;
+        self.disarm_rto();
+        self.build_output(
+            self.snd_nxt,
+            TcpFlags::RST | TcpFlags::ACK,
+            SgList::empty(),
+            false,
+            None,
+        )
     }
 
     /// Send new data at `snd_nxt`. `payload.len()` must fit in the

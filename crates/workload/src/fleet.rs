@@ -24,6 +24,11 @@ pub struct FleetConfig {
     pub verify: bool,
     pub server_ip: Ipv4Addr,
     pub server_port: u16,
+    /// The first `slowloris` clients are attackers: they complete the
+    /// handshake, dribble a truncated request head, and go silent —
+    /// the server's header-read timeout must reap them. Excluded from
+    /// `live_fraction`.
+    pub slowloris: usize,
 }
 
 impl Default for FleetConfig {
@@ -35,8 +40,18 @@ impl Default for FleetConfig {
             verify: true,
             server_ip: Ipv4Addr::new(10, 0, 0, 1),
             server_port: 80,
+            slowloris: 0,
         }
     }
+}
+
+/// Application behaviour of one fleet member.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ClientMode {
+    Normal,
+    /// Sends a truncated request head after the handshake, then
+    /// nothing — a connection-slot squatter.
+    Slowloris,
 }
 
 struct Client {
@@ -48,6 +63,10 @@ struct Client {
     outstanding: VecDeque<Expected>,
     done_at_least_one: bool,
     first_request_sent: bool,
+    mode: ClientMode,
+    /// Send time of the oldest unanswered request (TTFB clock; spans
+    /// 503 retries, so backoff shows up in the latency tail).
+    ttfb_pending: Option<Nanos>,
 }
 
 /// The fleet.
@@ -62,6 +81,15 @@ pub struct ClientFleet {
     pub total_body_bytes: u64,
     pub responses_completed: u64,
     pub verify_stats: VerifyStats,
+    /// Deferred re-requests scheduled by Retry-After backoff:
+    /// (due time, client index), fired by the harness via
+    /// [`ClientFleet::fire_retries`].
+    pending_retries: std::collections::BTreeSet<(Nanos, usize)>,
+    /// Retries actually re-sent after a 503 backoff.
+    pub retries_fired: u64,
+    /// Time-to-first-body-byte samples (request send → first body
+    /// byte), including any 503 backoff.
+    pub ttfb: Vec<Nanos>,
 }
 
 /// Frames a client wants transmitted (they enter the middlebox).
@@ -82,6 +110,9 @@ impl ClientFleet {
             total_body_bytes: 0,
             responses_completed: 0,
             verify_stats: VerifyStats::default(),
+            pending_retries: std::collections::BTreeSet::new(),
+            retries_fired: 0,
+            ttfb: Vec::new(),
         }
     }
 
@@ -132,6 +163,12 @@ impl ClientFleet {
             outstanding: VecDeque::new(),
             done_at_least_one: false,
             first_request_sent: false,
+            mode: if idx < self.cfg.slowloris {
+                ClientMode::Slowloris
+            } else {
+                ClientMode::Normal
+            },
+            ttfb_pending: None,
         });
         self.by_flow.insert(flow, idx);
         ClientTx {
@@ -174,6 +211,17 @@ impl ClientFleet {
             self.goodput.add(now, body_new as f64);
             self.total_body_bytes += body_new;
             self.responses_completed += completed;
+            if body_new > 0 {
+                if let Some(t0) = client.ttfb_pending.take() {
+                    self.ttfb.push(now.saturating_sub(t0));
+                }
+            }
+            if let Some(backoff_ms) = client.driver.take_retry_after() {
+                // Honour the server's Retry-After: park the re-request
+                // until the harness fires it.
+                self.pending_retries
+                    .insert((now + Nanos::from_millis(backoff_ms), idx));
+            }
             if self.cfg.verify {
                 client.verifier.push(
                     &delivered,
@@ -190,18 +238,33 @@ impl ClientFleet {
         // Fire follow-up requests: one per completed response, plus
         // the very first request when the handshake completes.
         let client = &mut self.clients[idx];
+        let established = matches!(
+            client.conn.state,
+            dcn_tcpstack::client::ClientState::Established
+        );
+        if client.mode == ClientMode::Slowloris {
+            // The attack: a truncated request head, then silence. The
+            // connection keeps ACKing (it is alive at the TCP layer)
+            // but never completes a request.
+            if !client.first_request_sent && established {
+                client.first_request_sent = true;
+                let f = client.conn.send(b"GET /chunk/00000000 HT".to_vec());
+                out.push(frame_of(f.headers, f.payload));
+            }
+            return Some(ClientTx {
+                flow: flow.reversed(),
+                frames: out,
+            });
+        }
         let mut to_send = completed;
-        if !client.first_request_sent
-            && matches!(
-                client.conn.state,
-                dcn_tcpstack::client::ClientState::Established
-            )
-        {
+        if !client.first_request_sent && established {
             client.first_request_sent = true;
             to_send += 1;
         }
-        for _ in 0..to_send {
-            out.push(self.next_request(idx));
+        if established {
+            for _ in 0..to_send {
+                out.push(self.next_request(now, idx));
+            }
         }
         Some(ClientTx {
             flow: flow.reversed(),
@@ -209,27 +272,102 @@ impl ClientFleet {
         })
     }
 
-    fn next_request(&mut self, idx: usize) -> WireFrame {
+    fn next_request(&mut self, now: Nanos, idx: usize) -> WireFrame {
         let verify = self.cfg.verify;
         let client = &mut self.clients[idx];
         let file = client.driver.next_file();
         if verify {
             client.outstanding.push_back((file, 0));
         }
+        if client.ttfb_pending.is_none() {
+            client.ttfb_pending = Some(now);
+        }
         let req = build_get(&chunk_path(file), "cdn.test");
         let f = client.conn.send(req);
         frame_of(f.headers, f.payload)
     }
 
-    /// Fraction of clients that completed at least one response
-    /// (liveness check for tests).
+    /// Earliest pending Retry-After deadline (for harness scheduling).
     #[must_use]
-    pub fn live_fraction(&self) -> f64 {
-        if self.clients.is_empty() {
+    pub fn next_retry_at(&self) -> Option<Nanos> {
+        self.pending_retries.iter().next().map(|&(at, _)| at)
+    }
+
+    /// Re-send shed requests whose 503 backoff has expired. Returns
+    /// one ClientTx per retried client.
+    pub fn fire_retries(&mut self, now: Nanos) -> Vec<ClientTx> {
+        let mut txs = Vec::new();
+        while let Some(&(at, idx)) = self.pending_retries.iter().next() {
+            if at > now {
+                break;
+            }
+            self.pending_retries.remove(&(at, idx));
+            let client = &mut self.clients[idx];
+            if !matches!(
+                client.conn.state,
+                dcn_tcpstack::client::ClientState::Established
+            ) {
+                continue; // reset meanwhile; nothing to retry on
+            }
+            // Same file, same outstanding entry: the verifier's
+            // expected front still describes this request.
+            let Some(file) = client.driver.current_file() else {
+                continue;
+            };
+            let req = build_get(&chunk_path(file), "cdn.test");
+            let f = client.conn.send(req);
+            let flow = client.conn.flow();
+            self.retries_fired += 1;
+            txs.push(ClientTx {
+                flow,
+                frames: vec![frame_of(f.headers, f.payload)],
+            });
+        }
+        txs
+    }
+
+    /// Clients whose connection the server reset (refused SYNs plus
+    /// slow-client aborts).
+    #[must_use]
+    pub fn resets_received(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| c.conn.reset_received)
+            .count() as u64
+    }
+
+    /// 503 load-shed responses observed across the fleet.
+    #[must_use]
+    pub fn rejections_503(&self) -> u64 {
+        self.clients.iter().map(|c| c.driver.rejections_503).sum()
+    }
+
+    /// p99 time-to-first-body-byte in milliseconds (0 when no sample).
+    #[must_use]
+    pub fn ttfb_p99_ms(&self) -> f64 {
+        if self.ttfb.is_empty() {
             return 0.0;
         }
-        self.clients.iter().filter(|c| c.done_at_least_one).count() as f64
-            / self.clients.len() as f64
+        let mut v: Vec<u64> = self.ttfb.iter().map(|n| n.as_nanos()).collect();
+        v.sort_unstable();
+        let i = ((v.len() - 1) as f64 * 0.99).round() as usize;
+        v[i] as f64 / 1e6
+    }
+
+    /// Fraction of well-behaved clients that completed at least one
+    /// response (liveness check for tests; slowloris attackers are
+    /// excluded — they never complete by design).
+    #[must_use]
+    pub fn live_fraction(&self) -> f64 {
+        let normal: Vec<_> = self
+            .clients
+            .iter()
+            .filter(|c| c.mode == ClientMode::Normal)
+            .collect();
+        if normal.is_empty() {
+            return 0.0;
+        }
+        normal.iter().filter(|c| c.done_at_least_one).count() as f64 / normal.len() as f64
     }
 
     /// Total dup-ACKs the fleet generated (loss diagnostics).

@@ -275,6 +275,31 @@ pub struct FaultMetrics {
     pub rto_fired: u64,
 }
 
+/// Overload-defense activity observed over one run: server-side shed
+/// and reap counters (from the unified registry) plus the client-side
+/// view of the same events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverloadMetrics {
+    /// SYNs refused with RST by admission control (both stacks).
+    pub shed_new: u64,
+    /// Requests answered 503 + Retry-After while shedding.
+    pub retry_503: u64,
+    /// Idle / header-timeout connections reaped (Atlas).
+    pub reaped_idle: u64,
+    /// Buffer-holding slow readers aborted (Atlas).
+    pub aborted_slow: u64,
+    /// Staging/fetch passes parked on an empty buffer pool.
+    pub empty_waits: u64,
+    /// Clients that observed a server RST (refused or aborted).
+    pub client_resets: u64,
+    /// 503 responses the fleet received.
+    pub client_503s: u64,
+    /// Deferred re-requests fired after Retry-After backoff.
+    pub client_retries: u64,
+    /// p99 time-to-first-body-byte (ms), including retry backoff.
+    pub ttfb_p99_ms: f64,
+}
+
 /// Everything the paper's panels need from one run.
 #[derive(Clone, Debug)]
 pub struct RunMetrics {
@@ -301,6 +326,7 @@ pub struct RunMetrics {
     /// DMA buffers unaccounted for at run end (must be 0).
     pub leaked_buffers: i64,
     pub faults: FaultMetrics,
+    pub overload: OverloadMetrics,
 }
 
 enum Ev {
@@ -313,6 +339,8 @@ enum Ev {
     ClientRx(FlowId, Vec<WireFrame>),
     /// Server internal wake (disk completion / TCP timer).
     ServerWake,
+    /// A client's Retry-After backoff expired: re-send shed requests.
+    RetryWake,
 }
 
 /// Run one scenario to completion and report metrics.
@@ -352,6 +380,9 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     if !fidelity_full {
         fleet_cfg.verify = false; // nothing real to verify
     }
+    // Client-fault modes live in the fleet: the first N clients turn
+    // into slowloris attackers.
+    fleet_cfg.slowloris = (sc.faults.client.slowloris_conns as usize).min(fleet_cfg.n_clients);
     let mut fleet = ClientFleet::new(fleet_cfg, sc.catalog.clone(), sc.seed);
     let middlebox = DelayMiddlebox::paper(sc.seed);
     // Effective fault configuration: the legacy `data_loss` knob maps
@@ -369,8 +400,13 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
 
     // Ramp clients over the first 150 ms (or the warm-up, whichever
     // is shorter) so the server isn't hit by one synchronized SYN
-    // flood.
-    let ramp = sc.warmup.min(Nanos::from_millis(150));
+    // flood — unless the aggressive-open fault is armed, in which
+    // case that flood is exactly the point.
+    let ramp = if fcfg.client.aggressive_open {
+        Nanos::ZERO
+    } else {
+        sc.warmup.min(Nanos::from_millis(150))
+    };
     for idx in 0..sc.fleet.n_clients {
         let at = ramp.mul_f64(idx as f64 / sc.fleet.n_clients.max(1) as f64);
         q.schedule(at, Ev::Spawn(idx));
@@ -383,9 +419,10 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     let mut next_sample = sample_interval;
 
     let mut next_wake = Nanos::MAX;
+    let mut next_retry_wake = Nanos::MAX;
     let progress = std::env::var_os("DCN_PROGRESS").is_some();
     let mut n_events: u64 = 0;
-    let mut counts = [0u64; 4];
+    let mut counts = [0u64; 5];
     while let Some(ev) = q.pop() {
         let now = ev.at;
         n_events += 1;
@@ -394,6 +431,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
             Ev::ServerRx(_) => 1,
             Ev::ClientRx(..) => 2,
             Ev::ServerWake => 3,
+            Ev::RetryWake => 4,
         }] += 1;
         if progress && n_events.is_multiple_of(1_000_000) {
             eprintln!(
@@ -464,6 +502,14 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
                 let bursts = server.advance(now);
                 route_bursts(&mut q, now, bursts, &mut link);
             }
+            Ev::RetryWake => {
+                if now >= next_retry_wake {
+                    next_retry_wake = Nanos::MAX;
+                }
+                for tx in fleet.fire_retries(now) {
+                    route_client_tx(&mut q, &middlebox, now, tx);
+                }
+            }
         }
         // Keep exactly one pending wake at the server's next deadline.
         if let Some(at) = server.poll_at() {
@@ -471,6 +517,14 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
             if at < next_wake {
                 q.schedule(at, Ev::ServerWake);
                 next_wake = at;
+            }
+        }
+        // Same single-pending-wake discipline for Retry-After timers.
+        if let Some(at) = fleet.next_retry_at() {
+            let at = at.max(q.now());
+            if at < next_retry_wake {
+                q.schedule(at, Ev::RetryWake);
+                next_retry_wake = at;
             }
         }
     }
@@ -529,6 +583,20 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         conns_aborted: reg.find_counter("atlas.conns_aborted").unwrap_or(0),
         rto_fired: reg.sum_prefixed_gauge("tcp.rto_fired") as u64,
     };
+    let overload = OverloadMetrics {
+        shed_new: reg.sum_prefixed("atlas.overload.shed_new")
+            + reg.sum_prefixed("kstack.overload.shed_new"),
+        retry_503: reg.sum_prefixed("atlas.overload.retry_503")
+            + reg.sum_prefixed("kstack.overload.retry_503"),
+        reaped_idle: reg.sum_prefixed("atlas.overload.reaped_idle"),
+        aborted_slow: reg.sum_prefixed("atlas.overload.aborted_slow"),
+        empty_waits: reg.sum_prefixed("atlas.bufpool.empty_waits")
+            + reg.sum_prefixed("kstack.bufcache.empty_waits"),
+        client_resets: fleet.resets_received(),
+        client_503s: fleet.rejections_503(),
+        client_retries: fleet.retries_fired,
+        ttfb_p99_ms: fleet.ttfb_p99_ms(),
+    };
     let disk_reads = reg.sum_prefixed("atlas.disk_reads");
     let disk_read_bytes =
         reg.sum_prefixed("atlas.disk_read_bytes") + reg.sum_prefixed("kstack.disk_read_bytes");
@@ -555,6 +623,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         retransmit_fetches,
         leaked_buffers: server.leaked_buffers(),
         faults,
+        overload,
     };
     (metrics, report)
 }

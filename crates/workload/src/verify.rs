@@ -14,7 +14,7 @@
 //! comparison uses the absolute file offset `base + resp_off`.
 
 use dcn_crypto::{RecordCipher, GCM_TAG_LEN, RECORD_HEADER_LEN, RECORD_PAYLOAD_MAX};
-use dcn_httpd::response::scan_response_header;
+use dcn_httpd::response::scan_response_head;
 use dcn_store::{Catalog, FileId};
 use std::collections::VecDeque;
 
@@ -65,12 +65,26 @@ impl StreamVerifier {
         loop {
             match self.body {
                 None => {
-                    let Some((hl, _cl, enc)) = scan_response_header(&self.buf) else {
+                    let Some(head) = scan_response_head(&self.buf) else {
                         return;
                     };
-                    self.buf.drain(..hl);
+                    self.buf.drain(..head.header_len);
+                    if head.status == 503 {
+                        // Load shed: zero-length body and the request
+                        // stays outstanding — the client retries it
+                        // after the Retry-After backoff, and the
+                        // eventual 200 verifies against the same
+                        // expected entry.
+                        continue;
+                    }
+                    if head.status != 200 && head.status != 206 {
+                        // Other bodiless errors (404/431) consume the
+                        // request without a verifiable body.
+                        outstanding.pop_front();
+                        continue;
+                    }
                     let (file, base) = outstanding.front().copied().expect("response w/o request");
-                    self.body = Some((file, base, 0, enc));
+                    self.body = Some((file, base, 0, head.encrypted));
                 }
                 Some((file, base, resp_off, encrypted)) => {
                     let file_size = catalog.file_size();
