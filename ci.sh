@@ -27,6 +27,14 @@ cargo test -q --release --test cluster
 echo "==> overload smoke (2x admission flood: zero leaks, zero verify failures, shedding engaged)"
 cargo test -q --release --test overload two_x_overload_smoke
 
+echo "==> perf gate (perf_baseline vs committed BENCH_perf_baseline.json, plus determinism)"
+perf_tmp="$(mktemp -d)"
+trap 'rm -rf "$perf_tmp"' EXIT
+./target/release/perf_baseline --out "$perf_tmp/run1.json" --check BENCH_perf_baseline.json
+./target/release/perf_baseline --out "$perf_tmp/run2.json" >/dev/null
+cmp "$perf_tmp/run1.json" "$perf_tmp/run2.json" \
+    || { echo "error: perf_baseline is nondeterministic (back-to-back runs differ)" >&2; exit 1; }
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -12,7 +12,10 @@ use dcn_mem::{
 };
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
 use dcn_nvme::{FirmwareParams, NvmeConfig, NvmeDevice, SyntheticBacking};
-use dcn_obs::{ChunkKind, CounterId, Registry, Stage, Tracer};
+use dcn_obs::{
+    ChunkKind, CounterId, GaugeId, ProfHandle, ProfStage, Registry, Stage, StageProfiler,
+    StallKind, Tracer,
+};
 use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::Catalog;
@@ -45,6 +48,12 @@ pub struct AtlasConfig {
     /// run is bit-identical either way (residency queries use the
     /// non-mutating LLC probe).
     pub trace: bool,
+    /// Enable the dcn-obs per-stage cycle/DRAM profiler. Off by
+    /// default: without it, no profiler handle is installed anywhere
+    /// (the CPU/memory hooks are a `None` check), and the run is
+    /// bit-identical either way — the profiler only records, it never
+    /// alters completion times.
+    pub profile: bool,
     /// Recovery policy: how many times a failed *fresh* disk read is
     /// retried (with exponential backoff) before the connection is
     /// degraded. Failed retransmit fetches don't consume this budget
@@ -87,6 +96,7 @@ impl Default for AtlasConfig {
                 port: 80,
             },
             trace: false,
+            profile: false,
             max_fetch_retries: 3,
             max_conn_failures: 8,
             fetch_retry_backoff: Nanos::from_micros(50),
@@ -139,6 +149,14 @@ struct AtlasIds {
     /// Connections parked on the buffer-pool waiter list because an
     /// alloc came up empty.
     empty_waits: Vec<CounterId>,
+    /// Gauges refreshed by [`AtlasServer::publish_obs`] at every
+    /// metric sample point — pre-registered so sampled runs do no
+    /// per-sample name scans (`find_*`/`sum_prefixed` stay reserved
+    /// for end-of-run export).
+    pool_free_bufs: Vec<GaugeId>,
+    overload_level: Vec<GaugeId>,
+    live_conns: Vec<GaugeId>,
+    leaked_bufs: GaugeId,
 }
 
 impl AtlasIds {
@@ -185,6 +203,16 @@ impl AtlasIds {
             empty_waits: (0..cores)
                 .map(|c| reg.counter_core("atlas.bufpool.empty_waits", c))
                 .collect(),
+            pool_free_bufs: (0..cores)
+                .map(|c| reg.gauge_core("atlas.pool_free_bufs", c))
+                .collect(),
+            overload_level: (0..cores)
+                .map(|c| reg.gauge_core("atlas.overload.level", c))
+                .collect(),
+            live_conns: (0..cores)
+                .map(|c| reg.gauge_core("atlas.live_conns", c))
+                .collect(),
+            leaked_bufs: reg.gauge("atlas.leaked_bufs"),
         }
     }
 }
@@ -242,6 +270,9 @@ pub struct AtlasServer {
     pub reg: Registry,
     /// Chunk-lifecycle tracer (no-op unless `cfg.trace`).
     pub tracer: Tracer,
+    /// Per-stage cycle/DRAM profiler, shared with the CoreSet and
+    /// MemSystem. `None` unless `cfg.profile`.
+    profiler: Option<ProfHandle>,
     ids: AtlasIds,
     /// Virtual time of the wire event (RX frame or timer) that the
     /// current control-loop pass is servicing — the AckArrival stamp
@@ -267,7 +298,15 @@ impl AtlasServer {
     #[must_use]
     pub fn new(cfg: AtlasConfig, catalog: Catalog, seed: u64) -> Self {
         let mut phys = PhysAlloc::new();
-        let mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
+        let mut mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
+        let mut cores = CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), true);
+        let profiler = cfg
+            .profile
+            .then(|| std::rc::Rc::new(std::cell::RefCell::new(StageProfiler::enabled(cfg.cores))));
+        if let Some(p) = &profiler {
+            cores.set_profiler(p.clone());
+            mem.set_profiler(p.clone());
+        }
         let host = HostMem::new();
         let nvme_cfg = NvmeConfig {
             num_qpairs: cfg.cores as u16,
@@ -316,7 +355,7 @@ impl AtlasServer {
                 fidelity: cfg.fidelity,
                 ..cfg.nic
             }),
-            cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), true),
+            cores,
             kernel,
             mem,
             host,
@@ -335,6 +374,7 @@ impl AtlasServer {
             rng: SimRng::new(seed ^ 0xA71A5),
             reg,
             tracer,
+            profiler,
             ids,
             trace_rx_at: Nanos::ZERO,
             overload: (0..cfg.cores).map(|_| OverloadState::default()).collect(),
@@ -361,7 +401,9 @@ impl AtlasServer {
     /// Refresh gauge-type registry metrics from component state —
     /// buffer-pool depth per core, per-core TCP counters (RTO
     /// firings, retransmitted bytes), NIC and diskmap totals. Called
-    /// at sample/report points, never on the per-chunk hot path.
+    /// at sample/report points, never on the per-chunk hot path; the
+    /// per-core gauge handles are pre-registered in [`AtlasIds`] so a
+    /// sampled run does no name scans here.
     pub fn publish_obs(&mut self) {
         for core in 0..self.cfg.cores {
             let free: u32 = self.core_disks[core]
@@ -369,12 +411,13 @@ impl AtlasServer {
                 .iter()
                 .map(|q| q.pool_ref().available())
                 .sum();
-            let g = self.reg.gauge_core("atlas.pool_free_bufs", core);
-            self.reg.set(g, f64::from(free));
-            let g = self.reg.gauge_core("atlas.overload.level", core);
-            self.reg.set(g, self.overload[core].level() as u8 as f64);
-            let g = self.reg.gauge_core("atlas.live_conns", core);
-            self.reg.set(g, self.live_conns[core] as f64);
+            self.reg.set(self.ids.pool_free_bufs[core], f64::from(free));
+            self.reg.set(
+                self.ids.overload_level[core],
+                self.overload[core].level() as u8 as f64,
+            );
+            self.reg
+                .set(self.ids.live_conns[core], self.live_conns[core] as f64);
             let tcbs = self
                 .slots
                 .iter()
@@ -386,8 +429,38 @@ impl AtlasServer {
         self.kernel.publish_metrics(&mut self.reg);
         self.mem.counters.publish_metrics(&mut self.reg);
         let leaked = self.leaked_buffers();
-        let g = self.reg.gauge("atlas.leaked_bufs");
-        self.reg.set(g, leaked as f64);
+        self.reg.set(self.ids.leaked_bufs, leaked as f64);
+        if let Some(p) = &self.profiler {
+            p.borrow().publish(&mut self.reg);
+        }
+    }
+
+    /// Snapshot the per-stage profile (`None` unless `cfg.profile`).
+    #[must_use]
+    pub fn prof_report(&self) -> Option<dcn_obs::ProfReport> {
+        self.profiler.as_ref().map(|p| p.borrow().report())
+    }
+
+    // Profiler shims: one `Option` check when profiling is off.
+    #[inline]
+    fn prof_stage(&self, core: usize, stage: ProfStage) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().set_context(core, stage);
+        }
+    }
+
+    #[inline]
+    fn prof_chunk(&self, stage: ProfStage, cycles: u64) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().chunk_sample(stage, cycles);
+        }
+    }
+
+    #[inline]
+    fn prof_stall(&self, kind: StallKind) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().stall(kind);
+        }
     }
 
     fn core_of_flow(&self, flow: FlowId) -> usize {
@@ -444,11 +517,15 @@ impl AtlasServer {
             };
             let core = self.core_of_flow(flow);
             touched_cores.insert(core);
+            self.prof_stage(core, ProfStage::Parse);
             self.nic
                 .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
             self.handle_segment(now, core, flow, &tcp, &payload);
         }
         let _ = touched_cores;
+        // NIC TX DMA reads (payload leaving over the wire) attribute
+        // to the TX-completion/drain stage.
+        self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.trace_bursts(&bursts);
         self.reclaim_tx(now);
@@ -494,6 +571,7 @@ impl AtlasServer {
             return;
         };
         let cycles = costs.tcp_rx_ack_cycles;
+        self.prof_stage(core, ProfStage::Parse);
         let done_at = self.cores.run_on(core, now, cycles);
         let slot = &mut self.slots[slot_idx];
         let outs = slot.conn.tcb.on_segment(now, tcp, payload);
@@ -640,6 +718,7 @@ impl AtlasServer {
         }
         for (info, file) in new_responses {
             let cycles = costs.atlas_request_cycles;
+            self.prof_stage(core, ProfStage::Parse);
             let done = self.cores.run_on(core, now, cycles);
             let header = response_header(info, encrypted);
             let slot = &mut self.slots[slot_idx];
@@ -736,7 +815,10 @@ impl AtlasServer {
                 "ready item behind the stream: {off} < {cursor}"
             );
             if off != cursor {
-                break; // a hole: an earlier record's disk read is still in flight
+                // A hole: an earlier record's disk read is still in
+                // flight — the in-order stream is NVMe-wait stalled.
+                self.prof_stall(StallKind::NvmeWait);
+                break;
             }
             let item = slot.conn.ready_tx.remove(&off).expect("just peeked");
             let len = item.sg.len();
@@ -789,6 +871,9 @@ impl AtlasServer {
                 && slot.conn.retx_inflight == 0
                 && slot.conn.ready_tx.is_empty();
             if usable < watermark.min(wire) && !idle {
+                // Window below the watermark with data in flight: the
+                // pipeline is waiting on client ACKs, not on us.
+                self.prof_stall(StallKind::CwndLimited);
                 break;
             }
             let file = layout.file;
@@ -824,6 +909,7 @@ impl AtlasServer {
                 if self.buf_waiters[core].insert(slot_idx) {
                     self.reg.inc(self.ids.empty_waits[core]);
                 }
+                self.prof_stall(StallKind::PoolEmpty);
                 break;
             }
             let _ = costs;
@@ -885,6 +971,8 @@ impl AtlasServer {
             let at = now + RESYNC_DELAY;
             self.resync_at = Some(self.resync_at.map_or(at, |t| t.min(at)));
         }
+        self.prof_stage(core, ProfStage::Fetch);
+        self.prof_chunk(ProfStage::Fetch, cycles);
         let submitted_at = self.cores.run_on(core, now, cycles);
         self.fetches
             .insert(token, (slot_idx, fetch, buf, loc.disk, attempt));
@@ -988,6 +1076,9 @@ impl AtlasServer {
     /// Advance to `now`: harvest disk completions (steps 3–5) and
     /// fire TCP timers. Returns bursts that left the NIC.
     pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
+        // Disk-completion DMA writes (and any DDIO-cap evictions they
+        // force) attribute to the fetch stage.
+        self.prof_stage(0, ProfStage::Fetch);
         self.kernel.advance(now, &mut self.mem, &mut self.host);
         if self.resync_at.is_some_and(|t| t <= now) {
             self.resync_at = None;
@@ -1008,6 +1099,7 @@ impl AtlasServer {
                         .expect("consume")
                 };
                 if cycles > 0 {
+                    self.prof_stage(core, ProfStage::Fetch);
                     self.cores.run_on(core, now, cycles);
                 }
                 for io in done {
@@ -1029,6 +1121,7 @@ impl AtlasServer {
             touched.insert(slot.core);
             self.process_conn_events(now, slot_idx);
         }
+        self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         let _ = touched;
         self.trace_bursts(&bursts);
@@ -1096,8 +1189,20 @@ impl AtlasServer {
                 self.tracer.llc_at_encrypt(io.user, resident);
                 self.tracer.stamp(io.user, Stage::EncryptStart, now);
             }
+            // (Field access, not the shim: `slot` holds a mutable
+            // borrow of self.slots across this region.)
+            if let Some(p) = &self.profiler {
+                let mut p = p.borrow_mut();
+                p.set_context(core, ProfStage::Encrypt);
+                p.add_encrypt_bytes(plain_len);
+            }
             let rmw = self.mem.cpu_rmw(now, buf_region);
-            cycles += rmw.stall_cycles + (plain_len as f64 * costs.aes_gcm_cycles_per_byte) as u64;
+            let enc_cycles =
+                rmw.stall_cycles + (plain_len as f64 * costs.aes_gcm_cycles_per_byte) as u64;
+            cycles += enc_cycles;
+            if let Some(p) = &self.profiler {
+                p.borrow_mut().chunk_sample(ProfStage::Encrypt, enc_cycles);
+            }
             let record_plain_off = fetch.record * RECORD_PLAIN;
             let tag = if self.cfg.fidelity == Fidelity::Full {
                 let cipher = slot
@@ -1121,6 +1226,9 @@ impl AtlasServer {
         } else {
             // Plaintext path still touches headers only; payload goes
             // DMA→DMA untouched (the paper's Fig 5 ideal).
+            if let Some(p) = &self.profiler {
+                p.borrow_mut().set_context(core, ProfStage::Packetize);
+            }
         }
 
         // Build the record's wire SgList.
@@ -1133,6 +1241,11 @@ impl AtlasServer {
             sg.push_region(buf_region);
         }
 
+        if let Some(p) = &self.profiler {
+            let mut p = p.borrow_mut();
+            p.chunk_sample(ProfStage::Packetize, costs.tcp_tx_op_cycles);
+            p.chunk_done(core);
+        }
         let done_at = self.cores.run_on(core, now, cycles);
         if layout.encrypted {
             self.tracer.stamp(io.user, Stage::EncryptEnd, done_at);
@@ -1321,6 +1434,9 @@ impl AtlasServer {
                 let cycles = q
                     .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
                     .expect("sqsync");
+                if let Some(p) = &self.profiler {
+                    p.borrow_mut().set_context(core, ProfStage::Fetch);
+                }
                 self.cores.run_on(core, now, cycles);
                 if q.staged_count() > 0 {
                     still_staged = true;

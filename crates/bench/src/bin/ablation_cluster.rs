@@ -15,7 +15,7 @@
 //! traces and `s{i}.`-prefixed metrics CSV.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{obs_from_args, print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_cluster::{run_cluster, run_cluster_observed, ClusterConfig};
 use dcn_faults::{ClusterFaults, ServerFault};
 use dcn_mem::Fidelity;
@@ -72,7 +72,9 @@ fn config(
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(23);
     let (n_clients, server_counts): (usize, Vec<usize>) = match scale {
         Scale::Quick => (400, vec![1, 4]),
         Scale::Default => (600, vec![1, 2, 4, 8]),
@@ -86,7 +88,7 @@ fn main() {
                 if kill && n == 1 {
                     continue; // killing the only server isn't recovery
                 }
-                let sc = config(n, n_clients, encrypted, kill, duration, 23);
+                let sc = config(n, n_clients, encrypted, kill, duration, seed);
                 let m = run_cluster(&sc);
                 let (pre, post) = m.recovery.map_or((f64::NAN, f64::NAN), |r| {
                     (r.pre_kill_gbps, r.post_recovery_gbps)
@@ -135,7 +137,7 @@ fn main() {
 
     // Observability run: full fidelity, TLS, 3 servers, one kill —
     // verification on, per-server metrics CSV and merged chunk trace.
-    let obs = obs_from_args();
+    let obs = args.obs;
     if obs.active() {
         let mut sc = ClusterConfig::smoke(3, 24, 42);
         sc.atlas = AtlasConfig {

@@ -9,7 +9,7 @@
 //! recovery work (re-fetches, retries, RTOs) each cell induced.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_faults::{FaultConfig, LossModel};
 use dcn_mem::Fidelity;
 use dcn_simcore::Nanos;
@@ -17,7 +17,9 @@ use dcn_store::Catalog;
 use dcn_workload::{run_scenario, FleetConfig, Scenario, ServerKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(23);
     let n = match scale {
         Scale::Quick => 300,
         _ => 1000,
@@ -44,10 +46,10 @@ fn main() {
                     verify: false,
                     ..FleetConfig::default()
                 },
-                catalog: Catalog::paper(23),
+                catalog: Catalog::paper(seed),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
-                seed: 23,
+                seed,
                 data_loss: 0.0,
                 faults,
             };

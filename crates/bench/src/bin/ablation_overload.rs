@@ -10,14 +10,16 @@
 //! work; it never leaks buffers or corrupts streams.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_faults::FaultConfig;
 use dcn_simcore::Nanos;
 use dcn_store::Catalog;
 use dcn_workload::{run_scenario, FleetConfig, Scenario, ServerKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(29);
     // Admission capacity for this sweep: 16 connections/core on the
     // default 4 cores. Small enough that 4× offered load is still a
     // fast full-fidelity (verified) run.
@@ -48,10 +50,10 @@ fn main() {
                     verify: true,
                     ..FleetConfig::default()
                 },
-                catalog: Catalog::new(50_000, 300 * 1024, 4, 29),
+                catalog: Catalog::new(50_000, 300 * 1024, 4, seed),
                 warmup: Nanos::from_millis(250),
                 duration,
-                seed: 29,
+                seed,
                 data_loss: 0.0,
                 faults: FaultConfig::default(),
             };

@@ -9,7 +9,7 @@
 //! netmap's batching) and reads the memory-write rate.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_mem::Fidelity;
 use dcn_netdev::NicConfig;
 use dcn_simcore::Nanos;
@@ -17,7 +17,9 @@ use dcn_store::Catalog;
 use dcn_workload::{run_scenario, FleetConfig, Scenario, ServerKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(31);
     let n = match scale {
         Scale::Quick => 600,
         _ => 2000,
@@ -40,10 +42,10 @@ fn main() {
                     verify: false,
                     ..FleetConfig::default()
                 },
-                catalog: Catalog::paper(31),
+                catalog: Catalog::paper(seed),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
-                seed: 31,
+                seed,
                 data_loss: 0.0,
                 faults: Default::default(),
             };

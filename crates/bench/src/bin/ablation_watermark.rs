@@ -6,14 +6,16 @@
 //! the watermark.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_mem::Fidelity;
 use dcn_simcore::Nanos;
 use dcn_store::Catalog;
 use dcn_workload::{run_scenario, FleetConfig, Scenario, ServerKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(11);
     let n = match scale {
         Scale::Quick => 500,
         _ => 2000,
@@ -33,10 +35,10 @@ fn main() {
                     verify: false,
                     ..FleetConfig::default()
                 },
-                catalog: Catalog::paper(11),
+                catalog: Catalog::paper(seed),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
-                seed: 11,
+                seed,
                 data_loss: 0.0,
                 faults: Default::default(),
             };

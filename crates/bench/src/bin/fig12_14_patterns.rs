@@ -9,14 +9,16 @@
 //! from the memory model's attribution counters at two load levels.
 
 use dcn_atlas::AtlasConfig;
-use dcn_bench::{print_table, Scale};
+use dcn_bench::{print_table, BenchArgs, Scale};
 use dcn_mem::Fidelity;
 use dcn_simcore::Nanos;
 use dcn_store::Catalog;
 use dcn_workload::{FleetConfig, Scenario, ServerKind};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = BenchArgs::parse();
+    let scale = args.scale;
+    let seed = args.seed_or(7);
     let loads: &[usize] = match scale {
         Scale::Quick => &[500],
         _ => &[500, 2000, 4000],
@@ -36,10 +38,10 @@ fn main() {
                     verify: false,
                     ..FleetConfig::default()
                 },
-                catalog: Catalog::paper(7),
+                catalog: Catalog::paper(seed),
                 warmup: Nanos::from_millis(400),
                 duration: scale.duration(),
-                seed: 7,
+                seed,
                 data_loss: 0.0,
                 faults: Default::default(),
             };

@@ -1,0 +1,111 @@
+//! Shared command-line parsing for the figure/ablation binaries.
+//!
+//! Every `fig*` / `ablation_*` binary takes the same small flag set;
+//! before this module each one re-scanned `std::env::args()` with its
+//! own copy of the logic (and the ablations hard-coded their seeds).
+//! One pass over argv now yields everything:
+//!
+//! * `--quick` / `--paper` (or env `DCN_QUICK=1`) — sweep scale;
+//! * `--seed <n>` — override the binary's default base seed;
+//! * `--trace-out <path>` — chunk-lifecycle JSONL dump;
+//! * `--metrics-out <path>` — registry time-series CSV.
+
+use crate::Scale;
+use dcn_workload::ObsOptions;
+use std::path::PathBuf;
+
+/// Parsed common flags. Binary-specific flags are left alone: parsing
+/// is positional-free and skips anything it does not recognize.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    pub scale: Scale,
+    /// `--seed <n>`, if given. Use [`BenchArgs::seed_or`] to fall back
+    /// to the binary's documented default.
+    pub seed: Option<u64>,
+    pub obs: ObsOptions,
+}
+
+impl BenchArgs {
+    /// Parse from the process argv (plus `DCN_QUICK`).
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (tests).
+    pub fn parse_from<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let scale = if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else if args.iter().any(|a| a == "--quick") || std::env::var_os("DCN_QUICK").is_some() {
+            Scale::Quick
+        } else {
+            Scale::Default
+        };
+        BenchArgs {
+            scale,
+            seed: value_of("--seed").and_then(|s| s.parse().ok()),
+            obs: ObsOptions {
+                trace_out: value_of("--trace-out").map(PathBuf::from),
+                metrics_out: value_of("--metrics-out").map(PathBuf::from),
+                sample_interval: None,
+            },
+        }
+    }
+
+    /// The run seed: `--seed` if given, else the binary's default.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_common_flags() {
+        let a = BenchArgs::parse_from([
+            "--paper",
+            "--seed",
+            "99",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--metrics-out",
+            "/tmp/m.csv",
+        ]);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.seed_or(23), 99);
+        assert_eq!(a.obs.trace_out.as_deref(), Some("/tmp/t.jsonl".as_ref()));
+        assert_eq!(a.obs.metrics_out.as_deref(), Some("/tmp/m.csv".as_ref()));
+        assert!(a.obs.active());
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = BenchArgs::parse_from(Vec::<String>::new());
+        // Scale may be Quick if DCN_QUICK is set in the environment;
+        // either way nothing else is populated.
+        assert_eq!(a.seed, None);
+        assert_eq!(a.seed_or(23), 23);
+        assert!(!a.obs.active());
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored_and_bad_seed_falls_back() {
+        let a = BenchArgs::parse_from(["--frobnicate", "7", "--seed", "not-a-number"]);
+        assert_eq!(a.seed, None);
+        assert_eq!(a.seed_or(5), 5);
+    }
+}

@@ -11,8 +11,12 @@
 //! * default is a mid-scale sweep that exhibits the paper's shapes in
 //!   minutes of wall time.
 
+pub mod cli;
+pub mod perf;
 pub mod storage;
 pub mod sweep;
+
+pub use cli::BenchArgs;
 
 use dcn_simcore::MeanCi;
 use dcn_workload::ObsOptions;
@@ -60,20 +64,11 @@ pub enum Scale {
 /// Observability flags shared by every figure binary:
 /// `--trace-out <path>` (chunk-lifecycle JSONL) and
 /// `--metrics-out <path>` (registry time-series CSV).
+/// Thin wrapper over [`BenchArgs::parse`] for callers that only need
+/// the obs flags.
 #[must_use]
 pub fn obs_from_args() -> ObsOptions {
-    let args: Vec<String> = std::env::args().collect();
-    let grab = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(std::path::PathBuf::from)
-    };
-    ObsOptions {
-        trace_out: grab("--trace-out"),
-        metrics_out: grab("--metrics-out"),
-        sample_interval: None,
-    }
+    BenchArgs::parse().obs
 }
 
 /// If `--trace-out` / `--metrics-out` was passed, run one small
@@ -116,16 +111,11 @@ pub fn maybe_run_observed_atlas() {
 }
 
 impl Scale {
+    /// Thin wrapper over [`BenchArgs::parse`] for callers that only
+    /// need the scale.
     #[must_use]
     pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--paper") {
-            Scale::Paper
-        } else if args.iter().any(|a| a == "--quick") || std::env::var_os("DCN_QUICK").is_some() {
-            Scale::Quick
-        } else {
-            Scale::Default
-        }
+        BenchArgs::parse().scale
     }
 
     /// Connection-count sweep for the macro figures.

@@ -14,7 +14,7 @@ use dcn_nvme::{
     FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, NvmeStatus, Opcode, SyntheticBacking,
     LBA_SIZE,
 };
-use dcn_obs::{CounterId, Registry};
+use dcn_obs::{CounterId, GaugeId, ProfHandle, ProfStage, Registry, StageProfiler, StallKind};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
 use dcn_simcore::{earliest, Nanos, SimRng};
 use dcn_store::{BufferCache, Catalog, FileId};
@@ -65,6 +65,10 @@ pub struct KstackConfig {
     /// fraction; the slow-client sweeps are Atlas-only (socket
     /// buffers, not DMA buffers, absorb slow readers here).
     pub admission: AdmissionConfig,
+    /// Install the per-stage cycle/DRAM profiler. Off by default: no
+    /// handle is installed anywhere, so sweeps pay one `None` check.
+    /// The run is bit-identical either way (purely observational).
+    pub profile: bool,
 }
 
 impl KstackConfig {
@@ -93,6 +97,7 @@ impl KstackConfig {
                 port: 80,
             },
             admission: AdmissionConfig::default(),
+            profile: false,
         }
     }
 
@@ -139,6 +144,12 @@ struct KstackIds {
     retry_503: Vec<CounterId>,
     /// Staging passes parked on buffer-cache VM pressure.
     empty_waits: Vec<CounterId>,
+    /// Sample-point gauges, pre-registered so timed metric sampling
+    /// does no per-sample name scans (`find_*`/`sum_prefixed` stay
+    /// reserved for end-of-run export).
+    bufcache_hit_ratio: GaugeId,
+    nvme_read_errors: GaugeId,
+    nvme_latency_spikes: GaugeId,
 }
 
 impl KstackIds {
@@ -162,6 +173,9 @@ impl KstackIds {
             empty_waits: (0..cores)
                 .map(|c| reg.counter_core("kstack.bufcache.empty_waits", c))
                 .collect(),
+            bufcache_hit_ratio: reg.gauge("kstack.bufcache_hit_ratio"),
+            nvme_read_errors: reg.gauge("faults.nvme_read_errors"),
+            nvme_latency_spikes: reg.gauge("faults.nvme_latency_spikes"),
         }
     }
 }
@@ -203,6 +217,8 @@ pub struct KstackServer {
     /// bumped on the hot path through pre-registered handles.
     pub reg: Registry,
     ids: KstackIds,
+    /// Per-stage cycle/DRAM profiler; `None` unless `cfg.profile`.
+    profiler: Option<ProfHandle>,
     phys: PhysAlloc,
 }
 
@@ -210,7 +226,7 @@ impl KstackServer {
     #[must_use]
     pub fn new(cfg: KstackConfig, catalog: Catalog, seed: u64) -> Self {
         let mut phys = PhysAlloc::new();
-        let mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
+        let mut mem = MemSystem::new(cfg.llc, cfg.costs, Nanos::from_millis(1));
         let nvme_cfg = NvmeConfig {
             num_qpairs: 1, // the in-kernel stack uses shared kernel queues
             firmware: cfg.firmware,
@@ -238,13 +254,21 @@ impl KstackServer {
         let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
         let mut reg = Registry::new();
         let ids = KstackIds::register(&mut reg, cfg.cores);
+        let mut cores = CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), false);
+        let profiler = cfg
+            .profile
+            .then(|| std::rc::Rc::new(std::cell::RefCell::new(StageProfiler::enabled(cfg.cores))));
+        if let Some(p) = &profiler {
+            cores.set_profiler(p.clone());
+            mem.set_profiler(p.clone());
+        }
         KstackServer {
             nic: Nic::new(NicConfig {
                 rings: cfg.cores,
                 fidelity: cfg.fidelity,
                 ..cfg.nic
             }),
-            cores: CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), false),
+            cores,
             mem,
             host: HostMem::new(),
             catalog,
@@ -266,8 +290,42 @@ impl KstackServer {
             rng: SimRng::new(seed ^ 0x6B57),
             reg,
             ids,
+            profiler,
             cfg,
             phys,
+        }
+    }
+
+    /// Snapshot of the stage profiler, if this server was built with
+    /// `cfg.profile`.
+    #[must_use]
+    pub fn prof_report(&self) -> Option<dcn_obs::ProfReport> {
+        self.profiler.as_ref().map(|p| p.borrow().report())
+    }
+
+    /// Declare the stage subsequent cycle charges / DRAM traffic on
+    /// `core` belong to. Free (one `None` check) when not profiling.
+    #[inline]
+    fn prof_stage(&self, core: usize, stage: ProfStage) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().set_context(core, stage);
+        }
+    }
+
+    /// Record a per-chunk cycle sample for quantile reporting.
+    #[inline]
+    fn prof_chunk(&self, stage: ProfStage, cycles: u64) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().chunk_sample(stage, cycles);
+        }
+    }
+
+    /// Count a stall/backpressure event for the stall-attribution
+    /// breakdown.
+    #[inline]
+    fn prof_stall(&self, kind: StallKind) {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().stall(kind);
         }
     }
 
@@ -298,16 +356,17 @@ impl KstackServer {
         }
         self.nic.publish_metrics(&mut self.reg);
         self.mem.counters.publish_metrics(&mut self.reg);
-        let g = self.reg.gauge("kstack.bufcache_hit_ratio");
-        self.reg.set(g, self.bufcache.hit_ratio());
+        self.reg
+            .set(self.ids.bufcache_hit_ratio, self.bufcache.hit_ratio());
         let (errs, spikes) = self.disks.iter().fold((0u64, 0u64), |(e, s), d| {
             d.fault_injector()
                 .map_or((e, s), |f| (e + f.read_errors, s + f.latency_spikes))
         });
-        let g = self.reg.gauge("faults.nvme_read_errors");
-        self.reg.set(g, errs as f64);
-        let g = self.reg.gauge("faults.nvme_latency_spikes");
-        self.reg.set(g, spikes as f64);
+        self.reg.set(self.ids.nvme_read_errors, errs as f64);
+        self.reg.set(self.ids.nvme_latency_spikes, spikes as f64);
+        if let Some(p) = &self.profiler {
+            p.borrow().publish(&mut self.reg);
+        }
     }
 
     #[must_use]
@@ -364,11 +423,13 @@ impl KstackServer {
             };
             let core = self.core_of_flow(flow);
             touched.insert(core);
+            self.prof_stage(core, ProfStage::Parse);
             self.nic
                 .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
             self.handle_segment(now, core, flow, &tcp, &payload);
         }
         let _ = touched;
+        self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.collect_tx_completions();
         bursts
@@ -395,6 +456,7 @@ impl KstackServer {
         if self.cfg.variant == StackVariant::Netflix {
             cycles = (cycles as f64 * (1.0 - self.cfg.costs.lro_rx_discount)) as u64;
         }
+        self.prof_stage(core, ProfStage::Parse);
         let done = self.cores.run_on(core, now, cycles);
         let outs = self.slots[slot_idx].conn.tcb.on_segment(now, tcp, payload);
         for out in outs {
@@ -523,6 +585,7 @@ impl KstackServer {
         }
         for disp in started {
             // nginx userspace work + the sendfile syscall.
+            self.prof_stage(core, ProfStage::Parse);
             let done = self.cores.run_on(
                 core,
                 now,
@@ -614,16 +677,26 @@ impl KstackServer {
                 continue;
             }
             if slot.conn.sb_bytes >= self.cfg.sb_max {
+                // Direct field access: `slot` still borrows self.slots.
+                if let Some(p) = &self.profiler {
+                    p.borrow_mut().stall(StallKind::CwndLimited);
+                }
                 break; // socket buffer full: wait for ACKs
             }
             if slot.conn.fills_inflight > 0 && self.cfg.variant == StackVariant::Netflix {
                 // Async sendfile pipelines one fill per connection.
+                if let Some(p) = &self.profiler {
+                    p.borrow_mut().stall(StallKind::NvmeWait);
+                }
                 break;
             }
             if self.cfg.variant == StackVariant::Stock && self.sync_busy[core] {
                 // Synchronous sendfile: this worker is blocked inside
                 // an earlier conn's I/O; nothing else stages on this
                 // core until it returns (§2.1.1).
+                if let Some(p) = &self.profiler {
+                    p.borrow_mut().stall(StallKind::NvmeWait);
+                }
                 self.stage_waiting[core].insert(slot_idx);
                 break;
             }
@@ -650,6 +723,7 @@ impl KstackServer {
                     }
                 }
             }
+            self.prof_stage(core, ProfStage::Fetch);
             let t_work = self.cores.run_on(core, now, lookup_cycles);
             if all_hit {
                 // Cache hit: enqueue immediately.
@@ -684,11 +758,13 @@ impl KstackServer {
                 }
                 self.cores.run_on(core, now, alloc_cycles);
                 // Park: retried when ACKs unpin socket-buffer pages.
+                self.prof_stall(StallKind::PoolEmpty);
                 if self.alloc_waiting[core].insert(slot_idx) {
                     self.reg.inc(self.ids.empty_waits[core]);
                 }
                 break;
             }
+            self.prof_chunk(ProfStage::Fetch, alloc_cycles + costs.kernel_io_cycles);
             let t_alloc = self
                 .cores
                 .run_on(core, now, alloc_cycles + costs.kernel_io_cycles);
@@ -766,6 +842,7 @@ impl KstackServer {
         };
         let slot_idx = fill.conn_slot;
         let core = self.slots[slot_idx].core;
+        self.prof_stage(core, ProfStage::Fetch);
         self.cores.run_on(
             core,
             now + Nanos::from_nanos(self.cfg.costs.interrupt_latency_ns),
@@ -846,6 +923,7 @@ impl KstackServer {
         let slot_idx = fill.conn_slot;
         let core = self.slots[slot_idx].core;
         // Interrupt + completion handling.
+        self.prof_stage(core, ProfStage::Fetch);
         let irq_done = self.cores.run_on(
             core,
             now + Nanos::from_nanos(self.cfg.costs.interrupt_latency_ns),
@@ -927,12 +1005,18 @@ impl KstackServer {
             // wrote them via device DMA; cache hits reuse them.
             let slot = &mut self.slots[slot_idx];
             slot.conn.enqueue(sg, pinned, None);
+            // Plaintext "chunk" = one sendfile fill staged into the
+            // socket buffer.
+            if let Some(p) = &self.profiler {
+                p.borrow_mut().chunk_done(core);
+            }
             return;
         }
 
         // Encrypted: record-ize the plaintext.
         let mut off_in_fill = 0u64;
         while off_in_fill < len {
+            self.prof_stage(core, ProfStage::Encrypt);
             let rec_plain_off = file_off + off_in_fill;
             debug_assert_eq!(rec_plain_off % RECORD_PAYLOAD_MAX as u64, 0);
             let rec_plain = (st.body_len - rec_plain_off)
@@ -988,6 +1072,14 @@ impl KstackServer {
                     cycles += self.mem.cpu_read(now, ct_region).stall_cycles;
                     cycles += self.mem.cpu_write(now, ct_region).stall_cycles;
                 }
+            }
+            // Encrypted "chunk" = one TLS record through the variant's
+            // crypto path.
+            if let Some(p) = &self.profiler {
+                let mut p = p.borrow_mut();
+                p.add_encrypt_bytes(rec_plain);
+                p.chunk_sample(ProfStage::Encrypt, cycles);
+                p.chunk_done(core);
             }
             let t_enc = self.cores.run_on(core, now, cycles);
             // Real encryption at full fidelity.
@@ -1054,6 +1146,7 @@ impl KstackServer {
             if self.nic.tx_rings[core].space() == 0 {
                 break;
             }
+            self.prof_stage(core, ProfStage::Packetize);
             let slot = &mut self.slots[slot_idx];
             let usable = slot.conn.tcb.usable_window();
             let tso_max = u64::from(slot.conn.tcb.cfg.tso_max);
@@ -1079,6 +1172,10 @@ impl KstackServer {
             }
             let out = slot.conn.tcb.send_data(now, sg, false);
             self.nic.tx_rings[core].push(out.into_tx(0));
+            // Direct field access: `slot` still borrows self.slots.
+            if let Some(p) = &self.profiler {
+                p.borrow_mut().chunk_sample(ProfStage::Packetize, cycles);
+            }
             self.cores.run_on(core, now, cycles);
         }
     }
@@ -1096,7 +1193,9 @@ impl KstackServer {
     }
 
     pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
-        // Disk completions.
+        // Disk completions. Disk-controller DMA into cache frames is
+        // fetch-stage memory traffic.
+        self.prof_stage(0, ProfStage::Fetch);
         let mut done_cids = Vec::new();
         for disk in &mut self.disks {
             disk.advance(now, &mut self.mem, &mut self.host);
@@ -1127,6 +1226,7 @@ impl KstackServer {
             self.process_conn_events(now, slot_idx);
         }
         let _ = touched;
+        self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.collect_tx_completions();
         bursts

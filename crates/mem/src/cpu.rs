@@ -12,6 +12,7 @@
 //! still tracked separately so saturation can be detected.
 
 use crate::cost::CostParams;
+use dcn_obs::ProfHandle;
 use dcn_simcore::{Nanos, TimeBuckets};
 
 /// One simulated core.
@@ -77,6 +78,11 @@ pub struct CoreSet {
     cores: Vec<CpuCore>,
     /// Polling stacks report 100% per core regardless of useful work.
     polling: bool,
+    /// Optional stage profiler: every cycle charge is mirrored into it
+    /// under the core's current stage. Never installed unless the
+    /// server was built with profiling on, so the common path pays one
+    /// `None` check.
+    profiler: Option<ProfHandle>,
 }
 
 impl CoreSet {
@@ -87,7 +93,13 @@ impl CoreSet {
                 .map(|_| CpuCore::new(costs.cpu_ghz, bucket))
                 .collect(),
             polling,
+            profiler: None,
         }
+    }
+
+    /// Mirror future cycle charges into `prof` (profiling runs only).
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.profiler = Some(prof);
     }
 
     #[must_use]
@@ -116,6 +128,9 @@ impl CoreSet {
 
     /// Run `cycles` on a specific core.
     pub fn run_on(&mut self, idx: usize, now: Nanos, cycles: u64) -> Nanos {
+        if let Some(p) = &self.profiler {
+            p.borrow_mut().on_cycles(idx, cycles);
+        }
         self.cores[idx].run(now, cycles)
     }
 

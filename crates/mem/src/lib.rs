@@ -87,6 +87,10 @@ pub struct MemSystem {
     pub llc: Llc,
     pub counters: MemCounters,
     pub costs: CostParams,
+    /// Optional stage profiler: DRAM traffic caused by each access is
+    /// mirrored into it under the issuing core's current stage. Never
+    /// installed unless the server was built with profiling on.
+    profiler: Option<dcn_obs::ProfHandle>,
 }
 
 impl MemSystem {
@@ -96,6 +100,22 @@ impl MemSystem {
             llc: Llc::new(llc),
             counters: MemCounters::new(bucket),
             costs,
+            profiler: None,
+        }
+    }
+
+    /// Mirror future DRAM traffic into `prof` (profiling runs only).
+    pub fn set_profiler(&mut self, prof: dcn_obs::ProfHandle) {
+        self.profiler = Some(prof);
+    }
+
+    #[inline]
+    fn prof_dram(&self, out: &AccessOutcome) {
+        if let Some(p) = &self.profiler {
+            if out.dram_read_bytes | out.dram_write_bytes != 0 {
+                p.borrow_mut()
+                    .on_dram(out.dram_read_bytes, out.dram_write_bytes);
+            }
         }
     }
 
@@ -110,6 +130,7 @@ impl MemSystem {
             out.merge(self.account_evictions(now, ev));
         }
         self.counters.record_dma_write(now, agent, region.len);
+        self.prof_dram(&out);
         out
     }
 
@@ -129,6 +150,13 @@ impl MemSystem {
         }
         self.counters
             .record_dma_read(now, agent, out.dram_read_bytes, hit_bytes);
+        if let Some(p) = &self.profiler {
+            let mut p = p.borrow_mut();
+            p.on_dma_read(out.dram_read_bytes, hit_bytes);
+            if out.dram_read_bytes != 0 {
+                p.on_dram(out.dram_read_bytes, 0);
+            }
+        }
         out
     }
 
@@ -181,6 +209,7 @@ impl MemSystem {
             as u64;
         self.counters
             .record_cpu_access(now, out.dram_read_bytes, hit_bytes, out.miss_lines);
+        self.prof_dram(&out);
         out
     }
 
@@ -193,10 +222,12 @@ impl MemSystem {
             self.llc.invalidate(chunk);
         }
         self.counters.record_dram_write(now, Agent::Cpu, region.len);
-        AccessOutcome {
+        let out = AccessOutcome {
             dram_write_bytes: region.len,
             ..AccessOutcome::default()
-        }
+        };
+        self.prof_dram(&out);
+        out
     }
 
     /// Drop `region` from the cache without writeback — the buffer was
@@ -225,6 +256,7 @@ impl MemSystem {
         if out.dram_write_bytes > 0 {
             self.counters.record_writeback(now, out.dram_write_bytes);
         }
+        self.prof_dram(&out);
         out
     }
 
@@ -248,6 +280,7 @@ impl MemSystem {
             as u64;
         self.counters
             .record_cpu_access(now, out.dram_read_bytes, hit_bytes, out.miss_lines);
+        self.prof_dram(&out);
         out
     }
 

@@ -1,6 +1,6 @@
 //! # dcn-obs — cross-stack observability for the Disk|Crypt|Net stack
 //!
-//! Zero-overhead-when-disabled instrumentation, in three pieces:
+//! Zero-overhead-when-disabled instrumentation, in four pieces:
 //!
 //! * [`Tracer`] — a chunk-lifecycle tracer that stamps every 300 KB
 //!   chunk at each pipeline stage (ACK arrival → watermark trigger →
@@ -10,6 +10,12 @@
 //!   the CPU encrypted it and when the NIC DMA'd it out (the paper's
 //!   Fig 12/14 "sub-optimal memory access pattern" classification,
 //!   per chunk instead of inferred from aggregate counters).
+//! * [`StageProfiler`] — aggregate per-stage cycle and DRAM-traffic
+//!   attribution: the sweep loops declare a current stage per core,
+//!   and the CPU/memory models report every cycle charge and DRAM
+//!   byte into it, yielding chunks/sec/core, cycles/chunk quantiles,
+//!   DRAM-bytes-per-net-byte, and stall attribution for the
+//!   `perf_baseline` regression gate.
 //! * [`Registry`] — named counters / gauges / histograms behind cheap
 //!   integer handles. Registration (naming, labelling) allocates;
 //!   the hot path is a `Vec` index increment. All stack components
@@ -27,8 +33,12 @@
 //! [`probe`]: https://en.wikipedia.org/wiki/Cache_placement_policies
 
 pub mod export;
+pub mod profile;
 pub mod registry;
 pub mod trace;
 
+pub use profile::{
+    ProfHandle, ProfReport, ProfStage, StageProfiler, StallKind, PROF_STAGE_COUNT, STALL_KIND_COUNT,
+};
 pub use registry::{CounterId, GaugeId, HistId, Registry};
 pub use trace::{ChunkKind, ChunkTrace, Stage, Tracer, STAGE_COUNT};

@@ -330,6 +330,29 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_sample() {
+        // One sample: every quantile lands in that sample's bucket,
+        // mean/min/max are the sample itself, and the CDF is a single
+        // point at fraction 1.0.
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        h.add(37.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 37.0);
+        assert_eq!(h.min(), 37.0);
+        assert_eq!(h.max(), 37.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(
+                (h.quantile(q) - 38.0).abs() < 1e-9,
+                "q={q} -> {}",
+                h.quantile(q)
+            );
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 1);
+        assert!((cdf[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn histogram_empty_is_safe() {
         let h = Histogram::new(0.0, 100.0, 10);
         assert_eq!(h.count(), 0);

@@ -58,6 +58,10 @@ pub trait VideoServer {
     fn tracer(&self) -> Option<&dcn_obs::Tracer> {
         None
     }
+    /// Stage-profiler snapshot (servers built with `profile: true`).
+    fn prof_report(&self) -> Option<dcn_obs::ProfReport> {
+        None
+    }
     /// Mutable registry access (the harness publishes link/client
     /// fault counters into the server's unified registry so the
     /// metrics CSV carries them).
@@ -113,6 +117,9 @@ impl VideoServer for AtlasServer {
     fn tracer(&self) -> Option<&dcn_obs::Tracer> {
         Some(&self.tracer)
     }
+    fn prof_report(&self) -> Option<dcn_obs::ProfReport> {
+        AtlasServer::prof_report(self)
+    }
     fn registry_mut(&mut self) -> Option<&mut dcn_obs::Registry> {
         Some(&mut self.reg)
     }
@@ -148,6 +155,9 @@ impl VideoServer for KstackServer {
     }
     fn registry(&self) -> Option<&dcn_obs::Registry> {
         Some(&self.reg)
+    }
+    fn prof_report(&self) -> Option<dcn_obs::ProfReport> {
+        KstackServer::prof_report(self)
     }
     fn registry_mut(&mut self) -> Option<&mut dcn_obs::Registry> {
         Some(&mut self.reg)
@@ -327,6 +337,9 @@ pub struct RunMetrics {
     pub leaked_buffers: i64,
     pub faults: FaultMetrics,
     pub overload: OverloadMetrics,
+    /// Stage-profiler snapshot, present when the server config set
+    /// `profile: true` (the `perf_baseline` gate reads this).
+    pub perf: Option<dcn_obs::ProfReport>,
 }
 
 enum Ev {
@@ -624,6 +637,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         leaked_buffers: server.leaked_buffers(),
         faults,
         overload,
+        perf: server.prof_report(),
     };
     (metrics, report)
 }

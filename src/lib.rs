@@ -18,6 +18,7 @@
 //!   (consistent hashing, hot-set replication, failover).
 
 pub use dcn_atlas as atlas;
+pub use dcn_bench as bench;
 pub use dcn_cluster as cluster;
 pub use dcn_crypto as crypto;
 pub use dcn_diskmap as diskmap;

@@ -179,6 +179,99 @@ fn fault_schedule_replays_bit_identically_under_observation() {
 }
 
 #[test]
+fn unstamped_chunk_json_round_trips() {
+    // A chunk that died before reaching any stage serializes every
+    // stage as `null`, and the emitted JSONL line must parse back
+    // through the bench harness's own JSON reader (the same parser
+    // the perf gate uses), preserving nulls and numeric fields.
+    use disk_crypt_net::bench::perf::{parse_json, Json};
+    use disk_crypt_net::obs::export::chunk_to_json;
+    use disk_crypt_net::obs::{ChunkKind, ChunkTrace, Stage, STAGE_COUNT};
+
+    let t = ChunkTrace {
+        chunk: 17,
+        conn: 3,
+        core: 2,
+        offset: 65_536,
+        len: 16_384,
+        kind: ChunkKind::Fresh,
+        stamps: [u64::MAX; STAGE_COUNT],
+        llc_at_encrypt: None,
+        llc_at_nic_dma: None,
+    };
+    let line = chunk_to_json(&t);
+    let doc = parse_json(&line).expect("JSONL line must be valid JSON");
+
+    assert_eq!(doc.num("chunk"), Some(17.0));
+    assert_eq!(doc.num("conn"), Some(3.0));
+    assert_eq!(doc.num("core"), Some(2.0));
+    assert_eq!(doc.num("offset"), Some(65_536.0));
+    assert_eq!(doc.num("len"), Some(16_384.0));
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("fresh"));
+    for section in ["stages_ns", "latency_ns"] {
+        let obj = doc.get(section).expect(section);
+        for st in Stage::ALL {
+            assert!(
+                matches!(obj.get(st.name()), Some(Json::Null)),
+                "{section}.{} should be null on an unstamped chunk",
+                st.name()
+            );
+        }
+    }
+    for key in ["llc_at_encrypt", "llc_at_nic_dma", "total_ns"] {
+        assert!(
+            matches!(doc.get(key), Some(Json::Null)),
+            "{key} should be null"
+        );
+    }
+
+    // And a partially stamped chunk keeps stamped values numeric
+    // while later stages stay null.
+    let mut t2 = t.clone();
+    t2.stamps[Stage::AckArrival as usize] = 5_000;
+    let doc2 = parse_json(&chunk_to_json(&t2)).unwrap();
+    assert_eq!(
+        doc2.get("stages_ns").unwrap().num("ack_arrival"),
+        Some(5_000.0)
+    );
+    assert!(matches!(
+        doc2.get("stages_ns").unwrap().get("nvme_submit"),
+        Some(Json::Null)
+    ));
+    assert_eq!(doc2.num("total_ns"), Some(0.0));
+}
+
+#[test]
+fn profiling_does_not_perturb_the_run() {
+    // The stage profiler mirrors the accounting the simulation
+    // already does; with `profile: true` the run must make byte-for-
+    // byte identical decisions and only *add* the ProfReport.
+    for encrypted in [false, true] {
+        let base_cfg = AtlasConfig {
+            encrypted,
+            ..AtlasConfig::default()
+        };
+        let prof_cfg = AtlasConfig {
+            profile: true,
+            ..base_cfg.clone()
+        };
+        let sc_base = Scenario::smoke(ServerKind::Atlas(base_cfg), 12, 61);
+        let sc_prof = Scenario::smoke(ServerKind::Atlas(prof_cfg), 12, 61);
+        let base = run_scenario(&sc_base);
+        let mut prof = run_scenario(&sc_prof);
+        let report = prof.perf.take().expect("profile:true yields a ProfReport");
+        assert!(base.perf.is_none(), "profile:false installs no profiler");
+        assert!(report.total_chunks() > 0, "profiler saw no chunks");
+        assert!(report.total_cycles() > 0, "profiler saw no cycles");
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{prof:?}"),
+            "profiling changed the simulation (encrypted={encrypted})"
+        );
+    }
+}
+
+#[test]
 fn metrics_csv_has_per_core_series() {
     // The CSV export must carry per-core labelled registry series,
     // including at least one previously uninstrumented signal (TCP
