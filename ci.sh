@@ -35,6 +35,9 @@ trap 'rm -rf "$perf_tmp"' EXIT
 cmp "$perf_tmp/run1.json" "$perf_tmp/run2.json" \
     || { echo "error: perf_baseline is nondeterministic (back-to-back runs differ)" >&2; exit 1; }
 
+echo "==> I/O-window gate (zero-alloc steady state + autotune determinism/pass-through)"
+cargo test -q --release --test iowindow
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -37,7 +37,10 @@ pub struct ResponseLayout {
     /// Stream offset of the first header byte.
     pub start: u64,
     /// The header block (regenerable, kept because it is tiny).
-    pub header: Vec<u8>,
+    /// Shared (`Arc`) so cloning a layout for a completion, or slicing
+    /// header bytes into a retransmit scatter-gather list, is a
+    /// refcount bump instead of a heap copy.
+    pub header: std::sync::Arc<[u8]>,
     pub file: FileId,
     /// Plaintext file offset where the body starts (non-zero for
     /// range-resumed responses; always record-aligned so disk fetches
@@ -195,6 +198,11 @@ pub struct AtlasConn {
     pub drain_mark_at: dcn_simcore::Nanos,
     /// Acked offset at the last overload sweep (abort-slowest ranking).
     pub sweep_acked: u64,
+    /// Completion-sweep serial of the last record packetized for this
+    /// connection. Matching the server's current sweep means the TCB
+    /// is hot from the previous record of the same batch, so the
+    /// packetize pass charges the batched (amortized) TX op cost.
+    pub tx_sweep: u64,
 }
 
 impl AtlasConn {
@@ -222,6 +230,7 @@ impl AtlasConn {
             drain_mark: 0,
             drain_mark_at: dcn_simcore::Nanos::ZERO,
             sweep_acked: 0,
+            tx_sweep: 0,
         }
     }
 
@@ -298,7 +307,7 @@ mod tests {
         ResponseLayout {
             id: 0,
             start: 1000,
-            header: vec![0u8; 100],
+            header: vec![0u8; 100].into(),
             file: FileId(3),
             file_off: 0,
             body_len: body,

@@ -32,9 +32,16 @@
 //! buffers anywhere.
 
 pub mod conn;
-pub mod overload;
 pub mod server;
 
+/// Overload policy now lives in `dcn-srvcore` (shared with kstack);
+/// re-exported here so existing `dcn_atlas::overload::…` paths keep
+/// working.
+pub use dcn_srvcore::overload;
+
 pub use conn::{AtlasConn, ResponseLayout};
-pub use overload::{AdmissionConfig, LadderLevel, OverloadState, ResourceSnapshot};
-pub use server::{AtlasConfig, AtlasMetrics, AtlasServer};
+pub use dcn_srvcore::{
+    AdmissionConfig, AutotuneConfig, ControlPlane, IoTuner, LadderLevel, OverloadState,
+    ResourceSnapshot,
+};
+pub use server::{parse_frame, AtlasConfig, AtlasMetrics, AtlasServer, FramePayload};

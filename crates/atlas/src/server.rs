@@ -3,7 +3,7 @@
 //! loop process-to-completion.
 
 use crate::conn::{AtlasConn, InflightFetch, ResponseLayout, RECORD_PLAIN};
-use crate::overload::{AdmissionConfig, LadderLevel, OverloadState, ResourceSnapshot};
+use crate::overload::{AdmissionConfig, LadderLevel, ResourceSnapshot};
 use dcn_crypto::RecordCipher;
 use dcn_diskmap::{BufId, DiskId, DiskmapKernel, IoDesc, NvmeQueue};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
@@ -18,9 +18,11 @@ use dcn_obs::{
 };
 use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
 use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_srvcore::{AutotuneConfig, ControlPlane, CoreControl, IoTuner};
 use dcn_store::Catalog;
 use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Atlas deployment configuration.
 #[derive(Clone, Debug)]
@@ -71,6 +73,12 @@ pub struct AtlasConfig {
     /// and the degradation ladder (defaults never engage in ordinary
     /// runs).
     pub admission: AdmissionConfig,
+    /// Online I/O-window autotuner. Off by default: `watermark` is
+    /// used verbatim, reproducing the paper's fixed 10×MSS constant.
+    /// When enabled, each core's tuner moves the fetch watermark and
+    /// an in-flight read cap between a floor and a ceiling, driven by
+    /// NVMe completion latency and SQ occupancy.
+    pub autotune: AutotuneConfig,
 }
 
 impl Default for AtlasConfig {
@@ -101,6 +109,7 @@ impl Default for AtlasConfig {
             max_conn_failures: 8,
             fetch_retry_backoff: Nanos::from_micros(50),
             admission: AdmissionConfig::default(),
+            autotune: AutotuneConfig::default(),
         }
     }
 }
@@ -279,16 +288,33 @@ pub struct AtlasServer {
     /// for any fetch that pass issues.
     trace_rx_at: Nanos,
     phys: PhysAlloc,
-    /// Per-core hysteretic overload state (admission latch + ladder).
-    overload: Vec<OverloadState>,
-    /// Live (accepted, not aborted) connections per core — the
-    /// admission cap input, maintained incrementally.
-    live_conns: Vec<usize>,
+    /// Per-core control plane: hysteretic overload state (admission
+    /// latch + ladder), live-connection count, and the I/O-window
+    /// tuner — the [`ControlPlane`] skeleton shared with the kstack.
+    ctl: Vec<CoreControl>,
     /// Connections parked waiting for a DMA buffer, per core; woken
     /// (re-pumped) after TX reclaim and disk completions free buffers.
     buf_waiters: Vec<BTreeSet<usize>>,
     /// Next overload sweep (slow-client deadlines + ladder tick).
     next_sweep: Nanos,
+    /// (core, disk) queues with reads staged during the current
+    /// control-loop pass, mapped to the latest staging time; one
+    /// `nvme_sqsync` per dirty queue at pass end rings the doorbell
+    /// for the whole batch. Always empty between public calls.
+    dirty_doorbells: BTreeMap<(usize, usize), Nanos>,
+    /// Reusable per-pass scratch for harvested disk completions
+    /// (capacity established during warm-up; growth is a counted
+    /// steady-state allocation fallback).
+    completed_scratch: Vec<dcn_diskmap::CompletedIo>,
+    /// Reusable RX-payload scratch (frames' TCP payloads are copied
+    /// here instead of materializing a fresh `Vec` per frame).
+    rx_scratch: Vec<u8>,
+    /// Reusable per-call scratch for parsed-but-unstarted responses.
+    resp_scratch: Vec<(ResponseInfo, Option<dcn_store::FileId>)>,
+    /// Completion-sweep serial: bumped once per (core, advance) batch
+    /// so connections can tell "first record this sweep" (full TCP TX
+    /// op cost) from "later record, hot TCB" (batched cost).
+    sweep_serial: u64,
 }
 
 impl AtlasServer {
@@ -377,10 +403,22 @@ impl AtlasServer {
             profiler,
             ids,
             trace_rx_at: Nanos::ZERO,
-            overload: (0..cfg.cores).map(|_| OverloadState::default()).collect(),
-            live_conns: vec![0; cfg.cores],
+            ctl: (0..cfg.cores)
+                .map(|c| {
+                    CoreControl::new(IoTuner::new(
+                        cfg.autotune,
+                        cfg.watermark,
+                        seed ^ 0xA070 ^ ((c as u64) << 20),
+                    ))
+                })
+                .collect(),
             buf_waiters: vec![BTreeSet::new(); cfg.cores],
             next_sweep: cfg.admission.sweep_interval,
+            dirty_doorbells: BTreeMap::new(),
+            completed_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
+            resp_scratch: Vec::new(),
+            sweep_serial: 0,
             cfg,
             phys,
         }
@@ -414,10 +452,10 @@ impl AtlasServer {
             self.reg.set(self.ids.pool_free_bufs[core], f64::from(free));
             self.reg.set(
                 self.ids.overload_level[core],
-                self.overload[core].level() as u8 as f64,
+                self.ctl[core].overload.level() as u8 as f64,
             );
             self.reg
-                .set(self.ids.live_conns[core], self.live_conns[core] as f64);
+                .set(self.ids.live_conns[core], self.ctl[core].live_conns as f64);
             let tcbs = self
                 .slots
                 .iter()
@@ -480,7 +518,7 @@ impl AtlasServer {
             sq_occupancy = sq_occupancy.max(q.inflight() as f64 / sq_depth);
         }
         ResourceSnapshot {
-            conns: self.live_conns[core],
+            conns: self.ctl[core].live_conns,
             pool_free_frac,
             sq_occupancy,
         }
@@ -491,17 +529,17 @@ impl AtlasServer {
     /// cluster dispatcher treats a shedding server like `Draining`.
     #[must_use]
     pub fn is_shedding(&self) -> bool {
-        self.overload.iter().any(OverloadState::is_shedding)
+        self.any_shedding()
             || self
-                .live_conns
+                .ctl
                 .iter()
-                .any(|&n| n >= self.cfg.admission.max_conns_per_core)
+                .any(|c| c.live_conns >= self.cfg.admission.max_conns_per_core)
     }
 
     /// Current degradation-ladder rung for one core.
     #[must_use]
     pub fn overload_level(&self, core: usize) -> LadderLevel {
-        self.overload[core].level()
+        self.ctl[core].overload.level()
     }
 
     // ------------------------------------------------------------ input
@@ -510,19 +548,25 @@ impl AtlasServer {
     /// flow hash). Runs the full receive→fetch→(encrypt)→send loop
     /// and returns any bursts that left the NIC.
     pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
-        let mut touched_cores = BTreeSet::new();
+        let mut scratch = std::mem::take(&mut self.rx_scratch);
         for frame in frames {
             let Some((flow, tcp, payload)) = parse_frame(&frame) else {
                 continue;
             };
             let core = self.core_of_flow(flow);
-            touched_cores.insert(core);
             self.prof_stage(core, ProfStage::Parse);
+            // Copy the borrowed payload into the reusable RX scratch
+            // (no per-frame Vec; growth past the warm-up high-water
+            // mark is a counted fallback allocation).
+            let cap_before = scratch.capacity();
+            payload.copy_into(&mut scratch);
+            dcn_obs::steady::note_growth(cap_before, scratch.capacity());
             self.nic
                 .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
-            self.handle_segment(now, core, flow, &tcp, &payload);
+            self.handle_segment(now, core, flow, &tcp, &scratch);
         }
-        let _ = touched_cores;
+        self.rx_scratch = scratch;
+        self.flush_doorbells();
         // NIC TX DMA reads (payload leaving over the wire) attribute
         // to the TX-completion/drain stage.
         self.prof_stage(0, ProfStage::TxComplete);
@@ -530,6 +574,7 @@ impl AtlasServer {
         self.trace_bursts(&bursts);
         self.reclaim_tx(now);
         self.wake_buf_waiters(now);
+        self.flush_doorbells();
         bursts
     }
 
@@ -594,8 +639,7 @@ impl AtlasServer {
         // cap, pool low-watermark, SQ high-watermark) before spending
         // anything on this connection. Refused SYNs get an RST — the
         // cheapest possible "go away", no TCB, no DMA buffer.
-        let snap = self.resource_snapshot(core);
-        if !self.overload[core].admit(&self.cfg.admission, snap) {
+        if !self.admit_syn(core) {
             let rst = rst_for_syn(self.cfg.server_endpoint, remote, syn);
             self.nic.tx_rings[core].push(rst.into_tx(0));
             self.reg.inc(self.ids.shed_new[core]);
@@ -625,7 +669,7 @@ impl AtlasServer {
         self.slots.push(ConnSlot { conn, core, flow });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
-        self.live_conns[core] += 1;
+        self.note_conn_opened(core);
         self.nic.tx_rings[core].push(synack.into_tx(0));
         self.sync_timer(slot_idx);
         self.reg.inc(self.ids.conns);
@@ -668,11 +712,15 @@ impl AtlasServer {
         // While this core is shedding, requests on already-established
         // keepalive connections are answered 503 + Retry-After instead
         // of being admitted into the fetch pipeline.
-        let shedding = self.overload[core].is_shedding();
+        let shedding = self.ctl[core].overload.is_shedding();
         let retry_after_ms = (self.cfg.admission.retry_after.as_nanos() / 1_000_000).max(1);
         let slot = &mut self.slots[slot_idx];
         slot.conn.parser.push(bytes);
-        let mut new_responses = Vec::new();
+        // Reusable per-call scratch (most calls park zero or one
+        // response; the capacity persists across calls).
+        let mut new_responses = std::mem::take(&mut self.resp_scratch);
+        debug_assert!(new_responses.is_empty());
+        let resp_cap_before = new_responses.capacity();
         let mut fatal_parse = false;
         loop {
             match slot.conn.parser.next_request() {
@@ -716,11 +764,15 @@ impl AtlasServer {
                 }
             }
         }
-        for (info, file) in new_responses {
+        dcn_obs::steady::note_growth(resp_cap_before, new_responses.capacity());
+        for (info, file) in new_responses.drain(..) {
             let cycles = costs.atlas_request_cycles;
             self.prof_stage(core, ProfStage::Parse);
             let done = self.cores.run_on(core, now, cycles);
-            let header = response_header(info, encrypted);
+            // Shared header block: the layout keeps one reference for
+            // retransmit regeneration, the send path slices it into
+            // the scatter-gather list without copying.
+            let header: Arc<[u8]> = response_header(info, encrypted).into();
             let slot = &mut self.slots[slot_idx];
             // The next response starts where the previous one ends —
             // or, with nothing outstanding, at snd_nxt's stream
@@ -756,10 +808,11 @@ impl AtlasServer {
                     if was_idle {
                         slot.conn.next_record = 0;
                     }
+                    let hdr_len = header.len();
                     slot.conn.ready_tx.insert(
                         cursor,
                         crate::conn::ReadyTx {
-                            sg: SgList::from_bytes(header),
+                            sg: SgList::from_shared(header, 0, hdr_len),
                             token: 0,
                             completes_response: false,
                         },
@@ -775,10 +828,11 @@ impl AtlasServer {
                         .map(|(k, v)| *k + v.sg.len())
                         .unwrap_or(cursor)
                         .max(cursor);
+                    let hdr_len = header.len();
                     slot.conn.ready_tx.insert(
                         cursor2,
                         crate::conn::ReadyTx {
-                            sg: SgList::from_bytes(header),
+                            sg: SgList::from_shared(header, 0, hdr_len),
                             token: 0,
                             completes_response: false,
                         },
@@ -787,6 +841,7 @@ impl AtlasServer {
                 }
             }
         }
+        self.resp_scratch = new_responses;
         if fatal_parse {
             // The 431 just parked drains above if the stream is
             // caught up; either way the connection is done.
@@ -838,8 +893,11 @@ impl AtlasServer {
     /// §3 steps 1–2: issue on-demand reads for the active response
     /// while window space clears the watermark.
     fn pump(&mut self, now: Nanos, slot_idx: usize) {
-        let costs = self.cfg.costs;
-        let watermark = self.cfg.watermark;
+        let core = self.slots[slot_idx].core;
+        // Tuned per-core operating point (the fixed `cfg.watermark`
+        // and an unbounded cap when autotuning is off).
+        let watermark = self.ctl[core].tuner.watermark();
+        let inflight_cap = self.ctl[core].tuner.inflight_cap();
         loop {
             let slot = &mut self.slots[slot_idx];
             // Start the next queued request if the active one is done.
@@ -876,6 +934,20 @@ impl AtlasServer {
                 self.prof_stall(StallKind::CwndLimited);
                 break;
             }
+            // Tuned in-flight cap: when the tuner has backed off
+            // (queueing latency or SQ saturation), stop issuing once
+            // the core's outstanding reads reach the cap.
+            if inflight_cap != u32::MAX {
+                let outstanding: u32 = self.core_disks[core]
+                    .queues
+                    .iter()
+                    .map(|q| (q.inflight() + q.staged_count()) as u32)
+                    .sum();
+                if outstanding >= inflight_cap {
+                    self.prof_stall(StallKind::NvmeWait);
+                    break;
+                }
+            }
             let file = layout.file;
             let plain = layout.record_plain_len(record);
             let file_off = layout.record_file_off(record);
@@ -901,7 +973,6 @@ impl AtlasServer {
                 // buffers shortly): undo, park on the waiter list —
                 // the reclaim path re-pumps parked connections the
                 // moment a buffer frees — and stop this round.
-                let core = self.slots[slot_idx].core;
                 let slot = &mut self.slots[slot_idx];
                 slot.conn.next_record -= 1;
                 slot.conn.reserved -= wire;
@@ -912,7 +983,6 @@ impl AtlasServer {
                 self.prof_stall(StallKind::PoolEmpty);
                 break;
             }
-            let _ = costs;
         }
     }
 
@@ -961,19 +1031,19 @@ impl AtlasServer {
             },
             &self.cfg.costs,
         );
-        let cycles = q
-            .nvme_sqsync(&mut self.kernel, now, &self.cfg.costs)
-            .expect("sqsync");
-        if q.staged_count() > 0 {
-            // The SQ refused (part of) the batch — QueueFull
-            // backpressure, real or injected. The commands stay
-            // staged; schedule a resubmission pass.
-            let at = now + RESYNC_DELAY;
-            self.resync_at = Some(self.resync_at.map_or(at, |t| t.min(at)));
-        }
+        // Doorbell batching: the command is staged now; one
+        // `nvme_sqsync` per dirty (core, disk) queue at the end of
+        // the control-loop pass rings the doorbell for every fetch
+        // the pass produced, amortizing the syscall across the batch.
+        // The per-command SQE-build cycles are accrued inside the
+        // queue and charged at flush; the per-chunk profiler sample
+        // here is the command's own share of the submit work.
+        self.dirty_doorbells
+            .entry((core, loc.disk))
+            .and_modify(|t| *t = (*t).max(now))
+            .or_insert(now);
         self.prof_stage(core, ProfStage::Fetch);
-        self.prof_chunk(ProfStage::Fetch, cycles);
-        let submitted_at = self.cores.run_on(core, now, cycles);
+        self.prof_chunk(ProfStage::Fetch, self.cfg.costs.nvme_submit_cycles);
         self.fetches
             .insert(token, (slot_idx, fetch, buf, loc.disk, attempt));
         if fetch.retx.is_some() {
@@ -994,9 +1064,39 @@ impl AtlasServer {
                 // driven; the stage is legitimately absent for it.
                 self.tracer.stamp(token, Stage::WatermarkTrigger, now);
             }
-            self.tracer.stamp(token, Stage::NvmeSubmit, submitted_at);
+            // Staging time; the doorbell rings at pass end, at the
+            // latest staging time recorded for this queue.
+            self.tracer.stamp(token, Stage::NvmeSubmit, now);
         }
         true
+    }
+
+    /// Ring the doorbell once per (core, disk) queue that staged
+    /// reads during this control-loop pass: one `nvme_sqsync` syscall
+    /// covers every command the pass produced for that queue (the §3
+    /// batching argument, applied to the storage side). Called at the
+    /// end of every public entry point; between public calls no
+    /// intentionally-staged command remains (QueueFull leftovers are
+    /// re-driven via `resync_at`).
+    fn flush_doorbells(&mut self) {
+        while let Some(((core, disk), at)) = self.dirty_doorbells.pop_first() {
+            let q = &mut self.core_disks[core].queues[disk];
+            if q.staged_count() == 0 {
+                continue;
+            }
+            let cycles = q
+                .nvme_sqsync(&mut self.kernel, at, &self.cfg.costs)
+                .expect("sqsync");
+            if q.staged_count() > 0 {
+                // The SQ refused (part of) the batch — QueueFull
+                // backpressure, real or injected. The commands stay
+                // staged; schedule a resubmission pass.
+                let t = at + RESYNC_DELAY;
+                self.resync_at = Some(self.resync_at.map_or(t, |x| x.min(t)));
+            }
+            self.prof_stage(core, ProfStage::Fetch);
+            self.cores.run_on(core, at, cycles);
+        }
     }
 
     fn on_retransmit_needed(&mut self, now: Nanos, slot_idx: usize, offset: u64, len: u64) {
@@ -1008,14 +1108,12 @@ impl AtlasServer {
         };
         let layout = &slot.conn.layouts[layout_idx];
         if layout.in_header(offset) {
-            // Header bytes: regenerate from the stored header block.
+            // Header bytes: slice the shared header block into the
+            // scatter-gather list — a refcount bump, no copy.
             let rel = (offset - layout.start) as usize;
             let end = (rel + len as usize).min(layout.header.len());
-            let bytes = layout.header[rel..end].to_vec();
-            let out = slot
-                .conn
-                .tcb
-                .send_retransmit(now, offset, SgList::from_bytes(bytes));
+            let sg = SgList::from_shared(layout.header.clone(), rel, end - rel);
+            let out = slot.conn.tcb.send_retransmit(now, offset, sg);
             let core = slot.core;
             self.nic.tx_rings[core].push(out.into_tx(0));
             return;
@@ -1066,7 +1164,8 @@ impl AtlasServer {
         let retry = self.retries.keys().next().map(|&(d, _)| d);
         // The overload sweep only needs to run while connections
         // exist; an empty server stays fully quiescent.
-        let sweep = (self.live_conns.iter().sum::<usize>() > 0).then_some(self.next_sweep);
+        let sweep =
+            (self.ctl.iter().map(|c| c.live_conns).sum::<usize>() > 0).then_some(self.next_sweep);
         earliest(
             earliest(earliest(t, timer), self.nic.poll_at()),
             earliest(earliest(retry, self.resync_at), sweep),
@@ -1089,24 +1188,53 @@ impl AtlasServer {
             self.overload_sweep(now);
             self.next_sweep = now + self.cfg.admission.sweep_interval;
         }
-        let mut touched = BTreeSet::new();
-        // Poll completions on every (core, disk) queue.
+        // Batched completion sweep: gather every finished read for a
+        // core (across all of its per-disk queues) into one reusable
+        // scratch, feed the I/O tuner its latency/occupancy signals,
+        // then run a single crypto+packetize pass over the batch —
+        // consecutive records of one connection ride the hot TCB at
+        // the batched TX-op cost, and the DMA buffers are still
+        // LLC-resident when the pass reaches them.
+        let n_disks = self.catalog.n_disks();
+        let depth = usize::from(NvmeConfig::default().queue_depth);
         for core in 0..self.cfg.cores {
-            for disk in 0..self.catalog.n_disks() {
-                let (done, cycles) = {
+            self.sweep_serial += 1;
+            let mut batch = std::mem::take(&mut self.completed_scratch);
+            debug_assert!(batch.is_empty());
+            let cap_before = batch.capacity();
+            for disk in 0..n_disks {
+                let mark = batch.len();
+                let cycles = {
                     let q = &mut self.core_disks[core].queues[disk];
-                    q.nvme_consume_completions(&mut self.kernel, now, 64, &self.cfg.costs)
-                        .expect("consume")
+                    q.nvme_consume_completions_into(
+                        &mut self.kernel,
+                        now,
+                        64,
+                        &self.cfg.costs,
+                        &mut batch,
+                    )
+                    .expect("consume")
                 };
                 if cycles > 0 {
                     self.prof_stage(core, ProfStage::Fetch);
                     self.cores.run_on(core, now, cycles);
                 }
-                for io in done {
-                    self.complete_fetch(now, io);
-                    touched.insert(core);
+                if batch.len() > mark {
+                    let q = &self.core_disks[core].queues[disk];
+                    let outstanding = q.inflight() + q.staged_count();
+                    for io in &batch[mark..] {
+                        let lat = (io.completed_at - io.submitted_at).as_nanos();
+                        self.ctl[core]
+                            .tuner
+                            .observe_completion(lat, outstanding, depth);
+                    }
                 }
             }
+            dcn_obs::steady::note_growth(cap_before, batch.capacity());
+            for io in batch.drain(..) {
+                self.complete_fetch(now, io);
+            }
+            self.completed_scratch = batch;
         }
         // TCB timers.
         let due: Vec<usize> = self
@@ -1118,15 +1246,14 @@ impl AtlasServer {
             self.trace_rx_at = now;
             let slot = &mut self.slots[slot_idx];
             slot.conn.tcb.on_timer(now);
-            touched.insert(slot.core);
             self.process_conn_events(now, slot_idx);
         }
         self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
-        let _ = touched;
         self.trace_bursts(&bursts);
         self.reclaim_tx(now);
         self.wake_buf_waiters(now);
+        self.flush_doorbells();
         bursts
     }
 
@@ -1174,11 +1301,22 @@ impl AtlasServer {
         let layout = layout.clone();
         let plain_len = layout.record_plain_len(fetch.record);
         let buf_region = self.core_disks[core].queues[disk].buf_region(buf, plain_len);
-        let mut cycles = costs.tcp_tx_op_cycles;
+        // Batched packetize: the second and later records of the same
+        // connection within one completion sweep reuse the hot TCB
+        // state, the previous record's header template and the shared
+        // TX-ring doorbell, at the reduced batched op cost.
+        let batched = slot.conn.tx_sweep == self.sweep_serial;
+        slot.conn.tx_sweep = self.sweep_serial;
+        let tx_op_cycles = if batched {
+            costs.tcp_tx_batched_op_cycles
+        } else {
+            costs.tcp_tx_op_cycles
+        };
+        let mut cycles = tx_op_cycles;
 
         // Encrypt in place (the LLC-resident DMA buffer), derive the
         // nonce from the record's position in the stream.
-        let mut framing_tag: Option<(Vec<u8>, Vec<u8>)> = None;
+        let mut framing_tag: Option<([u8; 5], [u8; 16])> = None;
         if layout.encrypted {
             // Fig 12/14 classification, per chunk: is the DMA'd
             // buffer still LLC-resident as the CPU starts the
@@ -1216,13 +1354,13 @@ impl AtlasServer {
             } else {
                 [0u8; 16]
             };
-            let mut rec_hdr = vec![0x17, 0x03, 0x03, 0, 0]; // TLS1.2 app-data
+            let mut rec_hdr = [0x17, 0x03, 0x03, 0, 0]; // TLS1.2 app-data
             rec_hdr[3..5].copy_from_slice(
                 &u16::try_from(plain_len + 16)
                     .expect("record fits u16")
                     .to_be_bytes(),
             );
-            framing_tag = Some((rec_hdr, tag.to_vec()));
+            framing_tag = Some((rec_hdr, tag));
         } else {
             // Plaintext path still touches headers only; payload goes
             // DMA→DMA untouched (the paper's Fig 5 ideal).
@@ -1231,19 +1369,21 @@ impl AtlasServer {
             }
         }
 
-        // Build the record's wire SgList.
+        // Build the record's wire SgList. TLS framing (5-byte record
+        // header, 16-byte GCM tag) rides inline in the chunk — no
+        // heap allocation per record.
         let mut sg = SgList::empty();
         if let Some((hdr, tag)) = &framing_tag {
-            sg.push_bytes(hdr.clone());
+            sg.push_inline(hdr);
             sg.push_region(buf_region);
-            sg.push_bytes(tag.clone());
+            sg.push_inline(tag);
         } else {
             sg.push_region(buf_region);
         }
 
         if let Some(p) = &self.profiler {
             let mut p = p.borrow_mut();
-            p.chunk_sample(ProfStage::Packetize, costs.tcp_tx_op_cycles);
+            p.chunk_sample(ProfStage::Packetize, tx_op_cycles);
             p.chunk_done(core);
         }
         let done_at = self.cores.run_on(core, now, cycles);
@@ -1457,8 +1597,8 @@ impl AtlasServer {
         let acfg = self.cfg.admission;
         for core in 0..self.cfg.cores {
             let snap = self.resource_snapshot(core);
-            self.overload[core].observe(&acfg, snap);
-            let level = self.overload[core].on_sweep(&acfg);
+            self.ctl[core].overload.observe(&acfg, snap);
+            let level = self.ctl[core].overload.on_sweep(&acfg);
             // Under pressure idle conns are reaped much sooner: a
             // few sweeps of silence instead of the full keepalive
             // allowance (kept above a WAN RTT so a healthy client
@@ -1587,7 +1727,7 @@ impl AtlasServer {
         }
         self.buf_waiters[core].remove(&slot_idx);
         self.conns.remove(&flow);
-        self.live_conns[core] = self.live_conns[core].saturating_sub(1);
+        self.note_conn_closed(core);
         self.reg.inc(self.ids.conns_aborted);
     }
 
@@ -1717,6 +1857,31 @@ impl AtlasServer {
     }
 }
 
+/// The shared control-loop skeleton: admission, shedding, connection
+/// accounting and the I/O tuner all route through `dcn-srvcore` so
+/// Atlas and the kstack cannot drift apart on policy semantics.
+impl ControlPlane for AtlasServer {
+    fn admission_cfg(&self) -> AdmissionConfig {
+        self.cfg.admission
+    }
+
+    fn n_cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn resource_snapshot(&self, core: usize) -> ResourceSnapshot {
+        AtlasServer::resource_snapshot(self, core)
+    }
+
+    fn core_control(&mut self, core: usize) -> &mut CoreControl {
+        &mut self.ctl[core]
+    }
+
+    fn core_control_ref(&self, core: usize) -> &CoreControl {
+        &self.ctl[core]
+    }
+}
+
 /// How long to wait before resubmitting staged NVMe commands after SQ
 /// backpressure. Short relative to a stripe service time: a real
 /// driver would retry on the next doorbell opportunity.
@@ -1734,10 +1899,59 @@ fn untx_token(token: u64) -> (usize, usize, BufId) {
     )
 }
 
+/// A parsed frame's TCP payload, borrowed from the frame. Parsing
+/// allocates nothing — in particular, a virtual (length-only) payload
+/// is no longer materialized as a `Vec` of zeros unless a caller
+/// explicitly asks for one. Servers copy into a reusable scratch via
+/// [`FramePayload::copy_into`]; flow-routing callers that only look
+/// at headers never touch the payload at all.
+#[derive(Debug)]
+pub enum FramePayload<'a> {
+    /// Payload bytes present in the frame.
+    Slice(&'a [u8]),
+    /// Virtual payload: `n` bytes of zeros, by convention.
+    Virtual(u64),
+}
+
+impl FramePayload<'_> {
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            FramePayload::Slice(b) => b.len(),
+            FramePayload::Virtual(n) => *n as usize,
+        }
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the payload into a reusable scratch buffer (cleared
+    /// first; the buffer's capacity persists across calls).
+    pub fn copy_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        match self {
+            FramePayload::Slice(b) => out.extend_from_slice(b),
+            FramePayload::Virtual(n) => out.resize(*n as usize, 0),
+        }
+    }
+
+    /// Materialize an owned copy (client-side convenience; the server
+    /// hot path uses [`FramePayload::copy_into`] instead).
+    #[must_use]
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        self.copy_into(&mut v);
+        v
+    }
+}
+
 /// Parse the flow/TCP header out of a wire frame (what RSS + the
 /// stack's demux do).
 #[must_use]
-pub fn parse_frame(frame: &WireFrame) -> Option<(FlowId, TcpRepr, Vec<u8>)> {
+pub fn parse_frame(frame: &WireFrame) -> Option<(FlowId, TcpRepr, FramePayload<'_>)> {
     let h = &frame.headers;
     if h.len() < ETH_HEADER_LEN {
         return None;
@@ -1755,11 +1969,11 @@ pub fn parse_frame(frame: &WireFrame) -> Option<(FlowId, TcpRepr, Vec<u8>)> {
     // field (data frames).
     let inline = &h[ETH_HEADER_LEN + ip_off + tcp_off..];
     let payload = if !inline.is_empty() {
-        inline.to_vec()
+        FramePayload::Slice(inline)
     } else {
         match &frame.payload {
-            dcn_netdev::PayloadBytes::Real(b) => b.clone(),
-            dcn_netdev::PayloadBytes::Virtual(n) => vec![0u8; *n as usize],
+            dcn_netdev::PayloadBytes::Real(b) => FramePayload::Slice(b),
+            dcn_netdev::PayloadBytes::Virtual(n) => FramePayload::Virtual(*n),
         }
     };
     Some((flow, tcp, payload))

@@ -15,7 +15,7 @@
 //!   perf_baseline --check <baseline>   # exit 1 if regressed vs <baseline>
 //!   perf_baseline --write              # refresh BENCH_perf_baseline.json (CWD)
 
-use dcn_atlas::AtlasConfig;
+use dcn_atlas::{AtlasConfig, AutotuneConfig};
 use dcn_bench::perf::{compare_perf, perf_document, PerfCell};
 use dcn_bench::print_table;
 use dcn_kstack::KstackConfig;
@@ -33,6 +33,11 @@ fn run_cell(name: &str, encrypted: bool, atlas: bool) -> PerfCell {
             encrypted,
             fidelity: Fidelity::Modeled,
             profile: true,
+            // The online I/O-window autotuner is the production
+            // operating point now: it converges below the paper's
+            // fixed 10×MSS watermark on the modeled P3700, overlapping
+            // more of the ~100 µs read latency with ACK-clock waits.
+            autotune: AutotuneConfig::on(),
             ..AtlasConfig::default()
         };
         let (cores, ghz) = (cfg.cores, cfg.costs.cpu_ghz);

@@ -132,6 +132,123 @@ pub fn run_diskmap(
     finish(done_bytes, ios, latency, now, cpu_busy_ns)
 }
 
+/// Where the online autotuner settled after a closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct AutotunedPoint {
+    /// Converged per-disk in-flight read cap.
+    pub inflight_cap: u32,
+    /// Converged fetch watermark (bytes).
+    pub watermark: u64,
+    /// Final completion-latency EWMA (ns).
+    pub ewma_latency_ns: u64,
+    /// Adjustment steps the controller took.
+    pub adjustments: u64,
+}
+
+/// Closed-loop diskmap reads where the outstanding window follows the
+/// online [`IoTuner`](dcn_srvcore::IoTuner) instead of a fixed
+/// `window_per_disk`: every completion feeds the controller, and the
+/// refill loop tops the queue up to whatever cap it currently
+/// recommends. This is the microbench the autotuner-vs-manual-sweep
+/// comparison in `examples/tune_io_window.rs` runs.
+pub fn run_diskmap_autotuned(
+    n_disks: usize,
+    io_size: u64,
+    cfg: dcn_srvcore::AutotuneConfig,
+    horizon: Nanos,
+    seed: u64,
+) -> (StorageRun, AutotunedPoint) {
+    let (mut kernel, mut mem, mut host, mut pa) = make_kernel(n_disks, seed);
+    let costs = CostParams::default();
+    let mut rng = SimRng::new(seed);
+    let buf_size = io_size.max(LBA_SIZE);
+    let depth = (cfg.max_inflight + 4) as usize;
+    let mut queues: Vec<NvmeQueue> = (0..n_disks)
+        .map(|d| {
+            NvmeQueue::nvme_open(&mut kernel, DiskId(d), 0, depth as u32, buf_size, &mut pa)
+                .expect("attach")
+        })
+        .collect();
+    let mut tuners: Vec<dcn_srvcore::IoTuner> = (0..n_disks)
+        .map(|d| dcn_srvcore::IoTuner::new(cfg, 10 * 1448, seed ^ ((d as u64 + 1) << 20)))
+        .collect();
+    let mut outstanding = vec![0usize; n_disks];
+    let span_lbas = 1_000_000u64;
+    let stride = io_size.div_ceil(LBA_SIZE);
+    let mut now = Nanos::ZERO;
+    let mut latency = Histogram::new(0.0, 5_000.0, 2_000); // µs
+    let mut done_bytes = 0u64;
+    let mut ios = 0u64;
+    let mut cpu_busy_ns = 0u64;
+    // Prime up to the initial cap.
+    for (d, q) in queues.iter_mut().enumerate() {
+        while outstanding[d] < (tuners[d].inflight_cap() as usize).min(depth - 2) {
+            let buf = q.pool().alloc().expect("sized for cap");
+            let lba = rng.gen_range(0, span_lbas) * stride;
+            q.nvme_read(
+                IoDesc {
+                    user: buf.0 as u64,
+                    buf,
+                    nsid: 1,
+                    offset: lba * LBA_SIZE,
+                    len: io_size,
+                },
+                &costs,
+            );
+            outstanding[d] += 1;
+        }
+        let cyc = q.nvme_sqsync(&mut kernel, now, &costs).expect("sqsync");
+        cpu_busy_ns += costs.cycles_to_ns(cyc);
+    }
+    while now < horizon {
+        let Some(t) = kernel.poll_at() else { break };
+        now = t;
+        kernel.advance(now, &mut mem, &mut host);
+        for (d, q) in queues.iter_mut().enumerate() {
+            let (done, cyc) = q
+                .nvme_consume_completions(&mut kernel, now, usize::MAX >> 1, &costs)
+                .expect("consume");
+            cpu_busy_ns += costs.cycles_to_ns(cyc);
+            for io in done {
+                outstanding[d] -= 1;
+                let lat = (io.completed_at - io.submitted_at).as_nanos();
+                tuners[d].observe_completion(lat, outstanding[d], depth);
+                latency.add((io.completed_at - io.submitted_at).as_micros_f64());
+                done_bytes += io.len;
+                ios += 1;
+                q.pool().free(io.buf);
+            }
+            // Refill to the controller's current recommendation.
+            while outstanding[d] < (tuners[d].inflight_cap() as usize).min(depth - 2) {
+                let Some(buf) = q.pool().alloc() else { break };
+                let lba = rng.gen_range(0, span_lbas) * stride;
+                q.nvme_read(
+                    IoDesc {
+                        user: buf.0 as u64,
+                        buf,
+                        nsid: 1,
+                        offset: lba * LBA_SIZE,
+                        len: io_size,
+                    },
+                    &costs,
+                );
+                outstanding[d] += 1;
+            }
+            if q.staged_count() > 0 {
+                let cyc = q.nvme_sqsync(&mut kernel, now, &costs).expect("sqsync");
+                cpu_busy_ns += costs.cycles_to_ns(cyc);
+            }
+        }
+    }
+    let point = AutotunedPoint {
+        inflight_cap: tuners[0].inflight_cap(),
+        watermark: tuners[0].watermark(),
+        ewma_latency_ns: tuners[0].ewma_latency_ns(),
+        adjustments: tuners[0].adjustments(),
+    };
+    (finish(done_bytes, ios, latency, now, cpu_busy_ns), point)
+}
+
 /// Closed-loop aio(4) reads with batched submission and
 /// interrupt+kevent completion.
 pub fn run_aio(

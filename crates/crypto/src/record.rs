@@ -75,6 +75,33 @@ impl RecordCipher {
             .seal_in_place(&nonce, &stream_offset.to_be_bytes(), payload)
     }
 
+    /// Seal a run of stream-contiguous records in one pass.
+    ///
+    /// `payload` holds the plaintext of one or more consecutive
+    /// records starting at the record-aligned `stream_offset`; every
+    /// record is `RECORD_PAYLOAD_MAX` bytes except possibly the last.
+    /// Tags are appended to `tags` (one per record, in order). The
+    /// session's AES key schedule and GHASH tables are shared state:
+    /// a completion sweep that gathered N ready records pays the
+    /// cipher setup once for the whole batch instead of re-entering
+    /// per record — the crypto half of the batched
+    /// encrypt+packetize sweep.
+    pub fn seal_records(
+        &self,
+        stream_offset: u64,
+        payload: &mut [u8],
+        tags: &mut Vec<[u8; GCM_TAG_LEN]>,
+    ) {
+        assert_eq!(
+            stream_offset % RECORD_PAYLOAD_MAX as u64,
+            0,
+            "batch starts on a record boundary"
+        );
+        for (i, rec) in payload.chunks_mut(RECORD_PAYLOAD_MAX).enumerate() {
+            tags.push(self.seal_record(stream_offset + (i * RECORD_PAYLOAD_MAX) as u64, rec));
+        }
+    }
+
     /// Decrypt + verify one record in place. Returns false on a bad
     /// tag.
     pub fn open_record(
@@ -137,6 +164,27 @@ mod tests {
         let rc = RecordCipher::new(b"sessionkey123456", 1);
         let mut data = vec![0u8; 10];
         rc.seal_record(100, &mut data);
+    }
+
+    #[test]
+    fn batch_seal_matches_per_record_seal() {
+        let rc = RecordCipher::new(b"sessionkey123456", 3);
+        let base = 4 * RECORD_PAYLOAD_MAX as u64;
+        let stream: Vec<u8> = (0..2 * RECORD_PAYLOAD_MAX + 777)
+            .map(|i| (i * 17 % 256) as u8)
+            .collect();
+
+        let mut batch = stream.clone();
+        let mut tags = Vec::new();
+        rc.seal_records(base, &mut batch, &mut tags);
+        assert_eq!(tags.len(), 3);
+
+        let mut singly = stream.clone();
+        for (i, rec) in singly.chunks_mut(RECORD_PAYLOAD_MAX).enumerate() {
+            let tag = rc.seal_record(base + (i * RECORD_PAYLOAD_MAX) as u64, rec);
+            assert_eq!(tag, tags[i]);
+        }
+        assert_eq!(batch, singly);
     }
 
     #[test]

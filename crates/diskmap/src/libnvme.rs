@@ -251,8 +251,26 @@ impl NvmeQueue {
         max: usize,
         costs: &dcn_mem::CostParams,
     ) -> Result<(Vec<CompletedIo>, u64), DiskmapError> {
-        let entries = kernel.consume(self.token, max)?;
         let mut out = Vec::new();
+        let cycles = self.nvme_consume_completions_into(kernel, now, max, costs, &mut out)?;
+        Ok((out, cycles))
+    }
+
+    /// Allocation-free variant of [`nvme_consume_completions`]:
+    /// appends finished requests to a caller-owned scratch vector so
+    /// steady-state sweeps reuse one buffer instead of allocating per
+    /// poll.
+    ///
+    /// [`nvme_consume_completions`]: Self::nvme_consume_completions
+    pub fn nvme_consume_completions_into(
+        &mut self,
+        kernel: &mut DiskmapKernel,
+        now: Nanos,
+        max: usize,
+        costs: &dcn_mem::CostParams,
+        out: &mut Vec<CompletedIo>,
+    ) -> Result<u64, DiskmapError> {
+        let entries = kernel.consume(self.token, max)?;
         let mut cycles = 0u64;
         for e in entries {
             cycles += costs.nvme_complete_cycles;
@@ -285,7 +303,7 @@ impl NvmeQueue {
                 });
             }
         }
-        Ok((out, cycles))
+        Ok(cycles)
     }
 }
 

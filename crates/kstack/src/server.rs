@@ -3,7 +3,7 @@
 
 use crate::conn::{KConn, StagedResponse};
 use dcn_atlas::server::parse_frame;
-use dcn_atlas::{AdmissionConfig, OverloadState, ResourceSnapshot};
+use dcn_atlas::{AdmissionConfig, ResourceSnapshot};
 use dcn_crypto::{RecordCipher, RECORD_PAYLOAD_MAX};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
 use dcn_mem::{
@@ -17,6 +17,7 @@ use dcn_nvme::{
 use dcn_obs::{CounterId, GaugeId, ProfHandle, ProfStage, Registry, StageProfiler, StallKind};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
 use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_srvcore::{AutotuneConfig, ControlPlane, CoreControl, IoTuner};
 use dcn_store::{BufferCache, Catalog, FileId};
 use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
 use std::collections::{BTreeSet, HashMap};
@@ -65,6 +66,13 @@ pub struct KstackConfig {
     /// fraction; the slow-client sweeps are Atlas-only (socket
     /// buffers, not DMA buffers, absorb slow readers here).
     pub admission: AdmissionConfig,
+    /// I/O-window autotuner knobs (shared `dcn-srvcore` control
+    /// plane). The kernel stack has no per-connection fetch watermark
+    /// to steer — read-ahead is a global kernel heuristic — so here
+    /// the tuner is observational: fill completions feed it, its
+    /// operating point is reportable, but it never gates I/O. Off by
+    /// default.
+    pub autotune: AutotuneConfig,
     /// Install the per-stage cycle/DRAM profiler. Off by default: no
     /// handle is installed anywhere, so sweeps pay one `None` check.
     /// The run is bit-identical either way (purely observational).
@@ -97,6 +105,7 @@ impl KstackConfig {
                 port: 80,
             },
             admission: AdmissionConfig::default(),
+            autotune: AutotuneConfig::default(),
             profile: false,
         }
     }
@@ -130,6 +139,13 @@ const MAX_FILL_ATTEMPTS: u32 = 4;
 struct ConnSlot {
     conn: KConn,
     core: usize,
+}
+
+/// How one parsed request on a connection is answered.
+enum Disposition {
+    File(Option<FileId>),
+    Unavailable,
+    Malformed,
 }
 
 /// Pre-registered counter handles (per-core), resolved once at
@@ -205,13 +221,26 @@ pub struct KstackServer {
     stage_waiting: Vec<std::collections::BTreeSet<usize>>,
     next_cid: u16,
     rx_slots: Vec<PhysRegion>,
-    /// Per-core hysteretic overload state (admission latch).
-    overload: Vec<OverloadState>,
-    /// Live connections per core (admission-cap input).
-    live_conns: Vec<usize>,
+    /// Per-core control-plane state (admission latch, I/O tuner,
+    /// live-connection count) — the shared `dcn-srvcore` skeleton.
+    ctl: Vec<CoreControl>,
     /// Connections whose staging hit buffer-cache VM pressure, parked
     /// until ACKs unpin pages.
     alloc_waiting: Vec<std::collections::BTreeSet<usize>>,
+    /// Reusable RX-payload scratch: frames' TCP payloads are copied
+    /// here instead of materializing a fresh `Vec` per frame.
+    rx_scratch: Vec<u8>,
+    /// Reusable per-call scratch for parsed request dispositions.
+    disp_scratch: Vec<Disposition>,
+    /// Reusable CQ-drain scratch for `advance`.
+    cq_scratch: Vec<dcn_nvme::CompletionEntry>,
+    /// Reusable plaintext→ciphertext staging scratch for the
+    /// full-fidelity batch seal (one fill's records at a time).
+    crypt_scratch: Vec<u8>,
+    /// Reusable per-fill record-tag scratch (full fidelity).
+    tag_scratch: Vec<[u8; 16]>,
+    /// Reusable per-record plaintext source-region scratch.
+    src_scratch: Vec<PhysRegion>,
     rng: SimRng,
     /// Unified metrics registry (`kstack.*{core=N}`); counters are
     /// bumped on the hot path through pre-registered handles.
@@ -284,9 +313,22 @@ impl KstackServer {
             stage_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
             next_cid: 0,
             rx_slots,
-            overload: (0..cfg.cores).map(|_| OverloadState::default()).collect(),
-            live_conns: vec![0; cfg.cores],
+            ctl: (0..cfg.cores)
+                .map(|c| {
+                    CoreControl::new(IoTuner::new(
+                        cfg.autotune,
+                        cfg.fill_bytes,
+                        seed ^ 0x6B70 ^ ((c as u64) << 20),
+                    ))
+                })
+                .collect(),
             alloc_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
+            rx_scratch: Vec::new(),
+            disp_scratch: Vec::new(),
+            cq_scratch: Vec::new(),
+            crypt_scratch: Vec::new(),
+            tag_scratch: Vec::new(),
+            src_scratch: Vec::new(),
             rng: SimRng::new(seed ^ 0x6B57),
             reg,
             ids,
@@ -397,7 +439,7 @@ impl KstackServer {
             .filter(|f| self.slots[f.conn_slot].core == core)
             .count();
         ResourceSnapshot {
-            conns: self.live_conns[core],
+            conns: self.ctl[core].live_conns,
             pool_free_frac: self.bufcache.allocatable_frac(),
             sq_occupancy: fills as f64 / depth,
         }
@@ -406,29 +448,34 @@ impl KstackServer {
     /// Is any core shedding (latch held) or at its connection cap?
     #[must_use]
     pub fn is_shedding(&self) -> bool {
-        self.overload.iter().any(OverloadState::is_shedding)
+        self.any_shedding()
             || self
-                .live_conns
+                .ctl
                 .iter()
-                .any(|&n| n >= self.cfg.admission.max_conns_per_core)
+                .any(|c| c.live_conns >= self.cfg.admission.max_conns_per_core)
     }
 
     // -------------------------------------------------------------- RX
 
     pub fn on_wire_rx(&mut self, now: Nanos, frames: Vec<WireFrame>) -> Vec<SentBurst> {
-        let mut touched = BTreeSet::new();
+        let mut scratch = std::mem::take(&mut self.rx_scratch);
         for frame in frames {
             let Some((flow, tcp, payload)) = parse_frame(&frame) else {
                 continue;
             };
             let core = self.core_of_flow(flow);
-            touched.insert(core);
             self.prof_stage(core, ProfStage::Parse);
+            // Copy the borrowed payload into the reusable RX scratch
+            // (no per-frame Vec; growth past the warm-up high-water
+            // mark is a counted fallback allocation).
+            let cap_before = scratch.capacity();
+            payload.copy_into(&mut scratch);
+            dcn_obs::steady::note_growth(cap_before, scratch.capacity());
             self.nic
                 .rx_deliver(core, now, frame, &mut self.mem, self.rx_slots[core]);
-            self.handle_segment(now, core, flow, &tcp, &payload);
+            self.handle_segment(now, core, flow, &tcp, &scratch);
         }
-        let _ = touched;
+        self.rx_scratch = scratch;
         self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.collect_tx_completions();
@@ -476,8 +523,7 @@ impl KstackServer {
         };
         // Admission control (same policy shape as Atlas): refuse the
         // SYN with an RST when past the cap or the VM-pressure latch.
-        let snap = self.resource_snapshot(core);
-        if !self.overload[core].admit(&self.cfg.admission, snap) {
+        if !self.admit_syn(core) {
             let rst = rst_for_syn(self.cfg.server_endpoint, remote, syn);
             self.nic.tx_rings[core].push(rst.into_tx(0));
             self.reg.inc(self.ids.shed_new[core]);
@@ -504,7 +550,7 @@ impl KstackServer {
         });
         self.timer_of.push(None);
         self.conns.insert(flow, slot_idx);
-        self.live_conns[core] += 1;
+        self.note_conn_opened(core);
         self.nic.tx_rings[core].push(synack.into_tx(0));
         self.sync_timer(slot_idx);
     }
@@ -553,9 +599,7 @@ impl KstackServer {
         // Refresh the hysteretic latch against current resources so
         // keepalive requests on long-lived connections see the same
         // watermark state new SYNs do.
-        let snap = self.resource_snapshot(core);
-        self.overload[core].observe(&self.cfg.admission, snap);
-        let shedding = self.overload[core].is_shedding();
+        let shedding = self.defer_request(core);
         let retry_after_ms = (self.cfg.admission.retry_after.as_nanos() / 1_000_000).max(1);
         let slot = &mut self.slots[slot_idx];
         if slot.conn.bad_request {
@@ -564,12 +608,8 @@ impl KstackServer {
             return;
         }
         slot.conn.parser.push(bytes);
-        enum Disposition {
-            File(Option<FileId>),
-            Unavailable,
-            Malformed,
-        }
-        let mut started = Vec::new();
+        let mut started = std::mem::take(&mut self.disp_scratch);
+        let disp_cap_before = started.capacity();
         loop {
             match slot.conn.parser.next_request() {
                 Ok(Some(_)) if shedding => started.push(Disposition::Unavailable),
@@ -583,7 +623,8 @@ impl KstackServer {
                 }
             }
         }
-        for disp in started {
+        dcn_obs::steady::note_growth(disp_cap_before, started.capacity());
+        for disp in started.drain(..) {
             // nginx userspace work + the sendfile syscall.
             self.prof_stage(core, ProfStage::Parse);
             let done = self.cores.run_on(
@@ -638,6 +679,7 @@ impl KstackServer {
             }
             let _ = done;
         }
+        self.disp_scratch = started;
     }
 
     /// Retry staging for connections parked on buffer-cache VM
@@ -922,6 +964,19 @@ impl KstackServer {
         };
         let slot_idx = fill.conn_slot;
         let core = self.slots[slot_idx].core;
+        // Feed the fill's completion latency to the core's I/O tuner.
+        // Observational here: the kernel stack's read-ahead is a
+        // global heuristic with no per-core window to steer (see
+        // DESIGN.md §12), but the shared control plane keeps the two
+        // stacks' telemetry comparable.
+        let lat = now.saturating_sub(fill.issued_at).as_nanos();
+        let outstanding = self.fills.len();
+        self.observe_io_completion(
+            core,
+            lat,
+            outstanding,
+            usize::from(NvmeConfig::default().queue_depth),
+        );
         // Interrupt + completion handling.
         self.prof_stage(core, ProfStage::Fetch);
         let irq_done = self.cores.run_on(
@@ -1013,7 +1068,36 @@ impl KstackServer {
             return;
         }
 
-        // Encrypted: record-ize the plaintext.
+        // Encrypted: record-ize the plaintext. At full fidelity the
+        // fill's stream-contiguous records are sealed in one batch
+        // pass up front ([`RecordCipher::seal_records`] shares the
+        // cipher setup across the run); the per-record loop below
+        // models the costs and stages each ciphertext region.
+        if self.cfg.fidelity == Fidelity::Full {
+            let cap_before = self.crypt_scratch.capacity();
+            self.crypt_scratch.clear();
+            self.crypt_scratch.resize(len as usize, 0);
+            dcn_obs::steady::note_growth(cap_before, self.crypt_scratch.capacity());
+            let mut off = 0usize;
+            for (_, frame) in &pages {
+                if off >= len as usize {
+                    break;
+                }
+                let n = (len as usize - off).min(CHUNK_SIZE as usize);
+                self.host
+                    .read(frame.addr, &mut self.crypt_scratch[off..off + n]);
+                off += n;
+            }
+            let tag_cap_before = self.tag_scratch.capacity();
+            self.tag_scratch.clear();
+            let cipher = self.slots[slot_idx]
+                .conn
+                .cipher
+                .as_ref()
+                .expect("encrypted conn");
+            cipher.seal_records(file_off, &mut self.crypt_scratch, &mut self.tag_scratch);
+            dcn_obs::steady::note_growth(tag_cap_before, self.tag_scratch.capacity());
+        }
         let mut off_in_fill = 0u64;
         while off_in_fill < len {
             self.prof_stage(core, ProfStage::Encrypt);
@@ -1022,19 +1106,22 @@ impl KstackServer {
             let rec_plain = (st.body_len - rec_plain_off)
                 .min(RECORD_PAYLOAD_MAX as u64)
                 .min(len - off_in_fill);
-            // Gather the plaintext source regions.
-            let mut src = SgList::empty();
+            // Gather the plaintext source regions into the reusable
+            // scratch (no per-record SgList spine allocation).
+            let src_cap_before = self.src_scratch.capacity();
+            self.src_scratch.clear();
             let mut remaining = rec_plain;
             let mut page_cursor = (off_in_fill / CHUNK_SIZE) as usize;
             let mut in_page = off_in_fill % CHUNK_SIZE;
             while remaining > 0 {
                 let (_, frame) = pages[page_cursor];
                 let n = remaining.min(CHUNK_SIZE - in_page);
-                src.push_region(frame.slice(in_page, n));
+                self.src_scratch.push(frame.slice(in_page, n));
                 remaining -= n;
                 in_page = 0;
                 page_cursor += 1;
             }
+            dcn_obs::steady::note_growth(src_cap_before, self.src_scratch.capacity());
             let ct_region = self.ct_pool.pop().unwrap_or_else(|| {
                 // The pool grows on demand: the real bound on
                 // ciphertext socket-buffer memory is sb_max per
@@ -1052,7 +1139,8 @@ impl KstackServer {
                     // the plaintext read comes from DRAM; the
                     // ciphertext goes out with ISA-L non-temporal
                     // stores.
-                    for r in src.regions() {
+                    for i in 0..self.src_scratch.len() {
+                        let r = self.src_scratch[i];
                         self.mem.flush_delayed(now, r);
                         cycles += self.mem.cpu_read(now, r).stall_cycles;
                     }
@@ -1064,7 +1152,8 @@ impl KstackServer {
                     // syscalls per record.
                     cycles += 2 * costs.syscall_cycles;
                     cycles += (2.0 * rec_plain as f64 * costs.memcpy_cycles_per_byte) as u64;
-                    for r in src.regions() {
+                    for i in 0..self.src_scratch.len() {
+                        let r = self.src_scratch[i];
                         cycles += self.mem.cpu_read(now, r).stall_cycles;
                     }
                     // user buffer write + read back
@@ -1082,40 +1171,29 @@ impl KstackServer {
                 p.chunk_done(core);
             }
             let t_enc = self.cores.run_on(core, now, cycles);
-            // Real encryption at full fidelity.
+            // Real encryption at full fidelity: the batch pre-pass
+            // already sealed this record in the scratch; copy its
+            // ciphertext into the socket-buffer region.
             let tag = if self.cfg.fidelity == Fidelity::Full {
-                let plain = {
-                    let mut v = Vec::with_capacity(rec_plain as usize);
-                    for r in src.regions() {
-                        v.extend_from_slice(&self.host.read_region(r));
-                    }
-                    v
-                };
-                let slot = &self.slots[slot_idx];
-                let cipher = slot.conn.cipher.as_ref().expect("encrypted conn");
-                let mut ct = plain;
-                let tag = cipher.seal_record(rec_plain_off, &mut ct);
-                self.host.write(ct_region.addr, &ct);
-                tag
+                let s = off_in_fill as usize;
+                self.host.write(
+                    ct_region.addr,
+                    &self.crypt_scratch[s..s + rec_plain as usize],
+                );
+                self.tag_scratch[(off_in_fill / RECORD_PAYLOAD_MAX as u64) as usize]
             } else {
                 [0u8; 16]
             };
-            let mut rec_hdr = vec![0x17, 0x03, 0x03, 0, 0];
+            let mut rec_hdr = [0x17, 0x03, 0x03, 0, 0];
             rec_hdr[3..5]
                 .copy_from_slice(&u16::try_from(rec_plain + 16).expect("fits").to_be_bytes());
+            // TLS framing (5-byte record header, 16-byte GCM tag)
+            // rides inline in the chunk — no heap allocation per
+            // record.
             let mut sg = SgList::empty();
-            sg.push_bytes(rec_hdr);
+            sg.push_inline(&rec_hdr);
             sg.push_region(ct_region);
-            sg.push_bytes(tag.to_vec());
-            // Pages can be unpinned immediately: ciphertext owns the
-            // data now (this is the extra memory kTLS costs, §2.1.4).
-            for (p, _) in pages
-                .iter()
-                .skip((off_in_fill / CHUNK_SIZE) as usize)
-                .take(rec_plain.div_ceil(CHUNK_SIZE) as usize + 1)
-            {
-                let _ = p;
-            }
+            sg.push_inline(&tag);
             let slot = &mut self.slots[slot_idx];
             slot.conn
                 .enqueue(sg, Vec::new(), Some(ct_region.slice(0, 0).slice(0, 0)));
@@ -1140,6 +1218,12 @@ impl KstackServer {
     fn pump_tx(&mut self, now: Nanos, slot_idx: usize) {
         let core = self.slots[slot_idx].core;
         let costs = self.cfg.costs;
+        // Batched packetize: the first TSO send of this pump pays the
+        // full per-op cost; subsequent sends of the same connection in
+        // the same pass reuse the hot TCB/socket state and the shared
+        // doorbell at the reduced batched cost (mirrors Atlas's
+        // per-sweep batching).
+        let mut first_op = true;
         loop {
             // TX-ring backpressure: unsent data stays in the socket
             // buffer until slots free up.
@@ -1158,7 +1242,13 @@ impl KstackServer {
                 break;
             };
             let n_segs = sg.len().div_ceil(u64::from(slot.conn.tcb.cfg.mss));
-            let mut cycles = costs.tcp_tx_op_cycles + n_segs * costs.kstack_tx_segment_cycles;
+            let tx_op = if first_op {
+                costs.tcp_tx_op_cycles
+            } else {
+                costs.tcp_tx_batched_op_cycles
+            };
+            first_op = false;
+            let mut cycles = tx_op + n_segs * costs.kstack_tx_segment_cycles;
             // The TCP output path walks the mbuf chain at transmit
             // time: consume-once touches of a fraction of the payload
             // (sf_buf mapping, LRO bookkeeping) — by now the data has
@@ -1196,24 +1286,21 @@ impl KstackServer {
         // Disk completions. Disk-controller DMA into cache frames is
         // fetch-stage memory traffic.
         self.prof_stage(0, ProfStage::Fetch);
-        let mut done_cids = Vec::new();
+        let mut done = std::mem::take(&mut self.cq_scratch);
+        let cap_before = done.capacity();
         for disk in &mut self.disks {
             disk.advance(now, &mut self.mem, &mut self.host);
-            for e in disk.qpair(0).cq_consume(64) {
-                done_cids.push((e.cid, e.status));
-            }
+            disk.qpair(0).cq_consume_into(64, &mut done);
         }
-        let mut touched = BTreeSet::new();
-        for (cid, status) in done_cids {
-            if let Some(f) = self.fills.get(&cid) {
-                touched.insert(self.slots[f.conn_slot].core);
-            }
-            if status == NvmeStatus::Success {
-                self.complete_fill(now, cid);
+        dcn_obs::steady::note_growth(cap_before, done.capacity());
+        for e in done.drain(..) {
+            if e.status == NvmeStatus::Success {
+                self.complete_fill(now, e.cid);
             } else {
-                self.retry_fill(now, cid);
+                self.retry_fill(now, e.cid);
             }
         }
+        self.cq_scratch = done;
         // TCP timers.
         let due: Vec<usize> = self
             .timers
@@ -1222,10 +1309,8 @@ impl KstackServer {
             .collect();
         for slot_idx in due {
             self.slots[slot_idx].conn.tcb.on_timer(now);
-            touched.insert(self.slots[slot_idx].core);
             self.process_conn_events(now, slot_idx);
         }
-        let _ = touched;
         self.prof_stage(0, ProfStage::TxComplete);
         let bursts = self.nic.tx_drain_all(now, &mut self.mem, &self.host);
         self.collect_tx_completions();
@@ -1263,6 +1348,27 @@ impl KstackServer {
 
     pub fn phys_mut(&mut self) -> &mut PhysAlloc {
         &mut self.phys
+    }
+}
+
+/// The shared per-core control-loop skeleton (admission, shedding,
+/// connection accounting, I/O tuner) — same trait Atlas implements,
+/// so the two stacks cannot drift on policy.
+impl ControlPlane for KstackServer {
+    fn admission_cfg(&self) -> AdmissionConfig {
+        self.cfg.admission
+    }
+    fn n_cores(&self) -> usize {
+        self.cfg.cores
+    }
+    fn resource_snapshot(&self, core: usize) -> ResourceSnapshot {
+        KstackServer::resource_snapshot(self, core)
+    }
+    fn core_control(&mut self, core: usize) -> &mut CoreControl {
+        &mut self.ctl[core]
+    }
+    fn core_control_ref(&self, core: usize) -> &CoreControl {
+        &self.ctl[core]
     }
 }
 

@@ -43,6 +43,13 @@ pub struct CostParams {
     /// Per-TSO-send descriptor work in the userspace stack (header
     /// template, ring slot, doorbell share).
     pub tcp_tx_op_cycles: u64,
+    /// Per-TSO-send cost for the second and later records of the same
+    /// connection within one completion sweep: the TCB and socket
+    /// state are already hot, the header is templated from the
+    /// previous record and the ring doorbell is shared across the
+    /// batch, leaving descriptor fill plus a fraction of the header
+    /// work.
+    pub tcp_tx_batched_op_cycles: u64,
     /// Per-ACK receive processing in the userspace stack.
     pub tcp_rx_ack_cycles: u64,
     /// Kernel-stack per-segment TX cost (mbuf alloc, socket locks,
@@ -100,6 +107,7 @@ impl Default for CostParams {
             memcpy_cycles_per_byte: 0.06,
             aes_gcm_cycles_per_byte: 1.0,
             tcp_tx_op_cycles: 900,
+            tcp_tx_batched_op_cycles: 300,
             tcp_rx_ack_cycles: 450,
             kstack_tx_segment_cycles: 820,
             kstack_rx_ack_cycles: 3600,

@@ -326,12 +326,12 @@ impl Nic {
                 let mut out = vec![0u8; sg.len() as usize];
                 let mut pos = 0usize;
                 for chunk in &sg.0 {
-                    match chunk {
-                        crate::sg::SgChunk::Bytes(b) => {
+                    match chunk.as_slice() {
+                        Some(b) => {
                             out[pos..pos + b.len()].copy_from_slice(b);
                             pos += b.len();
                         }
-                        crate::sg::SgChunk::Region(r) => pos += r.len as usize,
+                        None => pos += chunk.len() as usize,
                     }
                 }
                 PayloadBytes::Real(out)

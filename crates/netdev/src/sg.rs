@@ -7,12 +7,29 @@
 //! bytes.
 
 use dcn_mem::{HostMem, PhysRegion};
+use std::sync::Arc;
+
+/// Capacity of an [`SgChunk::Inline`] chunk: enough for a TLS record
+/// header (5 B) plus a GCM tag (16 B), the two tiny byte runs the
+/// per-record hot path emits.
+pub const SG_INLINE_CAP: usize = 24;
 
 /// One chunk of payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SgChunk {
     /// Materialized bytes owned by the segment (framing, tags, HTTP).
     Bytes(Vec<u8>),
+    /// Small byte run stored inline — no heap allocation. Used for
+    /// per-record TLS framing so the steady state stays alloc-free.
+    Inline { len: u8, data: [u8; SG_INLINE_CAP] },
+    /// Slice of shared immutable bytes (response headers: built once
+    /// per response, referenced by the initial send and any
+    /// retransmit without copying).
+    Shared {
+        bytes: Arc<[u8]>,
+        off: u32,
+        len: u32,
+    },
     /// Zero-copy reference into DMA-visible memory.
     Region(PhysRegion),
 }
@@ -22,12 +39,28 @@ impl SgChunk {
     pub fn len(&self) -> u64 {
         match self {
             SgChunk::Bytes(b) => b.len() as u64,
+            SgChunk::Inline { len, .. } => u64::from(*len),
+            SgChunk::Shared { len, .. } => u64::from(*len),
             SgChunk::Region(r) => r.len,
         }
     }
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Byte view for every in-memory variant (None for a Region —
+    /// those bytes live in simulated host memory).
+    #[must_use]
+    pub fn as_slice(&self) -> Option<&[u8]> {
+        match self {
+            SgChunk::Bytes(b) => Some(b),
+            SgChunk::Inline { len, data } => Some(&data[..usize::from(*len)]),
+            SgChunk::Shared { bytes, off, len } => {
+                Some(&bytes[*off as usize..(*off + *len) as usize])
+            }
+            SgChunk::Region(_) => None,
+        }
     }
 }
 
@@ -57,6 +90,41 @@ impl SgList {
         }
     }
 
+    /// Push a small byte run without allocating. Panics past
+    /// [`SG_INLINE_CAP`] — callers use this only for record framing,
+    /// whose size is a protocol constant.
+    pub fn push_inline(&mut self, b: &[u8]) {
+        assert!(b.len() <= SG_INLINE_CAP, "inline chunk over capacity");
+        if !b.is_empty() {
+            let mut data = [0u8; SG_INLINE_CAP];
+            data[..b.len()].copy_from_slice(b);
+            self.0.push(SgChunk::Inline {
+                len: b.len() as u8,
+                data,
+            });
+        }
+    }
+
+    /// Push a slice of shared immutable bytes (refcount bump, no
+    /// copy).
+    pub fn push_shared(&mut self, bytes: Arc<[u8]>, off: usize, len: usize) {
+        assert!(off + len <= bytes.len(), "shared slice past end");
+        if len > 0 {
+            self.0.push(SgChunk::Shared {
+                bytes,
+                off: off as u32,
+                len: len as u32,
+            });
+        }
+    }
+
+    #[must_use]
+    pub fn from_shared(bytes: Arc<[u8]>, off: usize, len: usize) -> Self {
+        let mut sg = SgList::empty();
+        sg.push_shared(bytes, off, len);
+        sg
+    }
+
     pub fn push_region(&mut self, r: PhysRegion) {
         if r.len > 0 {
             self.0.push(SgChunk::Region(r));
@@ -80,7 +148,7 @@ impl SgList {
     pub fn regions(&self) -> impl Iterator<Item = PhysRegion> + '_ {
         self.0.iter().filter_map(|c| match c {
             SgChunk::Region(r) => Some(*r),
-            SgChunk::Bytes(_) => None,
+            _ => None,
         })
     }
 
@@ -108,6 +176,34 @@ impl SgList {
                         front.push(SgChunk::Bytes(b));
                         self.0.push(SgChunk::Bytes(tail));
                     }
+                    SgChunk::Inline { len, data } => {
+                        // Two inline chunks — still no allocation.
+                        let cut = need as usize;
+                        let mut tail = [0u8; SG_INLINE_CAP];
+                        let tail_len = usize::from(len) - cut;
+                        tail[..tail_len].copy_from_slice(&data[cut..usize::from(len)]);
+                        front.push(SgChunk::Inline {
+                            len: cut as u8,
+                            data,
+                        });
+                        self.0.push(SgChunk::Inline {
+                            len: tail_len as u8,
+                            data: tail,
+                        });
+                    }
+                    SgChunk::Shared { bytes, off, len } => {
+                        let cut = need as u32;
+                        front.push(SgChunk::Shared {
+                            bytes: Arc::clone(&bytes),
+                            off,
+                            len: cut,
+                        });
+                        self.0.push(SgChunk::Shared {
+                            bytes,
+                            off: off + cut,
+                            len: len - cut,
+                        });
+                    }
                     SgChunk::Region(r) => {
                         front.push(SgChunk::Region(r.slice(0, need)));
                         self.0.push(SgChunk::Region(r.slice(need, r.len - need)));
@@ -126,9 +222,12 @@ impl SgList {
     pub fn materialize(&self, host: &HostMem) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len() as usize);
         for c in &self.0 {
-            match c {
-                SgChunk::Bytes(b) => out.extend_from_slice(b),
-                SgChunk::Region(r) => out.extend_from_slice(&host.read_region(*r)),
+            match c.as_slice() {
+                Some(b) => out.extend_from_slice(b),
+                None => match c {
+                    SgChunk::Region(r) => out.extend_from_slice(&host.read_region(*r)),
+                    _ => unreachable!(),
+                },
             }
         }
         out
@@ -244,5 +343,68 @@ mod tests {
     fn split_past_end_panics() {
         let mut sg = SgList::from_bytes(vec![0; 4]);
         sg.split_front(5);
+    }
+
+    #[test]
+    fn inline_chunks_round_trip_and_split_without_heap_vecs() {
+        let host = HostMem::new();
+        let mut sg = SgList::empty();
+        sg.push_inline(&[0x17, 0x03, 0x03, 0x40, 0x11]);
+        sg.push_region(region(4096, 100));
+        sg.push_inline(&[0xAA; 16]);
+        assert_eq!(sg.len(), 5 + 100 + 16);
+        // Split inside the leading inline chunk: both halves inline.
+        let front = sg.split_front(3);
+        assert!(matches!(front.0[0], SgChunk::Inline { len: 3, .. }));
+        assert!(matches!(sg.0[0], SgChunk::Inline { len: 2, .. }));
+        assert_eq!(front.materialize(&host), vec![0x17, 0x03, 0x03]);
+        assert_eq!(sg.0[0].as_slice(), Some(&[0x40, 0x11][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inline chunk over capacity")]
+    fn inline_overflow_panics() {
+        let mut sg = SgList::empty();
+        sg.push_inline(&[0u8; SG_INLINE_CAP + 1]);
+    }
+
+    #[test]
+    fn shared_chunks_slice_without_copying() {
+        let host = HostMem::new();
+        let header: Arc<[u8]> = (0u8..100).collect::<Vec<u8>>().into();
+        let mut sg = SgList::from_shared(Arc::clone(&header), 0, 100);
+        assert_eq!(sg.len(), 100);
+        let front = sg.split_front(30);
+        // Both halves reference the same backing allocation.
+        let SgChunk::Shared {
+            bytes: f,
+            off: 0,
+            len: 30,
+        } = &front.0[0]
+        else {
+            panic!("{front:?}");
+        };
+        let SgChunk::Shared {
+            bytes: t,
+            off: 30,
+            len: 70,
+        } = &sg.0[0]
+        else {
+            panic!("{sg:?}");
+        };
+        assert!(Arc::ptr_eq(f, t) && Arc::ptr_eq(f, &header));
+        assert_eq!(front.materialize(&host), (0u8..30).collect::<Vec<u8>>());
+        assert_eq!(sg.materialize(&host), (30u8..100).collect::<Vec<u8>>());
+        // A mid-header retransmit slice reads the right window.
+        let retx = SgList::from_shared(header, 10, 5);
+        assert_eq!(retx.materialize(&host), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn empty_inline_and_shared_pushes_are_elided() {
+        let mut sg = SgList::empty();
+        sg.push_inline(&[]);
+        sg.push_shared(Arc::from(vec![1u8, 2].into_boxed_slice()), 1, 0);
+        assert!(sg.0.is_empty());
     }
 }

@@ -156,17 +156,27 @@ impl QueuePair {
     /// head doorbell.
     pub fn cq_consume(&mut self, max: usize) -> Vec<CompletionEntry> {
         let mut out = Vec::new();
-        while out.len() < max {
+        self.cq_consume_into(max, &mut out);
+        out
+    }
+
+    /// Like [`Self::cq_consume`] but appends into a caller-provided
+    /// vector, so a polling loop can reuse one scratch buffer instead
+    /// of allocating per sweep. Returns how many entries were taken.
+    pub fn cq_consume_into(&mut self, max: usize, out: &mut Vec<CompletionEntry>) -> usize {
+        let mut taken = 0;
+        while taken < max {
             let slot = usize::from(self.cq_head_db % self.depth);
             match self.cq[slot].take() {
                 Some(e) => {
                     out.push(e);
+                    taken += 1;
                     self.cq_head_db = (self.cq_head_db + 1) % self.depth;
                 }
                 None => break,
             }
         }
-        out
+        taken
     }
 
     /// Host side: completions waiting without consuming.

@@ -35,6 +35,7 @@
 pub mod export;
 pub mod profile;
 pub mod registry;
+pub mod steady;
 pub mod trace;
 
 pub use profile::{

@@ -1,0 +1,63 @@
+//! Steady-state allocation accounting.
+//!
+//! The hot path of both servers is supposed to be allocation-free
+//! once warm: per-chunk work reuses DMA buffers, inline scatter-
+//! gather chunks, shared response headers, and per-server scratch
+//! vectors whose capacity is established during warm-up. This module
+//! is the audit trail for that claim: every *fallback* allocation on
+//! a hot path — a scratch vector growing past its high-water mark, an
+//! inline chunk overflowing to a heap `Vec` — calls [`note`], and the
+//! tests assert the counter stays flat after warm-up.
+//!
+//! The counter is a thread-local (the simulator is single-threaded
+//! per run; tests run one scenario per thread), costs one `Cell`
+//! bump, and is entirely independent of tracing/profiling, so the
+//! observability perturbation tests hold with it in place.
+
+use std::cell::Cell;
+
+thread_local! {
+    static STEADY_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `n` hot-path fallback allocations.
+pub fn note(n: u64) {
+    STEADY_ALLOCS.with(|c| c.set(c.get() + n));
+}
+
+/// Record a scratch-capacity change: counts only if `after > before`
+/// (i.e. the reuse discipline failed and the vector actually grew).
+pub fn note_growth(before: usize, after: usize) {
+    if after > before {
+        note(1);
+    }
+}
+
+/// Total hot-path fallback allocations on this thread so far.
+#[must_use]
+pub fn count() -> u64 {
+    STEADY_ALLOCS.with(Cell::get)
+}
+
+/// Reset the counter (test setup).
+pub fn reset() {
+    STEADY_ALLOCS.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        reset();
+        assert_eq!(count(), 0);
+        note(2);
+        note_growth(4, 8);
+        note_growth(8, 8); // no growth: not a fallback
+        note_growth(8, 4);
+        assert_eq!(count(), 3);
+        reset();
+        assert_eq!(count(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The per-core control-loop skeleton shared by both stacks.
+//!
+//! Atlas and the kstack model grew the same scaffolding
+//! independently: a per-core overload state fed by resource
+//! snapshots, an admit-or-RST decision at SYN, a 503-while-shedding
+//! gate at request start, live-connection accounting, and (new in
+//! this revision) a per-core I/O tuner. This trait expresses that
+//! skeleton once; a server implements the four storage/snapshot
+//! accessors and inherits the policy methods, so the two stacks can
+//! no longer drift apart on admission semantics.
+
+use crate::autotune::IoTuner;
+use crate::overload::{AdmissionConfig, OverloadState, ResourceSnapshot};
+
+/// Everything the control loop keeps per core.
+#[derive(Debug)]
+pub struct CoreControl {
+    pub overload: OverloadState,
+    pub tuner: IoTuner,
+    pub live_conns: usize,
+}
+
+impl CoreControl {
+    #[must_use]
+    pub fn new(tuner: IoTuner) -> Self {
+        CoreControl {
+            overload: OverloadState::default(),
+            tuner,
+            live_conns: 0,
+        }
+    }
+}
+
+/// The shared control-plane skeleton. Implementors provide storage
+/// and a resource snapshot; the provided methods are the policy.
+pub trait ControlPlane {
+    /// The admission knobs (copied out so provided methods can hold
+    /// `&mut self`).
+    fn admission_cfg(&self) -> AdmissionConfig;
+    fn n_cores(&self) -> usize;
+    /// One fresh observation of the core's resources.
+    fn resource_snapshot(&self, core: usize) -> ResourceSnapshot;
+    fn core_control(&mut self, core: usize) -> &mut CoreControl;
+    fn core_control_ref(&self, core: usize) -> &CoreControl;
+
+    /// Admission decision for one SYN on `core`; refreshes the
+    /// watermark latch from a fresh snapshot as a side effect.
+    fn admit_syn(&mut self, core: usize) -> bool {
+        let cfg = self.admission_cfg();
+        let snap = self.resource_snapshot(core);
+        self.core_control(core).overload.admit(&cfg, snap)
+    }
+
+    /// Should a request arriving now on `core` be deferred with a
+    /// 503? Refreshes the latch first so the decision reflects the
+    /// present, not the last sweep.
+    fn defer_request(&mut self, core: usize) -> bool {
+        let cfg = self.admission_cfg();
+        let snap = self.resource_snapshot(core);
+        let ctl = self.core_control(core);
+        ctl.overload.observe(&cfg, snap);
+        ctl.overload.is_shedding()
+    }
+
+    /// Is any core shedding? (Cluster dispatchers treat the server as
+    /// draining while true.)
+    fn any_shedding(&self) -> bool {
+        (0..self.n_cores()).any(|c| self.core_control_ref(c).overload.is_shedding())
+    }
+
+    fn note_conn_opened(&mut self, core: usize) {
+        self.core_control(core).live_conns += 1;
+    }
+
+    fn note_conn_closed(&mut self, core: usize) {
+        let ctl = self.core_control(core);
+        ctl.live_conns = ctl.live_conns.saturating_sub(1);
+    }
+
+    /// Feed one NVMe completion to the core's I/O tuner.
+    fn observe_io_completion(
+        &mut self,
+        core: usize,
+        latency_ns: u64,
+        inflight: usize,
+        queue_depth: usize,
+    ) {
+        self.core_control(core)
+            .tuner
+            .observe_completion(latency_ns, inflight, queue_depth);
+    }
+
+    /// The core's current fetch watermark (tuned or fixed).
+    fn io_watermark(&self, core: usize) -> u64 {
+        self.core_control_ref(core).tuner.watermark()
+    }
+
+    /// The core's current in-flight read cap (`u32::MAX` = untuned).
+    fn io_inflight_cap(&self, core: usize) -> u32 {
+        self.core_control_ref(core).tuner.inflight_cap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autotune::AutotuneConfig;
+
+    struct Toy {
+        cfg: AdmissionConfig,
+        ctl: Vec<CoreControl>,
+        pool_free: f64,
+    }
+
+    impl ControlPlane for Toy {
+        fn admission_cfg(&self) -> AdmissionConfig {
+            self.cfg
+        }
+        fn n_cores(&self) -> usize {
+            self.ctl.len()
+        }
+        fn resource_snapshot(&self, core: usize) -> ResourceSnapshot {
+            ResourceSnapshot {
+                conns: self.ctl[core].live_conns,
+                pool_free_frac: self.pool_free,
+                sq_occupancy: 0.0,
+            }
+        }
+        fn core_control(&mut self, core: usize) -> &mut CoreControl {
+            &mut self.ctl[core]
+        }
+        fn core_control_ref(&self, core: usize) -> &CoreControl {
+            &self.ctl[core]
+        }
+    }
+
+    fn toy(cores: usize) -> Toy {
+        Toy {
+            cfg: AdmissionConfig::default(),
+            ctl: (0..cores)
+                .map(|c| {
+                    CoreControl::new(IoTuner::new(AutotuneConfig::default(), 14_480, c as u64))
+                })
+                .collect(),
+            pool_free: 0.9,
+        }
+    }
+
+    #[test]
+    fn skeleton_admits_then_sheds_under_pool_pressure() {
+        let mut t = toy(2);
+        assert!(t.admit_syn(0));
+        t.note_conn_opened(0);
+        assert!(!t.defer_request(0));
+        assert!(!t.any_shedding());
+        t.pool_free = 0.0;
+        assert!(!t.admit_syn(0), "pool exhausted: refuse");
+        assert!(t.defer_request(0));
+        assert!(t.any_shedding());
+        // The other core is independent.
+        assert_eq!(t.core_control_ref(1).live_conns, 0);
+    }
+
+    #[test]
+    fn conn_accounting_saturates_at_zero() {
+        let mut t = toy(1);
+        t.note_conn_closed(0);
+        assert_eq!(t.core_control_ref(0).live_conns, 0);
+        t.note_conn_opened(0);
+        t.note_conn_closed(0);
+        assert_eq!(t.core_control_ref(0).live_conns, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dcn-srvcore — shared server control core
+//!
+//! Policy and control-loop machinery common to both stacks (the Atlas
+//! stack in `dcn-atlas` and the FreeBSD/nginx model in `dcn-kstack`):
+//!
+//! * [`overload`] — hysteretic admission control and the degradation
+//!   ladder (moved here from `dcn-atlas` so both stacks share one
+//!   implementation instead of kstack importing Atlas policy).
+//! * [`autotune`] — the online I/O-window autotuner: a deterministic,
+//!   seeded per-core controller that drives the fetch watermark and
+//!   the in-flight read cap from EWMAs of NVMe completion latency and
+//!   submission-queue occupancy, replacing the paper's hand-tuned
+//!   fixed 10×MSS constant.
+//! * [`control`] — the per-core control-loop skeleton (admission at
+//!   SYN, 503-while-shedding, conn open/close accounting, sweep
+//!   cadence) expressed once as a trait with provided methods; each
+//!   server supplies only its resource snapshot and storage.
+
+pub mod autotune;
+pub mod control;
+pub mod overload;
+
+pub use autotune::{AutotuneConfig, IoTuner};
+pub use control::{ControlPlane, CoreControl};
+pub use overload::{AdmissionConfig, LadderLevel, OverloadState, ResourceSnapshot};

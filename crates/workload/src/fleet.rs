@@ -192,7 +192,10 @@ impl ClientFleet {
             .iter()
             .filter_map(|f| {
                 let (_, tcp, payload) = parse_frame(f)?;
-                Some((tcp, payload))
+                // Clients materialize the payload: they verify every
+                // delivered byte, so an owned copy is the product
+                // here, not hot-path waste.
+                Some((tcp, payload.to_vec()))
             })
             .collect();
         let acks = client.conn.on_burst(now, parsed);

@@ -232,7 +232,7 @@ impl MultiFleet {
             .iter()
             .filter_map(|f| {
                 let (_, tcp, payload) = parse_frame(f)?;
-                Some((tcp, payload))
+                Some((tcp, payload.to_vec()))
             })
             .collect();
         let acks = cs.conn.on_burst(now, parsed);

@@ -436,8 +436,17 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     let progress = std::env::var_os("DCN_PROGRESS").is_some();
     let mut n_events: u64 = 0;
     let mut counts = [0u64; 5];
+    let mut steady_armed = false;
     while let Some(ev) = q.pop() {
         let now = ev.at;
+        if !steady_armed && now >= sc.warmup {
+            // The scratch arenas have reached steady-state capacity by
+            // the end of warm-up; anything that grows them after this
+            // point is hot-path heap traffic the zero-alloc tests
+            // assert against (DESIGN.md §12).
+            dcn_obs::steady::reset();
+            steady_armed = true;
+        }
         n_events += 1;
         counts[match &ev.event {
             Ev::Spawn(_) => 0,

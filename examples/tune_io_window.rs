@@ -4,11 +4,18 @@
 //! window where the drive is saturated *and* latency is still far
 //! below WAN RTTs — the fact that makes putting the SSD inside the
 //! TCP ACK clock viable at all (§3). This example runs that profile
-//! and prints the operating-point recommendation.
+//! two ways and checks they agree:
+//!
+//!   1. the paper's offline manual sweep over fixed windows, picking
+//!      the first window with ≥95% of peak throughput under 1 ms, and
+//!   2. the online autotuner (`dcn_srvcore::IoTuner`) that Atlas now
+//!      runs in production, which converges on an operating point from
+//!      completion latency and queue occupancy alone.
 //!
 //!     cargo run --release --example tune_io_window
 
-use dcn_bench::storage::run_diskmap;
+use dcn_bench::storage::{run_diskmap, run_diskmap_autotuned};
+use dcn_srvcore::AutotuneConfig;
 use disk_crypt_net::simcore::Nanos;
 
 fn main() {
@@ -32,13 +39,53 @@ fn main() {
             best = Some((window, lat_us, gbps));
         }
     }
-    match best {
-        Some((w, lat, gbps)) => println!(
-            "\nOperating point: window {w} -> {gbps:.1} Gb/s at {:.2} ms latency\n\
-             (≥95% of peak, latency well under typical WAN RTTs — safe to clock\n\
-             this drive off TCP ACKs, as §3 concludes).",
-            lat / 1000.0
-        ),
-        None => println!("\nNo window met the criteria — check the firmware model."),
+    let Some((w, lat, gbps)) = best else {
+        println!("\nNo window met the criteria — check the firmware model.");
+        return;
+    };
+    println!(
+        "\nManual sweep: window {w} -> {gbps:.1} Gb/s at {:.2} ms latency\n\
+         (≥95% of peak, latency well under typical WAN RTTs — safe to clock\n\
+         this drive off TCP ACKs, as §3 concludes).",
+        lat / 1000.0
+    );
+
+    println!("\nNow letting the online autotuner find its own operating point...");
+    let (auto, point) = run_diskmap_autotuned(
+        1,
+        16 * 1024,
+        AutotuneConfig::on(),
+        Nanos::from_millis(200),
+        42,
+    );
+    println!(
+        "Autotuned: cap {} in-flight, watermark {} B -> {:.1} Gb/s at {:.2} ms\n\
+         (EWMA latency {:.0} µs, {} controller adjustments)",
+        point.inflight_cap,
+        point.watermark,
+        auto.throughput_gbps,
+        auto.mean_latency_us / 1000.0,
+        point.ewma_latency_ns as f64 / 1000.0,
+        point.adjustments
+    );
+
+    // The two methods should land on the same conclusion: drive near
+    // saturation with latency still well under WAN RTTs.
+    let agree = auto.throughput_gbps >= 0.90 * gbps && auto.mean_latency_us < 1000.0;
+    if agree {
+        println!(
+            "\nOK: autotuner within 10% of the manual-sweep operating point\n\
+             ({:.1} vs {gbps:.1} Gb/s) with latency under 1 ms — the online\n\
+             controller reproduces the paper's offline profiling result.",
+            auto.throughput_gbps
+        );
+    } else {
+        println!(
+            "\nMISMATCH: autotuner reached {:.1} Gb/s at {:.2} ms vs manual\n\
+             {gbps:.1} Gb/s — controller and sweep disagree; investigate.",
+            auto.throughput_gbps,
+            auto.mean_latency_us / 1000.0
+        );
+        std::process::exit(1);
     }
 }

@@ -31,6 +31,7 @@ pub use dcn_nvme as nvme;
 pub use dcn_obs as obs;
 pub use dcn_packet as packet;
 pub use dcn_simcore as simcore;
+pub use dcn_srvcore as srvcore;
 pub use dcn_store as store;
 pub use dcn_tcpstack as tcpstack;
 pub use dcn_workload as workload;

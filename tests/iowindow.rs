@@ -1,0 +1,120 @@
+//! I/O-window autotuner and zero-alloc steady-state invariants.
+//!
+//! The online autotuner (DESIGN.md §12) adjusts the fetch watermark
+//! and in-flight cap from completion latency and SQ occupancy. It is
+//! seeded and driven entirely by virtual time, so it must preserve
+//! the simulator's bit-identical-replay property; and with the tuner
+//! disabled the server must behave exactly as it did with the paper's
+//! fixed 10×MSS watermark. Separately, the scratch-arena work asserts
+//! that after warm-up neither server grows any of its per-sweep
+//! buffers (the `dcn_obs::steady` counter, reset by the harness at
+//! the warm-up boundary, stays zero).
+
+use disk_crypt_net::atlas::AtlasConfig;
+use disk_crypt_net::kstack::KstackConfig;
+use disk_crypt_net::mem::Fidelity;
+use disk_crypt_net::srvcore::AutotuneConfig;
+use disk_crypt_net::workload::{run_scenario, Scenario, ServerKind};
+
+fn atlas_cfg(autotune: AutotuneConfig) -> AtlasConfig {
+    AtlasConfig {
+        encrypted: true,
+        fidelity: Fidelity::Modeled,
+        autotune,
+        ..AtlasConfig::default()
+    }
+}
+
+#[test]
+fn autotune_on_replays_bit_identically() {
+    let run = || {
+        let sc = Scenario::smoke(ServerKind::Atlas(atlas_cfg(AutotuneConfig::on())), 24, 9090);
+        format!("{:?}", run_scenario(&sc))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "autotuned runs must replay bit-identically");
+}
+
+#[test]
+fn autotune_off_is_a_pass_through() {
+    // A disabled tuner must reproduce the fixed-watermark behavior
+    // exactly, whatever floor/ceiling it was configured with — the
+    // paper's 10×MSS operating point is untouched unless the tuner is
+    // switched on.
+    let baseline = {
+        let sc = Scenario::smoke(
+            ServerKind::Atlas(atlas_cfg(AutotuneConfig::default())),
+            24,
+            7171,
+        );
+        format!("{:?}", run_scenario(&sc))
+    };
+    let weird_but_off = AutotuneConfig {
+        enabled: false,
+        ..AutotuneConfig::on()
+    };
+    let off = {
+        let sc = Scenario::smoke(ServerKind::Atlas(atlas_cfg(weird_but_off)), 24, 7171);
+        format!("{:?}", run_scenario(&sc))
+    };
+    assert_eq!(
+        baseline, off,
+        "disabled tuner must not perturb the fixed-watermark run"
+    );
+}
+
+#[test]
+fn autotune_raises_modeled_atlas_throughput() {
+    let chunks = |autotune: AutotuneConfig| {
+        let sc = Scenario::smoke(ServerKind::Atlas(atlas_cfg(autotune)), 24, 5151);
+        run_scenario(&sc).disk_reads
+    };
+    let fixed = chunks(AutotuneConfig::default());
+    let tuned = chunks(AutotuneConfig::on());
+    assert!(
+        tuned > fixed,
+        "autotuner should beat the fixed watermark: tuned={tuned} fixed={fixed}"
+    );
+}
+
+#[test]
+fn atlas_steady_state_is_zero_alloc() {
+    let cfg = AtlasConfig {
+        encrypted: true,
+        autotune: AutotuneConfig::on(),
+        ..AtlasConfig::default()
+    };
+    let sc = Scenario::smoke(ServerKind::Atlas(cfg), 16, 4242);
+    let m = run_scenario(&sc);
+    assert!(
+        m.disk_reads >= 1_000,
+        "want ≥1k chunks, got {}",
+        m.disk_reads
+    );
+    assert_eq!(m.verify_failures, 0);
+    assert_eq!(
+        disk_crypt_net::obs::steady::count(),
+        0,
+        "Atlas grew a scratch arena after warm-up"
+    );
+}
+
+#[test]
+fn kstack_steady_state_is_zero_alloc() {
+    let cfg = KstackConfig {
+        encrypted: true,
+        ..KstackConfig::netflix()
+    };
+    let fill = cfg.fill_bytes;
+    let sc = Scenario::smoke(ServerKind::Kstack(cfg), 16, 4343);
+    let m = run_scenario(&sc);
+    let fills = m.disk_read_bytes / fill.max(1);
+    assert!(fills * 8 >= 1_000, "want ≥1k records, got {fills} fills");
+    assert_eq!(m.verify_failures, 0);
+    assert_eq!(
+        disk_crypt_net::obs::steady::count(),
+        0,
+        "kstack grew a scratch arena after warm-up"
+    );
+}
