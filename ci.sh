@@ -38,6 +38,12 @@ cmp "$perf_tmp/run1.json" "$perf_tmp/run2.json" \
 echo "==> I/O-window gate (zero-alloc steady state + autotune determinism/pass-through)"
 cargo test -q --release --test iowindow
 
+echo "==> ABR gate (controller properties, QoE e2e, rung-claim verification, replay)"
+cargo test -q --release --test abr
+
+echo "==> ABR ablation smoke (on-off workload matrix + burst microscope)"
+./target/release/ablation_abr --quick
+
 echo "==> cargo test"
 cargo test -q --workspace
 

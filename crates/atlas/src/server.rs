@@ -1770,6 +1770,17 @@ impl AtlasServer {
             .sum()
     }
 
+    /// Total diskmap buffer-pool capacity across pools (the
+    /// denominator for occupancy readouts).
+    #[must_use]
+    pub fn pool_capacity(&self) -> u32 {
+        self.core_disks
+            .iter()
+            .flat_map(|cd| cd.queues.iter())
+            .map(|q| q.pool_ref().capacity())
+            .sum()
+    }
+
     /// Buffer-pool audit: DMA buffers not free and not accounted for
     /// by any legitimate holder (in-flight fetch, parked record, NIC
     /// TX pipeline, or a scheduled retry — which holds no buffer).

@@ -25,9 +25,9 @@ use dcn_packet::{FlowId, Ipv4Addr, MacAddr};
 use dcn_simcore::{EventQueue, Nanos};
 use dcn_store::Catalog;
 use dcn_tcpstack::Endpoint;
-use dcn_workload::fleet::{ClientTx, FleetConfig};
+use dcn_workload::fleet::{AbrReadout, ClientTx, FleetConfig};
 use dcn_workload::runner::{ObsOptions, ObsReport};
-use dcn_workload::{MultiFleet, RequestNeed};
+use dcn_workload::{MultiFleet, NeedStep, RequestNeed};
 use std::collections::HashMap;
 use std::io::Write as _;
 
@@ -153,6 +153,9 @@ pub struct ClusterMetrics {
     pub per_server: Vec<ServerStats>,
     /// Present when a kill was scheduled inside the run window.
     pub recovery: Option<RecoveryStats>,
+    /// ABR readout (QoE + decision trace), present when the fleet ran
+    /// in adaptive mode.
+    pub abr: Option<AbrReadout>,
 }
 
 enum Ev {
@@ -171,6 +174,9 @@ enum Ev {
     Drain(usize),
     /// Control loop notices `s` is gone: mark down, sever, re-route.
     Detect(usize),
+    /// Client `c`'s ABR playout buffer drained to the resume level:
+    /// draw its next need and dispatch it.
+    AbrWake(usize),
 }
 
 /// Run a cluster scenario and report metrics.
@@ -292,15 +298,14 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
         match ev.event {
             Ev::Spawn(idx) => {
                 fleet.spawn(idx, sc.seed);
-                let need = fleet.next_need(idx);
-                issue_request(
+                issue_next_need(
                     &mut q,
                     &middlebox,
                     &ip_to_server,
                     now,
                     &mut fleet,
                     &mut dispatcher,
-                    need,
+                    idx,
                     &mut unroutable,
                 );
             }
@@ -329,15 +334,14 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
                 if let Some(out) = fleet.on_burst(now, flow, frames) {
                     route_client_tx(&mut q, &middlebox, &ip_to_server, now, out.tx);
                     for _ in 0..out.completed {
-                        let need = fleet.next_need(out.client);
-                        issue_request(
+                        issue_next_need(
                             &mut q,
                             &middlebox,
                             &ip_to_server,
                             now,
                             &mut fleet,
                             &mut dispatcher,
-                            need,
+                            out.client,
                             &mut unroutable,
                         );
                     }
@@ -377,6 +381,18 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
                         &mut unroutable,
                     );
                 }
+            }
+            Ev::AbrWake(c) => {
+                issue_next_need(
+                    &mut q,
+                    &middlebox,
+                    &ip_to_server,
+                    now,
+                    &mut fleet,
+                    &mut dispatcher,
+                    c,
+                    &mut unroutable,
+                );
             }
         }
         if let Some(s) = touched {
@@ -502,8 +518,37 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
         unroutable,
         per_server,
         recovery,
+        abr: fleet.finish_abr(end),
     };
     (metrics, report)
+}
+
+/// Draw client `idx`'s next need (ABR-aware) and dispatch it; an
+/// on-off pause becomes an `AbrWake` at the session's resume time.
+#[allow(clippy::too_many_arguments)]
+fn issue_next_need(
+    q: &mut EventQueue<Ev>,
+    mb: &DelayMiddlebox,
+    ip_to_server: &HashMap<Ipv4Addr, usize>,
+    now: Nanos,
+    fleet: &mut MultiFleet,
+    dispatcher: &mut Dispatcher,
+    idx: usize,
+    unroutable: &mut u64,
+) {
+    match fleet.next_need_at(idx, now) {
+        NeedStep::Need(need) => issue_request(
+            q,
+            mb,
+            ip_to_server,
+            now,
+            fleet,
+            dispatcher,
+            need,
+            unroutable,
+        ),
+        NeedStep::PausedUntil(t) => q.schedule(t, Ev::AbrWake(idx)),
+    }
 }
 
 /// Route a request to the dispatcher's pick; clients with no live

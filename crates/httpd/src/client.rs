@@ -106,7 +106,6 @@ impl RequestDriver {
 
     /// Pick the next file to request.
     pub fn next_file(&mut self) -> FileId {
-        self.requests_issued += 1;
         let f = if let Some(hot) = self.hot_set {
             FileId(self.rng.gen_range(0, hot))
         } else if let Some(z) = &self.zipf {
@@ -114,8 +113,17 @@ impl RequestDriver {
         } else {
             FileId(self.rng.gen_range(0, self.catalog_files))
         };
-        self.current_file = Some(f);
+        self.request_file(f);
         f
+    }
+
+    /// Issue a request for a caller-chosen file — ABR clients pick
+    /// from the manifest instead of the popularity distribution, but
+    /// still need the driver tracking `current_file` for 503 retries
+    /// and resume plans.
+    pub fn request_file(&mut self, f: FileId) {
+        self.requests_issued += 1;
+        self.current_file = Some(f);
     }
 
     /// File of the in-flight request, if any.

@@ -34,6 +34,7 @@
 
 pub mod export;
 pub mod profile;
+pub mod qoe;
 pub mod registry;
 pub mod steady;
 pub mod trace;
@@ -41,5 +42,6 @@ pub mod trace;
 pub use profile::{
     ProfHandle, ProfReport, ProfStage, StageProfiler, StallKind, PROF_STAGE_COUNT, STALL_KIND_COUNT,
 };
+pub use qoe::{PlayoutSim, QoeStats, QoeSummary};
 pub use registry::{CounterId, GaugeId, HistId, Registry};
 pub use trace::{ChunkKind, ChunkTrace, Stage, Tracer, STAGE_COUNT};

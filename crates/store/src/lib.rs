@@ -13,9 +13,16 @@
 //!   cache: page-granular lookup, LRU reclamation, hit/miss
 //!   accounting, and the VM pressure model (§2.1.2) whose reclaim
 //!   cost grows when the working set thrashes.
+//! * [`abr`] — the multi-bitrate (DASH) view of the flat catalog:
+//!   an [`abr::AbrManifest`] carves titles × segments × quality
+//!   rungs out of the chunk namespace, so adaptive clients and the
+//!   stream verifier agree on which chunk range encodes which
+//!   (segment, rung) without any server-side changes.
 
+pub mod abr;
 pub mod bufcache;
 pub mod catalog;
 
+pub use abr::AbrManifest;
 pub use bufcache::{BufferCache, CachePageRef, VmPressure};
 pub use catalog::{Catalog, ChunkLoc, FileId};

@@ -1,13 +1,15 @@
 //! The client fleet: protocol + application + verification.
 
-use crate::verify::{Expected, StreamVerifier, VerifyStats};
+use crate::abr::{AbrConfig, AbrSession, FetchStep};
+use crate::verify::{Expected, RungClaim, StreamVerifier, VerifyStats};
 use dcn_atlas::server::parse_frame;
 use dcn_crypto::RecordCipher;
 use dcn_httpd::{chunk_path, parser::build_get, RequestDriver};
 use dcn_netdev::WireFrame;
+use dcn_obs::qoe::{QoeStats, QoeSummary};
 use dcn_packet::{FlowId, Ipv4Addr, MacAddr, SeqNumber};
 use dcn_simcore::{Nanos, SimRng, TimeBuckets};
-use dcn_store::Catalog;
+use dcn_store::{AbrManifest, Catalog};
 use dcn_tcpstack::{ClientConn, Endpoint};
 use std::collections::{HashMap, VecDeque};
 
@@ -29,6 +31,11 @@ pub struct FleetConfig {
     /// the server's header-read timeout must reap them. Excluded from
     /// `live_fraction`.
     pub slowloris: usize,
+    /// Adaptive-streaming mode: every (non-attacker) client runs an
+    /// [`AbrSession`] over the manifest instead of drawing files from
+    /// the popularity distribution. None = the classic fixed-rate
+    /// weighttp workload.
+    pub abr: Option<AbrConfig>,
 }
 
 impl Default for FleetConfig {
@@ -41,6 +48,7 @@ impl Default for FleetConfig {
             server_ip: Ipv4Addr::new(10, 0, 0, 1),
             server_port: 80,
             slowloris: 0,
+            abr: None,
         }
     }
 }
@@ -67,6 +75,8 @@ struct Client {
     /// Send time of the oldest unanswered request (TTFB clock; spans
     /// 503 retries, so backoff shows up in the latency tail).
     ttfb_pending: Option<Nanos>,
+    /// Adaptive-streaming state (Some iff `FleetConfig::abr`).
+    abr: Option<AbrSession>,
 }
 
 /// The fleet.
@@ -90,6 +100,30 @@ pub struct ClientFleet {
     /// Time-to-first-body-byte samples (request send → first body
     /// byte), including any 503 backoff.
     pub ttfb: Vec<Nanos>,
+    /// The ABR manifest (Some iff `FleetConfig::abr`).
+    manifest: Option<AbrManifest>,
+    /// On-off pauses: (resume time, client index), fired by the
+    /// harness via [`ClientFleet::fire_paced`] — the same deferred-
+    /// wake discipline as `pending_retries`.
+    pending_paced: std::collections::BTreeSet<(Nanos, usize)>,
+    /// Fetches re-started after an on-off pause.
+    pub paced_fired: u64,
+}
+
+/// End-of-run ABR readout: fleet QoE plus the canonical decision
+/// trace (byte-identical across replays of one seed).
+#[derive(Clone, Debug, Default)]
+pub struct AbrReadout {
+    pub qoe: QoeSummary,
+    /// Rung decisions across the fleet.
+    pub decisions: u64,
+    /// Decisions strictly below the previous one (quality drops).
+    pub downswitches: u64,
+    /// Concatenated per-client decision trace lines.
+    pub trace: String,
+    /// On-off "on" edges: fetches resumed after a full-buffer pause
+    /// (how many synchronized bursts the server absorbed).
+    pub paced_wakes: u64,
 }
 
 /// Frames a client wants transmitted (they enter the middlebox).
@@ -101,6 +135,7 @@ pub struct ClientTx {
 impl ClientFleet {
     #[must_use]
     pub fn new(cfg: FleetConfig, catalog: Catalog, _seed: u64) -> Self {
+        let manifest = cfg.abr.map(|_| AbrManifest::eval(&catalog));
         ClientFleet {
             cfg,
             catalog,
@@ -113,6 +148,9 @@ impl ClientFleet {
             pending_retries: std::collections::BTreeSet::new(),
             retries_fired: 0,
             ttfb: Vec::new(),
+            manifest,
+            pending_paced: std::collections::BTreeSet::new(),
+            paced_fired: 0,
         }
     }
 
@@ -155,11 +193,22 @@ impl ClientFleet {
         let mut key = [0u8; 16];
         dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
         let cipher = RecordCipher::new(&key, flow.rss_hash());
+        // ABR clients each stream one seeded-random title; the
+        // verifier carries the manifest so every response is checked
+        // against the claimed rung's chunk range.
+        let abr = self.cfg.abr.map(|acfg| {
+            let m = self.manifest.as_ref().expect("manifest built with abr");
+            AbrSession::new(m.clone(), acfg, rng.gen_range(0, m.n_titles()))
+        });
+        let verifier = match (&self.manifest, self.cfg.verify) {
+            (Some(m), true) => StreamVerifier::with_manifest(m.clone()),
+            _ => StreamVerifier::new(),
+        };
         self.clients.push(Client {
             conn,
             driver,
             cipher,
-            verifier: StreamVerifier::new(),
+            verifier,
             outstanding: VecDeque::new(),
             done_at_least_one: false,
             first_request_sent: false,
@@ -169,6 +218,7 @@ impl ClientFleet {
                 ClientMode::Normal
             },
             ttfb_pending: None,
+            abr,
         });
         self.by_flow.insert(flow, idx);
         ClientTx {
@@ -236,6 +286,14 @@ impl ClientFleet {
             }
             if completed > 0 {
                 client.done_at_least_one = true;
+                // Each completed response is one manifest chunk;
+                // credit the playout buffer before deciding the next
+                // fetch below.
+                if let Some(abr) = client.abr.as_mut() {
+                    for _ in 0..completed {
+                        abr.on_chunk_done(now);
+                    }
+                }
             }
         }
         // Fire follow-up requests: one per completed response, plus
@@ -266,7 +324,7 @@ impl ClientFleet {
         }
         if established {
             for _ in 0..to_send {
-                out.push(self.next_request(now, idx));
+                out.extend(self.next_request(now, idx));
             }
         }
         Some(ClientTx {
@@ -275,19 +333,45 @@ impl ClientFleet {
         })
     }
 
-    fn next_request(&mut self, now: Nanos, idx: usize) -> WireFrame {
+    /// Issue the client's next request. None when its ABR session is
+    /// in the "off" phase — the resume is parked in `pending_paced`
+    /// and fired by the harness.
+    fn next_request(&mut self, now: Nanos, idx: usize) -> Option<WireFrame> {
         let verify = self.cfg.verify;
         let client = &mut self.clients[idx];
-        let file = client.driver.next_file();
+        let (file, claim) = if let Some(abr) = client.abr.as_mut() {
+            abr.note_first_request(now);
+            match abr.next_fetch(now) {
+                FetchStep::Chunk(f) => {
+                    client.driver.request_file(f);
+                    let claim = abr.current_claim().map(|(title, seg, rung)| RungClaim {
+                        title,
+                        seg,
+                        rung,
+                    });
+                    (f, claim)
+                }
+                FetchStep::PausedUntil(at) => {
+                    self.pending_paced.insert((at, idx));
+                    return None;
+                }
+            }
+        } else {
+            (client.driver.next_file(), None)
+        };
         if verify {
-            client.outstanding.push_back((file, 0));
+            client.outstanding.push_back(Expected {
+                file,
+                base: 0,
+                claim,
+            });
         }
         if client.ttfb_pending.is_none() {
             client.ttfb_pending = Some(now);
         }
         let req = build_get(&chunk_path(file), "cdn.test");
         let f = client.conn.send(req);
-        frame_of(f.headers, f.payload)
+        Some(frame_of(f.headers, f.payload))
     }
 
     /// Earliest pending Retry-After deadline (for harness scheduling).
@@ -327,6 +411,60 @@ impl ClientFleet {
             });
         }
         txs
+    }
+
+    /// Earliest on-off resume deadline (for harness scheduling).
+    #[must_use]
+    pub fn next_paced_at(&self) -> Option<Nanos> {
+        self.pending_paced.iter().next().map(|&(at, _)| at)
+    }
+
+    /// Resume fetching for ABR clients whose playout buffer has
+    /// drained to the resume level. Returns one ClientTx per resumed
+    /// client — the "on" edge of the on-off burst.
+    pub fn fire_paced(&mut self, now: Nanos) -> Vec<ClientTx> {
+        let mut txs = Vec::new();
+        while let Some(&(at, idx)) = self.pending_paced.iter().next() {
+            if at > now {
+                break;
+            }
+            self.pending_paced.remove(&(at, idx));
+            if !matches!(
+                self.clients[idx].conn.state,
+                dcn_tcpstack::client::ClientState::Established
+            ) {
+                continue; // reset meanwhile; the session is dead
+            }
+            if let Some(frame) = self.next_request(now, idx) {
+                self.paced_fired += 1;
+                let flow = self.clients[idx].conn.flow();
+                txs.push(ClientTx {
+                    flow,
+                    frames: vec![frame],
+                });
+            }
+        }
+        txs
+    }
+
+    /// Close every ABR session and aggregate the fleet's QoE plus the
+    /// canonical decision trace. None for fixed-rate fleets.
+    pub fn finish_abr(&mut self, now: Nanos) -> Option<AbrReadout> {
+        self.cfg.abr?;
+        let mut out = AbrReadout::default();
+        let mut stats: Vec<QoeStats> = Vec::new();
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            let Some(abr) = c.abr.take() else { continue };
+            out.decisions += abr.decisions.len() as u64;
+            out.downswitches += abr.downswitches();
+            for d in &abr.decisions {
+                out.trace.push_str(&d.trace_line(i));
+            }
+            stats.push(abr.finish(now));
+        }
+        out.qoe = QoeSummary::aggregate(&stats, now);
+        out.paced_wakes = self.paced_fired;
+        Some(out)
     }
 
     /// Clients whose connection the server reset (refused SYNs plus
@@ -442,7 +580,7 @@ mod tests {
         // catalog oracle: the verifier must flag it.
         let cat = catalog();
         let mut outstanding: VecDeque<Expected> = VecDeque::new();
-        outstanding.push_back((FileId(3), 0));
+        outstanding.push_back(Expected::plain(FileId(3), 0));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();
@@ -460,7 +598,7 @@ mod tests {
     fn verifier_accepts_oracle_plaintext() {
         let cat = catalog();
         let mut outstanding: VecDeque<Expected> = VecDeque::new();
-        outstanding.push_back((FileId(3), 0));
+        outstanding.push_back(Expected::plain(FileId(3), 0));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();

@@ -13,15 +13,17 @@
 //! byte-for-byte against the catalog's PRF oracle. A stack that
 //! corrupts, reorders, or mis-encrypts anything fails the run.
 
+pub mod abr;
 pub mod fleet;
 pub mod multi;
 pub mod runner;
 pub mod verify;
 
-pub use fleet::{ClientFleet, FleetConfig};
-pub use multi::{BurstOut, FailoverPlan, MultiFleet, RequestNeed};
+pub use abr::{AbrConfig, AbrDecision, AbrPolicy, AbrSession, FetchStep};
+pub use fleet::{AbrReadout, ClientFleet, FleetConfig};
+pub use multi::{BurstOut, FailoverPlan, MultiFleet, NeedStep, RequestNeed};
 pub use runner::{
-    run_scenario, run_scenario_observed, FaultMetrics, ObsOptions, ObsReport, RunMetrics, Scenario,
-    ServerKind, VideoServer,
+    run_scenario, run_scenario_observed, FaultMetrics, ObsOptions, ObsReport, PoolOcc, RunMetrics,
+    Scenario, ServerKind, VideoServer,
 };
-pub use verify::{StreamVerifier, VerifyStats};
+pub use verify::{Expected, RungClaim, StreamVerifier, VerifyStats};

@@ -15,7 +15,8 @@
 //! responses are checked against the catalog oracle at their absolute
 //! file offsets.
 
-use crate::verify::{Expected, StreamVerifier, VerifyStats};
+use crate::abr::{AbrSession, FetchStep};
+use crate::verify::{Expected, RungClaim, StreamVerifier, VerifyStats};
 use dcn_atlas::server::parse_frame;
 use dcn_crypto::RecordCipher;
 use dcn_httpd::{
@@ -24,13 +25,14 @@ use dcn_httpd::{
     RequestDriver,
 };
 use dcn_netdev::WireFrame;
+use dcn_obs::qoe::{QoeStats, QoeSummary};
 use dcn_packet::{FlowId, Ipv4Addr, MacAddr, SeqNumber};
 use dcn_simcore::{Nanos, SimRng, TimeBuckets};
-use dcn_store::{Catalog, FileId};
+use dcn_store::{AbrManifest, Catalog, FileId};
 use dcn_tcpstack::{client::ClientState, ClientConn, Endpoint};
 use std::collections::{HashMap, VecDeque};
 
-use crate::fleet::{ClientTx, FleetConfig};
+use crate::fleet::{AbrReadout, ClientTx, FleetConfig};
 
 /// "Client `client` wants `file`, starting at plaintext offset
 /// `base`" — handed to the dispatcher, which picks the server.
@@ -46,6 +48,15 @@ pub struct RequestNeed {
 /// ready to reconnect elsewhere.
 pub type FailoverPlan = RequestNeed;
 
+/// What an ABR-aware need draw produced: either a request to
+/// dispatch, or "the playout buffer is full — ask again at `t`" (the
+/// caller schedules a wake; see `dcn-cluster`'s `Ev::AbrWake`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NeedStep {
+    Need(RequestNeed),
+    PausedUntil(Nanos),
+}
+
 /// One connection to one server.
 struct ConnState {
     conn: ClientConn,
@@ -53,7 +64,7 @@ struct ConnState {
     verifier: StreamVerifier,
     outstanding: VecDeque<Expected>,
     /// Request waiting for the handshake to complete.
-    pending: Option<(FileId, u64)>,
+    pending: Option<Expected>,
 }
 
 struct MClient {
@@ -67,6 +78,8 @@ struct MClient {
     /// reuses a flow id.
     next_port: u16,
     done_at_least_one: bool,
+    /// Adaptive-streaming state (Some iff `FleetConfig::abr`).
+    abr: Option<AbrSession>,
 }
 
 /// What `on_burst` produced: reply frames plus how many responses
@@ -95,18 +108,25 @@ pub struct MultiFleet {
     /// Failovers that resumed mid-body (base > 0) rather than
     /// restarting the chunk.
     pub resumed_responses: u64,
+    /// On-off pauses entered by ABR clients (the cluster harness
+    /// schedules the matching resume wake).
+    paced: u64,
     /// Plaintext bytes the range resumes did *not* re-download.
     pub resumed_bytes_saved: u64,
+    /// The ABR manifest (Some iff `FleetConfig::abr`).
+    manifest: Option<AbrManifest>,
 }
 
 impl MultiFleet {
     #[must_use]
     pub fn new(cfg: FleetConfig, catalog: Catalog, endpoints: Vec<Endpoint>) -> Self {
         assert!(!endpoints.is_empty(), "need at least one server");
+        let manifest = cfg.abr.map(|_| AbrManifest::eval(&catalog));
         MultiFleet {
             cfg,
             catalog,
             endpoints,
+            manifest,
             clients: Vec::new(),
             by_flow: HashMap::new(),
             goodput: TimeBuckets::new(Nanos::from_millis(1)),
@@ -116,6 +136,7 @@ impl MultiFleet {
             failovers: 0,
             resumed_responses: 0,
             resumed_bytes_saved: 0,
+            paced: 0,
         }
     }
 
@@ -139,6 +160,10 @@ impl MultiFleet {
         } else {
             RequestDriver::uncachable(self.catalog.n_files(), rng.fork(1))
         };
+        let abr = self.cfg.abr.map(|acfg| {
+            let m = self.manifest.as_ref().expect("manifest built with abr");
+            AbrSession::new(m.clone(), acfg, rng.gen_range(0, m.n_titles()))
+        });
         self.clients.push(MClient {
             driver,
             rng,
@@ -146,6 +171,7 @@ impl MultiFleet {
             current: None,
             next_port: 10_000,
             done_at_least_one: false,
+            abr,
         });
     }
 
@@ -156,6 +182,31 @@ impl MultiFleet {
             client,
             file: self.clients[client].driver.next_file(),
             base: 0,
+        }
+    }
+
+    /// ABR-aware need draw: the client's session picks the next chunk
+    /// (possibly deciding a new segment's rung), or reports its
+    /// on-off pause. Falls back to `next_need` for fixed workloads.
+    pub fn next_need_at(&mut self, client: usize, now: Nanos) -> NeedStep {
+        let c = &mut self.clients[client];
+        let Some(abr) = c.abr.as_mut() else {
+            return NeedStep::Need(self.next_need(client));
+        };
+        abr.note_first_request(now);
+        match abr.next_fetch(now) {
+            FetchStep::Chunk(file) => {
+                c.driver.request_file(file);
+                NeedStep::Need(RequestNeed {
+                    client,
+                    file,
+                    base: 0,
+                })
+            }
+            FetchStep::PausedUntil(t) => {
+                self.paced = self.paced.saturating_add(1);
+                NeedStep::PausedUntil(t)
+            }
         }
     }
 
@@ -175,10 +226,22 @@ impl MultiFleet {
         let idx = need.client;
         let client = &mut self.clients[idx];
         client.current = Some((server, need.file, need.base));
+        // ABR clients attach their (title, seg, rung) claim so the
+        // verifier catches wrong-rung deliveries from any replica.
+        let claim = client
+            .abr
+            .as_ref()
+            .and_then(|a| a.current_claim())
+            .map(|(title, seg, rung)| RungClaim { title, seg, rung });
+        let expected = Expected {
+            file: need.file,
+            base: need.base,
+            claim,
+        };
         if let Some(cs) = client.conns[server].as_mut() {
             if matches!(cs.conn.state, ClientState::Established) {
                 if verify {
-                    cs.outstanding.push_back((need.file, need.base));
+                    cs.outstanding.push_back(expected);
                 }
                 let f = cs.conn.send(get_bytes(need));
                 return ClientTx {
@@ -186,7 +249,7 @@ impl MultiFleet {
                     frames: vec![frame_of(f.headers, f.payload)],
                 };
             }
-            cs.pending = Some((need.file, need.base));
+            cs.pending = Some(expected);
             return ClientTx {
                 flow: cs.conn.flow(),
                 frames: Vec::new(),
@@ -203,12 +266,16 @@ impl MultiFleet {
         let mut key = [0u8; 16];
         dcn_simcore::prf_bytes(u64::from(flow.rss_hash()) ^ 0x6B65_7931, 0, &mut key);
         let cipher = RecordCipher::new(&key, flow.rss_hash());
+        let verifier = match (&self.manifest, verify) {
+            (Some(m), true) => StreamVerifier::with_manifest(m.clone()),
+            _ => StreamVerifier::new(),
+        };
         client.conns[server] = Some(ConnState {
             conn,
             cipher,
-            verifier: StreamVerifier::new(),
+            verifier,
             outstanding: VecDeque::new(),
-            pending: Some((need.file, need.base)),
+            pending: Some(expected),
         });
         self.by_flow.insert(flow, (idx, server));
         ClientTx {
@@ -262,18 +329,24 @@ impl MultiFleet {
             if completed > 0 {
                 client.done_at_least_one = true;
                 client.current = None;
+                // Each completed response is one manifest chunk.
+                if let Some(abr) = client.abr.as_mut() {
+                    for _ in 0..completed {
+                        abr.on_chunk_done(now);
+                    }
+                }
             }
         }
         // Handshake completed → release the parked request.
         if matches!(cs.conn.state, ClientState::Established) {
-            if let Some((file, base)) = cs.pending.take() {
+            if let Some(exp) = cs.pending.take() {
                 if self.cfg.verify {
-                    cs.outstanding.push_back((file, base));
+                    cs.outstanding.push_back(exp);
                 }
                 let need = RequestNeed {
                     client: idx,
-                    file,
-                    base,
+                    file: exp.file,
+                    base: exp.base,
                 };
                 let f = cs.conn.send(get_bytes(need));
                 out.push(frame_of(f.headers, f.payload));
@@ -322,6 +395,26 @@ impl MultiFleet {
             });
         }
         plans
+    }
+
+    /// Close every ABR session and aggregate the fleet's QoE plus the
+    /// canonical decision trace. None for fixed-rate fleets.
+    pub fn finish_abr(&mut self, now: Nanos) -> Option<AbrReadout> {
+        self.cfg.abr?;
+        let mut out = AbrReadout::default();
+        let mut stats: Vec<QoeStats> = Vec::new();
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            let Some(abr) = c.abr.take() else { continue };
+            out.decisions += abr.decisions.len() as u64;
+            out.downswitches += abr.downswitches();
+            for d in &abr.decisions {
+                out.trace.push_str(&d.trace_line(i));
+            }
+            stats.push(abr.finish(now));
+        }
+        out.qoe = QoeSummary::aggregate(&stats, now);
+        out.paced_wakes = self.paced;
+        Some(out)
     }
 
     /// Fraction of clients that completed at least one response.

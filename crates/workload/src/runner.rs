@@ -77,6 +77,11 @@ pub trait VideoServer {
     fn leaked_buffers(&self) -> i64 {
         0
     }
+    /// Instantaneous DMA buffer-pool state as (free, capacity). None
+    /// for servers without a pool — the harness stops sampling.
+    fn pool_snapshot(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 impl VideoServer for AtlasServer {
@@ -128,6 +133,12 @@ impl VideoServer for AtlasServer {
     }
     fn leaked_buffers(&self) -> i64 {
         AtlasServer::leaked_buffers(self)
+    }
+    fn pool_snapshot(&self) -> Option<(u64, u64)> {
+        Some((
+            u64::from(self.free_buffers()),
+            u64::from(self.pool_capacity()),
+        ))
     }
 }
 
@@ -310,6 +321,20 @@ pub struct OverloadMetrics {
     pub ttfb_p99_ms: f64,
 }
 
+/// DMA buffer-pool occupancy over the measurement window, sampled on
+/// a fixed virtual-time cadence. The `ablation_abr` readout: on-off
+/// ABR bursts show up as deeper minima and higher variance than the
+/// fixed-rate workload's steady drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolOcc {
+    pub samples: u64,
+    pub capacity: u64,
+    /// Fewest free buffers seen at any sample point.
+    pub free_min: u64,
+    pub free_mean: f64,
+    pub free_stddev: f64,
+}
+
 /// Everything the paper's panels need from one run.
 #[derive(Clone, Debug)]
 pub struct RunMetrics {
@@ -340,7 +365,15 @@ pub struct RunMetrics {
     /// Stage-profiler snapshot, present when the server config set
     /// `profile: true` (the `perf_baseline` gate reads this).
     pub perf: Option<dcn_obs::ProfReport>,
+    /// ABR readout (QoE + decision trace), present when the fleet ran
+    /// in adaptive mode.
+    pub abr: Option<crate::fleet::AbrReadout>,
+    /// DMA-pool occupancy over the measurement window (Atlas only).
+    pub pool_occ: Option<PoolOcc>,
 }
+
+/// DMA-pool occupancy sampling cadence (virtual time).
+const POOL_SAMPLE_EVERY: Nanos = Nanos(500_000);
 
 enum Ev {
     /// Ramp-up: spawn client `idx`.
@@ -354,6 +387,12 @@ enum Ev {
     ServerWake,
     /// A client's Retry-After backoff expired: re-send shed requests.
     RetryWake,
+    /// An ABR client's playout buffer drained to the resume level:
+    /// the "on" edge of its on-off cycle.
+    AbrWake,
+    /// Read the DMA buffer-pool level (observation only — never
+    /// mutates simulation state).
+    PoolSample,
 }
 
 /// Run one scenario to completion and report metrics.
@@ -433,9 +472,17 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
 
     let mut next_wake = Nanos::MAX;
     let mut next_retry_wake = Nanos::MAX;
+    let mut next_paced_wake = Nanos::MAX;
+    // DMA-pool occupancy accumulators (post-warmup samples only).
+    q.schedule(POOL_SAMPLE_EVERY, Ev::PoolSample);
+    let mut pool_samples: u64 = 0;
+    let mut pool_min = u64::MAX;
+    let mut pool_sum = 0.0;
+    let mut pool_sumsq = 0.0;
+    let mut pool_cap: u64 = 0;
     let progress = std::env::var_os("DCN_PROGRESS").is_some();
     let mut n_events: u64 = 0;
-    let mut counts = [0u64; 5];
+    let mut counts = [0u64; 7];
     let mut steady_armed = false;
     while let Some(ev) = q.pop() {
         let now = ev.at;
@@ -454,6 +501,8 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
             Ev::ClientRx(..) => 2,
             Ev::ServerWake => 3,
             Ev::RetryWake => 4,
+            Ev::AbrWake => 5,
+            Ev::PoolSample => 6,
         }] += 1;
         if progress && n_events.is_multiple_of(1_000_000) {
             eprintln!(
@@ -532,6 +581,29 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
                     route_client_tx(&mut q, &middlebox, now, tx);
                 }
             }
+            Ev::AbrWake => {
+                if now >= next_paced_wake {
+                    next_paced_wake = Nanos::MAX;
+                }
+                for tx in fleet.fire_paced(now) {
+                    route_client_tx(&mut q, &middlebox, now, tx);
+                }
+            }
+            Ev::PoolSample => {
+                if let Some((free, cap)) = server.pool_snapshot() {
+                    if now >= sc.warmup {
+                        pool_samples += 1;
+                        pool_min = pool_min.min(free);
+                        pool_sum += free as f64;
+                        pool_sumsq += free as f64 * free as f64;
+                        pool_cap = cap;
+                    }
+                    let at = now + POOL_SAMPLE_EVERY;
+                    if at <= sc.duration {
+                        q.schedule(at, Ev::PoolSample);
+                    }
+                }
+            }
         }
         // Keep exactly one pending wake at the server's next deadline.
         if let Some(at) = server.poll_at() {
@@ -549,6 +621,14 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
                 next_retry_wake = at;
             }
         }
+        // …and for ABR on-off resumes.
+        if let Some(at) = fleet.next_paced_at() {
+            let at = at.max(q.now());
+            if at < next_paced_wake {
+                q.schedule(at, Ev::AbrWake);
+                next_paced_wake = at;
+            }
+        }
     }
 
     if std::env::var_os("DCN_DEBUG").is_some() {
@@ -556,6 +636,25 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
     }
     let end = sc.duration;
     let mut report = ObsReport::default();
+    // Close ABR sessions first so the fleet's QoE lands in the
+    // registry (and the final CSV sample) alongside goodput/TTFB.
+    let abr_readout = fleet.finish_abr(end);
+    if let (Some(a), Some(reg)) = (abr_readout.as_ref(), server.registry_mut()) {
+        for (name, v) in [
+            ("qoe.sessions", a.qoe.sessions as f64),
+            ("qoe.started", a.qoe.started as f64),
+            ("qoe.startup_ms_mean", a.qoe.startup_ms_mean),
+            ("qoe.startup_ms_max", a.qoe.startup_ms_max),
+            ("qoe.rebuffer_ratio", a.qoe.rebuffer_ratio),
+            ("qoe.rebuffer_events", a.qoe.rebuffer_events as f64),
+            ("qoe.switches", a.qoe.switches as f64),
+            ("qoe.downswitches", a.downswitches as f64),
+            ("qoe.avg_bitrate_mbps", a.qoe.avg_bitrate_mbps),
+        ] {
+            let g = reg.gauge(name);
+            reg.set(g, v);
+        }
+    }
     // Final publish: gauges (including fault counters) reflect
     // end-of-run state both for the last CSV sample and for the
     // registry reads below.
@@ -647,6 +746,18 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         faults,
         overload,
         perf: server.prof_report(),
+        abr: abr_readout,
+        pool_occ: (pool_samples > 0).then(|| {
+            let mean = pool_sum / pool_samples as f64;
+            let var = (pool_sumsq / pool_samples as f64 - mean * mean).max(0.0);
+            PoolOcc {
+                samples: pool_samples,
+                capacity: pool_cap,
+                free_min: pool_min,
+                free_mean: mean,
+                free_stddev: var.sqrt(),
+            }
+        }),
     };
     (metrics, report)
 }

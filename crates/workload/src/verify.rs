@@ -15,7 +15,7 @@
 
 use dcn_crypto::{RecordCipher, GCM_TAG_LEN, RECORD_HEADER_LEN, RECORD_PAYLOAD_MAX};
 use dcn_httpd::response::scan_response_head;
-use dcn_store::{Catalog, FileId};
+use dcn_store::{AbrManifest, Catalog, FileId};
 use std::collections::VecDeque;
 
 /// Outcome counters of stream verification.
@@ -23,12 +23,55 @@ use std::collections::VecDeque;
 pub struct VerifyStats {
     pub verified_bytes: u64,
     pub failures: u64,
+    /// Responses whose delivered chunk was not part of the manifest
+    /// range the ABR client claimed to be fetching (wrong-rung
+    /// delivery). Counted into `failures` as well.
+    pub rung_mismatches: u64,
 }
 
-/// One expected response: the file and the plaintext file offset its
+/// An ABR client's statement of intent: "this request is segment
+/// `seg` of `title` at quality `rung`". Checked against the manifest
+/// when the response body starts — a server (or dispatcher) handing
+/// back a chunk outside that rung's range is a verification failure
+/// even though the bytes themselves match the catalog oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RungClaim {
+    pub title: u64,
+    pub seg: u32,
+    pub rung: usize,
+}
+
+/// One expected response: the file, the plaintext file offset its
 /// body starts at (0 for full responses, the resume base for ranged
-/// ones).
-pub type Expected = (FileId, u64);
+/// ones), and — for ABR clients — the manifest claim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expected {
+    pub file: FileId,
+    pub base: u64,
+    pub claim: Option<RungClaim>,
+}
+
+impl Expected {
+    /// A fixed-workload expectation (no manifest claim).
+    #[must_use]
+    pub fn plain(file: FileId, base: u64) -> Self {
+        Expected {
+            file,
+            base,
+            claim: None,
+        }
+    }
+
+    /// An ABR expectation carrying the (title, seg, rung) claim.
+    #[must_use]
+    pub fn claimed(file: FileId, base: u64, claim: RungClaim) -> Self {
+        Expected {
+            file,
+            base,
+            claim: Some(claim),
+        }
+    }
+}
 
 /// Incremental per-connection verifier.
 pub struct StreamVerifier {
@@ -36,6 +79,8 @@ pub struct StreamVerifier {
     /// Current response state: (file, base file offset,
     /// response-relative plaintext offset, encrypted?).
     body: Option<(FileId, u64, u64, bool)>,
+    /// ABR manifest for rung-claim checks (None for fixed workloads).
+    manifest: Option<AbrManifest>,
 }
 
 impl Default for StreamVerifier {
@@ -50,6 +95,17 @@ impl StreamVerifier {
         StreamVerifier {
             buf: Vec::new(),
             body: None,
+            manifest: None,
+        }
+    }
+
+    /// A verifier that additionally checks each response's delivered
+    /// chunk against the manifest range of the client's rung claim.
+    #[must_use]
+    pub fn with_manifest(manifest: AbrManifest) -> Self {
+        StreamVerifier {
+            manifest: Some(manifest),
+            ..Self::new()
         }
     }
 
@@ -83,8 +139,14 @@ impl StreamVerifier {
                         outstanding.pop_front();
                         continue;
                     }
-                    let (file, base) = outstanding.front().copied().expect("response w/o request");
-                    self.body = Some((file, base, 0, head.encrypted));
+                    let exp = outstanding.front().copied().expect("response w/o request");
+                    if let (Some(m), Some(c)) = (self.manifest.as_ref(), exp.claim) {
+                        if !m.in_rung(exp.file, c.title, c.seg, c.rung) {
+                            stats.failures += 1;
+                            stats.rung_mismatches += 1;
+                        }
+                    }
+                    self.body = Some((exp.file, exp.base, 0, head.encrypted));
                 }
                 Some((file, base, resp_off, encrypted)) => {
                     let file_size = catalog.file_size();
@@ -157,7 +219,7 @@ mod tests {
         let base = 4 * RECORD_PAYLOAD_MAX as u64;
         let file_size = cat.file_size();
         let mut outstanding: VecDeque<Expected> = VecDeque::new();
-        outstanding.push_back((FileId(11), base));
+        outstanding.push_back(Expected::plain(FileId(11), base));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();
@@ -185,7 +247,7 @@ mod tests {
         let base = 2 * RECORD_PAYLOAD_MAX as u64;
         let file_size = cat.file_size();
         let mut outstanding: VecDeque<Expected> = VecDeque::new();
-        outstanding.push_back((FileId(5), base));
+        outstanding.push_back(Expected::plain(FileId(5), base));
         let cipher = RecordCipher::new(b"0123456789abcdef", 1);
         let mut v = StreamVerifier::new();
         let mut stats = VerifyStats::default();
@@ -203,5 +265,116 @@ mod tests {
         stream.extend_from_slice(&body);
         v.push(&stream, &mut outstanding, &cat, &cipher, &mut stats);
         assert!(stats.failures > 0);
+    }
+
+    fn manifest(cat: &Catalog) -> AbrManifest {
+        AbrManifest::carve(cat, &[1, 2, 4], 8, dcn_simcore::Nanos::from_millis(50))
+    }
+
+    /// Build a full oracle-correct response stream for `file`.
+    fn ok_stream(cat: &Catalog, file: FileId) -> Vec<u8> {
+        let mut stream = response_header(
+            ResponseInfo::Ok {
+                body_len: cat.file_size(),
+            },
+            false,
+        );
+        let mut body = vec![0u8; cat.file_size() as usize];
+        cat.expected(file, 0, &mut body);
+        stream.extend_from_slice(&body);
+        stream
+    }
+
+    #[test]
+    fn matching_rung_claim_verifies_clean() {
+        let cat = catalog();
+        let m = manifest(&cat);
+        let (start, _) = m.rung_range(1, 2, 1);
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back(Expected::claimed(
+            start,
+            0,
+            RungClaim {
+                title: 1,
+                seg: 2,
+                rung: 1,
+            },
+        ));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::with_manifest(m);
+        let mut stats = VerifyStats::default();
+        v.push(
+            &ok_stream(&cat, start),
+            &mut outstanding,
+            &cat,
+            &cipher,
+            &mut stats,
+        );
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.rung_mismatches, 0);
+        assert_eq!(stats.verified_bytes, cat.file_size());
+    }
+
+    #[test]
+    fn wrong_rung_claim_is_a_verification_failure() {
+        // The delivered chunk is oracle-correct — but it belongs to
+        // rung 0, while the client claimed rung 2. The manifest check
+        // must fire even though every body byte matches.
+        let cat = catalog();
+        let m = manifest(&cat);
+        let (rung0_chunk, _) = m.rung_range(1, 2, 0);
+        assert!(!m.in_rung(rung0_chunk, 1, 2, 2));
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back(Expected::claimed(
+            rung0_chunk,
+            0,
+            RungClaim {
+                title: 1,
+                seg: 2,
+                rung: 2,
+            },
+        ));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::with_manifest(m);
+        let mut stats = VerifyStats::default();
+        v.push(
+            &ok_stream(&cat, rung0_chunk),
+            &mut outstanding,
+            &cat,
+            &cipher,
+            &mut stats,
+        );
+        assert_eq!(stats.rung_mismatches, 1);
+        assert!(stats.failures >= 1, "wrong rung counts as a failure");
+    }
+
+    #[test]
+    fn claims_are_ignored_without_a_manifest() {
+        // A plain verifier can't check claims; bodies still verify.
+        let cat = catalog();
+        let m = manifest(&cat);
+        let (chunk, _) = m.rung_range(0, 0, 0);
+        let mut outstanding: VecDeque<Expected> = VecDeque::new();
+        outstanding.push_back(Expected::claimed(
+            chunk,
+            0,
+            RungClaim {
+                title: 3,
+                seg: 1,
+                rung: 2,
+            },
+        ));
+        let cipher = RecordCipher::new(b"0123456789abcdef", 1);
+        let mut v = StreamVerifier::new();
+        let mut stats = VerifyStats::default();
+        v.push(
+            &ok_stream(&cat, chunk),
+            &mut outstanding,
+            &cat,
+            &cipher,
+            &mut stats,
+        );
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.rung_mismatches, 0);
     }
 }

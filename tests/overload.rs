@@ -231,3 +231,45 @@ fn overload_runs_replay_bit_identically() {
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
     assert!(a.overload.shed_new > 0 && a.overload.reaped_idle > 0);
 }
+
+#[test]
+fn abr_on_off_bursts_do_not_trip_admission_at_sub_capacity() {
+    // DASH's on-off cadence is the overload ladder's nightmare
+    // workload: every client pauses at a full playout buffer and a
+    // shared resume threshold re-synchronizes their "on" edges into
+    // fleet-wide request bursts. At sub-capacity (default admission
+    // caps, a modest fleet on the fixed lowest rung) none of that
+    // burstiness may register as overload: no SYN shed, no 503s, no
+    // slow-client aborts — and the burst edges must not leak a single
+    // DMA buffer.
+    use disk_crypt_net::workload::AbrConfig;
+    let cfg = AtlasConfig {
+        encrypted: true,
+        ..AtlasConfig::default()
+    };
+    let mut sc = Scenario::smoke(ServerKind::Atlas(cfg), 24, 67);
+    sc.fleet.abr = Some(AbrConfig::fixed(0));
+    // Long enough for several full on-off cycles (fill to 250 ms,
+    // drain to 150 ms, repeat).
+    sc.duration = Nanos::from_millis(2000);
+    let m = run_scenario(&sc);
+    eprintln!(
+        "{:?} paced={:?}",
+        m.overload,
+        m.abr.as_ref().map(|a| a.paced_wakes)
+    );
+    assert_overload_invariants(&m);
+    let abr = m.abr.as_ref().expect("adaptive fleet");
+    assert!(
+        abr.paced_wakes >= 24,
+        "the on-off cadence never engaged: {abr:?}"
+    );
+    assert_eq!(m.overload.shed_new, 0, "sub-capacity bursts must admit");
+    assert_eq!(m.overload.retry_503, 0, "…and never hit the 503 ladder");
+    assert_eq!(
+        m.overload.aborted_slow, 0,
+        "paused clients are not slow readers"
+    );
+    assert_eq!(abr.qoe.sessions, 24);
+    assert_eq!(abr.qoe.started, 24, "every client reaches steady playback");
+}
