@@ -44,6 +44,16 @@ cargo test -q --release --test abr
 echo "==> ABR ablation smoke (on-off workload matrix + burst microscope)"
 ./target/release/ablation_abr --quick
 
+echo "==> tier gate (1M-object Zipf e2e on both stacks + cluster, cold-path byte-exactness, zero-leak audit)"
+cargo test -q --release -p dcn-tier
+cargo test -q --release --test tiers
+
+echo "==> tier ablation smoke (back-to-back runs must be byte-identical)"
+./target/release/ablation_tiers --quick --out "$perf_tmp/tiers1.json" >/dev/null
+./target/release/ablation_tiers --quick --out "$perf_tmp/tiers2.json" >/dev/null
+cmp "$perf_tmp/tiers1.json" "$perf_tmp/tiers2.json" \
+    || { echo "error: ablation_tiers is nondeterministic (back-to-back runs differ)" >&2; exit 1; }
+
 echo "==> cargo test"
 cargo test -q --workspace
 

@@ -8,19 +8,20 @@ use dcn_crypto::RecordCipher;
 use dcn_diskmap::{BufId, DiskId, DiskmapKernel, IoDesc, NvmeQueue};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
 use dcn_mem::{
-    CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
+    Agent, CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
 };
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
-use dcn_nvme::{FirmwareParams, NvmeConfig, NvmeDevice, SyntheticBacking};
+use dcn_nvme::{FirmwareParams, NvmeConfig, NvmeDevice};
 use dcn_obs::{
-    ChunkKind, CounterId, GaugeId, ProfHandle, ProfStage, Registry, Stage, StageProfiler,
+    ChunkKind, CounterId, GaugeId, HistId, ProfHandle, ProfStage, Registry, Stage, StageProfiler,
     StallKind, Tracer,
 };
 use dcn_packet::{FlowId, Ipv4Repr, SeqNumber, TcpRepr, ETH_HEADER_LEN};
-use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_simcore::{earliest, prf_bytes, Nanos, SimRng};
 use dcn_srvcore::{AutotuneConfig, ControlPlane, CoreControl, IoTuner};
-use dcn_store::Catalog;
+use dcn_store::{Catalog, CatalogBacking};
 use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
+use dcn_tier::{CacheConfig, GetTicket, HotChunkCache, Placement, TierConfig, TierEngine};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -79,6 +80,18 @@ pub struct AtlasConfig {
     /// an in-flight read cap between a floor and a ceiling, driven by
     /// NVMe completion latency and SQ occupancy.
     pub autotune: AutotuneConfig,
+    /// Tiered catalog. When set, only the popular head of the catalog
+    /// is resident on the NVMe flat namespace; everything else is
+    /// fetched on demand from a simulated cold object store, with
+    /// popularity-driven promotion/demotion between the tiers. `None`
+    /// (the default) reproduces the flat-namespace server
+    /// bit-identically.
+    pub tier: Option<TierConfig>,
+    /// Hot-chunk DMA cache — the buffer-cache ablation. Independent
+    /// knob so `ablation_tiers` can sweep {no-cache, cache} × {flat,
+    /// tiered}. Cache fills/hits charge the memory system for every
+    /// copy, so DRAM-bytes-per-net-byte reports the cache's true cost.
+    pub tier_cache: Option<CacheConfig>,
 }
 
 impl Default for AtlasConfig {
@@ -110,6 +123,8 @@ impl Default for AtlasConfig {
             fetch_retry_backoff: Nanos::from_micros(50),
             admission: AdmissionConfig::default(),
             autotune: AutotuneConfig::default(),
+            tier: None,
+            tier_cache: None,
         }
     }
 }
@@ -226,6 +241,81 @@ impl AtlasIds {
     }
 }
 
+/// Pre-registered `tier.*` registry handles; only present when
+/// tiering and/or the DMA cache is configured, so flat-namespace runs
+/// publish no tier metrics at all.
+struct TierIds {
+    hot_hits: Vec<CounterId>,
+    cold_misses: Vec<CounterId>,
+    /// Cold-tier egress actually delivered into DMA buffers.
+    cold_bytes: Vec<CounterId>,
+    cache_hits: Vec<CounterId>,
+    cache_misses: Vec<CounterId>,
+    /// Demand cold-fetch latency (issue → bytes landed), nanoseconds.
+    cold_fetch_ns: HistId,
+    hot_count: GaugeId,
+    hit_ratio: GaugeId,
+    cold_requests: GaugeId,
+    cold_cost_ucents: GaugeId,
+    promotions: GaugeId,
+    demotions: GaugeId,
+    promote_deferred: GaugeId,
+    promoted_bytes: GaugeId,
+    epochs: GaugeId,
+    cache_inserts: GaugeId,
+    cache_evictions: GaugeId,
+    cache_hit_ratio: GaugeId,
+    cache_dram_bytes: GaugeId,
+}
+
+impl TierIds {
+    fn register(reg: &mut Registry, cores: usize) -> Self {
+        TierIds {
+            hot_hits: (0..cores)
+                .map(|c| reg.counter_core("tier.hot_hits", c))
+                .collect(),
+            cold_misses: (0..cores)
+                .map(|c| reg.counter_core("tier.cold_misses", c))
+                .collect(),
+            cold_bytes: (0..cores)
+                .map(|c| reg.counter_core("tier.cold_bytes", c))
+                .collect(),
+            cache_hits: (0..cores)
+                .map(|c| reg.counter_core("tier.cache_hits", c))
+                .collect(),
+            cache_misses: (0..cores)
+                .map(|c| reg.counter_core("tier.cache_misses", c))
+                .collect(),
+            cold_fetch_ns: reg.histogram("tier.cold_fetch_ns", 1e5, 1e9, 40),
+            hot_count: reg.gauge("tier.hot_count"),
+            hit_ratio: reg.gauge("tier.hit_ratio"),
+            cold_requests: reg.gauge("tier.cold_requests"),
+            cold_cost_ucents: reg.gauge("tier.cold_cost_ucents"),
+            promotions: reg.gauge("tier.promotions"),
+            demotions: reg.gauge("tier.demotions"),
+            promote_deferred: reg.gauge("tier.promote_deferred"),
+            promoted_bytes: reg.gauge("tier.promoted_bytes"),
+            epochs: reg.gauge("tier.epochs"),
+            cache_inserts: reg.gauge("tier.cache_inserts"),
+            cache_evictions: reg.gauge("tier.cache_evictions"),
+            cache_hit_ratio: reg.gauge("tier.cache_hit_ratio"),
+            cache_dram_bytes: reg.gauge("tier.cache_dram_bytes"),
+        }
+    }
+}
+
+/// Where an in-flight record fetch is being served from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FetchSrc {
+    /// NVMe flat namespace (the hot tier — the only source when
+    /// tiering is off).
+    Nvme,
+    /// Simulated cold object store (tiered demand miss).
+    Cold,
+    /// Hot-chunk DMA cache (ablation; no storage round trip).
+    Cache,
+}
+
 struct ConnSlot {
     conn: AtlasConn,
     core: usize,
@@ -261,7 +351,7 @@ pub struct AtlasServer {
     timer_of: Vec<Option<Nanos>>,
     /// user-token → fetch bookkeeping. Token encodes (slot, seq of
     /// fetch); details live here.
-    fetches: HashMap<u64, (usize, InflightFetch, BufId, usize, u32)>, // slot, fetch, buf, disk, attempt
+    fetches: HashMap<u64, (usize, InflightFetch, BufId, usize, u32, FetchSrc)>, // slot, fetch, buf, disk, attempt, source
     next_token: u64,
     /// Failed fresh fetches awaiting their backoff deadline, keyed
     /// (deadline, serial).
@@ -315,6 +405,19 @@ pub struct AtlasServer {
     /// so connections can tell "first record this sweep" (full TCP TX
     /// op cost) from "later record, hot TCB" (batched cost).
     sweep_serial: u64,
+    /// Tiering engine (`None` unless `cfg.tier`): residency map, cold
+    /// object store, promotion policy.
+    tier: Option<TierEngine>,
+    tier_ids: Option<TierIds>,
+    /// Hot-chunk DMA cache index (`None` unless `cfg.tier_cache`) and
+    /// its slot memory, allocated once at construction.
+    cache: Option<HotChunkCache>,
+    cache_slots: Vec<PhysRegion>,
+    /// Cache-hit completions synthesized off the NVMe path; `advance`
+    /// delivers each at its virtual completion time.
+    cache_ready: Vec<dcn_diskmap::CompletedIo>,
+    /// Reusable scratch for drained cold-store tickets.
+    cold_scratch: Vec<GetTicket>,
 }
 
 impl AtlasServer {
@@ -344,7 +447,7 @@ impl AtlasServer {
             .map(|d| {
                 NvmeDevice::new(
                     nvme_cfg,
-                    Box::new(SyntheticBacking::new(catalog.disk_seed(d))),
+                    Box::new(CatalogBacking::new(&catalog, d)),
                     seed ^ (d as u64) << 8,
                 )
             })
@@ -368,8 +471,20 @@ impl AtlasServer {
             core_disks.push(CoreDisks { queues });
         }
         let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
+        let tier = cfg.tier.map(|tc| TierEngine::new(tc, &catalog, seed));
+        let cache = cfg.tier_cache.map(HotChunkCache::new);
+        let cache_slots: Vec<PhysRegion> = cache
+            .as_ref()
+            .map(|c| {
+                (0..c.n_slots())
+                    .map(|_| phys.alloc(c.slot_bytes()))
+                    .collect()
+            })
+            .unwrap_or_default();
         let mut reg = Registry::new();
         let ids = AtlasIds::register(&mut reg, cfg.cores);
+        let tier_ids =
+            (tier.is_some() || cache.is_some()).then(|| TierIds::register(&mut reg, cfg.cores));
         let tracer = if cfg.trace {
             Tracer::enabled()
         } else {
@@ -419,9 +534,27 @@ impl AtlasServer {
             rx_scratch: Vec::new(),
             resp_scratch: Vec::new(),
             sweep_serial: 0,
+            tier,
+            tier_ids,
+            cache,
+            cache_slots,
+            cache_ready: Vec::new(),
+            cold_scratch: Vec::with_capacity(64),
             cfg,
             phys,
         }
+    }
+
+    /// Tiering engine view (`None` unless `cfg.tier`).
+    #[must_use]
+    pub fn tier(&self) -> Option<&TierEngine> {
+        self.tier.as_ref()
+    }
+
+    /// Hot-chunk cache view (`None` unless `cfg.tier_cache`).
+    #[must_use]
+    pub fn cache(&self) -> Option<&HotChunkCache> {
+        self.cache.as_ref()
     }
 
     /// Assemble the legacy metrics view from the unified registry.
@@ -468,6 +601,31 @@ impl AtlasServer {
         self.mem.counters.publish_metrics(&mut self.reg);
         let leaked = self.leaked_buffers();
         self.reg.set(self.ids.leaked_bufs, leaked as f64);
+        if let Some(ids) = &self.tier_ids {
+            if let Some(tier) = &self.tier {
+                self.reg.set(ids.hot_count, tier.hot_count() as f64);
+                self.reg.set(ids.hit_ratio, tier.hit_ratio());
+                self.reg
+                    .set(ids.cold_requests, tier.cold.stats.requests as f64);
+                self.reg
+                    .set(ids.cold_cost_ucents, tier.cold.stats.cost_ucents as f64);
+                self.reg.set(ids.promotions, tier.stats.promotions as f64);
+                self.reg.set(ids.demotions, tier.stats.demotions as f64);
+                self.reg
+                    .set(ids.promote_deferred, tier.stats.promote_deferred as f64);
+                self.reg
+                    .set(ids.promoted_bytes, tier.stats.promoted_bytes as f64);
+                self.reg.set(ids.epochs, tier.stats.epochs as f64);
+            }
+            if let Some(cache) = &self.cache {
+                self.reg.set(ids.cache_inserts, cache.stats.inserts as f64);
+                self.reg
+                    .set(ids.cache_evictions, cache.stats.evictions as f64);
+                self.reg.set(ids.cache_hit_ratio, cache.hit_ratio());
+                self.reg
+                    .set(ids.cache_dram_bytes, cache.approx_dram_bytes() as f64);
+            }
+        }
         if let Some(p) = &self.profiler {
             p.borrow().publish(&mut self.reg);
         }
@@ -791,6 +949,19 @@ impl AtlasServer {
                 | ResponseInfo::ServiceUnavailable { .. }
                 | ResponseInfo::HeaderTooLarge => None,
             };
+            // Tier classification is per admitted request (not per
+            // record fetch): bump the object's heat once, count the
+            // hit/miss, queue a promotion candidate if it crossed the
+            // threshold.
+            if let (Some(_), Some(f)) = (served, file) {
+                if let Some(tier) = self.tier.as_mut() {
+                    let ids = self.tier_ids.as_ref().expect("tier ids registered");
+                    match tier.classify(f) {
+                        Placement::Hot => self.reg.inc(ids.hot_hits[core]),
+                        Placement::Cold => self.reg.inc(ids.cold_misses[core]),
+                    }
+                }
+            }
             match (served, file) {
                 (Some((body_len, file_off)), Some(file)) => {
                     let id = slot.conn.next_layout_id;
@@ -1021,31 +1192,102 @@ impl AtlasServer {
         let token = self.next_token;
         self.next_token += 1;
         let aligned = aligned_len.min(q.pool_ref().buf_size());
-        q.nvme_read(
-            IoDesc {
-                user: token,
-                buf,
-                nsid: loc.nsid,
-                offset: loc.dev_offset,
-                len: aligned,
-            },
-            &self.cfg.costs,
-        );
-        // Doorbell batching: the command is staged now; one
-        // `nvme_sqsync` per dirty (core, disk) queue at the end of
-        // the control-loop pass rings the doorbell for every fetch
-        // the pass produced, amortizing the syscall across the batch.
-        // The per-command SQE-build cycles are accrued inside the
-        // queue and charged at flush; the per-chunk profiler sample
-        // here is the command's own share of the submit work.
-        self.dirty_doorbells
-            .entry((core, loc.disk))
-            .and_modify(|t| *t = (*t).max(now))
-            .or_insert(now);
-        self.prof_stage(core, ProfStage::Fetch);
-        self.prof_chunk(ProfStage::Fetch, self.cfg.costs.nvme_submit_cycles);
+        // Route the fetch: DMA-cache probe first (a resident chunk
+        // needs no storage round trip at all, hot or cold), then tier
+        // residency — cold objects GET from the object store, hot
+        // objects read the NVMe flat namespace as always. Every route
+        // holds a pool buffer from here to TX reclaim, so cold misses
+        // exert the same pool pressure admission control watches.
+        let mut src = FetchSrc::Nvme;
+        let mut cache_slot = 0usize;
+        if let Some(cache) = self.cache.as_mut() {
+            let ids = self.tier_ids.as_ref().expect("tier ids registered");
+            match cache.lookup(file, file_off, plain_len) {
+                Some(s) => {
+                    src = FetchSrc::Cache;
+                    cache_slot = s;
+                    self.reg.inc(ids.cache_hits[core]);
+                }
+                None => self.reg.inc(ids.cache_misses[core]),
+            }
+        }
+        if src == FetchSrc::Nvme {
+            if let Some(tier) = self.tier.as_ref() {
+                if tier.placement(file) == Placement::Cold {
+                    src = FetchSrc::Cold;
+                }
+            }
+        }
+        match src {
+            FetchSrc::Nvme => {
+                q.nvme_read(
+                    IoDesc {
+                        user: token,
+                        buf,
+                        nsid: loc.nsid,
+                        offset: loc.dev_offset,
+                        len: aligned,
+                    },
+                    &self.cfg.costs,
+                );
+                // Doorbell batching: the command is staged now; one
+                // `nvme_sqsync` per dirty (core, disk) queue at the end of
+                // the control-loop pass rings the doorbell for every fetch
+                // the pass produced, amortizing the syscall across the batch.
+                // The per-command SQE-build cycles are accrued inside the
+                // queue and charged at flush; the per-chunk profiler sample
+                // here is the command's own share of the submit work.
+                self.dirty_doorbells
+                    .entry((core, loc.disk))
+                    .and_modify(|t| *t = (*t).max(now))
+                    .or_insert(now);
+                self.prof_stage(core, ProfStage::Fetch);
+                self.prof_chunk(ProfStage::Fetch, self.cfg.costs.nvme_submit_cycles);
+            }
+            FetchSrc::Cold => {
+                // Issue a byte-range GET to the cold store. No SQE, no
+                // doorbell — the request leaves over the NIC; its cost
+                // here is the same submit-side CPU work as a disk read.
+                let tier = self.tier.as_mut().expect("cold route without tier");
+                tier.cold_fetch(now, file, file_off, aligned, token);
+                self.prof_stage(core, ProfStage::Fetch);
+                self.prof_chunk(ProfStage::Fetch, self.cfg.costs.nvme_submit_cycles);
+                self.cores
+                    .run_on(core, now, self.cfg.costs.nvme_submit_cycles);
+            }
+            FetchSrc::Cache => {
+                // Serve from the DMA cache: copy slot → pool buffer,
+                // charging the memory system both sides of the copy —
+                // the DRAM bandwidth the ablation is asking about.
+                let buf_region = self.core_disks[core].queues[loc.disk].buf_region(buf, plain_len);
+                let slot_region = self.cache_slots[cache_slot];
+                let rd = self.mem.cpu_read(now, slot_region);
+                let wr = self.mem.cpu_write(now, buf_region);
+                let cycles = rd.stall_cycles
+                    + wr.stall_cycles
+                    + (plain_len as f64 * self.cfg.costs.memcpy_cycles_per_byte) as u64;
+                self.prof_stage(core, ProfStage::Fetch);
+                self.prof_chunk(ProfStage::Fetch, cycles);
+                let done = self.cores.run_on(core, now, cycles);
+                if self.cfg.fidelity == Fidelity::Full {
+                    let data = self.host.read_region(slot_region);
+                    self.host.update_region(buf_region, |d| {
+                        let n = d.len();
+                        d.copy_from_slice(&data[..n]);
+                    });
+                }
+                self.cache_ready.push(dcn_diskmap::CompletedIo {
+                    user: token,
+                    buf,
+                    len: aligned,
+                    status: dcn_diskmap::IoStatus::Ok,
+                    submitted_at: now,
+                    completed_at: done,
+                });
+            }
+        }
         self.fetches
-            .insert(token, (slot_idx, fetch, buf, loc.disk, attempt));
+            .insert(token, (slot_idx, fetch, buf, loc.disk, attempt, src));
         if fetch.retx.is_some() {
             self.reg.inc(self.ids.retransmit_fetches[core]);
         }
@@ -1166,9 +1408,18 @@ impl AtlasServer {
         // exist; an empty server stays fully quiescent.
         let sweep =
             (self.ctl.iter().map(|c| c.live_conns).sum::<usize>() > 0).then_some(self.next_sweep);
+        let tier = self
+            .tier
+            .as_ref()
+            .map(TierEngine::poll_at)
+            .filter(|&at| at != Nanos::MAX);
+        let cache = self.cache_ready.iter().map(|io| io.completed_at).min();
         earliest(
             earliest(earliest(t, timer), self.nic.poll_at()),
-            earliest(earliest(retry, self.resync_at), sweep),
+            earliest(
+                earliest(earliest(retry, self.resync_at), sweep),
+                earliest(tier, cache),
+            ),
         )
     }
 
@@ -1236,6 +1487,7 @@ impl AtlasServer {
             }
             self.completed_scratch = batch;
         }
+        self.drain_tier(now);
         // TCB timers.
         let due: Vec<usize> = self
             .timers
@@ -1257,10 +1509,75 @@ impl AtlasServer {
         bursts
     }
 
+    /// Tiered-catalog service, run each `advance` after the NVMe
+    /// sweep: epoch work (heat decay, promotion launches), cold-store
+    /// completions, and deferred cache-hit completions. Cold demand
+    /// misses materialize their bytes into the DMA buffer reserved at
+    /// issue (arriving over the NIC, charged as NIC DMA) and then ride
+    /// the ordinary encrypt→packetize path; promotion reads are
+    /// absorbed inside the engine. Deliberately *not* fed to the
+    /// I/O-window tuner — cold latency is not an NVMe signal.
+    fn drain_tier(&mut self, now: Nanos) {
+        if let Some(tier) = self.tier.as_mut() {
+            tier.maybe_epoch(now);
+            let mut tickets = std::mem::take(&mut self.cold_scratch);
+            debug_assert!(tickets.is_empty());
+            tier.drain_serving(now, &mut tickets);
+            if !tickets.is_empty() {
+                self.sweep_serial += 1;
+                for tk in tickets.drain(..) {
+                    let Some(&(slot_idx, _, buf, disk, _, _)) = self.fetches.get(&tk.token) else {
+                        continue;
+                    };
+                    let core = self.slots[slot_idx].core;
+                    let region = self.core_disks[core].queues[disk].buf_region(buf, tk.len);
+                    if self.cfg.fidelity == Fidelity::Full {
+                        let seed = self.catalog.file_seed(tk.file);
+                        self.host
+                            .update_region(region, |data| prf_bytes(seed, tk.offset, data));
+                    }
+                    self.prof_stage(core, ProfStage::Fetch);
+                    self.mem.dma_write(now, Agent::NicDma, region);
+                    if let Some(ids) = &self.tier_ids {
+                        self.reg.add(ids.cold_bytes[core], tk.len);
+                        self.reg.observe(
+                            ids.cold_fetch_ns,
+                            (tk.done_at - tk.issued_at).as_nanos() as f64,
+                        );
+                    }
+                    self.complete_fetch(
+                        now,
+                        dcn_diskmap::CompletedIo {
+                            user: tk.token,
+                            buf,
+                            len: tk.len,
+                            status: dcn_diskmap::IoStatus::Ok,
+                            submitted_at: tk.issued_at,
+                            completed_at: tk.done_at,
+                        },
+                    );
+                }
+            }
+            self.cold_scratch = tickets;
+        }
+        if !self.cache_ready.is_empty() {
+            self.sweep_serial += 1;
+            let mut i = 0;
+            while i < self.cache_ready.len() {
+                if self.cache_ready[i].completed_at <= now {
+                    let io = self.cache_ready.swap_remove(i);
+                    self.complete_fetch(now, io);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
     /// §3 step 4: read completion → (encrypt in place) → packetize →
     /// transmit.
     fn complete_fetch(&mut self, now: Nanos, io: dcn_diskmap::CompletedIo) {
-        let Some((slot_idx, fetch, buf, disk, attempt)) = self.fetches.remove(&io.user) else {
+        let Some((slot_idx, fetch, buf, disk, attempt, src)) = self.fetches.remove(&io.user) else {
             return;
         };
         self.tracer
@@ -1313,6 +1630,39 @@ impl AtlasServer {
             costs.tcp_tx_op_cycles
         };
         let mut cycles = tx_op_cycles;
+
+        // DMA-cache fill: capture the plaintext record before the
+        // in-place encrypt below scrambles the buffer. Fresh fetches
+        // only, and only for objects hot enough to filter one-hit
+        // wonders; a record already resident (including the one this
+        // completion was itself served from) is a no-op. Both sides of
+        // the copy are charged to the memory system — the cache's
+        // DRAM cost is never free.
+        if fetch.retx.is_none() && src != FetchSrc::Cache {
+            if let Some(cache) = self.cache.as_mut() {
+                let hot_enough = self
+                    .tier
+                    .as_ref()
+                    .is_none_or(|t| t.heat(layout.file) >= cache.insert_min_heat());
+                if hot_enough && plain_len <= cache.slot_bytes() {
+                    let rec_file_off = layout.record_file_off(fetch.record);
+                    if let Some(slot_i) = cache.insert(layout.file, rec_file_off, plain_len) {
+                        let slot_region = self.cache_slots[slot_i];
+                        let rd = self.mem.cpu_read(now, buf_region);
+                        let wr = self.mem.cpu_write(now, slot_region);
+                        cycles += rd.stall_cycles
+                            + wr.stall_cycles
+                            + (plain_len as f64 * costs.memcpy_cycles_per_byte) as u64;
+                        if self.cfg.fidelity == Fidelity::Full {
+                            let data = self.host.read_region(buf_region);
+                            self.host.update_region(slot_region, |d| {
+                                d[..data.len()].copy_from_slice(&data);
+                            });
+                        }
+                    }
+                }
+            }
+        }
 
         // Encrypt in place (the LLC-resident DMA buffer), derive the
         // nonce from the record's position in the stream.
@@ -1397,7 +1747,11 @@ impl AtlasServer {
                 slot.conn.fetches_inflight -= 1;
                 self.reg.inc(self.ids.disk_reads[core]);
                 self.reg.add(self.ids.http_payload_bytes[core], sg.len());
-                self.reg.add(self.ids.disk_read_bytes[core], io.len);
+                // `disk_read_bytes` counts storage reads (NVMe or the
+                // cold store); a cache hit moved no storage bytes.
+                if src != FetchSrc::Cache {
+                    self.reg.add(self.ids.disk_read_bytes[core], io.len);
+                }
                 let last = fetch.record + 1 == layout.n_records()
                     && fetch.layout_id + 1 == slot.conn.next_layout_id;
                 // Park at the record's stream offset; drain sends

@@ -57,9 +57,13 @@ fn main() {
                     fleet: FleetConfig {
                         n_clients: n,
                         verify: false,
+                        zipf: args.zipf,
                         ..FleetConfig::default()
                     },
-                    catalog: Catalog::paper(seed),
+                    catalog: args.catalog.map_or_else(
+                        || Catalog::paper(seed),
+                        |nf| Catalog::new(nf, 300 * 1024, 4, seed),
+                    ),
                     warmup: Nanos::from_millis(250),
                     duration: args.scale.duration(),
                     seed,

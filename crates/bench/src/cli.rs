@@ -8,7 +8,9 @@
 //! * `--quick` / `--paper` (or env `DCN_QUICK=1`) — sweep scale;
 //! * `--seed <n>` — override the binary's default base seed;
 //! * `--trace-out <path>` — chunk-lifecycle JSONL dump;
-//! * `--metrics-out <path>` — registry time-series CSV.
+//! * `--metrics-out <path>` — registry time-series CSV;
+//! * `--catalog <n>` — catalog size in objects (tiered runs);
+//! * `--zipf <theta>` — Zipf popularity skew for the client fleet.
 
 use crate::Scale;
 use dcn_workload::ObsOptions;
@@ -23,6 +25,12 @@ pub struct BenchArgs {
     /// to the binary's documented default.
     pub seed: Option<u64>,
     pub obs: ObsOptions,
+    /// `--catalog <n>`: catalog size in objects. Use
+    /// [`BenchArgs::catalog_or`] for the binary's default.
+    pub catalog: Option<u64>,
+    /// `--zipf <theta>`: Zipf popularity skew for the client fleet
+    /// (rank-permuted; pairs with the servers' tier engine).
+    pub zipf: Option<f64>,
 }
 
 impl BenchArgs {
@@ -60,6 +68,8 @@ impl BenchArgs {
                 metrics_out: value_of("--metrics-out").map(PathBuf::from),
                 sample_interval: None,
             },
+            catalog: value_of("--catalog").and_then(|s| s.parse().ok()),
+            zipf: value_of("--zipf").and_then(|s| s.parse().ok()),
         }
     }
 
@@ -67,6 +77,12 @@ impl BenchArgs {
     #[must_use]
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// Catalog size: `--catalog` if given, else the binary's default.
+    #[must_use]
+    pub fn catalog_or(&self, default: u64) -> u64 {
+        self.catalog.unwrap_or(default).max(1)
     }
 }
 
@@ -84,9 +100,15 @@ mod tests {
             "/tmp/t.jsonl",
             "--metrics-out",
             "/tmp/m.csv",
+            "--catalog",
+            "1000000",
+            "--zipf",
+            "0.9",
         ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.seed_or(23), 99);
+        assert_eq!(a.catalog_or(1000), 1_000_000);
+        assert_eq!(a.zipf, Some(0.9));
         assert_eq!(a.obs.trace_out.as_deref(), Some("/tmp/t.jsonl".as_ref()));
         assert_eq!(a.obs.metrics_out.as_deref(), Some("/tmp/m.csv".as_ref()));
         assert!(a.obs.active());
@@ -100,6 +122,8 @@ mod tests {
         assert_eq!(a.seed, None);
         assert_eq!(a.seed_or(23), 23);
         assert!(!a.obs.active());
+        assert_eq!(a.catalog_or(500), 500);
+        assert_eq!(a.zipf, None);
     }
 
     #[test]

@@ -89,8 +89,12 @@ impl Variant {
     }
 }
 
-/// Run the sweep.
+/// Run the sweep. Honors the shared `--catalog <n>` / `--zipf <θ>`
+/// flags: `--catalog` resizes the catalog away from the paper's 2M
+/// chunks, `--zipf` switches every variant's fleet to rank-permuted
+/// Zipf popularity (tiered-catalog workload shaping).
 pub fn sweep(variants: &[Variant], scale: Scale) -> Vec<Curve> {
+    let args = crate::BenchArgs::parse();
     let conns = scale.conns();
     let seeds = scale.seeds();
     let duration = scale.duration();
@@ -113,9 +117,13 @@ pub fn sweep(variants: &[Variant], scale: Scale) -> Vec<Curve> {
                                 // than the LLC, as in the paper.
                                 hot_files: 4000,
                                 verify: false, // modeled fidelity
+                                zipf: args.zipf,
                                 ..FleetConfig::default()
                             },
-                            catalog: Catalog::paper(1000 + seed),
+                            catalog: args.catalog.map_or_else(
+                                || Catalog::paper(1000 + seed),
+                                |nf| Catalog::new(nf, 300 * 1024, 4, 1000 + seed),
+                            ),
                             warmup,
                             duration,
                             seed: 1000 + seed,

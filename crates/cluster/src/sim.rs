@@ -112,6 +112,11 @@ pub struct ServerStats {
     pub disk_read_bytes: u64,
     pub cpu_pct: f64,
     pub leaked_buffers: i64,
+    /// Tier hot-hit ratio; 1.0 when this server ran without a tier
+    /// engine (no `tier.*` metrics registered).
+    pub tier_hit_ratio: f64,
+    /// Bytes this server pulled from the cold object store.
+    pub tier_cold_bytes: u64,
 }
 
 /// Goodput before the kill vs after the control loop re-converged.
@@ -479,6 +484,8 @@ pub fn run_cluster_observed(sc: &ClusterConfig, obs: &ObsOptions) -> (ClusterMet
             disk_read_bytes: srv.reg.sum_prefixed("atlas.disk_read_bytes"),
             cpu_pct: srv.cores.utilization_pct(sc.warmup, end),
             leaked_buffers: srv.leaked_buffers(),
+            tier_hit_ratio: srv.reg.find_gauge("tier.hit_ratio").unwrap_or(1.0),
+            tier_cold_bytes: srv.reg.sum_prefixed("tier.cold_bytes"),
         })
         .collect();
 

@@ -7,7 +7,7 @@
 //! verifies progress, and decides when to fire the next request.
 
 use crate::response::{scan_response_head, RECORD_PLAIN, RECORD_WIRE};
-use dcn_simcore::{SimRng, Zipf};
+use dcn_simcore::{RankPerm, SimRng, Zipf};
 use dcn_store::FileId;
 
 /// Where to pick up a response after its server died mid-stream: the
@@ -31,6 +31,11 @@ pub struct RequestDriver {
     /// Popularity skew; None = uniform over distinct files (the
     /// uncachable 0% BC workload), Some(zipf) for cacheable ones.
     zipf: Option<Zipf>,
+    /// Rank → object-id permutation applied to Zipf samples. Scatters
+    /// the popular head across the id space; with the seed shared by
+    /// the tier engine, "popular" means the same objects on both
+    /// sides. None = rank IS the id (legacy zipf workload).
+    perm: Option<RankPerm>,
     /// For the 100% BC workload the paper pins requests to a small
     /// hot set that always fits in cache.
     hot_set: Option<u64>,
@@ -70,6 +75,7 @@ impl RequestDriver {
         RequestDriver {
             catalog_files,
             zipf: None,
+            perm: None,
             hot_set: None,
             rng,
             body_remaining: None,
@@ -104,12 +110,23 @@ impl RequestDriver {
         d
     }
 
+    /// Zipf-popular requests with the rank → object-id permutation the
+    /// tiering engine seeds its hot set with: rank 0 is the hottest
+    /// *object* (scattered somewhere in the id space), not id 0.
+    #[must_use]
+    pub fn zipf_perm(catalog_files: u64, alpha: f64, perm_seed: u64, rng: SimRng) -> Self {
+        let mut d = Self::zipf(catalog_files, alpha, rng);
+        d.perm = Some(RankPerm::new(catalog_files, perm_seed));
+        d
+    }
+
     /// Pick the next file to request.
     pub fn next_file(&mut self) -> FileId {
         let f = if let Some(hot) = self.hot_set {
             FileId(self.rng.gen_range(0, hot))
         } else if let Some(z) = &self.zipf {
-            FileId(z.sample(&mut self.rng))
+            let rank = z.sample(&mut self.rng);
+            FileId(self.perm.as_ref().map_or(rank, |p| p.apply(rank)))
         } else {
             FileId(self.rng.gen_range(0, self.catalog_files))
         };

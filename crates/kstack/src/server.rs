@@ -7,19 +7,20 @@ use dcn_atlas::{AdmissionConfig, ResourceSnapshot};
 use dcn_crypto::{RecordCipher, RECORD_PAYLOAD_MAX};
 use dcn_httpd::{parse_chunk_path, response_header, ResponseInfo};
 use dcn_mem::{
-    CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion, CHUNK_SIZE,
+    Agent, CoreSet, CostParams, Fidelity, HostMem, LlcConfig, MemSystem, PhysAlloc, PhysRegion,
+    CHUNK_SIZE,
 };
 use dcn_netdev::{Nic, NicConfig, SentBurst, SgList, WireFrame};
-use dcn_nvme::{
-    FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, NvmeStatus, Opcode, SyntheticBacking,
-    LBA_SIZE,
+use dcn_nvme::{FirmwareParams, NvmeCommand, NvmeConfig, NvmeDevice, NvmeStatus, Opcode, LBA_SIZE};
+use dcn_obs::{
+    CounterId, GaugeId, HistId, ProfHandle, ProfStage, Registry, StageProfiler, StallKind,
 };
-use dcn_obs::{CounterId, GaugeId, ProfHandle, ProfStage, Registry, StageProfiler, StallKind};
 use dcn_packet::{FlowId, SeqNumber, TcpFlags, TcpRepr};
-use dcn_simcore::{earliest, Nanos, SimRng};
+use dcn_simcore::{earliest, prf_bytes, Nanos, SimRng};
 use dcn_srvcore::{AutotuneConfig, ControlPlane, CoreControl, IoTuner};
-use dcn_store::{BufferCache, Catalog, FileId};
+use dcn_store::{BufferCache, Catalog, CatalogBacking, FileId};
 use dcn_tcpstack::{rst_for_syn, Endpoint, Tcb, TcbConfig, TcbEvent};
+use dcn_tier::{GetTicket, Placement, TierConfig, TierEngine};
 use std::collections::{BTreeSet, HashMap};
 
 /// Which baseline.
@@ -77,6 +78,13 @@ pub struct KstackConfig {
     /// handle is installed anywhere, so sweeps pay one `None` check.
     /// The run is bit-identical either way (purely observational).
     pub profile: bool,
+    /// Tiered catalog: objects outside the hot tier are fetched from
+    /// a simulated cold object store over the network instead of the
+    /// local NVMe namespace. `None` keeps the paper's all-hot flat
+    /// namespace. The kernel stack gets no extra DMA cache knob — its
+    /// buffer cache already absorbs repeat reads of promoted/cold
+    /// objects.
+    pub tier: Option<TierConfig>,
 }
 
 impl KstackConfig {
@@ -107,6 +115,7 @@ impl KstackConfig {
             admission: AdmissionConfig::default(),
             autotune: AutotuneConfig::default(),
             profile: false,
+            tier: None,
         }
     }
 
@@ -196,6 +205,52 @@ impl KstackIds {
     }
 }
 
+/// Pre-registered `tier.*` handles; only present when `cfg.tier` is
+/// set. Same metric names as the Atlas stack (minus the DMA-cache
+/// family, which has no kernel-stack analogue) so reports aggregate
+/// tiering identically on both stacks.
+struct KTierIds {
+    hot_hits: Vec<CounterId>,
+    cold_misses: Vec<CounterId>,
+    cold_bytes: Vec<CounterId>,
+    cold_fetch_ns: HistId,
+    hot_count: GaugeId,
+    hit_ratio: GaugeId,
+    cold_requests: GaugeId,
+    cold_cost_ucents: GaugeId,
+    promotions: GaugeId,
+    demotions: GaugeId,
+    promote_deferred: GaugeId,
+    promoted_bytes: GaugeId,
+    epochs: GaugeId,
+}
+
+impl KTierIds {
+    fn register(reg: &mut Registry, cores: usize) -> Self {
+        KTierIds {
+            hot_hits: (0..cores)
+                .map(|c| reg.counter_core("tier.hot_hits", c))
+                .collect(),
+            cold_misses: (0..cores)
+                .map(|c| reg.counter_core("tier.cold_misses", c))
+                .collect(),
+            cold_bytes: (0..cores)
+                .map(|c| reg.counter_core("tier.cold_bytes", c))
+                .collect(),
+            cold_fetch_ns: reg.histogram("tier.cold_fetch_ns", 1e5, 1e9, 40),
+            hot_count: reg.gauge("tier.hot_count"),
+            hit_ratio: reg.gauge("tier.hit_ratio"),
+            cold_requests: reg.gauge("tier.cold_requests"),
+            cold_cost_ucents: reg.gauge("tier.cold_cost_ucents"),
+            promotions: reg.gauge("tier.promotions"),
+            demotions: reg.gauge("tier.demotions"),
+            promote_deferred: reg.gauge("tier.promote_deferred"),
+            promoted_bytes: reg.gauge("tier.promoted_bytes"),
+            epochs: reg.gauge("tier.epochs"),
+        }
+    }
+}
+
 /// The server.
 pub struct KstackServer {
     pub cfg: KstackConfig,
@@ -211,6 +266,16 @@ pub struct KstackServer {
     timers: BTreeSet<(Nanos, usize)>,
     timer_of: Vec<Option<Nanos>>,
     fills: HashMap<u16, Fill>,
+    /// Tiering engine (`cfg.tier`); owns the cold store and the
+    /// promotion/demotion policy.
+    tier: Option<TierEngine>,
+    tier_ids: Option<KTierIds>,
+    /// Cold-store fills in flight, keyed by cold-store token (its own
+    /// counter — NVMe cids are u16 and must stay a disjoint space).
+    cold_fills: HashMap<u64, Fill>,
+    next_cold: u64,
+    /// Reusable cold-completion drain scratch.
+    cold_scratch: Vec<GetTicket>,
     /// Ciphertext socket-buffer frame pool (kTLS output).
     ct_pool: Vec<PhysRegion>,
     /// Stock only: is this worker's event loop blocked in a
@@ -266,7 +331,7 @@ impl KstackServer {
             .map(|d| {
                 NvmeDevice::new(
                     nvme_cfg,
-                    Box::new(SyntheticBacking::new(catalog.disk_seed(d))),
+                    Box::new(CatalogBacking::new(&catalog, d)),
                     seed ^ (d as u64) << 8,
                 )
             })
@@ -283,6 +348,10 @@ impl KstackServer {
         let rx_slots = (0..cfg.cores).map(|_| phys.alloc(2048)).collect();
         let mut reg = Registry::new();
         let ids = KstackIds::register(&mut reg, cfg.cores);
+        let tier = cfg.tier.map(|tc| TierEngine::new(tc, &catalog, seed));
+        let tier_ids = tier
+            .is_some()
+            .then(|| KTierIds::register(&mut reg, cfg.cores));
         let mut cores = CoreSet::new(cfg.cores, &cfg.costs, Nanos::from_millis(1), false);
         let profiler = cfg
             .profile
@@ -308,6 +377,11 @@ impl KstackServer {
             timers: BTreeSet::new(),
             timer_of: Vec::new(),
             fills: HashMap::new(),
+            tier,
+            tier_ids,
+            cold_fills: HashMap::new(),
+            next_cold: 0,
+            cold_scratch: Vec::with_capacity(64),
             ct_pool,
             sync_busy: vec![false; cfg.cores],
             stage_waiting: vec![std::collections::BTreeSet::new(); cfg.cores],
@@ -406,9 +480,30 @@ impl KstackServer {
         });
         self.reg.set(self.ids.nvme_read_errors, errs as f64);
         self.reg.set(self.ids.nvme_latency_spikes, spikes as f64);
+        if let (Some(tier), Some(ids)) = (&self.tier, &self.tier_ids) {
+            self.reg.set(ids.hot_count, tier.hot_count() as f64);
+            self.reg.set(ids.hit_ratio, tier.hit_ratio());
+            self.reg
+                .set(ids.cold_requests, tier.cold.stats.requests as f64);
+            self.reg
+                .set(ids.cold_cost_ucents, tier.cold.stats.cost_ucents as f64);
+            self.reg.set(ids.promotions, tier.stats.promotions as f64);
+            self.reg.set(ids.demotions, tier.stats.demotions as f64);
+            self.reg
+                .set(ids.promote_deferred, tier.stats.promote_deferred as f64);
+            self.reg
+                .set(ids.promoted_bytes, tier.stats.promoted_bytes as f64);
+            self.reg.set(ids.epochs, tier.stats.epochs as f64);
+        }
         if let Some(p) = &self.profiler {
             p.borrow().publish(&mut self.reg);
         }
+    }
+
+    /// The tiering engine, when `cfg.tier` is set.
+    #[must_use]
+    pub fn tier(&self) -> Option<&TierEngine> {
+        self.tier.as_ref()
     }
 
     #[must_use]
@@ -632,6 +727,17 @@ impl KstackServer {
                 now,
                 costs.nginx_request_cycles + costs.sendfile_call_cycles,
             );
+            if let Disposition::File(Some(file)) = &disp {
+                // Tier classification is per request (not per fill):
+                // one heat bump per GET, hot/cold hit accounting here.
+                if let Some(tier) = self.tier.as_mut() {
+                    let ids = self.tier_ids.as_ref().expect("tier ids registered");
+                    match tier.classify(*file) {
+                        Placement::Hot => self.reg.inc(ids.hot_hits[core]),
+                        Placement::Cold => self.reg.inc(ids.cold_misses[core]),
+                    }
+                }
+            }
             let slot = &mut self.slots[slot_idx];
             match disp {
                 Disposition::File(Some(file)) => {
@@ -810,7 +916,19 @@ impl KstackServer {
             let t_alloc = self
                 .cores
                 .run_on(core, now, alloc_cycles + costs.kernel_io_cycles);
-            self.issue_fill(t_alloc, slot_idx, st, want, frames);
+            // Cold objects fetch from the object store over the
+            // network instead of the local NVMe namespace; the frames
+            // land in the same buffer cache either way, so repeat
+            // reads of a cold object hit the page cache above.
+            let cold = self
+                .tier
+                .as_ref()
+                .is_some_and(|t| t.placement(st.file) == Placement::Cold);
+            if cold {
+                self.issue_cold_fill(t_alloc, slot_idx, st, want, frames);
+            } else {
+                self.issue_fill(t_alloc, slot_idx, st, want, frames);
+            }
             let slot = &mut self.slots[slot_idx];
             if let Some(front) = slot.conn.staging.front_mut() {
                 front.next_fill += want;
@@ -860,6 +978,42 @@ impl KstackServer {
         dev.ring_sq_doorbell(now, 0);
         self.fills.insert(
             cid,
+            Fill {
+                conn_slot: slot_idx,
+                file: st.file,
+                file_off: st.next_fill,
+                len,
+                pages,
+                issued_at: now,
+                attempts: 1,
+            },
+        );
+        let core = self.slots[slot_idx].core;
+        self.reg.add(self.ids.disk_read_bytes[core], aligned);
+    }
+
+    /// Issue a cold-tier byte-range GET into freshly allocated buffer
+    /// cache frames. Mirrors [`Self::issue_fill`] but the bytes arrive
+    /// over the NIC — no SQE, no doorbell, and the I/O tuner never
+    /// sees these completions (it steers NVMe windows, not WAN
+    /// latency). Stock's synchronous-sendfile block applies here too:
+    /// the worker would block inside a remote read exactly as it does
+    /// on a local one.
+    fn issue_cold_fill(
+        &mut self,
+        now: Nanos,
+        slot_idx: usize,
+        st: StagedResponse,
+        len: u64,
+        pages: Vec<(u64, PhysRegion)>,
+    ) {
+        let aligned = len.div_ceil(LBA_SIZE) * LBA_SIZE;
+        let token = self.next_cold;
+        self.next_cold += 1;
+        let tier = self.tier.as_mut().expect("cold fill without tier");
+        tier.cold_fetch(now, st.file, st.next_fill, aligned, token);
+        self.cold_fills.insert(
+            token,
             Fill {
                 conn_slot: slot_idx,
                 file: st.file,
@@ -962,8 +1116,7 @@ impl KstackServer {
         let Some(fill) = self.fills.remove(&cid) else {
             return;
         };
-        let slot_idx = fill.conn_slot;
-        let core = self.slots[slot_idx].core;
+        let core = self.slots[fill.conn_slot].core;
         // Feed the fill's completion latency to the core's I/O tuner.
         // Observational here: the kernel stack's read-ahead is a
         // global heuristic with no per-core window to steer (see
@@ -977,6 +1130,15 @@ impl KstackServer {
             outstanding,
             usize::from(NvmeConfig::default().queue_depth),
         );
+        self.finish_fill(now, fill);
+    }
+
+    /// Shared completion tail for NVMe and cold-tier fills: interrupt
+    /// and completion cost, the stock blocked-interval charge, body
+    /// enqueue, and the restage/unblock cascade.
+    fn finish_fill(&mut self, now: Nanos, fill: Fill) {
+        let slot_idx = fill.conn_slot;
+        let core = self.slots[slot_idx].core;
         // Interrupt + completion handling.
         self.prof_stage(core, ProfStage::Fetch);
         let irq_done = self.cores.run_on(
@@ -1270,6 +1432,54 @@ impl KstackServer {
         }
     }
 
+    /// Run tier epoch work and land completed cold-store fills. The
+    /// bytes arrive over the NIC into the buffer-cache frames the fill
+    /// pinned at issue, then take the normal fill-completion tail —
+    /// minus the I/O-tuner observation (WAN latency must not steer the
+    /// NVMe window).
+    fn drain_cold(&mut self, now: Nanos) {
+        let Some(tier) = self.tier.as_mut() else {
+            return;
+        };
+        tier.maybe_epoch(now);
+        let mut tickets = std::mem::take(&mut self.cold_scratch);
+        tickets.clear();
+        tier.drain_serving(now, &mut tickets);
+        for tk in tickets.drain(..) {
+            let Some(fill) = self.cold_fills.remove(&tk.token) else {
+                continue;
+            };
+            let core = self.slots[fill.conn_slot].core;
+            self.prof_stage(core, ProfStage::Fetch);
+            // NIC DMA writes the object bytes into the cache frames,
+            // page by page — same layout the NVMe PRP list would use.
+            let mut remaining = tk.len;
+            for (p, frame) in &fill.pages {
+                let n = remaining.min(CHUNK_SIZE);
+                let region = frame.slice(0, n);
+                if self.cfg.fidelity == Fidelity::Full {
+                    let seed = self.catalog.file_seed(fill.file);
+                    self.host
+                        .update_region(region, |data| prf_bytes(seed, p * CHUNK_SIZE, data));
+                }
+                self.mem.dma_write(now, Agent::NicDma, region);
+                remaining -= n;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if let Some(ids) = &self.tier_ids {
+                self.reg.add(ids.cold_bytes[core], tk.len);
+                self.reg.observe(
+                    ids.cold_fetch_ns,
+                    tk.done_at.saturating_sub(tk.issued_at).as_nanos() as f64,
+                );
+            }
+            self.finish_fill(now, fill);
+        }
+        self.cold_scratch = tickets;
+    }
+
     // ------------------------------------------------------- timekeeping
 
     #[must_use]
@@ -1279,7 +1489,12 @@ impl KstackServer {
             .iter()
             .fold(None, |acc, d| earliest(acc, d.poll_at()));
         let timer = self.timers.iter().next().map(|(d, _)| *d);
-        earliest(earliest(disks, timer), self.nic.poll_at())
+        let tier = self
+            .tier
+            .as_ref()
+            .map(TierEngine::poll_at)
+            .filter(|&at| at != Nanos::MAX);
+        earliest(earliest(earliest(disks, timer), self.nic.poll_at()), tier)
     }
 
     pub fn advance(&mut self, now: Nanos) -> Vec<SentBurst> {
@@ -1301,6 +1516,10 @@ impl KstackServer {
             }
         }
         self.cq_scratch = done;
+        // Cold-tier completions + epoch work (no-op without a tier).
+        if self.tier.is_some() {
+            self.drain_cold(now);
+        }
         // TCP timers.
         let due: Vec<usize> = self
             .timers

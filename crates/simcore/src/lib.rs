@@ -19,7 +19,7 @@ pub mod time;
 
 pub use ids::{Arena, Id};
 pub use queue::{EventQueue, Scheduled};
-pub use rng::{prf_bytes, SimRng, Zipf};
+pub use rng::{prf_bytes, RankPerm, SimRng, Zipf};
 pub use stats::{Histogram, MeanCi, SeriesPoint, TimeBuckets};
 pub use time::{Bandwidth, Nanos};
 

@@ -7,7 +7,8 @@
 //! conventional-stack model addresses disk blocks (their VFS layer
 //! adds cost, not layout).
 
-use dcn_nvme::{SyntheticBacking, LBA_SIZE};
+use dcn_nvme::{BlockBacking, LBA_SIZE};
+use dcn_simcore::prf_bytes;
 
 /// A file (video chunk) identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -106,20 +107,86 @@ impl Catalog {
     }
 
     /// Expected content of `file` at `offset` — verification oracle
-    /// for clients: must equal what the disks return through any
-    /// stack.
+    /// for clients: must equal what any tier returns through any
+    /// stack. A pure function of (file id, offset) — no placement
+    /// lookup and no prebuilt table — so the oracle exists even for
+    /// cold objects whose bytes never materialize on the hot tier
+    /// (they are synthesized on demand by whichever backend serves
+    /// the fetch).
     pub fn expected(&self, file: FileId, offset: u64, out: &mut [u8]) {
-        let loc = self.locate(file, offset);
-        // Content is whatever the synthetic backing stores at the
-        // file's extent (disk seed convention: seed + disk index).
-        let backing = SyntheticBacking::new(self.seed + loc.disk as u64);
-        backing.expected(loc.nsid, loc.dev_offset + offset % LBA_SIZE, out);
+        assert!(file.0 < self.n_files, "no such file {file:?}");
+        prf_bytes(self.file_seed(file), offset, out);
     }
 
-    /// Seed convention for the disks backing this catalog.
+    /// Per-file content seed: the PRF stream key for `file`'s bytes.
+    /// Every storage backend (NVMe flat namespace, cold object store,
+    /// hot-chunk cache) serves bytes from this same function, so
+    /// promotion and demotion can never change content.
     #[must_use]
-    pub fn disk_seed(&self, disk: usize) -> u64 {
-        self.seed + disk as u64
+    pub fn file_seed(&self, file: FileId) -> u64 {
+        // SplitMix64-style mix so nearby ids give unrelated streams.
+        let mut z = self
+            .seed
+            .wrapping_add(file.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31) ^ 0xCA7A_1060_0000_0000
+    }
+
+    /// Bytes each file's extent occupies on disk (LBA-rounded).
+    #[must_use]
+    pub fn extent_bytes(&self) -> u64 {
+        self.extent_lbas * LBA_SIZE
+    }
+}
+
+/// [`BlockBacking`] that serves the catalog's content convention from
+/// raw device coordinates: it inverts the placement function —
+/// (disk, LBA) → (file, in-file offset) — and synthesizes that file's
+/// PRF bytes. This is what the hot tier's NVMe devices are built
+/// with, so disk reads, cold-store fetches, and the client oracle all
+/// agree byte-for-byte.
+pub struct CatalogBacking {
+    catalog: Catalog,
+    disk: usize,
+}
+
+impl CatalogBacking {
+    #[must_use]
+    pub fn new(catalog: &Catalog, disk: usize) -> Self {
+        assert!(disk < catalog.n_disks());
+        CatalogBacking {
+            catalog: catalog.clone(),
+            disk,
+        }
+    }
+}
+
+impl BlockBacking for CatalogBacking {
+    fn read(&self, _nsid: u32, lba: u64, offset: u64, out: &mut [u8]) {
+        let extent = self.catalog.extent_bytes();
+        let mut pos = lba * LBA_SIZE + offset;
+        let mut done = 0usize;
+        while done < out.len() {
+            let index_on_disk = pos / extent;
+            let file = FileId(index_on_disk * self.catalog.n_disks() as u64 + self.disk as u64);
+            let in_file = pos % extent;
+            // Tail slack past file_size (LBA rounding) and reads past
+            // the last extent continue the same PRF streams: never
+            // verified, but deterministic.
+            let n = ((extent - in_file) as usize).min(out.len() - done);
+            prf_bytes(
+                self.catalog.file_seed(file),
+                in_file,
+                &mut out[done..done + n],
+            );
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    fn write(&mut self, _nsid: u32, _lba: u64, _offset: u64, _data: &[u8]) {
+        panic!("CatalogBacking is read-only (the streaming catalog is immutable)");
     }
 }
 
@@ -163,6 +230,46 @@ mod tests {
     fn out_of_range_offset_panics() {
         let c = Catalog::new(100, 300 * 1024, 4, 7);
         let _ = c.locate(FileId(0), 400 * 1024);
+    }
+
+    #[test]
+    fn backing_serves_the_oracle_bytes() {
+        // A disk read at the placement coordinates must return exactly
+        // what the client oracle predicts, including unaligned offsets
+        // and extent boundaries.
+        let c = Catalog::new(100, 300 * 1024, 4, 7);
+        for (file, off, len) in [
+            (FileId(0), 0u64, 4096usize),
+            (FileId(5), 1000, 2000),
+            (FileId(9), 300 * 1024 - 100, 100),
+            (FileId(42), 150 * 1024 + 17, 8192),
+        ] {
+            let loc = c.locate(file, off);
+            let backing = CatalogBacking::new(&c, loc.disk);
+            let mut via_disk = vec![0u8; len];
+            backing.read(
+                loc.nsid,
+                loc.dev_offset / LBA_SIZE,
+                off % LBA_SIZE,
+                &mut via_disk,
+            );
+            let mut via_oracle = vec![0u8; len];
+            c.expected(file, off, &mut via_oracle);
+            assert_eq!(via_disk, via_oracle, "{file:?} @{off}+{len}");
+        }
+    }
+
+    #[test]
+    fn oracle_needs_no_placement_for_any_object() {
+        // A million-object catalog: the oracle for the very last file
+        // is computable without touching any per-object state.
+        let c = Catalog::new(1_000_000, 300 * 1024, 4, 7);
+        let mut a = vec![0u8; 256];
+        c.expected(FileId(999_999), 12_345, &mut a);
+        let mut b = vec![0u8; 256];
+        c.expected(FileId(999_999), 12_345, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod catalog;
 
 pub use abr::AbrManifest;
 pub use bufcache::{BufferCache, CachePageRef, VmPressure};
-pub use catalog::{Catalog, ChunkLoc, FileId};
+pub use catalog::{Catalog, CatalogBacking, ChunkLoc, FileId};

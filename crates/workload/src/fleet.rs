@@ -36,6 +36,14 @@ pub struct FleetConfig {
     /// the popularity distribution. None = the classic fixed-rate
     /// weighttp workload.
     pub abr: Option<AbrConfig>,
+    /// Zipf(θ) popularity over the whole catalog, rank-permuted so
+    /// the popular head is scattered across the id space. Overrides
+    /// `cacheable`; the million-object tiered-catalog workload.
+    pub zipf: Option<f64>,
+    /// Rank → object-id permutation seed for the Zipf workload; must
+    /// match the server's `TierConfig::perm_seed` so the tier's seeded
+    /// hot set covers the same popular head the clients hammer.
+    pub zipf_perm_seed: u64,
 }
 
 impl Default for FleetConfig {
@@ -49,6 +57,8 @@ impl Default for FleetConfig {
             server_port: 80,
             slowloris: 0,
             abr: None,
+            zipf: None,
+            zipf_perm_seed: 0x007E_1A11,
         }
     }
 }
@@ -183,7 +193,14 @@ impl ClientFleet {
         let iss = SeqNumber(rng.next_u64() as u32);
         let (conn, syn) = ClientConn::connect(local, remote, iss, 4 << 20);
         let flow = conn.flow();
-        let driver = if self.cfg.cacheable {
+        let driver = if let Some(theta) = self.cfg.zipf {
+            RequestDriver::zipf_perm(
+                self.catalog.n_files(),
+                theta,
+                self.cfg.zipf_perm_seed,
+                rng.fork(1),
+            )
+        } else if self.cfg.cacheable {
             RequestDriver::cacheable(self.catalog.n_files(), self.cfg.hot_files, rng.fork(1))
         } else {
             RequestDriver::uncachable(self.catalog.n_files(), rng.fork(1))

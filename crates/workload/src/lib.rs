@@ -24,6 +24,6 @@ pub use fleet::{AbrReadout, ClientFleet, FleetConfig};
 pub use multi::{BurstOut, FailoverPlan, MultiFleet, NeedStep, RequestNeed};
 pub use runner::{
     run_scenario, run_scenario_observed, FaultMetrics, ObsOptions, ObsReport, PoolOcc, RunMetrics,
-    Scenario, ServerKind, VideoServer,
+    Scenario, ServerKind, TierMetrics, VideoServer,
 };
 pub use verify::{Expected, RungClaim, StreamVerifier, VerifyStats};

@@ -155,7 +155,14 @@ impl MultiFleet {
     pub fn spawn(&mut self, idx: usize, seed: u64) {
         assert_eq!(idx, self.clients.len(), "spawn in order");
         let mut rng = SimRng::new(seed ^ (idx as u64) << 20);
-        let driver = if self.cfg.cacheable {
+        let driver = if let Some(theta) = self.cfg.zipf {
+            RequestDriver::zipf_perm(
+                self.catalog.n_files(),
+                theta,
+                self.cfg.zipf_perm_seed,
+                rng.fork(1),
+            )
+        } else if self.cfg.cacheable {
             RequestDriver::cacheable(self.catalog.n_files(), self.cfg.hot_files, rng.fork(1))
         } else {
             RequestDriver::uncachable(self.catalog.n_files(), rng.fork(1))

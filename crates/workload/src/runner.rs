@@ -321,6 +321,37 @@ pub struct OverloadMetrics {
     pub ttfb_p99_ms: f64,
 }
 
+/// Tiered-catalog activity over one run, assembled from the `tier.*`
+/// registry family (present when the server ran with a tier engine
+/// and/or the hot-chunk DMA cache).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TierMetrics {
+    /// Requests classified hot / cold (per request, not per fetch).
+    pub hot_hits: u64,
+    pub cold_misses: u64,
+    /// hot_hits / (hot_hits + cold_misses).
+    pub hit_ratio: f64,
+    /// Objects resident on the hot tier at run end.
+    pub hot_count: u64,
+    /// Bytes delivered from the cold object store (demand misses).
+    pub cold_bytes: u64,
+    /// Cold-store GETs (demand + promotion reads).
+    pub cold_requests: u64,
+    /// Simulated cold-store bill, micro-cents.
+    pub cold_cost_ucents: u64,
+    pub promotions: u64,
+    pub demotions: u64,
+    pub promote_deferred: u64,
+    pub promoted_bytes: u64,
+    pub epochs: u64,
+    /// Hot-chunk DMA cache (Atlas ablation; zero on kstack).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_ratio: f64,
+    /// DRAM traffic the cache itself cost (fills + hit readbacks).
+    pub cache_dram_bytes: u64,
+}
+
 /// DMA buffer-pool occupancy over the measurement window, sampled on
 /// a fixed virtual-time cadence. The `ablation_abr` readout: on-off
 /// ABR bursts show up as deeper minima and higher variance than the
@@ -370,6 +401,8 @@ pub struct RunMetrics {
     pub abr: Option<crate::fleet::AbrReadout>,
     /// DMA-pool occupancy over the measurement window (Atlas only).
     pub pool_occ: Option<PoolOcc>,
+    /// Tiered-catalog readout, present when the server ran tiered.
+    pub tier: Option<TierMetrics>,
 }
 
 /// DMA-pool occupancy sampling cadence (virtual time).
@@ -718,6 +751,28 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
         client_retries: fleet.retries_fired,
         ttfb_p99_ms: fleet.ttfb_p99_ms(),
     };
+    // `tier.hit_ratio` is registered iff the server was built with a
+    // tier engine or hot-chunk cache — its presence gates the readout.
+    let tier = reg
+        .find_gauge("tier.hit_ratio")
+        .map(|hit_ratio| TierMetrics {
+            hot_hits: reg.sum_prefixed("tier.hot_hits"),
+            cold_misses: reg.sum_prefixed("tier.cold_misses"),
+            hit_ratio,
+            hot_count: reg.find_gauge("tier.hot_count").unwrap_or(0.0) as u64,
+            cold_bytes: reg.sum_prefixed("tier.cold_bytes"),
+            cold_requests: reg.find_gauge("tier.cold_requests").unwrap_or(0.0) as u64,
+            cold_cost_ucents: reg.find_gauge("tier.cold_cost_ucents").unwrap_or(0.0) as u64,
+            promotions: reg.find_gauge("tier.promotions").unwrap_or(0.0) as u64,
+            demotions: reg.find_gauge("tier.demotions").unwrap_or(0.0) as u64,
+            promote_deferred: reg.find_gauge("tier.promote_deferred").unwrap_or(0.0) as u64,
+            promoted_bytes: reg.find_gauge("tier.promoted_bytes").unwrap_or(0.0) as u64,
+            epochs: reg.find_gauge("tier.epochs").unwrap_or(0.0) as u64,
+            cache_hits: reg.sum_prefixed("tier.cache_hits"),
+            cache_misses: reg.sum_prefixed("tier.cache_misses"),
+            cache_hit_ratio: reg.find_gauge("tier.cache_hit_ratio").unwrap_or(0.0),
+            cache_dram_bytes: reg.find_gauge("tier.cache_dram_bytes").unwrap_or(0.0) as u64,
+        });
     let disk_reads = reg.sum_prefixed("atlas.disk_reads");
     let disk_read_bytes =
         reg.sum_prefixed("atlas.disk_read_bytes") + reg.sum_prefixed("kstack.disk_read_bytes");
@@ -758,6 +813,7 @@ pub fn run_scenario_observed(sc: &Scenario, obs: &ObsOptions) -> (RunMetrics, Ob
                 free_stddev: var.sqrt(),
             }
         }),
+        tier,
     };
     (metrics, report)
 }

@@ -34,4 +34,5 @@ pub use dcn_simcore as simcore;
 pub use dcn_srvcore as srvcore;
 pub use dcn_store as store;
 pub use dcn_tcpstack as tcpstack;
+pub use dcn_tier as tier;
 pub use dcn_workload as workload;
